@@ -1,0 +1,27 @@
+//===- bench/fig7_kast_dendrogram.cpp - Figure 7 reproduction --------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Paper Figure 7: "Hierarchical clustering for Kast Spectrum Kernel
+// using byte information (cut weight = 2)". Expected: the 3-cluster
+// cut is exactly {A}, {B}, {C u D} with "not misplaced examples on any
+// of the groups" (§4.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+#include "core/KastKernel.h"
+
+int main() {
+  using namespace kast;
+  FigureContext Ctx = buildFigureContext();
+  KastSpectrumKernel Kernel({/*CutWeight=*/2});
+  Matrix K = paperGram(Kernel, Ctx.WithBytes);
+  printDendrogramFigure(
+      "Figure 7: single-linkage clustering, Kast kernel, byte info, "
+      "cut = 2",
+      K, Ctx.WithBytes, {{"A"}, {"B"}, {"C", "D"}}, /*ExpectedCut=*/3);
+  return 0;
+}

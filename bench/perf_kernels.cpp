@@ -1,0 +1,128 @@
+//===- bench/perf_kernels.cpp - kernel microbenchmarks ---------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Scaling of the kernel evaluations: the Kast kernel's suffix-automaton
+// path vs the quadratic reference matcher (the DESIGN.md ablation),
+// the spectrum-family baselines, and the parallel Gram-matrix build.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KastKernel.h"
+#include "core/KernelMatrix.h"
+#include "core/Pipeline.h"
+#include "kernels/GapWeightedKernel.h"
+#include "kernels/SpectrumKernels.h"
+#include "util/Rng.h"
+#include "workloads/DatasetBuilder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace kast;
+
+namespace {
+
+/// Random weighted string of \p Length tokens over \p Alphabet.
+WeightedString randomString(const std::shared_ptr<TokenTable> &Table,
+                            Rng &R, size_t Length, uint32_t Alphabet) {
+  WeightedString S(Table);
+  for (size_t I = 0; I < Length; ++I)
+    S.append("t" + std::to_string(R.uniformInt(0, Alphabet - 1)),
+             R.uniformInt(1, 16));
+  return S;
+}
+
+/// Pair of random strings sized by the benchmark argument.
+std::pair<WeightedString, WeightedString>
+randomPair(size_t Length) {
+  static auto Table = TokenTable::create();
+  Rng R(Length * 1000 + 7);
+  return {randomString(Table, R, Length, 12),
+          randomString(Table, R, Length, 12)};
+}
+
+void BM_KastKernelSam(benchmark::State &State) {
+  auto [A, B] = randomPair(static_cast<size_t>(State.range(0)));
+  KastSpectrumKernel Kernel({/*CutWeight=*/2});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Kernel.evaluate(A, B));
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_KastKernelSam)->RangeMultiplier(4)->Range(16, 4096)
+    ->Complexity();
+
+void BM_KastKernelReferenceDP(benchmark::State &State) {
+  auto [A, B] = randomPair(static_cast<size_t>(State.range(0)));
+  KastKernelOptions Options{/*CutWeight=*/2};
+  Options.UseReferenceMatcher = true;
+  KastSpectrumKernel Kernel(Options);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Kernel.evaluate(A, B));
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_KastKernelReferenceDP)->RangeMultiplier(4)->Range(16, 1024)
+    ->Complexity();
+
+void BM_BlendedKernel(benchmark::State &State) {
+  auto [A, B] = randomPair(static_cast<size_t>(State.range(0)));
+  BlendedSpectrumKernel Kernel(3, 1.25);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Kernel.evaluate(A, B));
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_BlendedKernel)->RangeMultiplier(4)->Range(16, 4096)
+    ->Complexity();
+
+void BM_GapWeightedKernel(benchmark::State &State) {
+  auto [A, B] = randomPair(static_cast<size_t>(State.range(0)));
+  GapWeightedKernel Kernel(3, 0.5);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Kernel.evaluate(A, B));
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_GapWeightedKernel)->RangeMultiplier(4)->Range(16, 1024)
+    ->Complexity();
+
+void BM_KSpectrumKernel(benchmark::State &State) {
+  auto [A, B] = randomPair(static_cast<size_t>(State.range(0)));
+  KSpectrumKernel Kernel(3);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Kernel.evaluate(A, B));
+}
+BENCHMARK(BM_KSpectrumKernel)->RangeMultiplier(4)->Range(16, 4096);
+
+/// Kast evaluation on real corpus strings (not random symbols).
+void BM_KastKernelCorpusPair(benchmark::State &State) {
+  static std::vector<LabeledTrace> Corpus = generateCorpus();
+  static LabeledDataset Data =
+      convertCorpus(Pipeline::withBytes(), Corpus);
+  KastSpectrumKernel Kernel({/*CutWeight=*/2});
+  size_t I = 0;
+  for (auto _ : State) {
+    size_t A = I % Data.size();
+    size_t B = (I * 31 + 7) % Data.size();
+    benchmark::DoNotOptimize(
+        Kernel.evaluate(Data.string(A), Data.string(B)));
+    ++I;
+  }
+}
+BENCHMARK(BM_KastKernelCorpusPair);
+
+void BM_GramMatrixBuild(benchmark::State &State) {
+  static std::vector<LabeledTrace> Corpus = generateCorpus();
+  static LabeledDataset Data =
+      convertCorpus(Pipeline::withBytes(), Corpus);
+  KastSpectrumKernel Kernel({/*CutWeight=*/2});
+  KernelMatrixOptions Options;
+  Options.Threads = static_cast<size_t>(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        computeKernelMatrix(Kernel, Data.strings(), Options));
+}
+BENCHMARK(BM_GramMatrixBuild)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+//===- bench/perf_pipeline.cpp - conversion-stage microbenchmarks ----------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Per-stage cost of the trace-to-string conversion: parsing, tree
+// construction, compression (with the pass-count ablation from
+// DESIGN.md), and flattening. Trace size scales with the generator's
+// Scale knob.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "core/TreeFlattener.h"
+#include "trace/TraceParser.h"
+#include "trace/TraceWriter.h"
+#include "tree/TreeBuilder.h"
+#include "tree/TreeCompressor.h"
+#include "util/Rng.h"
+#include "workloads/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace kast;
+
+namespace {
+
+Trace scaledTrace(size_t Scale) {
+  Rng R(Scale * 97 + 3);
+  GeneratorConfig Config;
+  Config.Scale = Scale;
+  return generateFlashIO(R, Config);
+}
+
+void BM_ParseTrace(benchmark::State &State) {
+  Trace T = scaledTrace(static_cast<size_t>(State.range(0)));
+  std::string Text = formatTrace(T);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(parseTrace(Text, "bench"));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(T.size()));
+}
+BENCHMARK(BM_ParseTrace)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_BuildTree(benchmark::State &State) {
+  Trace T = scaledTrace(static_cast<size_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(buildTree(T));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(T.size()));
+}
+BENCHMARK(BM_BuildTree)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_CompressTree(benchmark::State &State) {
+  Trace T = scaledTrace(16);
+  CompressorOptions Options;
+  Options.Passes = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    State.PauseTiming();
+    PatternTree Tree = buildTree(T);
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(compressTree(Tree, Options));
+  }
+}
+BENCHMARK(BM_CompressTree)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_FlattenTree(benchmark::State &State) {
+  Trace T = scaledTrace(static_cast<size_t>(State.range(0)));
+  PatternTree Tree = buildTree(T);
+  compressTree(Tree);
+  auto Table = TokenTable::create();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(flattenTree(Tree, Table));
+}
+BENCHMARK(BM_FlattenTree)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_FullPipeline(benchmark::State &State) {
+  Trace T = scaledTrace(static_cast<size_t>(State.range(0)));
+  Pipeline P;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.convert(T));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(T.size()));
+}
+BENCHMARK(BM_FullPipeline)->RangeMultiplier(4)->Range(1, 64);
+
+} // namespace
+
+BENCHMARK_MAIN();

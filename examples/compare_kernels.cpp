@@ -1,0 +1,105 @@
+//===- examples/compare_kernels.cpp - kernel comparison at a glance --------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs every kernel in the library over the synthetic corpus and
+// prints a side-by-side quality table — a one-screen summary of the
+// paper's evaluation (§4.2-4.3).
+//
+//   $ ./compare_kernels
+//   $ ./compare_kernels --no-bytes --cut 8
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KastKernel.h"
+#include "core/KernelMatrix.h"
+#include "kernels/BagOfWordsKernel.h"
+#include "kernels/GapWeightedKernel.h"
+#include "kernels/SpectrumKernels.h"
+#include "ml/ClusterMetrics.h"
+#include "ml/HierarchicalClustering.h"
+#include "ml/NearestNeighbor.h"
+#include "util/StringUtil.h"
+#include "util/TextTable.h"
+#include "workloads/DatasetBuilder.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+using namespace kast;
+
+int main(int ArgC, char **ArgV) {
+  uint64_t CutWeight = 2;
+  bool IgnoreBytes = false;
+  for (int I = 1; I < ArgC; ++I) {
+    std::string Arg = ArgV[I];
+    if (Arg == "--no-bytes") {
+      IgnoreBytes = true;
+    } else if (Arg == "--cut" && I + 1 < ArgC) {
+      std::optional<uint64_t> N = parseUnsigned(ArgV[++I]);
+      if (N)
+        CutWeight = *N;
+    } else {
+      std::fprintf(stderr, "usage: %s [--no-bytes] [--cut N]\n", ArgV[0]);
+      return 2;
+    }
+  }
+
+  Pipeline P = IgnoreBytes ? Pipeline::withoutBytes() : Pipeline::withBytes();
+  LabeledDataset Data = convertCorpus(P, generateCorpus());
+  std::printf("corpus: 110 examples (A:50 B:20 C:20 D:20), %s, "
+              "cut weight %llu\n\n",
+              IgnoreBytes ? "byte info ignored" : "byte info kept",
+              static_cast<unsigned long long>(CutWeight));
+
+  std::vector<std::pair<std::string, std::unique_ptr<StringKernel>>>
+      Kernels;
+  Kernels.emplace_back("kast", std::make_unique<KastSpectrumKernel>(
+                                   KastKernelOptions{CutWeight}));
+  Kernels.emplace_back("blended (classic)",
+                       std::make_unique<BlendedSpectrumKernel>(3, 1.25));
+  Kernels.emplace_back(
+      "blended (weighted)",
+      std::make_unique<BlendedSpectrumKernel>(3, 1.0, true, CutWeight));
+  Kernels.emplace_back("k-spectrum k=3",
+                       std::make_unique<KSpectrumKernel>(3));
+  Kernels.emplace_back("bag-of-tokens",
+                       std::make_unique<BagOfTokensKernel>());
+  Kernels.emplace_back("bag-of-words",
+                       std::make_unique<BagOfWordsKernel>());
+  Kernels.emplace_back("gap-weighted p=3",
+                       std::make_unique<GapWeightedKernel>(3, 0.5));
+
+  TextTable Table;
+  Table.setHeader({"kernel", "purity@3", "ARI@3", "misplaced@3",
+                   "3 groups found", "LOO-1NN acc"});
+  const LabelGrouping Expected = {{"A"}, {"B"}, {"C", "D"}};
+  for (const auto &[Name, Kernel] : Kernels) {
+    KernelMatrixOptions Options;
+    Options.RepairPsd = true;
+    Matrix K = computeKernelMatrix(*Kernel, Data.strings(), Options);
+    Dendrogram D = clusterHierarchical(similarityToDistance(K));
+    std::vector<size_t> Flat = D.cutToClusters(3);
+    // Nearest-neighbor retrieval quality at the C/D-merged group
+    // level, matching the clustering ground truth.
+    std::vector<std::string> Groups;
+    Groups.reserve(Data.size());
+    for (const std::string &L : Data.labels())
+      Groups.push_back(L == "D" ? "C" : L);
+    LooResult Loo = leaveOneOutNearestNeighbor(K, Groups);
+    Table.addRow(
+        {Name, formatDouble(purity(Flat, Data.labels()), 3),
+         formatDouble(adjustedRandIndex(Flat, Data.labels()), 3),
+         std::to_string(misplacedCount(Flat, Data.labels(), Expected)),
+         matchesGrouping(Flat, Data.labels(), Expected) ? "yes" : "no",
+         formatDouble(Loo.Accuracy, 3)});
+  }
+  std::printf("%s", Table.render().c_str());
+  std::printf("\n(paper §4.2-4.3: the Kast kernel finds the three "
+              "groups, the count-based baselines do not; EXPERIMENTS.md "
+              "discusses the weighted variants)\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+//===- examples/compare_programs.cpp - code similarity demo ----------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's stated future work, runnable today: Mini programs are
+// parsed to ASTs, encoded as the same weighted strings as I/O traces
+// (identifier abstraction plays the role byte-ignoring plays for
+// traces), and compared with the Kast Spectrum Kernel — a miniature
+// clone detector.
+//
+//   $ ./compare_programs
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AstEncoder.h"
+#include "ast/Parser.h"
+#include "core/KastKernel.h"
+#include "core/StringSerializer.h"
+#include "util/TextTable.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace kast;
+
+namespace {
+
+struct Program {
+  const char *Name;
+  const char *Source;
+};
+
+const Program Programs[] = {
+    {"gcd-iter", R"(
+fn gcd(a, b) {
+  while (b != 0) { let t = b; b = a % b; a = t; }
+  return a;
+})"},
+    {"gcd-renamed", R"(
+fn greatest(x, y) {
+  while (y != 0) { let keep = y; y = x % y; x = keep; }
+  return x;
+})"},
+    {"gcd-rec", R"(
+fn gcd(a, b) {
+  if (b == 0) { return a; }
+  return gcd(b, a % b);
+})"},
+    {"fib-iter", R"(
+fn fib(n) {
+  let a = 0;
+  let b = 1;
+  while (n != 0) { let t = b; b = a + b; a = t; n = n - 1; }
+  return a;
+})"},
+    {"sum2d", R"(
+fn sum(n, m) {
+  let total = 0;
+  let i = 0;
+  while (i < n) {
+    let j = 0;
+    while (j < m) { total = total + i * j; j = j + 1; }
+    i = i + 1;
+  }
+  return total;
+})"},
+};
+
+} // namespace
+
+int main() {
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Strings;
+
+  std::printf("encoding programs as weighted strings (identifiers "
+              "abstracted):\n\n");
+  for (const Program &P : Programs) {
+    Expected<Ast> Tree = parseProgram(P.Source);
+    if (!Tree) {
+      std::fprintf(stderr, "error in %s: %s\n", P.Name,
+                   Tree.message().c_str());
+      return 1;
+    }
+    WeightedString S = encodeAst(*Tree, Table);
+    S.setName(P.Name);
+    std::printf("%-12s %s\n", P.Name, formatWeightedString(S).c_str());
+    Strings.push_back(std::move(S));
+  }
+
+  KastSpectrumKernel Kernel({/*CutWeight=*/2});
+  std::printf("\nnormalized Kast similarity matrix (cut weight 2):\n");
+  TextTable MatrixTable;
+  std::vector<std::string> Header = {""};
+  for (const Program &P : Programs)
+    Header.push_back(P.Name);
+  MatrixTable.setHeader(Header);
+  for (size_t I = 0; I < Strings.size(); ++I) {
+    std::vector<std::string> Row = {Strings[I].name()};
+    for (size_t J = 0; J < Strings.size(); ++J)
+      Row.push_back(formatDouble(
+          Kernel.evaluateNormalized(Strings[I], Strings[J]), 3));
+    MatrixTable.addRow(Row);
+  }
+  std::printf("%s", MatrixTable.render().c_str());
+
+  std::printf("\nreading guide: gcd-iter == gcd-renamed (renaming is "
+              "invisible under\nabstraction); everything else scores "
+              "by *structural* overlap — note how\nfib-iter (another "
+              "while/assign loop) lands closer to gcd-iter than\n"
+              "gcd-rec does, even though gcd-rec computes the same "
+              "function.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- examples/quickstart.cpp - five-minute tour of the library -----------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Builds two small I/O traces in memory, converts them to weighted
+// strings through the standard pipeline, and compares them with the
+// Kast Spectrum Kernel — the minimal end-to-end use of the library.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KastKernel.h"
+#include "core/Pipeline.h"
+#include "core/StringSerializer.h"
+#include "trace/Trace.h"
+#include "tree/TreeDump.h"
+
+#include <cstdio>
+
+using namespace kast;
+
+int main() {
+  // 1. Two traces: a sequential reader and a seek-then-read loop.
+  Trace Sequential("sequential");
+  Sequential.append(OpKind::Open, 3);
+  for (int I = 0; I < 20; ++I)
+    Sequential.append(OpKind::Read, 3, 4096);
+  Sequential.append(OpKind::Close, 3);
+
+  Trace Seeky("seeky");
+  Seeky.append(OpKind::Open, 3);
+  for (int I = 0; I < 20; ++I) {
+    Seeky.append(OpKind::Lseek, 3, 0);
+    Seeky.append(OpKind::Read, 3, 4096);
+  }
+  Seeky.append(OpKind::Close, 3);
+
+  Trace SequentialBig("sequential-big");
+  SequentialBig.append(OpKind::Open, 7);
+  for (int I = 0; I < 35; ++I)
+    SequentialBig.append(OpKind::Read, 7, 4096);
+  SequentialBig.append(OpKind::Close, 7);
+
+  // 2. Convert through one pipeline so all strings share a token
+  //    table. The pipeline groups events into the ROOT/HANDLE/BLOCK
+  //    tree, compresses loops (two passes of the four merge rules),
+  //    and flattens to a weighted string.
+  Pipeline P;
+  PipelineResult R1 = P.convertDetailed(Sequential);
+  WeightedString S1 = R1.String;
+  WeightedString S2 = P.convert(Seeky);
+  WeightedString S3 = P.convert(SequentialBig);
+
+  std::printf("tree of '%s' after compression:\n%s\n",
+              Sequential.name().c_str(), dumpTreeAscii(R1.Tree).c_str());
+  std::printf("weighted strings:\n");
+  for (const WeightedString *S : {&S1, &S2, &S3})
+    std::printf("  %-15s %s\n", S->name().c_str(),
+                formatWeightedString(*S).c_str());
+
+  // 3. Compare with the Kast Spectrum Kernel (cut weight 2).
+  KastSpectrumKernel Kernel({/*CutWeight=*/2});
+  std::printf("\nnormalized Kast similarities (cut weight = 2):\n");
+  const WeightedString *Strings[] = {&S1, &S2, &S3};
+  for (const WeightedString *A : Strings) {
+    for (const WeightedString *B : Strings)
+      std::printf("  %-15s vs %-15s = %.4f\n", A->name().c_str(),
+                  B->name().c_str(), Kernel.evaluateNormalized(*A, *B));
+  }
+
+  // The two sequential traces differ only in loop length, which the
+  // representation stores as token *weights* — so they come out far
+  // more similar to each other than to the seek-loop trace.
+  std::printf("\nexpected: sequential ~ sequential-big >> seeky\n");
+  return 0;
+}

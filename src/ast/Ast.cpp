@@ -1,0 +1,120 @@
+//===- ast/Ast.cpp - Mini-language abstract syntax trees --------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Ast.h"
+
+using namespace kast;
+
+const char *kast::astKindName(AstKind Kind) {
+  switch (Kind) {
+  case AstKind::Module:
+    return "module";
+  case AstKind::Function:
+    return "function";
+  case AstKind::Param:
+    return "param";
+  case AstKind::Block:
+    return "block";
+  case AstKind::Let:
+    return "let";
+  case AstKind::Assign:
+    return "assign";
+  case AstKind::If:
+    return "if";
+  case AstKind::While:
+    return "while";
+  case AstKind::Return:
+    return "return";
+  case AstKind::ExprStmt:
+    return "exprstmt";
+  case AstKind::Binary:
+    return "binary";
+  case AstKind::Unary:
+    return "unary";
+  case AstKind::Call:
+    return "call";
+  case AstKind::Number:
+    return "number";
+  case AstKind::Var:
+    return "var";
+  }
+  return "?";
+}
+
+Ast::Ast() {
+  AstNode Root;
+  Root.Kind = AstKind::Module;
+  Nodes.push_back(std::move(Root));
+}
+
+AstNodeId Ast::addNode(AstNodeId Parent, AstKind Kind, std::string Text) {
+  assert(Parent < Nodes.size() && "parent id out of range");
+  AstNodeId Id = static_cast<AstNodeId>(Nodes.size());
+  AstNode N;
+  N.Kind = Kind;
+  N.Text = std::move(Text);
+  N.Parent = Parent;
+  Nodes.push_back(std::move(N));
+  Nodes[Parent].Children.push_back(Id);
+  return Id;
+}
+
+size_t Ast::depth(AstNodeId Id) const {
+  size_t D = 0;
+  while (Nodes[Id].Parent != InvalidAstNodeId) {
+    Id = Nodes[Id].Parent;
+    ++D;
+  }
+  return D;
+}
+
+std::vector<AstNodeId> Ast::preorder() const {
+  std::vector<AstNodeId> Order;
+  Order.reserve(Nodes.size());
+  std::vector<AstNodeId> Stack = {root()};
+  while (!Stack.empty()) {
+    AstNodeId Id = Stack.back();
+    Stack.pop_back();
+    Order.push_back(Id);
+    const std::vector<AstNodeId> &Kids = Nodes[Id].Children;
+    for (auto It = Kids.rbegin(); It != Kids.rend(); ++It)
+      Stack.push_back(*It);
+  }
+  return Order;
+}
+
+size_t Ast::subtreeSize(AstNodeId Id) const {
+  size_t Count = 1;
+  for (AstNodeId Child : Nodes[Id].Children)
+    Count += subtreeSize(Child);
+  return Count;
+}
+
+bool Ast::subtreesEqual(AstNodeId A, AstNodeId B) const {
+  const AstNode &NA = Nodes[A];
+  const AstNode &NB = Nodes[B];
+  if (NA.Kind != NB.Kind || NA.Text != NB.Text ||
+      NA.Children.size() != NB.Children.size())
+    return false;
+  for (size_t I = 0; I < NA.Children.size(); ++I)
+    if (!subtreesEqual(NA.Children[I], NB.Children[I]))
+      return false;
+  return true;
+}
+
+std::string Ast::dump() const {
+  std::string Out;
+  for (AstNodeId Id : preorder()) {
+    Out.append(2 * depth(Id), ' ');
+    Out += astKindName(Nodes[Id].Kind);
+    if (!Nodes[Id].Text.empty()) {
+      Out += ' ';
+      Out += Nodes[Id].Text;
+    }
+    Out += '\n';
+  }
+  return Out;
+}

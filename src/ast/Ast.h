@@ -1,0 +1,104 @@
+//===- ast/Ast.h - Mini-language abstract syntax trees ---------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arena-allocated ASTs for Mini programs. The shape mirrors
+/// tree/PatternTree (dense ids, pre-order helpers) so the same
+/// weighted-string machinery applies; AstEncoder.h performs the
+/// conversion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_AST_AST_H
+#define KAST_AST_AST_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// Dense AST node index.
+using AstNodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr AstNodeId InvalidAstNodeId = ~static_cast<AstNodeId>(0);
+
+/// Node kinds of the Mini AST.
+enum class AstKind : uint8_t {
+  Module,   ///< Root; children are functions.
+  Function, ///< Text = name; children: params then one Block.
+  Param,    ///< Text = name.
+  Block,    ///< Children are statements.
+  Let,      ///< Text = name; child: initializer.
+  Assign,   ///< Text = name; child: value.
+  If,       ///< Children: condition, then-Block [, else node].
+  While,    ///< Children: condition, body Block.
+  Return,   ///< Optional child: value.
+  ExprStmt, ///< Child: expression.
+  Binary,   ///< Text = operator; children: lhs, rhs.
+  Unary,    ///< Text = operator; child: operand.
+  Call,     ///< Text = callee; children: arguments.
+  Number,   ///< Text = literal spelling.
+  Var,      ///< Text = name.
+};
+
+/// \returns "module", "function", "binary", ...
+const char *astKindName(AstKind Kind);
+
+/// One AST node.
+struct AstNode {
+  AstKind Kind = AstKind::Module;
+  /// Identifier, operator spelling or number literal (kind-dependent).
+  std::string Text;
+  AstNodeId Parent = InvalidAstNodeId;
+  std::vector<AstNodeId> Children;
+};
+
+/// An AST; owns its node arena. The Module root always exists.
+class Ast {
+public:
+  Ast();
+
+  AstNodeId root() const { return 0; }
+
+  const AstNode &node(AstNodeId Id) const {
+    assert(Id < Nodes.size() && "ast node id out of range");
+    return Nodes[Id];
+  }
+  AstNode &node(AstNodeId Id) {
+    assert(Id < Nodes.size() && "ast node id out of range");
+    return Nodes[Id];
+  }
+
+  size_t size() const { return Nodes.size(); }
+
+  /// Creates a node of \p Kind with \p Text under \p Parent.
+  AstNodeId addNode(AstNodeId Parent, AstKind Kind, std::string Text = "");
+
+  /// Depth of \p Id (root is 0).
+  size_t depth(AstNodeId Id) const;
+
+  /// Pre-order node ids from the root.
+  std::vector<AstNodeId> preorder() const;
+
+  /// Number of nodes in the subtree rooted at \p Id (inclusive).
+  size_t subtreeSize(AstNodeId Id) const;
+
+  /// Structural equality of two subtrees (kinds, texts, shape).
+  bool subtreesEqual(AstNodeId A, AstNodeId B) const;
+
+  /// Indented multi-line rendering, for tests and tools.
+  std::string dump() const;
+
+private:
+  std::vector<AstNode> Nodes;
+};
+
+} // namespace kast
+
+#endif // KAST_AST_AST_H

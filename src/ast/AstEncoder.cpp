@@ -1,0 +1,107 @@
+//===- ast/AstEncoder.cpp - AST to weighted string --------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AstEncoder.h"
+#include "core/PreorderEncoder.h"
+
+using namespace kast;
+
+/// \returns true if the node's Text is an identifier payload.
+static bool hasIdentifierPayload(AstKind Kind) {
+  switch (Kind) {
+  case AstKind::Function:
+  case AstKind::Param:
+  case AstKind::Let:
+  case AstKind::Assign:
+  case AstKind::Call:
+  case AstKind::Var:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string kast::astTokenLiteral(const Ast &Tree, AstNodeId Id,
+                                  const AstEncodeOptions &Options) {
+  const AstNode &Node = Tree.node(Id);
+  std::string Payload = Node.Text;
+  if (Options.AbstractIdentifiers && hasIdentifierPayload(Node.Kind))
+    Payload.clear();
+  if (Options.AbstractLiterals && Node.Kind == AstKind::Number)
+    Payload.clear();
+  // Structural kinds carry no payload at all.
+  if (Node.Kind == AstKind::Module || Node.Kind == AstKind::Block ||
+      Node.Kind == AstKind::If || Node.Kind == AstKind::While ||
+      Node.Kind == AstKind::Return || Node.Kind == AstKind::ExprStmt)
+    return astKindName(Node.Kind);
+  return std::string(astKindName(Node.Kind)) + "[" + Payload + "]";
+}
+
+namespace {
+
+/// Recursive emitter with sibling-run collapsing.
+class Emitter {
+public:
+  Emitter(const Ast &Tree, const AstEncodeOptions &Options)
+      : Tree(Tree), Options(Options) {}
+
+  std::vector<PreorderItem> run() {
+    emit(Tree.root(), 0, /*Repetitions=*/1);
+    return std::move(Items);
+  }
+
+private:
+  void emit(AstNodeId Id, size_t Depth, uint64_t Repetitions) {
+    PreorderItem Item;
+    Item.Literal = astTokenLiteral(Tree, Id, Options);
+    Item.Weight = Repetitions;
+    Item.Depth = Depth;
+    Items.push_back(std::move(Item));
+
+    const std::vector<AstNodeId> &Kids = Tree.node(Id).Children;
+    size_t I = 0;
+    while (I < Kids.size()) {
+      size_t RunLength = 1;
+      if (Options.CollapseSiblingRuns) {
+        while (I + RunLength < Kids.size() &&
+               encodedEqual(Kids[I], Kids[I + RunLength]))
+          ++RunLength;
+      }
+      emit(Kids[I], Depth + 1, RunLength);
+      I += RunLength;
+    }
+  }
+
+  /// Subtree equality at the *encoded* level: payloads that the
+  /// options abstract away do not block collapsing ("x = x + 1" and
+  /// "y = y + 1" collapse under identifier abstraction).
+  bool encodedEqual(AstNodeId A, AstNodeId B) const {
+    if (astTokenLiteral(Tree, A, Options) !=
+        astTokenLiteral(Tree, B, Options))
+      return false;
+    const std::vector<AstNodeId> &KA = Tree.node(A).Children;
+    const std::vector<AstNodeId> &KB = Tree.node(B).Children;
+    if (KA.size() != KB.size())
+      return false;
+    for (size_t I = 0; I < KA.size(); ++I)
+      if (!encodedEqual(KA[I], KB[I]))
+        return false;
+    return true;
+  }
+
+  const Ast &Tree;
+  const AstEncodeOptions &Options;
+  std::vector<PreorderItem> Items;
+};
+
+} // namespace
+
+WeightedString kast::encodeAst(const Ast &Tree,
+                               const std::shared_ptr<TokenTable> &Table,
+                               const AstEncodeOptions &Options) {
+  Emitter E(Tree, Options);
+  return encodePreorder(E.run(), Table);
+}

@@ -1,0 +1,63 @@
+//===- ast/AstEncoder.h - AST to weighted string ---------------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes Mini ASTs as the paper's weighted strings so the Kast
+/// Spectrum Kernel (and the baselines) can compare programs — the
+/// future-work direction the paper names in §3.1 and §6 (comparing
+/// ASTs and compiler IR with this representation).
+///
+/// Mapping:
+///  * every node becomes a token; structural kinds use bare literals
+///    ("module", "block", "if", ...) while payload-bearing kinds embed
+///    the payload ("binary[+]", "call[gcd]", "var[x]");
+///  * identifier and literal payloads can be *abstracted* — var[x]
+///    becomes var[] — mirroring the trace representation's
+///    byte-ignoring mode (names, like byte counts, are incidental to
+///    the pattern); abstraction is the default;
+///  * runs of structurally identical sibling subtrees collapse into a
+///    single subtree whose root token carries the repetition count as
+///    its weight — the analog of compression rule 1 for unrolled or
+///    copy-pasted statements;
+///  * [LEVEL_UP] tokens encode ascents exactly as in §3.1 (shared
+///    implementation: core/PreorderEncoder.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_AST_ASTENCODER_H
+#define KAST_AST_ASTENCODER_H
+
+#include "ast/Ast.h"
+#include "core/Token.h"
+
+#include <memory>
+
+namespace kast {
+
+/// Options for AST encoding.
+struct AstEncodeOptions {
+  /// Replace identifier payloads (variable, parameter, function and
+  /// callee names) with the empty payload.
+  bool AbstractIdentifiers = true;
+  /// Replace number literals with the empty payload.
+  bool AbstractLiterals = true;
+  /// Collapse runs of identical sibling subtrees into one weighted
+  /// occurrence.
+  bool CollapseSiblingRuns = true;
+};
+
+/// Token literal an AST node encodes to under \p Options.
+std::string astTokenLiteral(const Ast &Tree, AstNodeId Id,
+                            const AstEncodeOptions &Options);
+
+/// Encodes \p Tree over \p Table.
+WeightedString encodeAst(const Ast &Tree,
+                         const std::shared_ptr<TokenTable> &Table,
+                         const AstEncodeOptions &Options = {});
+
+} // namespace kast
+
+#endif // KAST_AST_ASTENCODER_H

@@ -1,0 +1,259 @@
+//===- ast/Interpreter.cpp - Mini-language evaluator ------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Interpreter.h"
+
+#include <map>
+
+using namespace kast;
+
+namespace {
+
+/// Signals that a return statement fired.
+struct ControlState {
+  bool Returned = false;
+  int64_t ReturnValue = 0;
+};
+
+/// The evaluator; uses the Failed/Message pattern internally.
+class Interpreter {
+public:
+  Interpreter(const Ast &Tree, const InterpreterLimits &Limits)
+      : Tree(Tree), Limits(Limits) {
+    for (AstNodeId Fn : Tree.node(Tree.root()).Children)
+      Functions[Tree.node(Fn).Text] = Fn;
+  }
+
+  Expected<int64_t> call(const std::string &Name,
+                         const std::vector<int64_t> &Arguments) {
+    int64_t Value = callFunction(Name, Arguments);
+    if (Failed)
+      return Expected<int64_t>::error(Message);
+    return Value;
+  }
+
+private:
+  using Scope = std::map<std::string, int64_t>;
+
+  void fail(const std::string &What) {
+    if (!Failed) {
+      Failed = true;
+      Message = What;
+    }
+  }
+
+  bool tick() {
+    if (++Steps > Limits.MaxSteps) {
+      fail("step limit exceeded");
+      return false;
+    }
+    return true;
+  }
+
+  int64_t callFunction(const std::string &Name,
+                       const std::vector<int64_t> &Arguments) {
+    auto It = Functions.find(Name);
+    if (It == Functions.end()) {
+      fail("unknown function '" + Name + "'");
+      return 0;
+    }
+    if (++CallDepth > Limits.MaxCallDepth) {
+      fail("call depth limit exceeded in '" + Name + "'");
+      return 0;
+    }
+    const AstNode &Fn = Tree.node(It->second);
+
+    // Children: params then the body block.
+    size_t NumParams = Fn.Children.size() - 1;
+    if (Arguments.size() != NumParams) {
+      fail("function '" + Name + "' expects " +
+           std::to_string(NumParams) + " arguments, got " +
+           std::to_string(Arguments.size()));
+      --CallDepth;
+      return 0;
+    }
+    Scope Locals;
+    for (size_t I = 0; I < NumParams; ++I)
+      Locals[Tree.node(Fn.Children[I]).Text] = Arguments[I];
+
+    ControlState Control;
+    execBlock(Fn.Children.back(), Locals, Control);
+    --CallDepth;
+    return Control.ReturnValue; // 0 when execution fell off the end.
+  }
+
+  void execBlock(AstNodeId Block, Scope &Locals, ControlState &Control) {
+    for (AstNodeId Stmt : Tree.node(Block).Children) {
+      if (Failed || Control.Returned)
+        return;
+      execStatement(Stmt, Locals, Control);
+    }
+  }
+
+  void execStatement(AstNodeId Id, Scope &Locals, ControlState &Control) {
+    if (!tick())
+      return;
+    const AstNode &Node = Tree.node(Id);
+    switch (Node.Kind) {
+    case AstKind::Let:
+      Locals[Node.Text] = eval(Node.Children[0], Locals);
+      return;
+    case AstKind::Assign: {
+      auto It = Locals.find(Node.Text);
+      if (It == Locals.end())
+        return fail("assignment to undeclared variable '" + Node.Text +
+                    "'");
+      It->second = eval(Node.Children[0], Locals);
+      return;
+    }
+    case AstKind::If: {
+      int64_t Cond = eval(Node.Children[0], Locals);
+      if (Failed)
+        return;
+      if (Cond != 0)
+        execStatement(Node.Children[1], Locals, Control);
+      else if (Node.Children.size() > 2)
+        execStatement(Node.Children[2], Locals, Control);
+      return;
+    }
+    case AstKind::While:
+      while (!Failed && !Control.Returned) {
+        if (!tick())
+          return;
+        int64_t Cond = eval(Node.Children[0], Locals);
+        if (Failed || Cond == 0)
+          return;
+        execStatement(Node.Children[1], Locals, Control);
+      }
+      return;
+    case AstKind::Return:
+      Control.Returned = true;
+      Control.ReturnValue =
+          Node.Children.empty() ? 0 : eval(Node.Children[0], Locals);
+      return;
+    case AstKind::ExprStmt:
+      eval(Node.Children[0], Locals);
+      return;
+    case AstKind::Block: {
+      execBlock(Id, Locals, Control);
+      return;
+    }
+    default:
+      return fail(std::string("cannot execute node kind ") +
+                  astKindName(Node.Kind));
+    }
+  }
+
+  int64_t eval(AstNodeId Id, Scope &Locals) {
+    if (!tick())
+      return 0;
+    const AstNode &Node = Tree.node(Id);
+    switch (Node.Kind) {
+    case AstKind::Number:
+      return std::stoll(Node.Text);
+    case AstKind::Var: {
+      auto It = Locals.find(Node.Text);
+      if (It == Locals.end()) {
+        fail("unknown variable '" + Node.Text + "'");
+        return 0;
+      }
+      return It->second;
+    }
+    case AstKind::Unary: {
+      int64_t V = eval(Node.Children[0], Locals);
+      if (Node.Text == "-")
+        return -V;
+      if (Node.Text == "!")
+        return V == 0 ? 1 : 0;
+      fail("unknown unary operator '" + Node.Text + "'");
+      return 0;
+    }
+    case AstKind::Binary:
+      return evalBinary(Node, Locals);
+    case AstKind::Call: {
+      std::vector<int64_t> Arguments;
+      Arguments.reserve(Node.Children.size());
+      for (AstNodeId Arg : Node.Children) {
+        Arguments.push_back(eval(Arg, Locals));
+        if (Failed)
+          return 0;
+      }
+      return callFunction(Node.Text, Arguments);
+    }
+    default:
+      fail(std::string("cannot evaluate node kind ") +
+           astKindName(Node.Kind));
+      return 0;
+    }
+  }
+
+  int64_t evalBinary(const AstNode &Node, Scope &Locals) {
+    // Short-circuit forms first.
+    if (Node.Text == "&&") {
+      int64_t L = eval(Node.Children[0], Locals);
+      if (Failed || L == 0)
+        return 0;
+      return eval(Node.Children[1], Locals) != 0 ? 1 : 0;
+    }
+    if (Node.Text == "||") {
+      int64_t L = eval(Node.Children[0], Locals);
+      if (Failed)
+        return 0;
+      if (L != 0)
+        return 1;
+      return eval(Node.Children[1], Locals) != 0 ? 1 : 0;
+    }
+
+    int64_t L = eval(Node.Children[0], Locals);
+    int64_t R = eval(Node.Children[1], Locals);
+    if (Failed)
+      return 0;
+    if (Node.Text == "+")
+      return L + R;
+    if (Node.Text == "-")
+      return L - R;
+    if (Node.Text == "*")
+      return L * R;
+    if (Node.Text == "/" || Node.Text == "%") {
+      if (R == 0) {
+        fail("division by zero");
+        return 0;
+      }
+      return Node.Text == "/" ? L / R : L % R;
+    }
+    if (Node.Text == "==")
+      return L == R;
+    if (Node.Text == "!=")
+      return L != R;
+    if (Node.Text == "<")
+      return L < R;
+    if (Node.Text == "<=")
+      return L <= R;
+    if (Node.Text == ">")
+      return L > R;
+    if (Node.Text == ">=")
+      return L >= R;
+    fail("unknown binary operator '" + Node.Text + "'");
+    return 0;
+  }
+
+  const Ast &Tree;
+  InterpreterLimits Limits;
+  std::map<std::string, AstNodeId> Functions;
+  size_t CallDepth = 0;
+  size_t Steps = 0;
+  bool Failed = false;
+  std::string Message;
+};
+
+} // namespace
+
+Expected<int64_t> kast::runProgram(const Ast &Tree, const std::string &Name,
+                                   const std::vector<int64_t> &Arguments,
+                                   const InterpreterLimits &Limits) {
+  Interpreter I(Tree, Limits);
+  return I.call(Name, Arguments);
+}

@@ -1,0 +1,49 @@
+//===- ast/Interpreter.h - Mini-language evaluator -------------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small tree-walking interpreter for Mini. It exists so the
+/// code-similarity tests can assert *behavioral* facts alongside
+/// structural ones — e.g. that the iterative and recursive gcd
+/// variants compute the same function even though the Kast kernel
+/// (correctly) scores them as structurally different.
+///
+/// Semantics: 64-bit signed integers; 0 is false, everything else
+/// true; && and || are short-circuiting and yield 0/1; division and
+/// modulo by zero are runtime errors; a function returns 0 if it falls
+/// off the end. Recursion depth and step count are bounded so tests
+/// cannot hang.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_AST_INTERPRETER_H
+#define KAST_AST_INTERPRETER_H
+
+#include "ast/Ast.h"
+#include "util/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace kast {
+
+/// Execution limits.
+struct InterpreterLimits {
+  size_t MaxCallDepth = 256;
+  size_t MaxSteps = 1000000;
+};
+
+/// Calls function \p Name of the program in \p Tree with \p Arguments.
+///
+/// \returns the return value, or a diagnostic (unknown function, arity
+/// mismatch, unknown variable, division by zero, limits exceeded).
+Expected<int64_t> runProgram(const Ast &Tree, const std::string &Name,
+                             const std::vector<int64_t> &Arguments,
+                             const InterpreterLimits &Limits = {});
+
+} // namespace kast
+
+#endif // KAST_AST_INTERPRETER_H

@@ -1,0 +1,213 @@
+//===- ast/Lexer.cpp - Mini-language lexer ----------------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Lexer.h"
+
+#include <cctype>
+
+using namespace kast;
+
+const char *kast::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::Number:
+    return "number";
+  case TokKind::KwFn:
+    return "'fn'";
+  case TokKind::KwLet:
+    return "'let'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semicolon:
+    return "';'";
+  case TokKind::Operator:
+    return "operator";
+  case TokKind::EndOfFile:
+    return "end of file";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Cursor over the source with position tracking.
+class Cursor {
+public:
+  explicit Cursor(std::string_view Source) : Source(Source) {}
+
+  bool atEnd() const { return Offset >= Source.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Offset + Ahead < Source.size() ? Source[Offset + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Source[Offset++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  size_t line() const { return Line; }
+  size_t column() const { return Column; }
+
+private:
+  std::string_view Source;
+  size_t Offset = 0;
+  size_t Line = 1;
+  size_t Column = 1;
+};
+
+TokKind keywordKind(const std::string &Text) {
+  if (Text == "fn")
+    return TokKind::KwFn;
+  if (Text == "let")
+    return TokKind::KwLet;
+  if (Text == "if")
+    return TokKind::KwIf;
+  if (Text == "else")
+    return TokKind::KwElse;
+  if (Text == "while")
+    return TokKind::KwWhile;
+  if (Text == "return")
+    return TokKind::KwReturn;
+  return TokKind::Identifier;
+}
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentBody(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+} // namespace
+
+Expected<std::vector<LexToken>> kast::lexProgram(std::string_view Source) {
+  using Result = Expected<std::vector<LexToken>>;
+  std::vector<LexToken> Tokens;
+  Cursor C(Source);
+
+  while (!C.atEnd()) {
+    // Skip whitespace and line comments.
+    char Ch = C.peek();
+    if (std::isspace(static_cast<unsigned char>(Ch))) {
+      C.advance();
+      continue;
+    }
+    if (Ch == '/' && C.peek(1) == '/') {
+      while (!C.atEnd() && C.peek() != '\n')
+        C.advance();
+      continue;
+    }
+
+    LexToken Tok;
+    Tok.Line = C.line();
+    Tok.Column = C.column();
+
+    if (isIdentStart(Ch)) {
+      while (!C.atEnd() && isIdentBody(C.peek()))
+        Tok.Text += C.advance();
+      Tok.Kind = keywordKind(Tok.Text);
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(Ch))) {
+      while (!C.atEnd() && std::isdigit(static_cast<unsigned char>(C.peek())))
+        Tok.Text += C.advance();
+      Tok.Kind = TokKind::Number;
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+
+    switch (Ch) {
+    case '(':
+      Tok.Kind = TokKind::LParen;
+      break;
+    case ')':
+      Tok.Kind = TokKind::RParen;
+      break;
+    case '{':
+      Tok.Kind = TokKind::LBrace;
+      break;
+    case '}':
+      Tok.Kind = TokKind::RBrace;
+      break;
+    case ',':
+      Tok.Kind = TokKind::Comma;
+      break;
+    case ';':
+      Tok.Kind = TokKind::Semicolon;
+      break;
+    case '+':
+    case '-':
+    case '*':
+    case '/':
+    case '%':
+      Tok.Kind = TokKind::Operator;
+      break;
+    case '<':
+    case '>':
+    case '=':
+    case '!':
+      Tok.Kind = TokKind::Operator;
+      break;
+    case '&':
+    case '|':
+      if (C.peek(1) != Ch)
+        return Result::error("stray '" + std::string(1, Ch) + "' at " +
+                             std::to_string(C.line()) + ":" +
+                             std::to_string(C.column()));
+      Tok.Kind = TokKind::Operator;
+      break;
+    default:
+      return Result::error("unexpected character '" + std::string(1, Ch) +
+                           "' at " + std::to_string(C.line()) + ":" +
+                           std::to_string(C.column()));
+    }
+
+    // Build the operator spelling (possibly two characters).
+    Tok.Text += C.advance();
+    if (Tok.Kind == TokKind::Operator) {
+      char First = Tok.Text[0];
+      char Next = C.peek();
+      bool TwoChar = (Next == '=' && (First == '<' || First == '>' ||
+                                      First == '=' || First == '!')) ||
+                     (First == '&' && Next == '&') ||
+                     (First == '|' && Next == '|');
+      if (TwoChar)
+        Tok.Text += C.advance();
+      // Lone '=' is assignment; the parser distinguishes by spelling.
+    }
+    Tokens.push_back(std::move(Tok));
+  }
+
+  LexToken Eof;
+  Eof.Kind = TokKind::EndOfFile;
+  Eof.Line = C.line();
+  Eof.Column = C.column();
+  Tokens.push_back(std::move(Eof));
+  return Tokens;
+}

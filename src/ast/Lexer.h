@@ -1,0 +1,73 @@
+//===- ast/Lexer.h - Mini-language lexer -----------------------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for Mini, the small imperative language the ast library uses
+/// to demonstrate the paper's stated future work: applying the
+/// weighted-string representation and the Kast Spectrum Kernel to
+/// "more complex structures like Abstract Syntax Trees" (§3.1) and
+/// compiler intermediate representations (§6).
+///
+/// Mini is a C-like subset:
+///
+///   fn gcd(a, b) {
+///     while (b != 0) { let t = b; b = a % b; a = t; }
+///     return a;
+///   }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_AST_LEXER_H
+#define KAST_AST_LEXER_H
+
+#include "util/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kast {
+
+/// Lexical token kinds of Mini.
+enum class TokKind : uint8_t {
+  Identifier,
+  Number,
+  KwFn,
+  KwLet,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semicolon,
+  Operator, ///< One of + - * / % < <= > >= == != && || ! =
+  EndOfFile,
+};
+
+/// \returns a human-readable kind name ("identifier", "'{'", ...).
+const char *tokKindName(TokKind Kind);
+
+/// One lexical token with its source position (1-based).
+struct LexToken {
+  TokKind Kind = TokKind::EndOfFile;
+  std::string Text;
+  size_t Line = 1;
+  size_t Column = 1;
+};
+
+/// Lexes a whole Mini program; the result always ends with an
+/// EndOfFile token. Comments run from "//" to end of line. Errors
+/// (stray characters) carry line:column positions.
+Expected<std::vector<LexToken>> lexProgram(std::string_view Source);
+
+} // namespace kast
+
+#endif // KAST_AST_LEXER_H

@@ -1,0 +1,39 @@
+//===- core/Dataset.cpp - Labeled string corpora ---------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dataset.h"
+
+#include <algorithm>
+
+using namespace kast;
+
+void LabeledDataset::add(WeightedString String, std::string Label) {
+  Strings.push_back(std::move(String));
+  Labels.push_back(std::move(Label));
+}
+
+std::vector<std::string> LabeledDataset::labelSet() const {
+  std::vector<std::string> Set;
+  for (const std::string &L : Labels)
+    if (std::find(Set.begin(), Set.end(), L) == Set.end())
+      Set.push_back(L);
+  return Set;
+}
+
+std::vector<size_t> LabeledDataset::indicesOf(const std::string &Label) const {
+  std::vector<size_t> Indices;
+  for (size_t I = 0; I < Labels.size(); ++I)
+    if (Labels[I] == Label)
+      Indices.push_back(I);
+  return Indices;
+}
+
+std::map<std::string, size_t> LabeledDataset::labelCounts() const {
+  std::map<std::string, size_t> Counts;
+  for (const std::string &L : Labels)
+    ++Counts[L];
+  return Counts;
+}

@@ -1,0 +1,57 @@
+//===- core/Dataset.h - Labeled string corpora -----------------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A corpus of weighted strings with category labels — the object the
+/// paper's evaluation operates on (110 examples over categories
+/// A/B/C/D). Labels are free-form strings; ml/ClusterMetrics compares
+/// clusterings against them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_CORE_DATASET_H
+#define KAST_CORE_DATASET_H
+
+#include "core/Token.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// Parallel arrays of strings and labels.
+class LabeledDataset {
+public:
+  /// Appends one example.
+  void add(WeightedString String, std::string Label);
+
+  size_t size() const { return Strings.size(); }
+  bool empty() const { return Strings.empty(); }
+
+  const std::vector<WeightedString> &strings() const { return Strings; }
+  const std::vector<std::string> &labels() const { return Labels; }
+
+  const WeightedString &string(size_t I) const { return Strings[I]; }
+  const std::string &label(size_t I) const { return Labels[I]; }
+
+  /// Distinct labels in order of first appearance.
+  std::vector<std::string> labelSet() const;
+
+  /// Example indices carrying \p Label.
+  std::vector<size_t> indicesOf(const std::string &Label) const;
+
+  /// Count per label.
+  std::map<std::string, size_t> labelCounts() const;
+
+private:
+  std::vector<WeightedString> Strings;
+  std::vector<std::string> Labels;
+};
+
+} // namespace kast
+
+#endif // KAST_CORE_DATASET_H

@@ -1,0 +1,78 @@
+//===- core/Explain.cpp - Human-readable kernel explanations ---------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Explain.h"
+#include "util/TextTable.h"
+
+#include <algorithm>
+
+using namespace kast;
+
+KernelExplanation kast::explainKernel(const KastSpectrumKernel &Kernel,
+                                      const WeightedString &A,
+                                      const WeightedString &B) {
+  KernelExplanation Out;
+  Out.WeightA = A.totalWeight();
+  Out.WeightB = B.totalWeight();
+
+  const std::shared_ptr<TokenTable> &Table = A.table();
+  for (const KastFeature &F : Kernel.features(A, B)) {
+    FeatureContribution C;
+    for (size_t I = 0; I < F.Literals.size(); ++I) {
+      if (I != 0)
+        C.Substring += ' ';
+      C.Substring += Table->literal(F.Literals[I]);
+    }
+    C.Length = F.Literals.size();
+    C.WeightInA = F.WeightInA;
+    C.WeightInB = F.WeightInB;
+    C.CountInA = F.CountInA;
+    C.CountInB = F.CountInB;
+    C.Contribution = static_cast<double>(F.WeightInA) *
+                     static_cast<double>(F.WeightInB);
+    Out.KernelValue += C.Contribution;
+    Out.Features.push_back(std::move(C));
+  }
+  for (FeatureContribution &C : Out.Features)
+    C.Share = Out.KernelValue > 0.0 ? C.Contribution / Out.KernelValue : 0.0;
+  std::sort(Out.Features.begin(), Out.Features.end(),
+            [](const FeatureContribution &L, const FeatureContribution &R) {
+              if (L.Contribution != R.Contribution)
+                return L.Contribution > R.Contribution;
+              return L.Substring < R.Substring;
+            });
+  Out.NormalizedValue = Kernel.evaluateNormalized(A, B);
+  return Out;
+}
+
+std::string kast::formatExplanation(const KernelExplanation &Explanation,
+                                    size_t MaxRows) {
+  TextTable Table;
+  Table.setHeader({"shared substring", "len", "w(A)", "w(B)", "occ A",
+                   "occ B", "contribution", "share"});
+  size_t Rows = 0;
+  for (const FeatureContribution &C : Explanation.Features) {
+    if (MaxRows != 0 && Rows++ >= MaxRows) {
+      Table.addRow({"... (" +
+                        std::to_string(Explanation.Features.size() -
+                                       MaxRows) +
+                        " more)",
+                    "", "", "", "", "", "", ""});
+      break;
+    }
+    Table.addRow({C.Substring, std::to_string(C.Length),
+                  std::to_string(C.WeightInA), std::to_string(C.WeightInB),
+                  std::to_string(C.CountInA), std::to_string(C.CountInB),
+                  formatDouble(C.Contribution, 1),
+                  formatDouble(100.0 * C.Share, 1) + "%"});
+  }
+  std::string Out = Table.render();
+  Out += "kernel value " + formatDouble(Explanation.KernelValue, 1) +
+         ", normalized " + formatDouble(Explanation.NormalizedValue) +
+         " (weights " + std::to_string(Explanation.WeightA) + " / " +
+         std::to_string(Explanation.WeightB) + ")\n";
+  return Out;
+}

@@ -1,0 +1,62 @@
+//===- core/Explain.h - Human-readable kernel explanations -----*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the explicit embedding the Kast Spectrum Kernel builds for
+/// a pair of strings — which shared substrings exist, their weights on
+/// each side, and their contribution to the kernel value. This is the
+/// introspection counterpart of the paper's worked example (§3.2,
+/// Eq. 1-13), and what examples/explain_similarity prints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_CORE_EXPLAIN_H
+#define KAST_CORE_EXPLAIN_H
+
+#include "core/KastKernel.h"
+
+#include <string>
+
+namespace kast {
+
+/// One row of an explanation: a feature with its contribution.
+struct FeatureContribution {
+  /// The shared substring, rendered as its token literals.
+  std::string Substring;
+  size_t Length = 0;
+  uint64_t WeightInA = 0;
+  uint64_t WeightInB = 0;
+  size_t CountInA = 0;
+  size_t CountInB = 0;
+  /// WeightInA * WeightInB.
+  double Contribution = 0.0;
+  /// Contribution / k(A, B).
+  double Share = 0.0;
+};
+
+/// Full explanation of one kernel evaluation.
+struct KernelExplanation {
+  /// Features sorted by descending contribution.
+  std::vector<FeatureContribution> Features;
+  double KernelValue = 0.0;
+  double NormalizedValue = 0.0;
+  uint64_t WeightA = 0;
+  uint64_t WeightB = 0;
+};
+
+/// Computes the explanation of Kernel(A, B).
+KernelExplanation explainKernel(const KastSpectrumKernel &Kernel,
+                                const WeightedString &A,
+                                const WeightedString &B);
+
+/// Renders an explanation as a fixed-width table; at most \p MaxRows
+/// features (0 = all).
+std::string formatExplanation(const KernelExplanation &Explanation,
+                              size_t MaxRows = 10);
+
+} // namespace kast
+
+#endif // KAST_CORE_EXPLAIN_H

@@ -1,0 +1,121 @@
+//===- core/KastKernel.cpp - The Kast Spectrum Kernel ----------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KastKernel.h"
+#include "core/Matcher.h"
+
+#include <cassert>
+#include <map>
+
+using namespace kast;
+
+KastSpectrumKernel::KastSpectrumKernel(KastKernelOptions Options)
+    : Options(Options) {}
+
+std::string KastSpectrumKernel::name() const {
+  return "kast-spectrum(cut=" + std::to_string(Options.CutWeight) + ")";
+}
+
+/// Collects the distinct literal sequences of all maximal match
+/// occurrences in both directions.
+static std::map<std::vector<uint32_t>, KastFeature>
+collectCandidates(const WeightedString &A, const WeightedString &B,
+                  bool UseReferenceMatcher) {
+  const std::vector<uint32_t> &IdsA = A.literalIds();
+  const std::vector<uint32_t> &IdsB = B.literalIds();
+
+  std::vector<MaximalMatch> InA, InB;
+  if (UseReferenceMatcher) {
+    InA = findMaximalMatchesDP(IdsA, IdsB);
+    InB = findMaximalMatchesDP(IdsB, IdsA);
+  } else {
+    SuffixAutomaton RevB(reversed(IdsB));
+    SuffixAutomaton RevA(reversed(IdsA));
+    InA = findMaximalMatches(IdsA, RevB);
+    InB = findMaximalMatches(IdsB, RevA);
+  }
+
+  std::map<std::vector<uint32_t>, KastFeature> Candidates;
+  auto Insert = [&Candidates](const std::vector<uint32_t> &Ids,
+                              const MaximalMatch &M) {
+    std::vector<uint32_t> Key(Ids.begin() + M.Begin, Ids.begin() + M.End);
+    auto It = Candidates.find(Key);
+    if (It == Candidates.end()) {
+      KastFeature F;
+      F.Literals = Key;
+      Candidates.emplace(std::move(Key), std::move(F));
+    }
+  };
+  for (const MaximalMatch &M : InA)
+    Insert(IdsA, M);
+  for (const MaximalMatch &M : InB)
+    Insert(IdsB, M);
+  return Candidates;
+}
+
+/// Accumulates qualifying occurrences of \p Feature in \p X under the
+/// cut policy; \returns {summed weight, count}.
+static std::pair<uint64_t, size_t>
+scoreOccurrences(const WeightedString &X,
+                 const std::vector<uint32_t> &Pattern, uint64_t CutWeight,
+                 CutPolicy Policy) {
+  uint64_t Sum = 0;
+  size_t Count = 0;
+  for (size_t Begin : findOccurrences(X.literalIds(), Pattern)) {
+    uint64_t W = X.rangeWeight(Begin, Begin + Pattern.size());
+    if (Policy == CutPolicy::PerOccurrence && W < CutWeight)
+      continue;
+    Sum += W;
+    ++Count;
+  }
+  return {Sum, Count};
+}
+
+std::vector<KastFeature>
+KastSpectrumKernel::features(const WeightedString &A,
+                             const WeightedString &B) const {
+  std::vector<KastFeature> Result;
+  if (A.empty() || B.empty())
+    return Result;
+  assert(A.table().get() == B.table().get() &&
+         "kernel arguments must share one token table");
+  // §3.2: strings lighter than the cut weight are ignored entirely.
+  if (A.totalWeight() < Options.CutWeight ||
+      B.totalWeight() < Options.CutWeight)
+    return Result;
+
+  std::map<std::vector<uint32_t>, KastFeature> Candidates =
+      collectCandidates(A, B, Options.UseReferenceMatcher);
+
+  for (auto &[Key, Feature] : Candidates) {
+    auto [WeightA, CountA] =
+        scoreOccurrences(A, Key, Options.CutWeight, Options.Policy);
+    auto [WeightB, CountB] =
+        scoreOccurrences(B, Key, Options.CutWeight, Options.Policy);
+    if (Options.Policy == CutPolicy::PerOccurrence) {
+      if (CountA == 0 || CountB == 0)
+        continue;
+    } else {
+      if (WeightA < Options.CutWeight || WeightB < Options.CutWeight)
+        continue;
+    }
+    Feature.WeightInA = WeightA;
+    Feature.WeightInB = WeightB;
+    Feature.CountInA = CountA;
+    Feature.CountInB = CountB;
+    Result.push_back(std::move(Feature));
+  }
+  return Result;
+}
+
+double KastSpectrumKernel::evaluate(const WeightedString &A,
+                                    const WeightedString &B) const {
+  double Sum = 0.0;
+  for (const KastFeature &F : features(A, B))
+    Sum += static_cast<double>(F.WeightInA) *
+           static_cast<double>(F.WeightInB);
+  return Sum;
+}

@@ -1,0 +1,69 @@
+//===- core/KernelMatrix.cpp - Gram matrix construction --------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KernelMatrix.h"
+#include "linalg/Eigen.h"
+#include "util/ThreadPool.h"
+
+#include <cmath>
+
+using namespace kast;
+
+Matrix kast::computeKernelMatrix(const StringKernel &Kernel,
+                                 const std::vector<WeightedString> &Strings,
+                                 const KernelMatrixOptions &Options) {
+  const size_t N = Strings.size();
+  Matrix K(N, N, 0.0);
+
+  // Diagonal first; needed for normalization anyway.
+  std::vector<double> Diag(N, 0.0);
+  parallelFor(
+      N,
+      [&](size_t I) {
+        Diag[I] = Kernel.evaluate(Strings[I], Strings[I]);
+        K.at(I, I) = Diag[I];
+      },
+      Options.Threads);
+
+  // Strict upper triangle, flattened: pair p -> (i, j).
+  const size_t NumPairs = N < 2 ? 0 : N * (N - 1) / 2;
+  parallelFor(
+      NumPairs,
+      [&](size_t P) {
+        // Invert p = i*N - i(i+1)/2 + (j - i - 1) by scanning rows;
+        // cheap relative to a kernel evaluation.
+        size_t I = 0;
+        size_t RowLen = N - 1;
+        size_t Offset = P;
+        while (Offset >= RowLen) {
+          Offset -= RowLen;
+          ++I;
+          --RowLen;
+        }
+        size_t J = I + 1 + Offset;
+        double V = Kernel.evaluate(Strings[I], Strings[J]);
+        K.at(I, J) = V;
+        K.at(J, I) = V;
+      },
+      Options.Threads);
+
+  if (Options.Normalize) {
+    for (size_t I = 0; I < N; ++I) {
+      for (size_t J = 0; J < N; ++J) {
+        if (I == J)
+          continue;
+        double D = Diag[I] * Diag[J];
+        K.at(I, J) = D > 0.0 ? K.at(I, J) / std::sqrt(D) : 0.0;
+      }
+    }
+    for (size_t I = 0; I < N; ++I)
+      K.at(I, I) = 1.0;
+  }
+
+  if (Options.RepairPsd && N > 0 && minEigenvalue(K) < 0.0)
+    K = projectToPsd(K);
+  return K;
+}

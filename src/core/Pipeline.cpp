@@ -1,0 +1,33 @@
+//===- core/Pipeline.cpp - Trace to weighted string pipeline ---------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+using namespace kast;
+
+Pipeline::Pipeline(PipelineOptions Options)
+    : Opts(std::move(Options)), Table(TokenTable::create()) {}
+
+Pipeline Pipeline::withBytes() { return Pipeline(); }
+
+Pipeline Pipeline::withoutBytes() {
+  PipelineOptions Options;
+  Options.Builder.IgnoreBytes = true;
+  return Pipeline(std::move(Options));
+}
+
+WeightedString Pipeline::convert(const Trace &T) const {
+  return convertDetailed(T).String;
+}
+
+PipelineResult Pipeline::convertDetailed(const Trace &T) const {
+  PipelineResult Result;
+  Result.Tree = buildTree(T, Opts.Builder);
+  Result.Stats = compressTree(Result.Tree, Opts.Compressor);
+  Result.String = flattenTree(Result.Tree, Table, Opts.Flatten);
+  Result.String.setName(T.name());
+  return Result;
+}

@@ -1,0 +1,72 @@
+//===- core/Pipeline.h - Trace to weighted string pipeline -----*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end two-stage conversion of §3.1: trace -> tree ->
+/// compressed tree -> weighted string, with one shared TokenTable so
+/// every string produced by a pipeline is kernel-comparable. This is
+/// the main entry point for library users:
+///
+/// \code
+///   kast::Pipeline P;                      // byte-aware, 2 passes
+///   kast::WeightedString S = P.convert(Trace);
+///   kast::KastSpectrumKernel K({.CutWeight = 2});
+///   double Sim = K.evaluateNormalized(S, T);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_CORE_PIPELINE_H
+#define KAST_CORE_PIPELINE_H
+
+#include "core/Token.h"
+#include "core/TreeFlattener.h"
+#include "tree/TreeBuilder.h"
+#include "tree/TreeCompressor.h"
+
+namespace kast {
+
+/// Aggregated stage options.
+struct PipelineOptions {
+  TreeBuilderOptions Builder;
+  CompressorOptions Compressor;
+  FlattenOptions Flatten;
+};
+
+/// Full conversion result, for inspection and the explorer example.
+struct PipelineResult {
+  PatternTree Tree;          ///< Compressed tree.
+  CompressionStats Stats;    ///< Leaf counts and per-rule merges.
+  WeightedString String;     ///< Flattened weighted string.
+};
+
+/// Stateful converter owning a TokenTable shared by all outputs.
+class Pipeline {
+public:
+  explicit Pipeline(PipelineOptions Options = {});
+
+  /// Convenience constructor for the paper's two representations.
+  static Pipeline withBytes();
+  static Pipeline withoutBytes();
+
+  /// Converts one trace to its weighted string (named after the
+  /// trace).
+  WeightedString convert(const Trace &T) const;
+
+  /// Converts and returns every intermediate stage.
+  PipelineResult convertDetailed(const Trace &T) const;
+
+  const std::shared_ptr<TokenTable> &table() const { return Table; }
+  const PipelineOptions &options() const { return Opts; }
+
+private:
+  PipelineOptions Opts;
+  std::shared_ptr<TokenTable> Table;
+};
+
+} // namespace kast
+
+#endif // KAST_CORE_PIPELINE_H

@@ -1,0 +1,32 @@
+//===- core/PreorderEncoder.cpp - Generic pre-order token encoding ---------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PreorderEncoder.h"
+
+#include <cassert>
+
+using namespace kast;
+
+WeightedString
+kast::encodePreorder(const std::vector<PreorderItem> &Items,
+                     const std::shared_ptr<TokenTable> &Table,
+                     const PreorderEncodeOptions &Options) {
+  WeightedString Out(Table);
+  size_t PrevDepth = 0;
+  bool First = true;
+  for (const PreorderItem &Item : Items) {
+    assert((First ? Item.Depth == 0 : Item.Depth <= PrevDepth + 1) &&
+           "invalid pre-order depth contour");
+    if (!First && Item.Depth <= PrevDepth)
+      Out.append(LevelUpLiteral, PrevDepth - Item.Depth + 1);
+    Out.append(Item.Literal, Item.Weight);
+    PrevDepth = Item.Depth;
+    First = false;
+  }
+  if (Options.EmitTrailingLevelUp && !First)
+    Out.append(LevelUpLiteral, PrevDepth + 1);
+  return Out;
+}

@@ -1,0 +1,46 @@
+//===- core/StringKernel.h - Kernel function interface ---------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel-function abstraction shared by the Kast Spectrum Kernel
+/// (core) and the baseline string kernels (src/kernels). A kernel maps
+/// two weighted strings to the inner product of their implicit feature
+/// vectors; learning algorithms only ever consume the resulting Gram
+/// matrix (§2.2: "the learning algorithms ... need only the kernel
+/// matrix").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_CORE_STRINGKERNEL_H
+#define KAST_CORE_STRINGKERNEL_H
+
+#include "core/Token.h"
+
+#include <string>
+
+namespace kast {
+
+/// Abstract kernel function over weighted strings.
+class StringKernel {
+public:
+  virtual ~StringKernel();
+
+  /// Unnormalized kernel value k(A, B).
+  virtual double evaluate(const WeightedString &A,
+                          const WeightedString &B) const = 0;
+
+  /// Human-readable kernel name (for bench/table output).
+  virtual std::string name() const = 0;
+
+  /// Cosine-normalized value k(A,B)/sqrt(k(A,A)k(B,B)); 0 when either
+  /// self-kernel vanishes (and 1 when A and B coincide token-wise).
+  double evaluateNormalized(const WeightedString &A,
+                            const WeightedString &B) const;
+};
+
+} // namespace kast
+
+#endif // KAST_CORE_STRINGKERNEL_H

@@ -1,0 +1,49 @@
+//===- core/StringSerializer.cpp - Weighted string text form ---------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StringSerializer.h"
+#include "util/StringUtil.h"
+
+using namespace kast;
+
+std::string kast::formatWeightedString(const WeightedString &S) {
+  std::string Out;
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (I != 0)
+      Out += ' ';
+    Out += S.literal(I);
+    Out += ':';
+    Out += std::to_string(S.weight(I));
+  }
+  return Out;
+}
+
+Expected<WeightedString>
+kast::parseWeightedString(std::string_view Text,
+                          const std::shared_ptr<TokenTable> &Table,
+                          std::string Name) {
+  using Result = Expected<WeightedString>;
+  WeightedString Out(Table, std::move(Name));
+  for (std::string_view Piece : splitWhitespace(Text)) {
+    size_t Colon = Piece.rfind(':');
+    std::string_view Literal = Piece;
+    uint64_t Weight = 1;
+    if (Colon != std::string_view::npos && Colon + 1 < Piece.size()) {
+      std::optional<uint64_t> Parsed = parseUnsigned(Piece.substr(Colon + 1));
+      if (Parsed) {
+        Literal = Piece.substr(0, Colon);
+        Weight = *Parsed;
+      }
+    }
+    if (Literal.empty())
+      return Result::error("empty token literal in '" + std::string(Piece) +
+                           "'");
+    if (Weight == 0)
+      return Result::error("zero weight in '" + std::string(Piece) + "'");
+    Out.append(std::string(Literal), Weight);
+  }
+  return Out;
+}

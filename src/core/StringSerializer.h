@@ -1,0 +1,39 @@
+//===- core/StringSerializer.h - Weighted string text form -----*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text form of weighted strings, one "literal:weight" pair per token:
+///
+///   [ROOT]:1 [HANDLE]:1 [BLOCK]:1 read[1024]:5 [LEVEL_UP]:2 ...
+///
+/// Weights of 1 may be omitted on input; output always writes them.
+/// Used by examples, test fixtures and bench dumps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_CORE_STRINGSERIALIZER_H
+#define KAST_CORE_STRINGSERIALIZER_H
+
+#include "core/Token.h"
+#include "util/Error.h"
+
+#include <string_view>
+
+namespace kast {
+
+/// Renders \p S as space-separated "literal:weight" pairs.
+std::string formatWeightedString(const WeightedString &S);
+
+/// Parses the text form over \p Table. Tokens are whitespace-split;
+/// the weight is the suffix after the last ':' (defaulting to 1 when
+/// absent).
+Expected<WeightedString> parseWeightedString(
+    std::string_view Text, const std::shared_ptr<TokenTable> &Table,
+    std::string Name = "");
+
+} // namespace kast
+
+#endif // KAST_CORE_STRINGSERIALIZER_H

@@ -1,0 +1,69 @@
+//===- core/SuffixAutomaton.h - SAM over token symbols ---------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A suffix automaton (Blumer et al.) over 32-bit token symbols. The
+/// Kast Spectrum Kernel needs, for two strings A and B, every *maximal
+/// match occurrence* — an interval of A whose literal sequence occurs
+/// in B and cannot be extended left or right while still occurring in
+/// B. The automaton of B answers "does this factor occur in B" in
+/// amortized O(1) per symbol, giving linear-time matching statistics;
+/// see Matcher.h for how those become maximal matches.
+///
+/// States are stored in a flat arena; transitions in small sorted
+/// vectors (token alphabets here are tiny, typically < 100 symbols).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_CORE_SUFFIXAUTOMATON_H
+#define KAST_CORE_SUFFIXAUTOMATON_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kast {
+
+/// Suffix automaton of a symbol sequence.
+class SuffixAutomaton {
+public:
+  /// Builds the automaton of \p Sequence.
+  explicit SuffixAutomaton(const std::vector<uint32_t> &Sequence);
+
+  /// \returns the number of states (at most 2n - 1 for n >= 2).
+  size_t numStates() const { return States.size(); }
+
+  /// \returns true if \p Factor occurs as a contiguous factor.
+  bool containsFactor(const std::vector<uint32_t> &Factor) const;
+
+  /// Matching statistics: Result[j] = length of the longest suffix of
+  /// Query[0..j] that occurs in the indexed sequence (the standard
+  /// end-based form).
+  std::vector<size_t>
+  matchingStatisticsEnds(const std::vector<uint32_t> &Query) const;
+
+private:
+  struct State {
+    /// Length of the longest factor in this state's class.
+    size_t Len = 0;
+    /// Suffix link; -1 for the initial state.
+    int32_t Link = -1;
+    /// Sorted (symbol, target) transitions.
+    std::vector<std::pair<uint32_t, int32_t>> Next;
+  };
+
+  int32_t transition(int32_t State, uint32_t Symbol) const;
+  void addTransition(int32_t From, uint32_t Symbol, int32_t To);
+  void setTransition(int32_t From, uint32_t Symbol, int32_t To);
+  int32_t extend(int32_t Last, uint32_t Symbol);
+
+  std::vector<State> States;
+};
+
+} // namespace kast
+
+#endif // KAST_CORE_SUFFIXAUTOMATON_H

@@ -1,0 +1,62 @@
+//===- core/Token.cpp - Weighted tokens and strings ------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Token.h"
+
+using namespace kast;
+
+LiteralId TokenTable::intern(const std::string &Literal) {
+  auto It = Index.find(Literal);
+  if (It != Index.end())
+    return It->second;
+  LiteralId Id = static_cast<LiteralId>(Literals.size());
+  Literals.push_back(Literal);
+  Index.emplace(Literal, Id);
+  return Id;
+}
+
+LiteralId TokenTable::lookup(const std::string &Literal) const {
+  auto It = Index.find(Literal);
+  return It == Index.end() ? ~static_cast<LiteralId>(0) : It->second;
+}
+
+void WeightedString::append(const std::string &Literal, uint64_t Weight) {
+  assert(Table && "appending to a string with no token table");
+  append(Table->intern(Literal), Weight);
+}
+
+void WeightedString::append(LiteralId Id, uint64_t Weight) {
+  Ids.push_back(Id);
+  Weights.push_back(Weight);
+  invalidateCache();
+}
+
+void WeightedString::ensurePrefixWeights() const {
+  if (PrefixWeight.size() == Weights.size() + 1)
+    return;
+  PrefixWeight.resize(Weights.size() + 1);
+  PrefixWeight[0] = 0;
+  for (size_t I = 0; I < Weights.size(); ++I)
+    PrefixWeight[I + 1] = PrefixWeight[I] + Weights[I];
+}
+
+uint64_t WeightedString::totalWeight() const {
+  return rangeWeight(0, size());
+}
+
+uint64_t WeightedString::rangeWeight(size_t Begin, size_t End) const {
+  assert(Begin <= End && End <= size() && "bad token range");
+  ensurePrefixWeights();
+  return PrefixWeight[End] - PrefixWeight[Begin];
+}
+
+uint64_t WeightedString::filteredWeight(uint64_t MinWeight) const {
+  uint64_t Sum = 0;
+  for (uint64_t W : Weights)
+    if (W >= MinWeight)
+      Sum += W;
+  return Sum;
+}

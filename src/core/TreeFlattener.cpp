@@ -1,0 +1,133 @@
+//===- core/TreeFlattener.cpp - Tree to weighted string --------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TreeFlattener.h"
+#include "core/PreorderEncoder.h"
+#include "util/StringUtil.h"
+
+using namespace kast;
+
+/// Token literal for a leaf: "name[byteSig]".
+static std::string leafLiteral(const PatternNode &Node) {
+  return Node.nameLabel() + "[" + Node.byteLabel() + "]";
+}
+
+WeightedString kast::flattenTree(const PatternTree &Tree,
+                                 const std::shared_ptr<TokenTable> &Table,
+                                 const FlattenOptions &Options) {
+  std::vector<PreorderItem> Items;
+  Items.reserve(Tree.size());
+  for (NodeId Id : Tree.preorder()) {
+    const PatternNode &Node = Tree.node(Id);
+    PreorderItem Item;
+    Item.Depth = Tree.depth(Id);
+    switch (Node.Kind) {
+    case NodeKind::Root:
+      Item.Literal = RootLiteral;
+      break;
+    case NodeKind::Handle:
+      Item.Literal = HandleLiteral;
+      break;
+    case NodeKind::Block:
+      Item.Literal = BlockLiteral;
+      break;
+    case NodeKind::Op:
+      Item.Literal = leafLiteral(Node);
+      Item.Weight = Node.Reps;
+      break;
+    }
+    Items.push_back(std::move(Item));
+  }
+  PreorderEncodeOptions EncodeOptions;
+  EncodeOptions.EmitTrailingLevelUp = Options.EmitTrailingLevelUp;
+  return encodePreorder(Items, Table, EncodeOptions);
+}
+
+/// Splits "name[bytes]" into signatures; returns false on mismatch.
+static bool parseLeafLiteral(const std::string &Literal, PatternNode &Node) {
+  size_t Open = Literal.find('[');
+  if (Open == std::string::npos || Literal.back() != ']' || Open == 0)
+    return false;
+  std::string Names = Literal.substr(0, Open);
+  std::string Bytes = Literal.substr(Open + 1, Literal.size() - Open - 2);
+  for (std::string_view Part : split(Names, '+')) {
+    if (Part.empty())
+      return false;
+    Node.NameSig.emplace_back(Part);
+  }
+  for (std::string_view Part : split(Bytes, '+')) {
+    std::optional<uint64_t> Value = parseUnsigned(Part);
+    if (!Value)
+      return false;
+    Node.ByteSig.push_back(*Value);
+  }
+  return !Node.NameSig.empty() && !Node.ByteSig.empty();
+}
+
+Expected<PatternTree> kast::unflattenString(const WeightedString &S) {
+  using Result = Expected<PatternTree>;
+  if (S.empty())
+    return Result::error("empty string has no tree");
+  if (S.literal(0) != RootLiteral)
+    return Result::error("string must start with [ROOT]");
+
+  PatternTree Tree;
+  NodeId Current = Tree.root(); // Last materialized node.
+  uint64_t HandleCounter = 0;
+
+  for (size_t I = 1; I < S.size(); ++I) {
+    const std::string &Literal = S.literal(I);
+    uint64_t Weight = S.weight(I);
+
+    if (Literal == LevelUpLiteral) {
+      if (I + 1 >= S.size())
+        return Result::error("trailing [LEVEL_UP] token");
+      // Ascend Weight levels; adjacency with the following token then
+      // descends one level, so the next node's parent is Weight levels
+      // above Current.
+      for (uint64_t Step = 0; Step < Weight; ++Step) {
+        if (Tree.node(Current).Parent == InvalidNodeId)
+          return Result::error("[LEVEL_UP] ascends past the root at token " +
+                               std::to_string(I));
+        Current = Tree.node(Current).Parent;
+      }
+      continue;
+    }
+
+    // Any non-LEVEL_UP token is a child of Current.
+    NodeId Parent = Current;
+    if (Literal == RootLiteral)
+      return Result::error("[ROOT] not at string start");
+    if (Literal == HandleLiteral) {
+      if (Tree.node(Parent).Kind != NodeKind::Root)
+        return Result::error("[HANDLE] not under [ROOT] at token " +
+                             std::to_string(I));
+      Current = Tree.addChild(Parent, NodeKind::Handle);
+      Tree.node(Current).Handle = HandleCounter++;
+      continue;
+    }
+    if (Literal == BlockLiteral) {
+      if (Tree.node(Parent).Kind != NodeKind::Handle)
+        return Result::error("[BLOCK] not under [HANDLE] at token " +
+                             std::to_string(I));
+      Current = Tree.addChild(Parent, NodeKind::Block);
+      continue;
+    }
+    // Leaf.
+    if (Tree.node(Parent).Kind != NodeKind::Block)
+      return Result::error("operation token outside a [BLOCK] at token " +
+                           std::to_string(I));
+    PatternNode Leaf;
+    if (!parseLeafLiteral(Literal, Leaf))
+      return Result::error("malformed leaf literal '" + Literal + "'");
+    Current = Tree.addOp(Parent, "", 0);
+    PatternNode &Slot = Tree.node(Current);
+    Slot.NameSig = std::move(Leaf.NameSig);
+    Slot.ByteSig = std::move(Leaf.ByteSig);
+    Slot.Reps = Weight;
+  }
+  return Tree;
+}

@@ -1,0 +1,60 @@
+//===- core/TreeFlattener.h - Tree to weighted string ----------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Second stage of the paper's conversion (§3.1, Fig. 2): the compacted
+/// tree is traversed in pre-order and each node becomes a token.
+///
+///  * ROOT/HANDLE/BLOCK nodes -> [ROOT]/[HANDLE]/[BLOCK], weight 1;
+///  * a leaf -> "name[bytes]" (e.g. "read[1024]", "read+write[64]",
+///    "read[2+4]"), weight = repetition count;
+///  * between two consecutive emitted nodes the traversal may ascend;
+///    that emits [LEVEL_UP] with weight = number of levels jumped.
+///    Descent is never marked: "the number of levels jumped from a
+///    parent to a child is always 1, which is implicitly expressed when
+///    two tokens are written one after the other". Moving from a node
+///    at depth d1 to the next pre-order node at depth d2 therefore
+///    emits [LEVEL_UP] with weight d1 - d2 + 1 when that is positive
+///    (siblings get weight 1), and nothing when d2 == d1 + 1.
+///
+/// Under this scheme the string determines the tree shape uniquely
+/// (handle numbers excepted, which the representation abstracts away);
+/// unflattenString inverts the mapping and is property-tested against
+/// the flattener.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_CORE_TREEFLATTENER_H
+#define KAST_CORE_TREEFLATTENER_H
+
+#include "core/Token.h"
+#include "tree/PatternTree.h"
+#include "util/Error.h"
+
+namespace kast {
+
+/// Options controlling flattening.
+struct FlattenOptions {
+  /// Emit a final [LEVEL_UP] for the ascent back to (above) the root
+  /// after the last node. The paper's definition ("until the next new
+  /// node is found") implies no trailing token, the default.
+  bool EmitTrailingLevelUp = false;
+};
+
+/// Flattens \p Tree into a weighted string over \p Table.
+WeightedString flattenTree(const PatternTree &Tree,
+                           const std::shared_ptr<TokenTable> &Table,
+                           const FlattenOptions &Options = {});
+
+/// Rebuilds a tree from a flattened string (inverse of flattenTree up
+/// to handle numbering). Fails on malformed strings, e.g. [LEVEL_UP]
+/// ascending past the root, structural tokens at impossible depths, or
+/// leaf literals that do not parse as "name[bytes]".
+Expected<PatternTree> unflattenString(const WeightedString &S);
+
+} // namespace kast
+
+#endif // KAST_CORE_TREEFLATTENER_H

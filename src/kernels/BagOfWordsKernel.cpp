@@ -1,0 +1,67 @@
+//===- kernels/BagOfWordsKernel.cpp - Bag-of-words baseline ----------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/BagOfWordsKernel.h"
+
+#include <cassert>
+#include <map>
+
+using namespace kast;
+
+BagOfWordsKernel::BagOfWordsKernel(bool Weighted) : Weighted(Weighted) {}
+
+/// \returns true for the structural delimiters.
+static bool isStructural(const std::string &Literal) {
+  return Literal == RootLiteral || Literal == HandleLiteral ||
+         Literal == BlockLiteral || Literal == LevelUpLiteral;
+}
+
+/// Word multiset of \p X: values keyed by the literal-id sequence of
+/// each maximal non-structural run.
+static std::map<std::vector<uint32_t>, double>
+wordValues(const WeightedString &X, bool Weighted) {
+  std::map<std::vector<uint32_t>, double> Values;
+  std::vector<uint32_t> Word;
+  double Weight = 0.0;
+  auto Flush = [&] {
+    if (!Word.empty())
+      Values[Word] += Weighted ? Weight : 1.0;
+    Word.clear();
+    Weight = 0.0;
+  };
+  for (size_t I = 0; I < X.size(); ++I) {
+    if (isStructural(X.literal(I))) {
+      Flush();
+      continue;
+    }
+    Word.push_back(X.literalId(I));
+    Weight += static_cast<double>(X.weight(I));
+  }
+  Flush();
+  return Values;
+}
+
+double BagOfWordsKernel::evaluate(const WeightedString &A,
+                                  const WeightedString &B) const {
+  assert((A.empty() || B.empty() ||
+          A.table().get() == B.table().get()) &&
+         "kernel arguments must share one token table");
+  std::map<std::vector<uint32_t>, double> InA = wordValues(A, Weighted);
+  std::map<std::vector<uint32_t>, double> InB = wordValues(B, Weighted);
+  double Sum = 0.0;
+  const auto &Small = InA.size() <= InB.size() ? InA : InB;
+  const auto &Large = InA.size() <= InB.size() ? InB : InA;
+  for (const auto &[Key, Value] : Small) {
+    auto It = Large.find(Key);
+    if (It != Large.end())
+      Sum += Value * It->second;
+  }
+  return Sum;
+}
+
+std::string BagOfWordsKernel::name() const {
+  return Weighted ? "bag-of-words(weighted)" : "bag-of-words";
+}

@@ -1,0 +1,42 @@
+//===- kernels/BagOfWordsKernel.h - Bag-of-words baseline ------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bag-of-words kernel (§2.2: "searches for shared words among
+/// strings"), adapted to weighted token strings: a *word* is a maximal
+/// run of operation tokens between structural tokens ([ROOT],
+/// [HANDLE], [BLOCK], [LEVEL_UP]) — i.e. the operation body of one
+/// block fragment. The kernel counts shared words. The paper discards
+/// this baseline a priori ("a group of subsequent tokens can encode
+/// more meaningful information than a single one"); it is implemented
+/// so the tab1 sweep can demonstrate that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_KERNELS_BAGOFWORDSKERNEL_H
+#define KAST_KERNELS_BAGOFWORDSKERNEL_H
+
+#include "core/StringKernel.h"
+
+namespace kast {
+
+/// Bag-of-words kernel over structural-token-delimited runs.
+class BagOfWordsKernel : public StringKernel {
+public:
+  /// \param Weighted count words by summed token weight instead of 1.
+  explicit BagOfWordsKernel(bool Weighted = false);
+
+  double evaluate(const WeightedString &A,
+                  const WeightedString &B) const override;
+  std::string name() const override;
+
+private:
+  bool Weighted;
+};
+
+} // namespace kast
+
+#endif // KAST_KERNELS_BAGOFWORDSKERNEL_H

@@ -1,0 +1,82 @@
+//===- kernels/Combinators.cpp - Kernel algebra -----------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Combinators.h"
+
+#include <cassert>
+
+using namespace kast;
+
+SumKernel::SumKernel(std::vector<std::shared_ptr<StringKernel>> Parts)
+    : Parts(std::move(Parts)), Weights(this->Parts.size(), 1.0) {
+  assert(!this->Parts.empty() && "sum of zero kernels");
+}
+
+SumKernel::SumKernel(std::vector<std::shared_ptr<StringKernel>> Parts,
+                     std::vector<double> Weights)
+    : Parts(std::move(Parts)), Weights(std::move(Weights)) {
+  assert(!this->Parts.empty() && "sum of zero kernels");
+  assert(this->Parts.size() == this->Weights.size() &&
+         "weight count mismatch");
+  for ([[maybe_unused]] double W : this->Weights)
+    assert(W >= 0.0 && "negative kernel weight breaks PSD-ness");
+}
+
+double SumKernel::evaluate(const WeightedString &A,
+                           const WeightedString &B) const {
+  double Sum = 0.0;
+  for (size_t I = 0; I < Parts.size(); ++I)
+    Sum += Weights[I] * Parts[I]->evaluate(A, B);
+  return Sum;
+}
+
+std::string SumKernel::name() const {
+  std::string Out = "sum(";
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += " + ";
+    Out += Parts[I]->name();
+  }
+  return Out + ")";
+}
+
+ProductKernel::ProductKernel(
+    std::vector<std::shared_ptr<StringKernel>> Parts)
+    : Parts(std::move(Parts)) {
+  assert(!this->Parts.empty() && "product of zero kernels");
+}
+
+double ProductKernel::evaluate(const WeightedString &A,
+                               const WeightedString &B) const {
+  double Product = 1.0;
+  for (const std::shared_ptr<StringKernel> &Part : Parts)
+    Product *= Part->evaluate(A, B);
+  return Product;
+}
+
+std::string ProductKernel::name() const {
+  std::string Out = "product(";
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += " * ";
+    Out += Parts[I]->name();
+  }
+  return Out + ")";
+}
+
+NormalizedKernel::NormalizedKernel(std::shared_ptr<StringKernel> Inner)
+    : Inner(std::move(Inner)) {
+  assert(this->Inner && "normalizing a null kernel");
+}
+
+double NormalizedKernel::evaluate(const WeightedString &A,
+                                  const WeightedString &B) const {
+  return Inner->evaluateNormalized(A, B);
+}
+
+std::string NormalizedKernel::name() const {
+  return "normalized(" + Inner->name() + ")";
+}

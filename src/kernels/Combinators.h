@@ -1,0 +1,76 @@
+//===- kernels/Combinators.h - Kernel algebra ------------------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closure-property combinators over string kernels (Shawe-Taylor &
+/// Cristianini [4], ch. 3): non-negative weighted sums, products and
+/// positive scalings of kernels are kernels. Useful for mixing the
+/// Kast kernel with baselines (e.g. adding a bag-of-tokens floor so
+/// strings sharing no long substring still get vocabulary credit) and
+/// for the composite-kernel experiments in the test suite.
+///
+/// Components are held by shared_ptr so combinators compose freely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_KERNELS_COMBINATORS_H
+#define KAST_KERNELS_COMBINATORS_H
+
+#include "core/StringKernel.h"
+
+#include <memory>
+#include <vector>
+
+namespace kast {
+
+/// Weighted sum: k(x,y) = sum_i w_i * k_i(x,y), w_i >= 0.
+class SumKernel : public StringKernel {
+public:
+  /// Unit weights.
+  explicit SumKernel(std::vector<std::shared_ptr<StringKernel>> Parts);
+  SumKernel(std::vector<std::shared_ptr<StringKernel>> Parts,
+            std::vector<double> Weights);
+
+  double evaluate(const WeightedString &A,
+                  const WeightedString &B) const override;
+  std::string name() const override;
+
+private:
+  std::vector<std::shared_ptr<StringKernel>> Parts;
+  std::vector<double> Weights;
+};
+
+/// Product: k(x,y) = prod_i k_i(x,y).
+class ProductKernel : public StringKernel {
+public:
+  explicit ProductKernel(
+      std::vector<std::shared_ptr<StringKernel>> Parts);
+
+  double evaluate(const WeightedString &A,
+                  const WeightedString &B) const override;
+  std::string name() const override;
+
+private:
+  std::vector<std::shared_ptr<StringKernel>> Parts;
+};
+
+/// Cosine-normalizing wrapper: k(x,y) = k0(x,y)/sqrt(k0(x,x)k0(y,y)).
+/// Useful when mixing kernels of different magnitudes in a SumKernel.
+class NormalizedKernel : public StringKernel {
+public:
+  explicit NormalizedKernel(std::shared_ptr<StringKernel> Inner);
+
+  double evaluate(const WeightedString &A,
+                  const WeightedString &B) const override;
+  std::string name() const override;
+
+private:
+  std::shared_ptr<StringKernel> Inner;
+};
+
+} // namespace kast
+
+#endif // KAST_KERNELS_COMBINATORS_H

@@ -1,0 +1,102 @@
+//===- kernels/SpectrumKernels.cpp - Baseline string kernels ---------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/SpectrumKernels.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+using namespace kast;
+
+SpectrumFamilyKernel::SpectrumFamilyKernel(SpectrumOptions Options)
+    : Options(Options) {
+  assert(Options.MinLength >= 1 && Options.MinLength <= Options.MaxLength &&
+         "bad spectrum length range");
+}
+
+/// Aggregated value of every l-gram of \p X for one length.
+static std::map<std::vector<uint32_t>, double>
+gramValues(const WeightedString &X, size_t Length,
+           const SpectrumOptions &Options) {
+  std::map<std::vector<uint32_t>, double> Values;
+  const std::vector<uint32_t> &Ids = X.literalIds();
+  if (Length > Ids.size())
+    return Values;
+  for (size_t I = 0; I + Length <= Ids.size(); ++I) {
+    double Contribution = 1.0;
+    if (Options.Weighted) {
+      uint64_t W = X.rangeWeight(I, I + Length);
+      if (W < Options.CutWeight)
+        continue;
+      Contribution = static_cast<double>(W);
+    }
+    std::vector<uint32_t> Key(Ids.begin() + I, Ids.begin() + I + Length);
+    Values[std::move(Key)] += Contribution;
+  }
+  return Values;
+}
+
+double SpectrumFamilyKernel::evaluate(const WeightedString &A,
+                                      const WeightedString &B) const {
+  assert((A.empty() || B.empty() ||
+          A.table().get() == B.table().get()) &&
+         "kernel arguments must share one token table");
+  double Sum = 0.0;
+  for (size_t L = Options.MinLength; L <= Options.MaxLength; ++L) {
+    std::map<std::vector<uint32_t>, double> InA = gramValues(A, L, Options);
+    if (InA.empty())
+      continue;
+    std::map<std::vector<uint32_t>, double> InB = gramValues(B, L, Options);
+    double LengthSum = 0.0;
+    // Iterate the smaller map, probe the larger.
+    const auto &Small = InA.size() <= InB.size() ? InA : InB;
+    const auto &Large = InA.size() <= InB.size() ? InB : InA;
+    for (const auto &[Key, Value] : Small) {
+      auto It = Large.find(Key);
+      if (It != Large.end())
+        LengthSum += Value * It->second;
+    }
+    double Decay = std::pow(Options.Lambda, 2.0 * static_cast<double>(L));
+    Sum += Decay * LengthSum;
+  }
+  return Sum;
+}
+
+std::string SpectrumFamilyKernel::name() const {
+  return "spectrum-family(" + std::to_string(Options.MinLength) + ".." +
+         std::to_string(Options.MaxLength) + ")";
+}
+
+KSpectrumKernel::KSpectrumKernel(size_t K, bool Weighted, uint64_t CutWeight)
+    : SpectrumFamilyKernel(
+          {/*MinLength=*/K, /*MaxLength=*/K, /*Lambda=*/1.0,
+           /*Weighted=*/Weighted, /*CutWeight=*/CutWeight}) {}
+
+std::string KSpectrumKernel::name() const {
+  return "k-spectrum(k=" + std::to_string(Options.MaxLength) +
+         (Options.Weighted ? ",weighted" : "") + ")";
+}
+
+BlendedSpectrumKernel::BlendedSpectrumKernel(size_t K, double Lambda,
+                                             bool Weighted,
+                                             uint64_t CutWeight)
+    : SpectrumFamilyKernel({/*MinLength=*/1, /*MaxLength=*/K, Lambda,
+                            Weighted, CutWeight}) {}
+
+std::string BlendedSpectrumKernel::name() const {
+  return "blended-spectrum(k=" + std::to_string(Options.MaxLength) +
+         (Options.Weighted
+              ? ",weighted,cut=" + std::to_string(Options.CutWeight)
+              : "") +
+         ")";
+}
+
+BagOfTokensKernel::BagOfTokensKernel(bool Weighted, uint64_t CutWeight)
+    : SpectrumFamilyKernel({/*MinLength=*/1, /*MaxLength=*/1,
+                            /*Lambda=*/1.0, Weighted, CutWeight}) {}
+
+std::string BagOfTokensKernel::name() const { return "bag-of-tokens"; }

@@ -1,0 +1,91 @@
+//===- kernels/SpectrumKernels.h - Baseline string kernels -----*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline kernels the paper evaluates against (§2.2, §4.3), all
+/// instances of one engine over contiguous token subsequences
+/// ("p-grams") of lengths MinLength..MaxLength:
+///
+///   k(x, y) = sum over lengths l of lambda^(2l) *
+///             sum over distinct l-grams g of v_g(x) * v_g(y)
+///
+/// where v_g(x) is either the occurrence count of g in x (the classic
+/// symbol-counting form) or, in weighted mode, the summed token weight
+/// of the occurrences of g whose weight reaches the cut weight — the
+/// form the paper's figure captions parameterize with "cut weight = 2"
+/// when running the Blended Spectrum Kernel on weighted strings.
+///
+/// Instantiations:
+///   * KSpectrumKernel        — l = k exactly (Leslie et al. [12])
+///   * BlendedSpectrumKernel  — l = 1..k with decay (Shawe-Taylor &
+///                              Cristianini [4])
+///   * BagOfTokensKernel      — l = 1, the bag-of-characters analog
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_KERNELS_SPECTRUMKERNELS_H
+#define KAST_KERNELS_SPECTRUMKERNELS_H
+
+#include "core/StringKernel.h"
+
+#include <cstdint>
+
+namespace kast {
+
+/// Shared configuration of the spectrum family.
+struct SpectrumOptions {
+  size_t MinLength = 1;
+  size_t MaxLength = 3;
+  /// Per-length decay lambda; contribution scales with lambda^(2l).
+  double Lambda = 1.0;
+  /// Weighted mode: occurrences contribute their token-weight sum and
+  /// occurrences lighter than CutWeight are ignored.
+  bool Weighted = false;
+  uint64_t CutWeight = 0;
+};
+
+/// Engine shared by the concrete baselines below.
+class SpectrumFamilyKernel : public StringKernel {
+public:
+  explicit SpectrumFamilyKernel(SpectrumOptions Options);
+
+  double evaluate(const WeightedString &A,
+                  const WeightedString &B) const override;
+  std::string name() const override;
+
+  const SpectrumOptions &options() const { return Options; }
+
+protected:
+  SpectrumOptions Options;
+};
+
+/// The k-spectrum kernel: only substrings of length exactly k.
+class KSpectrumKernel : public SpectrumFamilyKernel {
+public:
+  explicit KSpectrumKernel(size_t K = 3, bool Weighted = false,
+                           uint64_t CutWeight = 0);
+  std::string name() const override;
+};
+
+/// The blended spectrum kernel: substrings of length <= k.
+class BlendedSpectrumKernel : public SpectrumFamilyKernel {
+public:
+  explicit BlendedSpectrumKernel(size_t K = 3, double Lambda = 1.0,
+                                 bool Weighted = false,
+                                 uint64_t CutWeight = 0);
+  std::string name() const override;
+};
+
+/// The bag-of-characters analog: single tokens only.
+class BagOfTokensKernel : public SpectrumFamilyKernel {
+public:
+  explicit BagOfTokensKernel(bool Weighted = false, uint64_t CutWeight = 0);
+  std::string name() const override;
+};
+
+} // namespace kast
+
+#endif // KAST_KERNELS_SPECTRUMKERNELS_H

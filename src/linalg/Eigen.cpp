@@ -1,0 +1,154 @@
+//===- linalg/Eigen.cpp - Symmetric eigensolver and PSD repair ------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace kast;
+
+/// Sum of squares of the strict upper triangle; convergence measure.
+static double offDiagonalNormSq(const Matrix &A) {
+  double Sum = 0.0;
+  for (size_t I = 0; I < A.rows(); ++I)
+    for (size_t J = I + 1; J < A.cols(); ++J)
+      Sum += A.at(I, J) * A.at(I, J);
+  return Sum;
+}
+
+EigenDecomposition kast::eigenSymmetric(const Matrix &Input,
+                                        const JacobiOptions &Options) {
+  assert(Input.rows() == Input.cols() && "eigendecomposition needs square");
+  assert(Input.isSymmetric(1e-6) && "eigendecomposition needs symmetry");
+  const size_t N = Input.rows();
+
+  Matrix A = Input;
+  Matrix V = Matrix::identity(N);
+  EigenDecomposition Result;
+
+  const double Threshold = Options.Tolerance * Options.Tolerance;
+  for (size_t Sweep = 0; Sweep < Options.MaxSweeps; ++Sweep) {
+    if (offDiagonalNormSq(A) <= Threshold) {
+      Result.Converged = true;
+      break;
+    }
+    ++Result.Sweeps;
+    // One cyclic sweep over the strict upper triangle.
+    for (size_t P = 0; P + 1 < N; ++P) {
+      for (size_t Q = P + 1; Q < N; ++Q) {
+        double Apq = A.at(P, Q);
+        if (std::fabs(Apq) < 1e-300)
+          continue;
+        double App = A.at(P, P);
+        double Aqq = A.at(Q, Q);
+        // Rotation angle from the standard Jacobi formulas.
+        double Theta = (Aqq - App) / (2.0 * Apq);
+        double T = (Theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::fabs(Theta) + std::sqrt(Theta * Theta + 1.0));
+        double C = 1.0 / std::sqrt(T * T + 1.0);
+        double S = T * C;
+
+        // Apply the rotation to rows/columns p and q of A.
+        for (size_t K = 0; K < N; ++K) {
+          double Akp = A.at(K, P);
+          double Akq = A.at(K, Q);
+          A.at(K, P) = C * Akp - S * Akq;
+          A.at(K, Q) = S * Akp + C * Akq;
+        }
+        for (size_t K = 0; K < N; ++K) {
+          double Apk = A.at(P, K);
+          double Aqk = A.at(Q, K);
+          A.at(P, K) = C * Apk - S * Aqk;
+          A.at(Q, K) = S * Apk + C * Aqk;
+        }
+        // Accumulate the eigenvector rotation.
+        for (size_t K = 0; K < N; ++K) {
+          double Vkp = V.at(K, P);
+          double Vkq = V.at(K, Q);
+          V.at(K, P) = C * Vkp - S * Vkq;
+          V.at(K, Q) = S * Vkp + C * Vkq;
+        }
+      }
+    }
+  }
+  if (!Result.Converged)
+    Result.Converged = offDiagonalNormSq(A) <= Threshold;
+
+  // Extract and sort eigenpairs in descending eigenvalue order.
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::vector<double> Diag(N);
+  for (size_t I = 0; I < N; ++I)
+    Diag[I] = A.at(I, I);
+  std::sort(Order.begin(), Order.end(),
+            [&Diag](size_t L, size_t R) { return Diag[L] > Diag[R]; });
+
+  Result.Values.resize(N);
+  Result.Vectors = Matrix(N, N);
+  for (size_t J = 0; J < N; ++J) {
+    Result.Values[J] = Diag[Order[J]];
+    for (size_t I = 0; I < N; ++I)
+      Result.Vectors.at(I, J) = V.at(I, Order[J]);
+  }
+  return Result;
+}
+
+Matrix kast::projectToPsd(const Matrix &A, const JacobiOptions &Options) {
+  EigenDecomposition E = eigenSymmetric(A, Options);
+  const size_t N = A.rows();
+  Matrix Out(N, N, 0.0);
+  // Out = sum over non-negative eigenvalues of lambda * v v^T.
+  for (size_t K = 0; K < N; ++K) {
+    double Lambda = E.Values[K];
+    if (Lambda <= 0.0)
+      continue;
+    for (size_t I = 0; I < N; ++I) {
+      double Vi = E.Vectors.at(I, K);
+      if (Vi == 0.0)
+        continue;
+      for (size_t J = 0; J < N; ++J)
+        Out.at(I, J) += Lambda * Vi * E.Vectors.at(J, K);
+    }
+  }
+  // Remove rounding asymmetry.
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I + 1; J < N; ++J) {
+      double Mean = 0.5 * (Out.at(I, J) + Out.at(J, I));
+      Out.at(I, J) = Mean;
+      Out.at(J, I) = Mean;
+    }
+  return Out;
+}
+
+double kast::minEigenvalue(const Matrix &A, const JacobiOptions &Options) {
+  EigenDecomposition E = eigenSymmetric(A, Options);
+  assert(!E.Values.empty() && "empty matrix has no eigenvalues");
+  return E.Values.back();
+}
+
+Matrix kast::doubleCenter(const Matrix &K) {
+  assert(K.rows() == K.cols() && "centering needs a square Gram matrix");
+  const size_t N = K.rows();
+  if (N == 0)
+    return K;
+  std::vector<double> RowMean(N, 0.0);
+  double TotalMean = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J < N; ++J)
+      RowMean[I] += K.at(I, J);
+    RowMean[I] /= static_cast<double>(N);
+    TotalMean += RowMean[I];
+  }
+  TotalMean /= static_cast<double>(N);
+
+  Matrix Out(N, N);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J)
+      Out.at(I, J) = K.at(I, J) - RowMean[I] - RowMean[J] + TotalMean;
+  return Out;
+}

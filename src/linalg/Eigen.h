@@ -1,0 +1,74 @@
+//===- linalg/Eigen.h - Symmetric eigensolver and PSD repair ---*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cyclic Jacobi eigendecomposition for symmetric matrices, plus the
+/// two kernel-matrix transformations the paper's evaluation pipeline
+/// needs:
+///
+///  * PSD projection — Section 4.1: "If the matrices presented negative
+///    eigenvalues, they were replaced by zero and the matrices
+///    rebuilt." Implemented as V * max(D, 0) * V^T.
+///  * double centering — the feature-space centering step of Kernel PCA
+///    (Schoelkopf et al., 1997): K' = K - 1K - K1 + 1K1.
+///
+/// Jacobi is chosen over faster tridiagonalization methods because it
+/// is simple, unconditionally stable for symmetric input, and the Gram
+/// matrices here are at most a few hundred rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_LINALG_EIGEN_H
+#define KAST_LINALG_EIGEN_H
+
+#include "linalg/Matrix.h"
+
+#include <vector>
+
+namespace kast {
+
+/// Result of a symmetric eigendecomposition A = V * diag(Values) * V^T.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> Values;
+  /// Column j of this matrix is the eigenvector for Values[j].
+  Matrix Vectors;
+  /// Number of Jacobi sweeps performed.
+  size_t Sweeps = 0;
+  /// True if the off-diagonal norm converged below tolerance.
+  bool Converged = false;
+};
+
+/// Options for the Jacobi solver.
+struct JacobiOptions {
+  /// Stop when the off-diagonal Frobenius norm falls below this.
+  double Tolerance = 1e-12;
+  /// Hard sweep limit; 100 is far beyond what symmetric input needs.
+  size_t MaxSweeps = 100;
+};
+
+/// Computes the full eigendecomposition of symmetric \p A.
+///
+/// \pre A.isSymmetric(). Asserts on non-square input.
+EigenDecomposition eigenSymmetric(const Matrix &A,
+                                  const JacobiOptions &Options = {});
+
+/// Clips negative eigenvalues to zero and rebuilds the matrix,
+/// returning the nearest (Frobenius) positive semi-definite matrix.
+/// The result is re-symmetrized to remove rounding asymmetry.
+Matrix projectToPsd(const Matrix &A, const JacobiOptions &Options = {});
+
+/// \returns the smallest eigenvalue of symmetric \p A.
+double minEigenvalue(const Matrix &A, const JacobiOptions &Options = {});
+
+/// Double-centers a Gram matrix: K' = K - 1K - K1 + 1K1 where 1 is the
+/// constant 1/n matrix. After centering the implicit feature vectors
+/// have zero mean.
+Matrix doubleCenter(const Matrix &K);
+
+} // namespace kast
+
+#endif // KAST_LINALG_EIGEN_H

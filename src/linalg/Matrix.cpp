@@ -1,0 +1,108 @@
+//===- linalg/Matrix.cpp - Dense row-major matrix --------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Matrix.h"
+#include "util/TextTable.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace kast;
+
+Matrix::Matrix(size_t Rows, size_t Cols, double Fill)
+    : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+Matrix Matrix::identity(size_t N) {
+  Matrix I(N, N, 0.0);
+  for (size_t K = 0; K < N; ++K)
+    I.at(K, K) = 1.0;
+  return I;
+}
+
+Matrix Matrix::fromRows(const std::vector<std::vector<double>> &Rows) {
+  if (Rows.empty())
+    return Matrix();
+  Matrix M(Rows.size(), Rows[0].size());
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    assert(Rows[R].size() == M.cols() && "ragged row data");
+    for (size_t C = 0; C < M.cols(); ++C)
+      M.at(R, C) = Rows[R][C];
+  }
+  return M;
+}
+
+Matrix Matrix::multiply(const Matrix &Rhs) const {
+  assert(NumCols == Rhs.NumRows && "shape mismatch in multiply");
+  Matrix Out(NumRows, Rhs.NumCols, 0.0);
+  for (size_t I = 0; I < NumRows; ++I) {
+    for (size_t K = 0; K < NumCols; ++K) {
+      double Aik = at(I, K);
+      if (Aik == 0.0)
+        continue;
+      for (size_t J = 0; J < Rhs.NumCols; ++J)
+        Out.at(I, J) += Aik * Rhs.at(K, J);
+    }
+  }
+  return Out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix Out(NumCols, NumRows);
+  for (size_t I = 0; I < NumRows; ++I)
+    for (size_t J = 0; J < NumCols; ++J)
+      Out.at(J, I) = at(I, J);
+  return Out;
+}
+
+double Matrix::maxAbsDiff(const Matrix &Rhs) const {
+  assert(NumRows == Rhs.NumRows && NumCols == Rhs.NumCols &&
+         "shape mismatch in maxAbsDiff");
+  double Max = 0.0;
+  for (size_t I = 0; I < Data.size(); ++I)
+    Max = std::max(Max, std::fabs(Data[I] - Rhs.Data[I]));
+  return Max;
+}
+
+double Matrix::frobeniusNorm() const {
+  double Sum = 0.0;
+  for (double V : Data)
+    Sum += V * V;
+  return std::sqrt(Sum);
+}
+
+bool Matrix::isSymmetric(double Tol) const {
+  if (NumRows != NumCols)
+    return false;
+  for (size_t I = 0; I < NumRows; ++I)
+    for (size_t J = I + 1; J < NumCols; ++J)
+      if (std::fabs(at(I, J) - at(J, I)) > Tol)
+        return false;
+  return true;
+}
+
+std::string Matrix::str(int Precision) const {
+  std::string Out;
+  for (size_t I = 0; I < NumRows; ++I) {
+    Out += '[';
+    for (size_t J = 0; J < NumCols; ++J) {
+      if (J != 0)
+        Out += ", ";
+      Out += formatDouble(at(I, J), Precision);
+    }
+    Out += "]\n";
+  }
+  return Out;
+}
+
+double kast::dot(const std::vector<double> &A, const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dot of unequal lengths");
+  double Sum = 0.0;
+  for (size_t I = 0; I < A.size(); ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+double kast::norm(const std::vector<double> &A) { return std::sqrt(dot(A, A)); }

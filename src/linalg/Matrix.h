@@ -1,0 +1,90 @@
+//===- linalg/Matrix.h - Dense row-major matrix ----------------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense matrix of doubles. KAST's linear algebra needs are
+/// modest (Gram matrices of a few hundred examples, Kernel PCA,
+/// eigenvalue clipping), so this is a straightforward row-major
+/// implementation with the handful of operations the ml layer uses,
+/// written for clarity and asserted invariants rather than BLAS-level
+/// performance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_LINALG_MATRIX_H
+#define KAST_LINALG_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+
+  /// Creates a Rows x Cols matrix filled with \p Fill.
+  Matrix(size_t Rows, size_t Cols, double Fill = 0.0);
+
+  /// Creates the N x N identity.
+  static Matrix identity(size_t N);
+
+  /// Builds a matrix from nested initializer data (rows of equal size).
+  static Matrix fromRows(const std::vector<std::vector<double>> &Rows);
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+  bool empty() const { return Data.empty(); }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  /// Raw row-major storage; size() == rows()*cols().
+  const std::vector<double> &data() const { return Data; }
+  std::vector<double> &data() { return Data; }
+
+  /// Matrix product this * Rhs.
+  Matrix multiply(const Matrix &Rhs) const;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Element-wise maximum absolute difference to \p Rhs (same shape).
+  double maxAbsDiff(const Matrix &Rhs) const;
+
+  /// Frobenius norm.
+  double frobeniusNorm() const;
+
+  /// \returns true if |at(i,j) - at(j,i)| <= Tol for all i, j.
+  bool isSymmetric(double Tol = 1e-9) const;
+
+  /// Multi-line human-readable rendering (for diagnostics and tests).
+  std::string str(int Precision = 4) const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// Dot product of two equal-length vectors.
+double dot(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Euclidean norm.
+double norm(const std::vector<double> &A);
+
+} // namespace kast
+
+#endif // KAST_LINALG_MATRIX_H

@@ -1,0 +1,187 @@
+//===- ml/ClusterMetrics.cpp - Clustering quality measures -----------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/ClusterMetrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+
+using namespace kast;
+
+size_t kast::numClusters(const std::vector<size_t> &Assignments) {
+  size_t Max = 0;
+  for (size_t C : Assignments)
+    Max = std::max(Max, C + 1);
+  return Max;
+}
+
+/// Contingency counts: Result[cluster][label] = #examples.
+static std::vector<std::map<std::string, size_t>>
+contingency(const std::vector<size_t> &Assignments,
+            const std::vector<std::string> &Labels) {
+  assert(Assignments.size() == Labels.size() &&
+         "assignment/label length mismatch");
+  std::vector<std::map<std::string, size_t>> Table(
+      numClusters(Assignments));
+  for (size_t I = 0; I < Assignments.size(); ++I)
+    ++Table[Assignments[I]][Labels[I]];
+  return Table;
+}
+
+double kast::purity(const std::vector<size_t> &Assignments,
+                    const std::vector<std::string> &Labels) {
+  if (Assignments.empty())
+    return 1.0;
+  size_t Agree = 0;
+  for (const auto &Row : contingency(Assignments, Labels)) {
+    size_t Best = 0;
+    for (const auto &[Label, Count] : Row)
+      Best = std::max(Best, Count);
+    Agree += Best;
+  }
+  return static_cast<double>(Agree) /
+         static_cast<double>(Assignments.size());
+}
+
+/// n choose 2 as a double.
+static double pairs(size_t N) {
+  return 0.5 * static_cast<double>(N) * static_cast<double>(N - 1);
+}
+
+double kast::adjustedRandIndex(const std::vector<size_t> &Assignments,
+                               const std::vector<std::string> &Labels) {
+  const size_t N = Assignments.size();
+  if (N < 2)
+    return 1.0;
+  std::vector<std::map<std::string, size_t>> Table =
+      contingency(Assignments, Labels);
+
+  double SumCells = 0.0;
+  std::map<std::string, size_t> LabelTotals;
+  std::vector<size_t> ClusterTotals(Table.size(), 0);
+  for (size_t C = 0; C < Table.size(); ++C) {
+    for (const auto &[Label, Count] : Table[C]) {
+      SumCells += pairs(Count);
+      LabelTotals[Label] += Count;
+      ClusterTotals[C] += Count;
+    }
+  }
+  double SumClusters = 0.0;
+  for (size_t Total : ClusterTotals)
+    SumClusters += pairs(Total);
+  double SumLabels = 0.0;
+  for (const auto &[Label, Total] : LabelTotals)
+    SumLabels += pairs(Total);
+
+  double Expected = SumClusters * SumLabels / pairs(N);
+  double MaxIndex = 0.5 * (SumClusters + SumLabels);
+  double Denominator = MaxIndex - Expected;
+  if (Denominator == 0.0)
+    return 1.0; // Degenerate: all in one cluster and one label.
+  return (SumCells - Expected) / Denominator;
+}
+
+/// \returns the group index containing \p Label, or Groups.size().
+static size_t groupOf(const std::string &Label, const LabelGrouping &Groups) {
+  for (size_t G = 0; G < Groups.size(); ++G)
+    if (std::find(Groups[G].begin(), Groups[G].end(), Label) !=
+        Groups[G].end())
+      return G;
+  return Groups.size();
+}
+
+size_t kast::misplacedCount(const std::vector<size_t> &Assignments,
+                            const std::vector<std::string> &Labels,
+                            const LabelGrouping &Groups) {
+  assert(Assignments.size() == Labels.size() &&
+         "assignment/label length mismatch");
+  const size_t NumC = numClusters(Assignments);
+  // Overlap[cluster][group].
+  std::vector<std::vector<size_t>> Overlap(
+      NumC, std::vector<size_t>(Groups.size() + 1, 0));
+  for (size_t I = 0; I < Assignments.size(); ++I)
+    ++Overlap[Assignments[I]][groupOf(Labels[I], Groups)];
+
+  size_t Misplaced = 0;
+  for (size_t C = 0; C < NumC; ++C) {
+    size_t Total = 0, Best = 0;
+    for (size_t G = 0; G <= Groups.size(); ++G) {
+      Total += Overlap[C][G];
+      Best = std::max(Best, Overlap[C][G]);
+    }
+    Misplaced += Total - Best;
+  }
+  return Misplaced;
+}
+
+double kast::silhouetteScore(const std::vector<double> &Distance, size_t N,
+                             const std::vector<size_t> &Assignments) {
+  assert(Distance.size() == N * N && "distance data size mismatch");
+  assert(Assignments.size() == N && "assignment length mismatch");
+  if (N < 2)
+    return 0.0;
+  const size_t NumC = numClusters(Assignments);
+  std::vector<size_t> ClusterSizes(NumC, 0);
+  for (size_t C : Assignments)
+    ++ClusterSizes[C];
+
+  double Total = 0.0;
+  std::vector<double> MeanTo(NumC);
+  for (size_t I = 0; I < N; ++I) {
+    std::fill(MeanTo.begin(), MeanTo.end(), 0.0);
+    for (size_t J = 0; J < N; ++J)
+      if (J != I)
+        MeanTo[Assignments[J]] += Distance[I * N + J];
+
+    size_t Own = Assignments[I];
+    if (ClusterSizes[Own] < 2)
+      continue; // Singleton: silhouette defined as 0.
+    double A = MeanTo[Own] / static_cast<double>(ClusterSizes[Own] - 1);
+    double B = std::numeric_limits<double>::infinity();
+    for (size_t C = 0; C < NumC; ++C) {
+      if (C == Own || ClusterSizes[C] == 0)
+        continue;
+      B = std::min(B, MeanTo[C] / static_cast<double>(ClusterSizes[C]));
+    }
+    if (B == std::numeric_limits<double>::infinity())
+      continue; // Only one non-empty cluster.
+    double Max = std::max(A, B);
+    Total += Max > 0.0 ? (B - A) / Max : 0.0;
+  }
+  return Total / static_cast<double>(N);
+}
+
+bool kast::matchesGrouping(const std::vector<size_t> &Assignments,
+                           const std::vector<std::string> &Labels,
+                           const LabelGrouping &Groups) {
+  assert(Assignments.size() == Labels.size() &&
+         "assignment/label length mismatch");
+  const size_t NumC = numClusters(Assignments);
+  if (NumC != Groups.size())
+    return false;
+  // Each cluster must map to exactly one group and contain no example
+  // of any other group; each group must be claimed exactly once.
+  std::vector<size_t> ClusterGroup(NumC, Groups.size());
+  for (size_t I = 0; I < Assignments.size(); ++I) {
+    size_t G = groupOf(Labels[I], Groups);
+    if (G == Groups.size())
+      return false; // Label outside the grouping.
+    size_t &Assigned = ClusterGroup[Assignments[I]];
+    if (Assigned == Groups.size())
+      Assigned = G;
+    else if (Assigned != G)
+      return false; // Mixed cluster.
+  }
+  std::vector<bool> Claimed(Groups.size(), false);
+  for (size_t G : ClusterGroup) {
+    if (G == Groups.size() || Claimed[G])
+      return false; // Empty cluster or group split across clusters.
+    Claimed[G] = true;
+  }
+  return true;
+}

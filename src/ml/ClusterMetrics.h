@@ -1,0 +1,74 @@
+//===- ml/ClusterMetrics.h - Clustering quality measures -------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifies the qualitative claims of the paper's evaluation ("2 out
+/// of 4 I/O access pattern groups were completely identified", "no
+/// misplaced examples") so the benches can report numbers:
+///
+///  * purity — fraction of examples in the majority label of their
+///    cluster;
+///  * adjusted Rand index — chance-corrected pair agreement;
+///  * misplacedCount — examples outside their cluster's majority
+///    group under an expected label grouping;
+///  * matchesGrouping — exact test that a flat clustering realizes a
+///    given partition of the labels (e.g. {A}, {B}, {C, D}).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_ML_CLUSTERMETRICS_H
+#define KAST_ML_CLUSTERMETRICS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// Purity of \p Assignments (dense cluster ids) against \p Labels.
+/// \returns a value in (0, 1]; 1 means every cluster is label-pure.
+double purity(const std::vector<size_t> &Assignments,
+              const std::vector<std::string> &Labels);
+
+/// Adjusted Rand index in [-1, 1]; 1 = identical partitions, ~0 =
+/// chance agreement.
+double adjustedRandIndex(const std::vector<size_t> &Assignments,
+                         const std::vector<std::string> &Labels);
+
+/// An expected grouping: each element is the set of labels forming one
+/// ground-truth cluster, e.g. {{"A"}, {"B"}, {"C", "D"}}.
+using LabelGrouping = std::vector<std::vector<std::string>>;
+
+/// Number of examples whose cluster's majority group (by overlap)
+/// differs from their own group under \p Groups.
+size_t misplacedCount(const std::vector<size_t> &Assignments,
+                      const std::vector<std::string> &Labels,
+                      const LabelGrouping &Groups);
+
+/// \returns true iff the clusters of \p Assignments correspond 1:1 to
+/// \p Groups: every cluster contains exactly the examples of one group
+/// and every group is covered.
+bool matchesGrouping(const std::vector<size_t> &Assignments,
+                     const std::vector<std::string> &Labels,
+                     const LabelGrouping &Groups);
+
+/// Number of distinct clusters in \p Assignments.
+size_t numClusters(const std::vector<size_t> &Assignments);
+
+/// Mean silhouette coefficient of \p Assignments over the symmetric
+/// distance matrix \p Distance (row-major n*n, as linalg::Matrix
+/// data): for each point, (b - a) / max(a, b) with a = mean distance
+/// to its own cluster, b = smallest mean distance to another cluster.
+/// Points in singleton clusters contribute 0. \returns a value in
+/// [-1, 1]; larger = better-separated clustering. Used to quantify
+/// the *margin* differences between kernels that the paper reports
+/// only qualitatively.
+double silhouetteScore(const std::vector<double> &Distance, size_t N,
+                       const std::vector<size_t> &Assignments);
+
+} // namespace kast
+
+#endif // KAST_ML_CLUSTERMETRICS_H

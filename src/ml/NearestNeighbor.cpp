@@ -1,0 +1,42 @@
+//===- ml/NearestNeighbor.cpp - Kernel nearest-neighbor evaluation ---------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/NearestNeighbor.h"
+
+#include <cassert>
+
+using namespace kast;
+
+LooResult kast::leaveOneOutNearestNeighbor(
+    const Matrix &K, const std::vector<std::string> &Labels) {
+  assert(K.rows() == K.cols() && "similarity matrix not square");
+  assert(K.rows() == Labels.size() && "label count mismatch");
+  const size_t N = Labels.size();
+
+  LooResult Result;
+  Result.Predictions.resize(N);
+  size_t Correct = 0;
+  for (size_t I = 0; I < N; ++I) {
+    size_t Best = I;
+    double BestSim = -1.0;
+    for (size_t J = 0; J < N; ++J) {
+      if (J == I)
+        continue;
+      if (K.at(I, J) > BestSim) {
+        BestSim = K.at(I, J);
+        Best = J;
+      }
+    }
+    Result.Predictions[I] = Best == I ? "" : Labels[Best];
+    if (Result.Predictions[I] == Labels[I])
+      ++Correct;
+    else
+      Result.Errors.push_back(I);
+  }
+  Result.Accuracy =
+      N == 0 ? 1.0 : static_cast<double>(Correct) / static_cast<double>(N);
+  return Result;
+}

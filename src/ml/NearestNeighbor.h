@@ -1,0 +1,42 @@
+//===- ml/NearestNeighbor.h - Kernel nearest-neighbor evaluation *- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Leave-one-out nearest-neighbor classification over a similarity
+/// matrix. The paper's framing — "I/O access patterns act as
+/// fingerprints of a parallel program" — is exactly a retrieval claim;
+/// LOO-1NN accuracy quantifies it beyond the clustering views.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_ML_NEARESTNEIGHBOR_H
+#define KAST_ML_NEARESTNEIGHBOR_H
+
+#include "linalg/Matrix.h"
+
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// Result of a leave-one-out nearest-neighbor run.
+struct LooResult {
+  /// Predicted label per example (its nearest neighbor's label).
+  std::vector<std::string> Predictions;
+  /// Fraction of examples whose prediction matches their label.
+  double Accuracy = 0.0;
+  /// Indices of the misclassified examples.
+  std::vector<size_t> Errors;
+};
+
+/// Leave-one-out 1-NN over similarity matrix \p K (higher = closer).
+/// Ties break toward the smaller index for determinism.
+LooResult leaveOneOutNearestNeighbor(
+    const Matrix &K, const std::vector<std::string> &Labels);
+
+} // namespace kast
+
+#endif // KAST_ML_NEARESTNEIGHBOR_H

@@ -1,0 +1,267 @@
+//===- trace/StraceAdapter.cpp - strace output ingestion -------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/StraceAdapter.h"
+#include "util/StringUtil.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+using namespace kast;
+
+namespace {
+
+/// One decoded strace line.
+struct StraceCall {
+  std::string Syscall;
+  std::vector<std::string> Arguments; ///< Raw argument spellings.
+  int64_t ReturnValue = 0;
+  bool HasReturn = false;
+};
+
+/// Splits the argument list at top-level commas (quotes and nesting
+/// respected well enough for strace's renderings).
+std::vector<std::string> splitArguments(std::string_view Args) {
+  std::vector<std::string> Out;
+  std::string Current;
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    char C = Args[I];
+    if (InString) {
+      Current += C;
+      if (C == '\\' && I + 1 < Args.size()) {
+        Current += Args[++I];
+        continue;
+      }
+      if (C == '"')
+        InString = false;
+      continue;
+    }
+    switch (C) {
+    case '"':
+      InString = true;
+      Current += C;
+      break;
+    case '(':
+    case '[':
+    case '{':
+      ++Depth;
+      Current += C;
+      break;
+    case ')':
+    case ']':
+    case '}':
+      --Depth;
+      Current += C;
+      break;
+    case ',':
+      if (Depth == 0) {
+        Out.emplace_back(trim(Current));
+        Current.clear();
+        break;
+      }
+      Current += C;
+      break;
+    default:
+      Current += C;
+    }
+  }
+  std::string_view Last = trim(Current);
+  if (!Last.empty())
+    Out.emplace_back(Last);
+  return Out;
+}
+
+/// Decodes "name(args) = ret ..." into a StraceCall; nullopt for lines
+/// that are not complete syscall records (signals, unfinished halves).
+std::optional<StraceCall> decodeLine(std::string_view Line) {
+  Line = trim(Line);
+  if (Line.empty())
+    return std::nullopt;
+  // Optional leading PID or timestamp columns: strip leading digits,
+  // dots and colons followed by whitespace, repeatedly.
+  while (!Line.empty() &&
+         (std::isdigit(static_cast<unsigned char>(Line[0])))) {
+    size_t I = 0;
+    while (I < Line.size() &&
+           (std::isdigit(static_cast<unsigned char>(Line[I])) ||
+            Line[I] == '.' || Line[I] == ':'))
+      ++I;
+    if (I < Line.size() && std::isspace(static_cast<unsigned char>(Line[I])))
+      Line = trim(Line.substr(I));
+    else
+      break;
+  }
+  if (Line.empty() || !std::isalpha(static_cast<unsigned char>(Line[0])))
+    return std::nullopt;
+  if (Line.find("unfinished") != std::string_view::npos ||
+      Line.find("resumed") != std::string_view::npos)
+    return std::nullopt;
+
+  size_t Open = Line.find('(');
+  if (Open == std::string_view::npos)
+    return std::nullopt;
+  StraceCall Call;
+  Call.Syscall = toLower(trim(Line.substr(0, Open)));
+
+  // Find the matching close parenthesis from the right: strace puts
+  // " = ret" after it.
+  size_t Eq = Line.rfind(" = ");
+  size_t Close = Line.rfind(')', Eq == std::string_view::npos
+                                     ? std::string_view::npos
+                                     : Eq);
+  if (Close == std::string_view::npos || Close < Open)
+    return std::nullopt;
+  Call.Arguments = splitArguments(Line.substr(Open + 1, Close - Open - 1));
+
+  if (Eq != std::string_view::npos) {
+    std::string_view Ret = trim(Line.substr(Eq + 3));
+    // Return value is the first whitespace-delimited field; may be
+    // negative or "-1 ENOENT (...)" or "?".
+    size_t End = 0;
+    while (End < Ret.size() &&
+           !std::isspace(static_cast<unsigned char>(Ret[End])))
+      ++End;
+    std::string_view Value = Ret.substr(0, End);
+    bool Negative = !Value.empty() && Value[0] == '-';
+    if (Negative)
+      Value.remove_prefix(1);
+    std::optional<uint64_t> Parsed = parseUnsigned(Value);
+    if (Parsed) {
+      Call.ReturnValue = Negative ? -static_cast<int64_t>(*Parsed)
+                                  : static_cast<int64_t>(*Parsed);
+      Call.HasReturn = true;
+    }
+  }
+  return Call;
+}
+
+/// Parses a decimal file descriptor argument ("3" or "3</path>").
+std::optional<uint64_t> parseFd(const std::string &Argument) {
+  size_t End = 0;
+  while (End < Argument.size() &&
+         std::isdigit(static_cast<unsigned char>(Argument[End])))
+    ++End;
+  if (End == 0)
+    return std::nullopt;
+  return parseUnsigned(std::string_view(Argument).substr(0, End));
+}
+
+} // namespace
+
+Expected<Trace> kast::parseStrace(std::string_view Text, std::string Name,
+                                  StraceStats *Stats) {
+  using Result = Expected<Trace>;
+  Trace Out(std::move(Name));
+  StraceStats Local;
+
+  size_t Start = 0;
+  size_t LineNumber = 0;
+  while (Start <= Text.size()) {
+    size_t End = Text.find('\n', Start);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Line = Text.substr(Start, End - Start);
+    ++LineNumber;
+    size_t NextStart = End + 1;
+    if (!trim(Line).empty())
+      ++Local.LinesTotal;
+
+    std::optional<StraceCall> Call = decodeLine(Line);
+    if (!Call) {
+      if (!trim(Line).empty())
+        ++Local.LinesSkipped;
+      if (End == Text.size())
+        break;
+      Start = NextStart;
+      continue;
+    }
+
+    const std::string &Sys = Call->Syscall;
+    bool IsOpen = Sys == "open" || Sys == "openat" || Sys == "creat";
+    bool IsRead = Sys == "read" || Sys == "pread" || Sys == "pread64";
+    bool IsWrite = Sys == "write" || Sys == "pwrite" || Sys == "pwrite64";
+    bool IsSeek = Sys == "lseek" || Sys == "llseek" || Sys == "_llseek";
+    bool IsSync = Sys == "fsync" || Sys == "fdatasync";
+    bool IsClose = Sys == "close";
+    if (!IsOpen && !IsRead && !IsWrite && !IsSeek && !IsSync && !IsClose) {
+      ++Local.LinesSkipped;
+      if (End == Text.size())
+        break;
+      Start = NextStart;
+      continue;
+    }
+
+    if (Call->HasReturn && Call->ReturnValue < 0) {
+      ++Local.CallsFailed;
+      if (End == Text.size())
+        break;
+      Start = NextStart;
+      continue;
+    }
+
+    TraceEvent Event;
+    if (IsOpen) {
+      if (!Call->HasReturn)
+        return Result::error("line " + std::to_string(LineNumber) +
+                             ": open call without return value");
+      Event.Op = "open";
+      Event.Handle = static_cast<uint64_t>(Call->ReturnValue);
+    } else {
+      if (Call->Arguments.empty())
+        return Result::error("line " + std::to_string(LineNumber) +
+                             ": missing file descriptor argument");
+      std::optional<uint64_t> Fd = parseFd(Call->Arguments[0]);
+      if (!Fd)
+        return Result::error("line " + std::to_string(LineNumber) +
+                             ": malformed file descriptor '" +
+                             Call->Arguments[0] + "'");
+      Event.Handle = *Fd;
+      if (IsRead) {
+        Event.Op = "read";
+        Event.Bytes = Call->HasReturn
+                          ? static_cast<uint64_t>(Call->ReturnValue)
+                          : 0;
+      } else if (IsWrite) {
+        Event.Op = "write";
+        Event.Bytes = Call->HasReturn
+                          ? static_cast<uint64_t>(Call->ReturnValue)
+                          : 0;
+      } else if (IsSeek) {
+        Event.Op = "lseek";
+      } else if (IsSync) {
+        Event.Op = "fsync";
+      } else {
+        Event.Op = "close";
+      }
+    }
+    Out.append(std::move(Event));
+    ++Local.EventsEmitted;
+
+    if (End == Text.size())
+      break;
+    Start = NextStart;
+  }
+
+  if (Stats)
+    *Stats = Local;
+  return Out;
+}
+
+Expected<Trace> kast::parseStraceFile(const std::string &Path,
+                                      StraceStats *Stats) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Expected<Trace>::error("cannot open '" + Path + "'");
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  size_t Slash = Path.find_last_of('/');
+  std::string Name =
+      Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  return parseStrace(Buffer.str(), Name, Stats);
+}

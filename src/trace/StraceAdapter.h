@@ -1,0 +1,63 @@
+//===- trace/StraceAdapter.h - strace output ingestion ---------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts strace(1)-style output into KAST traces, so real program
+/// recordings can be analyzed without hand-converting them to the
+/// canonical format. Recognized line shapes (one syscall per line):
+///
+///   openat(AT_FDCWD, "data.bin", O_RDONLY) = 3
+///   open("data.bin", O_RDONLY)             = 3
+///   read(3, "..."..., 4096)                = 4096
+///   write(3, "...", 512)                   = 512
+///   pread64(3, "...", 4096, 8192)          = 4096
+///   lseek(3, 1024, SEEK_SET)               = 1024
+///   fsync(3)                               = 0
+///   close(3)                               = 0
+///
+/// Mapping rules:
+///  * the first argument of read/write/lseek/fsync/close is the
+///    handle; open/openat take the handle from the *return value*;
+///  * read/write byte counts come from the return value (actual bytes
+///    moved); pread64/pwrite64 map to read/write;
+///  * failed calls (return -1 or -ERRNO) are dropped;
+///  * unrecognized syscalls are skipped (strace logs everything; only
+///    file-I/O calls are access-pattern relevant);
+///  * "unfinished ..."/"resumed" split lines are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_TRACE_STRACEADAPTER_H
+#define KAST_TRACE_STRACEADAPTER_H
+
+#include "trace/Trace.h"
+#include "util/Error.h"
+
+#include <string_view>
+
+namespace kast {
+
+/// Statistics of one conversion.
+struct StraceStats {
+  size_t LinesTotal = 0;
+  size_t EventsEmitted = 0;
+  size_t LinesSkipped = 0; ///< Unrecognized or non-I/O syscalls.
+  size_t CallsFailed = 0;  ///< Syscalls that returned an error.
+};
+
+/// Converts strace output to a trace. Never fails on unknown syscalls
+/// (they are skipped); fails only on lines that look like recognized
+/// I/O calls but cannot be decoded.
+Expected<Trace> parseStrace(std::string_view Text, std::string Name = "",
+                            StraceStats *Stats = nullptr);
+
+/// Reads and converts an strace log file.
+Expected<Trace> parseStraceFile(const std::string &Path,
+                                StraceStats *Stats = nullptr);
+
+} // namespace kast
+
+#endif // KAST_TRACE_STRACEADAPTER_H

@@ -1,0 +1,89 @@
+//===- trace/Trace.cpp - I/O trace event model -----------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include <algorithm>
+
+using namespace kast;
+
+const char *kast::opKindName(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Open:
+    return "open";
+  case OpKind::Close:
+    return "close";
+  case OpKind::Read:
+    return "read";
+  case OpKind::Write:
+    return "write";
+  case OpKind::Lseek:
+    return "lseek";
+  case OpKind::Fsync:
+    return "fsync";
+  case OpKind::Fileno:
+    return "fileno";
+  case OpKind::Mmap:
+    return "mmap";
+  case OpKind::Fscanf:
+    return "fscanf";
+  case OpKind::Other:
+    return "other";
+  }
+  return "other";
+}
+
+OpKind kast::opKindFromName(const std::string &Name) {
+  if (Name == "open")
+    return OpKind::Open;
+  if (Name == "close")
+    return OpKind::Close;
+  if (Name == "read")
+    return OpKind::Read;
+  if (Name == "write")
+    return OpKind::Write;
+  if (Name == "lseek")
+    return OpKind::Lseek;
+  if (Name == "fsync")
+    return OpKind::Fsync;
+  if (Name == "fileno")
+    return OpKind::Fileno;
+  if (Name == "mmap")
+    return OpKind::Mmap;
+  if (Name == "fscanf")
+    return OpKind::Fscanf;
+  return OpKind::Other;
+}
+
+std::vector<uint64_t> Trace::handles() const {
+  std::vector<uint64_t> Handles;
+  for (const TraceEvent &E : Events)
+    if (std::find(Handles.begin(), Handles.end(), E.Handle) == Handles.end())
+      Handles.push_back(E.Handle);
+  return Handles;
+}
+
+Trace Trace::withoutBytes() const {
+  Trace Out(Name + "#nobytes");
+  Out.Events = Events;
+  for (TraceEvent &E : Out.Events)
+    E.Bytes = 0;
+  return Out;
+}
+
+Trace Trace::filtered(const std::set<std::string> &Negligible) const {
+  Trace Out(Name);
+  Out.Events.reserve(Events.size());
+  for (const TraceEvent &E : Events)
+    if (!Negligible.count(E.Op))
+      Out.Events.push_back(E);
+  return Out;
+}
+
+const std::set<std::string> &Trace::defaultNegligibleOps() {
+  static const std::set<std::string> Ops = {"fileno", "mmap", "fscanf"};
+  return Ops;
+}

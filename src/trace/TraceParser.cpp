@@ -1,0 +1,112 @@
+//===- trace/TraceParser.cpp - Plain-text trace parsing --------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceParser.h"
+#include "util/StringUtil.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace kast;
+
+Expected<std::optional<TraceEvent>>
+kast::parseTraceLine(std::string_view Line) {
+  using Result = Expected<std::optional<TraceEvent>>;
+
+  // Strip trailing comment, then whitespace.
+  size_t Hash = Line.find('#');
+  if (Hash != std::string_view::npos)
+    Line = Line.substr(0, Hash);
+  Line = trim(Line);
+  if (Line.empty())
+    return Result(std::nullopt);
+
+  std::vector<std::string_view> Fields = splitWhitespace(Line);
+  if (Fields.size() < 2)
+    return Result::error("expected '<op> <handle> [fields...]'");
+
+  TraceEvent Event;
+  Event.Op = toLower(Fields[0]);
+  if (Event.Op.empty() ||
+      Event.Op.find_first_not_of(
+          "abcdefghijklmnopqrstuvwxyz0123456789_+") != std::string::npos)
+    return Result::error("malformed operation name '" +
+                         std::string(Fields[0]) + "'");
+
+  std::optional<uint64_t> Handle = parseUnsigned(Fields[1]);
+  if (!Handle)
+    return Result::error("malformed handle '" + std::string(Fields[1]) + "'");
+  Event.Handle = *Handle;
+
+  bool SawBytes = false;
+  for (size_t I = 2; I < Fields.size(); ++I) {
+    std::string_view Field = Fields[I];
+    if (startsWith(Field, "bytes=")) {
+      std::optional<uint64_t> Bytes = parseUnsigned(Field.substr(6));
+      if (!Bytes)
+        return Result::error("malformed byte count '" + std::string(Field) +
+                             "'");
+      Event.Bytes = *Bytes;
+      SawBytes = true;
+      continue;
+    }
+    if (startsWith(Field, "addr=")) {
+      std::optional<uint64_t> Addr = parseHex(Field.substr(5));
+      if (!Addr)
+        return Result::error("malformed address '" + std::string(Field) +
+                             "'");
+      Event.Address = *Addr;
+      continue;
+    }
+    // Bare decimal: positional byte count, once.
+    std::optional<uint64_t> Bytes = parseUnsigned(Field);
+    if (Bytes && !SawBytes) {
+      Event.Bytes = *Bytes;
+      SawBytes = true;
+      continue;
+    }
+    return Result::error("unrecognized field '" + std::string(Field) + "'");
+  }
+  return Result(std::optional<TraceEvent>(std::move(Event)));
+}
+
+Expected<Trace> kast::parseTrace(std::string_view Text, std::string Name) {
+  Trace Out(std::move(Name));
+  size_t LineNumber = 0;
+  size_t Start = 0;
+  while (Start <= Text.size()) {
+    size_t End = Text.find('\n', Start);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Line = Text.substr(Start, End - Start);
+    ++LineNumber;
+
+    Expected<std::optional<TraceEvent>> Parsed = parseTraceLine(Line);
+    if (!Parsed)
+      return Expected<Trace>::error("line " + std::to_string(LineNumber) +
+                                    ": " + Parsed.message());
+    if (*Parsed)
+      Out.append(std::move(**Parsed));
+
+    if (End == Text.size())
+      break;
+    Start = End + 1;
+  }
+  return Out;
+}
+
+Expected<Trace> kast::parseTraceFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Expected<Trace>::error("cannot open '" + Path + "'");
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  // Use the basename as the trace name.
+  size_t Slash = Path.find_last_of('/');
+  std::string Name =
+      Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  return parseTrace(Buffer.str(), Name);
+}

@@ -1,0 +1,155 @@
+//===- tree/PatternTree.cpp - ROOT/HANDLE/BLOCK/op trees -------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tree/PatternTree.h"
+
+#include <cassert>
+
+using namespace kast;
+
+const char *kast::nodeKindName(NodeKind Kind) {
+  switch (Kind) {
+  case NodeKind::Root:
+    return "ROOT";
+  case NodeKind::Handle:
+    return "HANDLE";
+  case NodeKind::Block:
+    return "BLOCK";
+  case NodeKind::Op:
+    return "op";
+  }
+  return "op";
+}
+
+std::string PatternNode::nameLabel() const {
+  std::string Label;
+  for (size_t I = 0; I < NameSig.size(); ++I) {
+    if (I != 0)
+      Label += '+';
+    Label += NameSig[I];
+  }
+  return Label;
+}
+
+std::string PatternNode::byteLabel() const {
+  std::string Label;
+  for (size_t I = 0; I < ByteSig.size(); ++I) {
+    if (I != 0)
+      Label += '+';
+    Label += std::to_string(ByteSig[I]);
+  }
+  return Label;
+}
+
+bool PatternNode::isZeroBytes() const {
+  for (uint64_t B : ByteSig)
+    if (B != 0)
+      return false;
+  return true;
+}
+
+PatternTree::PatternTree() {
+  PatternNode Root;
+  Root.Kind = NodeKind::Root;
+  Nodes.push_back(std::move(Root));
+}
+
+const PatternNode &PatternTree::node(NodeId Id) const {
+  assert(Id < Nodes.size() && "node id out of range");
+  return Nodes[Id];
+}
+
+PatternNode &PatternTree::node(NodeId Id) {
+  assert(Id < Nodes.size() && "node id out of range");
+  return Nodes[Id];
+}
+
+NodeId PatternTree::addChild(NodeId Parent, NodeKind Kind) {
+  assert(Parent < Nodes.size() && "parent id out of range");
+  assert(Kind != NodeKind::Root && "a tree has exactly one root");
+  NodeId Id = static_cast<NodeId>(Nodes.size());
+  PatternNode N;
+  N.Kind = Kind;
+  N.Parent = Parent;
+  Nodes.push_back(std::move(N));
+  Nodes[Parent].Children.push_back(Id);
+  return Id;
+}
+
+NodeId PatternTree::addOp(NodeId Parent, std::string Name, uint64_t Bytes,
+                          uint64_t Reps) {
+  NodeId Id = addChild(Parent, NodeKind::Op);
+  PatternNode &N = Nodes[Id];
+  N.NameSig.push_back(std::move(Name));
+  N.ByteSig.push_back(Bytes);
+  N.Reps = Reps;
+  return Id;
+}
+
+void PatternTree::setChildren(NodeId Parent, std::vector<NodeId> Children) {
+  assert(Parent < Nodes.size() && "parent id out of range");
+  for (NodeId C : Children) {
+    assert(C < Nodes.size() && "child id out of range");
+    Nodes[C].Parent = Parent;
+  }
+  Nodes[Parent].Children = std::move(Children);
+}
+
+size_t PatternTree::depth(NodeId Id) const {
+  size_t D = 0;
+  while (Nodes[Id].Parent != InvalidNodeId) {
+    Id = Nodes[Id].Parent;
+    ++D;
+  }
+  return D;
+}
+
+std::vector<NodeId> PatternTree::preorder() const {
+  std::vector<NodeId> Order;
+  Order.reserve(Nodes.size());
+  std::vector<NodeId> Stack = {root()};
+  while (!Stack.empty()) {
+    NodeId Id = Stack.back();
+    Stack.pop_back();
+    Order.push_back(Id);
+    const std::vector<NodeId> &Kids = Nodes[Id].Children;
+    for (auto It = Kids.rbegin(); It != Kids.rend(); ++It)
+      Stack.push_back(*It);
+  }
+  return Order;
+}
+
+size_t PatternTree::numLeaves() const {
+  size_t Count = 0;
+  for (NodeId Id : preorder())
+    if (Nodes[Id].Kind == NodeKind::Op)
+      ++Count;
+  return Count;
+}
+
+uint64_t PatternTree::totalReps() const {
+  uint64_t Total = 0;
+  for (NodeId Id : preorder())
+    if (Nodes[Id].Kind == NodeKind::Op)
+      Total += Nodes[Id].Reps;
+  return Total;
+}
+
+bool PatternTree::equalsStructurally(const PatternTree &Rhs) const {
+  std::vector<NodeId> A = preorder();
+  std::vector<NodeId> B = Rhs.preorder();
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I) {
+    const PatternNode &NA = node(A[I]);
+    const PatternNode &NB = Rhs.node(B[I]);
+    if (NA.Kind != NB.Kind || NA.NameSig != NB.NameSig ||
+        NA.ByteSig != NB.ByteSig || NA.Reps != NB.Reps ||
+        NA.Children.size() != NB.Children.size())
+      return false;
+  }
+  return true;
+}

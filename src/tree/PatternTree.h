@@ -1,0 +1,137 @@
+//===- tree/PatternTree.h - ROOT/HANDLE/BLOCK/op trees ---------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tree representation of an I/O access pattern (paper §3.1,
+/// Fig. 1). Four levels:
+///
+///   ROOT     — one imaginary node per access pattern file
+///   HANDLE   — one imaginary node per file handle
+///   BLOCK    — one imaginary node per open..close span
+///   op       — one leaf per (possibly compressed) operation
+///
+/// open/close themselves produce no leaves; the BLOCK node is the
+/// delimiter. Compressed leaves carry a *name signature* (operation
+/// names merged by rules 3/4, rendered "read+write") and a *byte
+/// signature* (byte counts merged by rule 2, rendered "2+4"), plus a
+/// repetition count equal to the number of primitive operations the
+/// leaf stands for.
+///
+/// Nodes live in an arena owned by the tree and are addressed by dense
+/// NodeId indices, so trees are cheap to copy and structurally
+/// comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_TREE_PATTERNTREE_H
+#define KAST_TREE_PATTERNTREE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// Dense node index within a PatternTree.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId InvalidNodeId = ~static_cast<NodeId>(0);
+
+/// Level of a tree node.
+enum class NodeKind : uint8_t {
+  Root,
+  Handle,
+  Block,
+  Op,
+};
+
+/// \returns "ROOT", "HANDLE", "BLOCK" or "op".
+const char *nodeKindName(NodeKind Kind);
+
+/// One node of a PatternTree.
+struct PatternNode {
+  NodeKind Kind = NodeKind::Op;
+
+  /// Operation names merged into this leaf, in merge order. Imaginary
+  /// nodes have an empty signature.
+  std::vector<std::string> NameSig;
+
+  /// Byte counts merged into this leaf, in merge order. A plain leaf
+  /// has exactly one element (possibly 0). Imaginary nodes: empty.
+  std::vector<uint64_t> ByteSig;
+
+  /// Number of primitive trace operations this leaf stands for; the
+  /// weight of the token the leaf becomes. Imaginary nodes keep 1
+  /// (their token weight is always 1, §3.1).
+  uint64_t Reps = 1;
+
+  /// For HANDLE nodes: the file handle. Unused otherwise.
+  uint64_t Handle = 0;
+
+  NodeId Parent = InvalidNodeId;
+  std::vector<NodeId> Children;
+
+  /// "read", "read+write", ... (leaves only).
+  std::string nameLabel() const;
+
+  /// "0", "1024", "2+4", ... (leaves only).
+  std::string byteLabel() const;
+
+  /// \returns true if every merged byte count is zero.
+  bool isZeroBytes() const;
+};
+
+/// An access-pattern tree; owns its node arena. The root always exists.
+class PatternTree {
+public:
+  PatternTree();
+
+  NodeId root() const { return 0; }
+
+  const PatternNode &node(NodeId Id) const;
+  PatternNode &node(NodeId Id);
+
+  size_t size() const { return Nodes.size(); }
+
+  /// Creates a node of \p Kind under \p Parent and returns its id.
+  NodeId addChild(NodeId Parent, NodeKind Kind);
+
+  /// Creates an op leaf under \p Parent.
+  NodeId addOp(NodeId Parent, std::string Name, uint64_t Bytes,
+               uint64_t Reps = 1);
+
+  /// Replaces the children list of \p Parent (used by the compressor;
+  /// does not reclaim orphaned arena nodes).
+  void setChildren(NodeId Parent, std::vector<NodeId> Children);
+
+  /// Depth of \p Id (root is 0).
+  size_t depth(NodeId Id) const;
+
+  /// Pre-order node ids reachable from the root.
+  std::vector<NodeId> preorder() const;
+
+  /// Number of op leaves reachable from the root.
+  size_t numLeaves() const;
+
+  /// Sum of Reps over reachable op leaves — the primitive operation
+  /// count, which compression must conserve.
+  uint64_t totalReps() const;
+
+  /// Structural equality on the reachable tree (kinds, signatures,
+  /// repetition counts, and shape). Handle numbers are deliberately
+  /// not compared: the string representation abstracts them away
+  /// (every handle becomes the same [HANDLE] token), so this is
+  /// equality at the representation's level of detail.
+  bool equalsStructurally(const PatternTree &Rhs) const;
+
+private:
+  std::vector<PatternNode> Nodes;
+};
+
+} // namespace kast
+
+#endif // KAST_TREE_PATTERNTREE_H

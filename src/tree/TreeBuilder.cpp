@@ -1,0 +1,55 @@
+//===- tree/TreeBuilder.cpp - Trace to tree conversion ---------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tree/TreeBuilder.h"
+
+#include <map>
+
+using namespace kast;
+
+PatternTree kast::buildTree(const Trace &T,
+                            const TreeBuilderOptions &Options) {
+  PatternTree Tree;
+
+  // Per-handle state: the HANDLE node and the currently open BLOCK.
+  struct HandleState {
+    NodeId HandleNode = InvalidNodeId;
+    NodeId OpenBlock = InvalidNodeId;
+  };
+  std::map<uint64_t, HandleState> States;
+
+  auto GetHandle = [&](uint64_t Handle) -> HandleState & {
+    auto It = States.find(Handle);
+    if (It != States.end())
+      return It->second;
+    HandleState S;
+    S.HandleNode = Tree.addChild(Tree.root(), NodeKind::Handle);
+    Tree.node(S.HandleNode).Handle = Handle;
+    return States.emplace(Handle, S).first->second;
+  };
+
+  for (const TraceEvent &Event : T.events()) {
+    if (Options.NegligibleOps.count(Event.Op))
+      continue;
+
+    HandleState &S = GetHandle(Event.Handle);
+    if (Event.isOpen()) {
+      // A fresh span starts; any unclosed block on this handle ends.
+      S.OpenBlock = Tree.addChild(S.HandleNode, NodeKind::Block);
+      continue;
+    }
+    if (Event.isClose()) {
+      S.OpenBlock = InvalidNodeId;
+      continue;
+    }
+    if (S.OpenBlock == InvalidNodeId) // Implicit block (no open seen).
+      S.OpenBlock = Tree.addChild(S.HandleNode, NodeKind::Block);
+
+    uint64_t Bytes = Options.IgnoreBytes ? 0 : Event.Bytes;
+    Tree.addOp(S.OpenBlock, Event.Op, Bytes);
+  }
+  return Tree;
+}

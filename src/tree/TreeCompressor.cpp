@@ -1,0 +1,161 @@
+//===- tree/TreeCompressor.cpp - The four merge rules ----------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tree/TreeCompressor.h"
+
+#include <cassert>
+
+using namespace kast;
+
+/// Concatenates two signatures (order preserving, as in "a 2-bytes
+/// integer and a 4-bytes integer" becoming the combined value 2+4).
+template <typename T>
+static std::vector<T> concatSig(const std::vector<T> &A,
+                                const std::vector<T> &B) {
+  std::vector<T> Out = A;
+  Out.insert(Out.end(), B.begin(), B.end());
+  return Out;
+}
+
+std::optional<PatternNode> kast::tryMergeRule(int Rule, const PatternNode &A,
+                                              const PatternNode &B) {
+  assert(Rule >= 1 && Rule <= 4 && "rule index out of range");
+  if (A.Kind != NodeKind::Op || B.Kind != NodeKind::Op)
+    return std::nullopt;
+
+  const bool SameName = A.NameSig == B.NameSig;
+  const bool SameBytes = A.ByteSig == B.ByteSig;
+
+  PatternNode Merged;
+  Merged.Kind = NodeKind::Op;
+  Merged.Reps = A.Reps + B.Reps;
+
+  switch (Rule) {
+  case 1:
+    // Same name, same bytes: a loop repeating one operation.
+    if (!SameName || !SameBytes)
+      return std::nullopt;
+    Merged.NameSig = A.NameSig;
+    Merged.ByteSig = A.ByteSig;
+    return Merged;
+  case 2:
+    // Same name, different bytes: e.g. a struct read field by field.
+    if (!SameName || SameBytes)
+      return std::nullopt;
+    Merged.NameSig = A.NameSig;
+    Merged.ByteSig = concatSig(A.ByteSig, B.ByteSig);
+    return Merged;
+  case 3:
+    // Different name, same bytes: e.g. interlaced read/write = copy.
+    if (SameName || !SameBytes)
+      return std::nullopt;
+    Merged.NameSig = concatSig(A.NameSig, B.NameSig);
+    Merged.ByteSig = A.ByteSig;
+    return Merged;
+  case 4: {
+    // Different name, different bytes, exactly one side all-zero:
+    // e.g. lseek (0 bytes) + write (n bytes).
+    if (SameName || SameBytes)
+      return std::nullopt;
+    const bool AZero = A.isZeroBytes();
+    const bool BZero = B.isZeroBytes();
+    if (AZero == BZero)
+      return std::nullopt;
+    Merged.NameSig = concatSig(A.NameSig, B.NameSig);
+    Merged.ByteSig = AZero ? B.ByteSig : A.ByteSig;
+    return Merged;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+namespace {
+
+/// Applies one rule's sweep over a block's child list.
+class BlockSweeper {
+public:
+  BlockSweeper(PatternTree &Tree, CompressionStats &Stats)
+      : Tree(Tree), Stats(Stats) {}
+
+  /// Sweeps \p Children left to right with \p Rule. Rule 1 keeps the
+  /// merged node as the left operand (run collapse); rules 2-4 advance
+  /// past it (disjoint pairs). Returns the new child list.
+  std::vector<NodeId> sweep(int Rule, const std::vector<NodeId> &Children) {
+    std::vector<NodeId> Out;
+    Out.reserve(Children.size());
+    size_t I = 0;
+    while (I < Children.size()) {
+      NodeId Current = Children[I];
+      size_t J = I + 1;
+      while (J < Children.size()) {
+        std::optional<PatternNode> Merged =
+            tryMergeRule(Rule, Tree.node(Current), Tree.node(Children[J]));
+        if (!Merged)
+          break;
+        ++Stats.MergesByRule[Rule - 1];
+        Current = materialize(std::move(*Merged));
+        ++J;
+        if (Rule != 1)
+          break; // Disjoint pairs: stop after one merge.
+      }
+      Out.push_back(Current);
+      I = J;
+    }
+    return Out;
+  }
+
+private:
+  /// Adds a merged node to the arena (detached; parent set later).
+  NodeId materialize(PatternNode Node) {
+    // addChild wants a parent; attach under root temporarily and strip
+    // the back-pointer, setChildren will fix it up.
+    NodeId Id = Tree.addChild(Tree.root(), NodeKind::Op);
+    // Remove from root's child list again (it was appended last).
+    PatternNode &Root = Tree.node(Tree.root());
+    assert(Root.Children.back() == Id && "unexpected arena state");
+    Root.Children.pop_back();
+    PatternNode &Slot = Tree.node(Id);
+    Node.Parent = InvalidNodeId;
+    Node.Children.clear();
+    Slot = std::move(Node);
+    return Id;
+  }
+
+  PatternTree &Tree;
+  CompressionStats &Stats;
+};
+
+} // namespace
+
+CompressionStats kast::compressTree(PatternTree &Tree,
+                                    const CompressorOptions &Options) {
+  CompressionStats Stats;
+  Stats.LeavesBefore = Tree.numLeaves();
+
+  // Collect the BLOCK nodes once; compression never adds blocks.
+  std::vector<NodeId> Blocks;
+  for (NodeId Id : Tree.preorder())
+    if (Tree.node(Id).Kind == NodeKind::Block)
+      Blocks.push_back(Id);
+
+  const bool Enabled[4] = {Options.EnableRule1, Options.EnableRule2,
+                           Options.EnableRule3, Options.EnableRule4};
+
+  BlockSweeper Sweeper(Tree, Stats);
+  for (size_t Pass = 0; Pass < Options.Passes; ++Pass) {
+    for (NodeId Block : Blocks) {
+      std::vector<NodeId> Children = Tree.node(Block).Children;
+      for (int Rule = 1; Rule <= 4; ++Rule)
+        if (Enabled[Rule - 1])
+          Children = Sweeper.sweep(Rule, Children);
+      Tree.setChildren(Block, std::move(Children));
+    }
+  }
+
+  Stats.LeavesAfter = Tree.numLeaves();
+  return Stats;
+}

@@ -1,0 +1,52 @@
+//===- tree/TreeDump.cpp - Tree pretty printing ----------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tree/TreeDump.h"
+
+using namespace kast;
+
+std::string kast::nodeLabel(const PatternNode &Node) {
+  switch (Node.Kind) {
+  case NodeKind::Root:
+    return "ROOT";
+  case NodeKind::Handle:
+    return "HANDLE " + std::to_string(Node.Handle);
+  case NodeKind::Block:
+    return "BLOCK";
+  case NodeKind::Op: {
+    std::string Label = Node.nameLabel() + "[" + Node.byteLabel() + "]";
+    if (Node.Reps != 1)
+      Label += " x" + std::to_string(Node.Reps);
+    return Label;
+  }
+  }
+  return "?";
+}
+
+std::string kast::dumpTreeAscii(const PatternTree &Tree) {
+  std::string Out;
+  for (NodeId Id : Tree.preorder()) {
+    Out.append(2 * Tree.depth(Id), ' ');
+    Out += nodeLabel(Tree.node(Id));
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string kast::dumpTreeDot(const PatternTree &Tree,
+                              const std::string &GraphName) {
+  std::string Out = "digraph " + GraphName + " {\n";
+  Out += "  node [shape=box, fontname=\"monospace\"];\n";
+  for (NodeId Id : Tree.preorder()) {
+    Out += "  n" + std::to_string(Id) + " [label=\"" +
+           nodeLabel(Tree.node(Id)) + "\"];\n";
+    for (NodeId Child : Tree.node(Id).Children)
+      Out += "  n" + std::to_string(Id) + " -> n" + std::to_string(Child) +
+             ";\n";
+  }
+  Out += "}\n";
+  return Out;
+}

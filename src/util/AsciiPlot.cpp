@@ -1,0 +1,73 @@
+//===- util/AsciiPlot.cpp - Terminal scatter plots ------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/AsciiPlot.h"
+#include "util/TextTable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace kast;
+
+AsciiScatter::AsciiScatter(size_t Width, size_t Height)
+    : Width(std::max<size_t>(Width, 8)), Height(std::max<size_t>(Height, 4)) {}
+
+void AsciiScatter::addPoint(double X, double Y, char Glyph) {
+  Points.push_back({X, Y, Glyph});
+}
+
+std::string AsciiScatter::render() const {
+  if (Points.empty())
+    return "(empty plot)\n";
+
+  double MinX = Points[0].X, MaxX = Points[0].X;
+  double MinY = Points[0].Y, MaxY = Points[0].Y;
+  for (const PlotPoint &P : Points) {
+    MinX = std::min(MinX, P.X);
+    MaxX = std::max(MaxX, P.X);
+    MinY = std::min(MinY, P.Y);
+    MaxY = std::max(MaxY, P.Y);
+  }
+  // Degenerate ranges still need a nonzero span to map onto the grid.
+  double SpanX = MaxX - MinX;
+  double SpanY = MaxY - MinY;
+  if (SpanX <= 0.0)
+    SpanX = 1.0;
+  if (SpanY <= 0.0)
+    SpanY = 1.0;
+
+  std::vector<std::string> Grid(Height, std::string(Width, ' '));
+  for (const PlotPoint &P : Points) {
+    size_t Col = static_cast<size_t>(
+        std::lround((P.X - MinX) / SpanX * static_cast<double>(Width - 1)));
+    size_t RowFromBottom = static_cast<size_t>(
+        std::lround((P.Y - MinY) / SpanY * static_cast<double>(Height - 1)));
+    size_t Row = Height - 1 - RowFromBottom;
+    assert(Row < Height && Col < Width && "point mapped off-grid");
+    char &Cell = Grid[Row][Col];
+    if (Cell == ' ' || Cell == P.Glyph)
+      Cell = P.Glyph;
+    else
+      Cell = '+'; // Collision of two different categories.
+  }
+
+  std::string Out;
+  Out += '+';
+  Out.append(Width, '-');
+  Out += "+\n";
+  for (const std::string &RowText : Grid) {
+    Out += '|';
+    Out += RowText;
+    Out += "|\n";
+  }
+  Out += '+';
+  Out.append(Width, '-');
+  Out += "+\n";
+  Out += "x: [" + formatDouble(MinX) + ", " + formatDouble(MaxX) + "]  y: [" +
+         formatDouble(MinY) + ", " + formatDouble(MaxY) + "]\n";
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===- util/AsciiPlot.h - Terminal scatter plots ---------------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ASCII scatter-plot rendering. The benches that regenerate the
+/// paper's Kernel PCA figures (Figs. 6 and 8) draw the projected
+/// examples into a character grid, one glyph per category, so the
+/// cluster geometry is visible directly in the bench output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_UTIL_ASCIIPLOT_H
+#define KAST_UTIL_ASCIIPLOT_H
+
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// A labelled 2-D point.
+struct PlotPoint {
+  double X = 0.0;
+  double Y = 0.0;
+  char Glyph = '*';
+};
+
+/// Renders labelled points into a fixed-size character grid.
+class AsciiScatter {
+public:
+  /// \param Width  grid width in characters (>= 8)
+  /// \param Height grid height in characters (>= 4)
+  AsciiScatter(size_t Width = 72, size_t Height = 24);
+
+  /// Adds one point.
+  void addPoint(double X, double Y, char Glyph);
+
+  /// Renders the grid with a border and axis ranges. When several
+  /// points land on one cell the glyph added last wins unless the
+  /// glyphs differ, in which case '+' marks the collision.
+  std::string render() const;
+
+private:
+  size_t Width;
+  size_t Height;
+  std::vector<PlotPoint> Points;
+};
+
+} // namespace kast
+
+#endif // KAST_UTIL_ASCIIPLOT_H

@@ -1,0 +1,42 @@
+//===- util/Csv.cpp - Minimal CSV writer ----------------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/Csv.h"
+
+#include <fstream>
+
+using namespace kast;
+
+static bool needsQuoting(const std::string &Cell) {
+  return Cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void CsvWriter::addRow(const std::vector<std::string> &Cells) {
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    if (I != 0)
+      Buffer += ',';
+    if (!needsQuoting(Cells[I])) {
+      Buffer += Cells[I];
+      continue;
+    }
+    Buffer += '"';
+    for (char C : Cells[I]) {
+      if (C == '"')
+        Buffer += '"';
+      Buffer += C;
+    }
+    Buffer += '"';
+  }
+  Buffer += '\n';
+}
+
+bool CsvWriter::writeFile(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << Buffer;
+  return static_cast<bool>(Out);
+}

@@ -1,0 +1,40 @@
+//===- util/Csv.h - Minimal CSV writer -------------------------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small CSV writer with RFC-4180 quoting, used by the benches to
+/// dump figure series (Kernel PCA coordinates, dendrogram merges) for
+/// external plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_UTIL_CSV_H
+#define KAST_UTIL_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// Accumulates rows and renders RFC-4180 CSV text.
+class CsvWriter {
+public:
+  /// Appends one row; cells are quoted as needed.
+  void addRow(const std::vector<std::string> &Cells);
+
+  /// \returns the CSV document.
+  const std::string &str() const { return Buffer; }
+
+  /// Writes the document to \p Path. \returns false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  std::string Buffer;
+};
+
+} // namespace kast
+
+#endif // KAST_UTIL_CSV_H

@@ -1,0 +1,105 @@
+//===- util/Error.h - Lightweight status and expected types ----*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal error-handling vocabulary used across KAST. The library does
+/// not use exceptions; fallible operations return Status or Expected<T>
+/// carrying a human-readable message ("lowercase start, no trailing
+/// period" per the diagnostic style of the LLVM coding standards).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_UTIL_ERROR_H
+#define KAST_UTIL_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace kast {
+
+/// Result of an operation that can fail but returns no value.
+///
+/// A default-constructed Status is success. Failure carries a message.
+class Status {
+public:
+  Status() = default;
+
+  /// Creates a failed status with the given diagnostic message.
+  static Status error(std::string Message) {
+    Status S;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  /// \returns true if the operation succeeded.
+  bool ok() const { return !Message.has_value(); }
+
+  /// \returns the diagnostic message; only valid when !ok().
+  const std::string &message() const {
+    assert(!ok() && "no message on a success status");
+    return *Message;
+  }
+
+  explicit operator bool() const { return ok(); }
+
+private:
+  std::optional<std::string> Message;
+};
+
+/// Result of an operation that yields a T or a diagnostic message.
+///
+/// Mirrors the shape of llvm::Expected without the unchecked-error
+/// discipline: callers test with hasValue()/operator bool and then
+/// dereference.
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Builds the failure state; use via Expected<T>::error(...).
+  static Expected error(std::string Message) {
+    Expected E;
+    E.Message = std::move(Message);
+    return E;
+  }
+
+  bool hasValue() const { return Value.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  const T &operator*() const {
+    assert(hasValue() && "dereferencing an errored Expected");
+    return *Value;
+  }
+  T &operator*() {
+    assert(hasValue() && "dereferencing an errored Expected");
+    return *Value;
+  }
+  const T *operator->() const { return &**this; }
+  T *operator->() { return &**this; }
+
+  /// Moves the contained value out; only valid when hasValue().
+  T take() {
+    assert(hasValue() && "taking from an errored Expected");
+    return std::move(*Value);
+  }
+
+  /// \returns the diagnostic message; only valid when !hasValue().
+  const std::string &message() const {
+    assert(!hasValue() && "no message on a success value");
+    return *Message;
+  }
+
+private:
+  Expected() = default;
+
+  std::optional<T> Value;
+  std::optional<std::string> Message;
+};
+
+} // namespace kast
+
+#endif // KAST_UTIL_ERROR_H

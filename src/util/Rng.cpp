@@ -1,0 +1,83 @@
+//===- util/Rng.cpp - Deterministic pseudo-random generators -------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/Rng.h"
+
+using namespace kast;
+
+uint64_t kast::splitMix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9E3779B97F4A7C15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Rng::Rng(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::uniformInt(uint64_t Lo, uint64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  const uint64_t Span = Hi - Lo + 1;
+  if (Span == 0) // Full 64-bit range: Hi - Lo + 1 wrapped to zero.
+    return next();
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t Limit = (~0ULL) - (~0ULL) % Span;
+  uint64_t Draw;
+  do {
+    Draw = next();
+  } while (Draw >= Limit);
+  return Lo + Draw % Span;
+}
+
+double Rng::uniformReal() {
+  // 53 top bits into the mantissa.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::flip(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return uniformReal() < P;
+}
+
+size_t Rng::pickWeighted(const std::vector<double> &Weights) {
+  double Total = 0.0;
+  for (double W : Weights) {
+    assert(W >= 0.0 && "negative weight");
+    Total += W;
+  }
+  assert(Total > 0.0 && "all weights are zero");
+  double Point = uniformReal() * Total;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Point -= Weights[I];
+    if (Point < 0.0)
+      return I;
+  }
+  return Weights.size() - 1; // Rounding fell off the end.
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xA5A5A5A55A5A5A5AULL); }

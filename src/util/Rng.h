@@ -1,0 +1,85 @@
+//===- util/Rng.h - Deterministic pseudo-random generators -----*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seedable, reproducible random number generation. KAST never uses
+/// std::random_device or unseeded engines: every experiment in the
+/// paper reproduction is a pure function of its seed so that benches
+/// and tests are bit-stable across runs and platforms.
+///
+/// Rng is xoshiro256** (Blackman & Vigna) seeded through SplitMix64,
+/// the recommended initialization procedure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_UTIL_RNG_H
+#define KAST_UTIL_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kast {
+
+/// SplitMix64 step; used for seeding and as a cheap hash finalizer.
+uint64_t splitMix64(uint64_t &State);
+
+/// Deterministic xoshiro256** generator.
+class Rng {
+public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit words of state from \p Seed via SplitMix64.
+  explicit Rng(uint64_t Seed = 0xBADC0FFEE0DDF00DULL);
+
+  /// \returns the next raw 64-bit output.
+  uint64_t next();
+
+  /// \returns a uniform integer in the inclusive range [Lo, Hi].
+  uint64_t uniformInt(uint64_t Lo, uint64_t Hi);
+
+  /// \returns a uniform double in [0, 1).
+  double uniformReal();
+
+  /// \returns true with probability \p P (clamped to [0, 1]).
+  bool flip(double P);
+
+  /// \returns an index in [0, Weights.size()) drawn proportionally to
+  /// the (non-negative) weights; at least one weight must be positive.
+  size_t pickWeighted(const std::vector<double> &Weights);
+
+  /// Picks a uniformly random element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "picking from an empty vector");
+    return Items[uniformInt(0, Items.size() - 1)];
+  }
+
+  /// Fisher-Yates shuffle of \p Items.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    if (Items.size() < 2)
+      return;
+    for (size_t I = Items.size() - 1; I > 0; --I)
+      std::swap(Items[I], Items[uniformInt(0, I)]);
+  }
+
+  /// Spawns an independent child generator; used to give each dataset
+  /// example its own stream so insertions do not perturb neighbours.
+  Rng split();
+
+  // UniformRandomBitGenerator interface.
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+  uint64_t operator()() { return next(); }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace kast
+
+#endif // KAST_UTIL_RNG_H

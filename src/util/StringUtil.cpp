@@ -1,0 +1,116 @@
+//===- util/StringUtil.cpp - Small string helpers -------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/StringUtil.h"
+
+#include <cctype>
+
+using namespace kast;
+
+static bool isSpace(char C) {
+  return std::isspace(static_cast<unsigned char>(C)) != 0;
+}
+
+std::string_view kast::trim(std::string_view S) {
+  size_t Begin = 0;
+  while (Begin < S.size() && isSpace(S[Begin]))
+    ++Begin;
+  size_t End = S.size();
+  while (End > Begin && isSpace(S[End - 1]))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::vector<std::string_view> kast::split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Fields;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Sep) {
+      Fields.push_back(S.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Fields;
+}
+
+std::vector<std::string_view> kast::splitWhitespace(std::string_view S) {
+  std::vector<std::string_view> Fields;
+  size_t I = 0;
+  while (I < S.size()) {
+    while (I < S.size() && isSpace(S[I]))
+      ++I;
+    size_t Start = I;
+    while (I < S.size() && !isSpace(S[I]))
+      ++I;
+    if (I > Start)
+      Fields.push_back(S.substr(Start, I - Start));
+  }
+  return Fields;
+}
+
+std::string kast::join(const std::vector<std::string> &Parts,
+                       std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out.append(Sep);
+    Out.append(Parts[I]);
+  }
+  return Out;
+}
+
+std::optional<uint64_t> kast::parseUnsigned(std::string_view S) {
+  if (S.empty())
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (Value > (~0ULL - Digit) / 10)
+      return std::nullopt; // Overflow.
+    Value = Value * 10 + Digit;
+  }
+  return Value;
+}
+
+std::optional<uint64_t> kast::parseHex(std::string_view S) {
+  if (startsWith(S, "0x") || startsWith(S, "0X"))
+    S.remove_prefix(2);
+  if (S.empty() || S.size() > 16)
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : S) {
+    uint64_t Digit;
+    if (C >= '0' && C <= '9')
+      Digit = static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = static_cast<uint64_t>(C - 'a') + 10;
+    else if (C >= 'A' && C <= 'F')
+      Digit = static_cast<uint64_t>(C - 'A') + 10;
+    else
+      return std::nullopt;
+    Value = (Value << 4) | Digit;
+  }
+  return Value;
+}
+
+bool kast::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool kast::endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+std::string kast::toLower(std::string_view S) {
+  std::string Out(S);
+  for (char &C : Out)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- util/TextTable.cpp - Fixed-width table rendering -------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/TextTable.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace kast;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), /*IsSeparator=*/false});
+}
+
+void TextTable::addSeparator() { Rows.push_back({{}, /*IsSeparator=*/true}); }
+
+std::string TextTable::render() const {
+  // Compute per-column widths over the header and all rows.
+  std::vector<size_t> Widths;
+  auto Widen = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Widen(Header);
+  for (const Row &R : Rows)
+    if (!R.IsSeparator)
+      Widen(R.Cells);
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      Out += Cells[I];
+      if (I + 1 != Cells.size())
+        Out.append(Widths[I] - Cells[I].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  if (!Header.empty()) {
+    Emit(Header);
+    Out.append(TotalWidth, '-');
+    Out += '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.IsSeparator) {
+      Out.append(TotalWidth, '-');
+      Out += '\n';
+      continue;
+    }
+    Emit(R.Cells);
+  }
+  return Out;
+}
+
+std::string kast::formatDouble(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}

@@ -1,0 +1,53 @@
+//===- util/TextTable.h - Fixed-width table rendering ----------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width ASCII table rendering used by the bench harnesses to
+/// print the rows the paper's evaluation reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_UTIL_TEXTTABLE_H
+#define KAST_UTIL_TEXTTABLE_H
+
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// Accumulates rows of string cells and renders them column-aligned.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row; rows may have differing lengths.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// \returns the rendered table, each row newline-terminated.
+  std::string render() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsSeparator = false;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+/// Formats a double with \p Precision fractional digits.
+std::string formatDouble(double Value, int Precision = 4);
+
+} // namespace kast
+
+#endif // KAST_UTIL_TEXTTABLE_H

@@ -1,0 +1,48 @@
+//===- util/ThreadPool.cpp - Tiny fork-join helper ------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/ThreadPool.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace kast;
+
+void kast::parallelFor(size_t Count,
+                       const std::function<void(size_t)> &Body,
+                       size_t NumThreads) {
+  if (Count == 0)
+    return;
+  if (NumThreads == 0) {
+    NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 1;
+  }
+  NumThreads = std::min(NumThreads, Count);
+  if (NumThreads == 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Body(I);
+    return;
+  }
+
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Count)
+        return;
+      Body(I);
+    }
+  };
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads - 1);
+  for (size_t T = 1; T < NumThreads; ++T)
+    Threads.emplace_back(Worker);
+  Worker();
+  for (std::thread &T : Threads)
+    T.join();
+}

@@ -1,0 +1,36 @@
+//===- util/ThreadPool.h - Tiny fork-join helper ---------------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fork-join parallel-for used to fill kernel matrices. The
+/// 110x110 Gram matrices of the paper are cheap, but the property-test
+/// sweeps and the perf benches compute thousands of pairwise kernels,
+/// where parallelism pays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_UTIL_THREADPOOL_H
+#define KAST_UTIL_THREADPOOL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace kast {
+
+/// Runs Body(I) for I in [0, Count) on up to \p NumThreads threads.
+///
+/// Work is distributed by an atomic counter, so uneven per-item cost
+/// (typical for pairwise kernel evaluations over a triangular index
+/// space) balances automatically. \p NumThreads == 0 selects the
+/// hardware concurrency; \p NumThreads == 1 runs inline, which keeps
+/// single-threaded determinism for tests. Body must be thread-safe for
+/// distinct indices.
+void parallelFor(size_t Count, const std::function<void(size_t)> &Body,
+                 size_t NumThreads = 0);
+
+} // namespace kast
+
+#endif // KAST_UTIL_THREADPOOL_H

@@ -1,0 +1,87 @@
+//===- workloads/CorpusIO.cpp - Corpus directories on disk -----------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/CorpusIO.h"
+#include "trace/TraceParser.h"
+#include "trace/TraceWriter.h"
+#include "util/StringUtil.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+
+using namespace kast;
+
+Status kast::writeCorpusDirectory(const std::vector<LabeledTrace> &Corpus,
+                                  const std::string &Dir) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec)
+    return Status::error("cannot create directory '" + Dir +
+                         "': " + Ec.message());
+  for (const LabeledTrace &Example : Corpus) {
+    std::string Name =
+        Example.T.name().empty() ? "unnamed" : Example.T.name();
+    std::string Path = Dir + "/" + Name + ".trace";
+    if (!writeTraceFile(Example.T, Path))
+      return Status::error("cannot write '" + Path + "'");
+  }
+  return Status();
+}
+
+/// Splits "<label><base>.<copy>" lineage out of a trace name.
+static void parseLineage(const std::string &Name, LabeledTrace &Out) {
+  size_t I = 0;
+  while (I < Name.size() &&
+         std::isalpha(static_cast<unsigned char>(Name[I])))
+    ++I;
+  Out.Label = Name.substr(0, I);
+  size_t Dot = Name.find('.', I);
+  std::optional<uint64_t> Base =
+      parseUnsigned(std::string_view(Name).substr(I, Dot - I));
+  if (Base)
+    Out.BaseIndex = static_cast<size_t>(*Base);
+  if (Dot != std::string::npos) {
+    std::optional<uint64_t> Copy =
+        parseUnsigned(std::string_view(Name).substr(Dot + 1));
+    Out.IsMutant = Copy && *Copy != 0;
+  }
+}
+
+Expected<std::vector<LabeledTrace>>
+kast::loadCorpusDirectory(const std::string &Dir) {
+  using Result = Expected<std::vector<LabeledTrace>>;
+  std::error_code Ec;
+  std::filesystem::directory_iterator It(Dir, Ec);
+  if (Ec)
+    return Result::error("cannot read directory '" + Dir +
+                         "': " + Ec.message());
+
+  std::vector<std::string> Paths;
+  for (const std::filesystem::directory_entry &Entry : It)
+    if (Entry.is_regular_file() &&
+        Entry.path().extension() == ".trace")
+      Paths.push_back(Entry.path().string());
+  std::sort(Paths.begin(), Paths.end());
+
+  std::vector<LabeledTrace> Corpus;
+  Corpus.reserve(Paths.size());
+  for (const std::string &Path : Paths) {
+    Expected<Trace> T = parseTraceFile(Path);
+    if (!T)
+      return Result::error(T.message());
+    LabeledTrace Example;
+    Example.T = T.take();
+    // Strip the ".trace" suffix the parser kept in the name.
+    std::string Name = Example.T.name();
+    if (endsWith(Name, ".trace"))
+      Name.resize(Name.size() - 6);
+    Example.T.setName(Name);
+    parseLineage(Name, Example);
+    Corpus.push_back(std::move(Example));
+  }
+  return Corpus;
+}

@@ -1,0 +1,42 @@
+//===- workloads/CorpusIO.h - Corpus directories on disk -------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Materializes a corpus as a directory of plain-text access pattern
+/// files — the form the paper's corpus originally had — and loads such
+/// a directory back. File names are "<name>.trace" where the name's
+/// leading alphabetic prefix is the category label ("A3.2.trace" is a
+/// category-A example). This lets every tool in examples/ run against
+/// on-disk corpora, synthetic or real.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_WORKLOADS_CORPUSIO_H
+#define KAST_WORKLOADS_CORPUSIO_H
+
+#include "util/Error.h"
+#include "workloads/DatasetBuilder.h"
+
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// Writes every corpus trace to "<Dir>/<name>.trace". Creates \p Dir
+/// if missing. Fails on the first I/O error.
+Status writeCorpusDirectory(const std::vector<LabeledTrace> &Corpus,
+                            const std::string &Dir);
+
+/// Loads every "*.trace" file of \p Dir (sorted by file name for
+/// determinism). Labels are recovered from the leading alphabetic
+/// prefix of the file name; BaseIndex/IsMutant are recovered from the
+/// "<label><base>.<copy>" convention when present, else 0/false.
+Expected<std::vector<LabeledTrace>>
+loadCorpusDirectory(const std::string &Dir);
+
+} // namespace kast
+
+#endif // KAST_WORKLOADS_CORPUSIO_H

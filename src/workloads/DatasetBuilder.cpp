@@ -1,0 +1,53 @@
+//===- workloads/DatasetBuilder.cpp - The 110-example corpus ---------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/DatasetBuilder.h"
+
+using namespace kast;
+
+std::vector<LabeledTrace> kast::generateCorpus(const CorpusOptions &Options) {
+  std::vector<LabeledTrace> Corpus;
+  Rng Master(Options.Seed);
+
+  const std::pair<Category, size_t> Plan[] = {
+      {Category::FlashIO, Options.BaseA},
+      {Category::RandomPosix, Options.BaseB},
+      {Category::NormalIO, Options.BaseC},
+      {Category::RandomAccess, Options.BaseD},
+  };
+
+  for (const auto &[Cat, NumBase] : Plan) {
+    const char *Label = categoryLabel(Cat);
+    for (size_t Base = 0; Base < NumBase; ++Base) {
+      // Every example gets its own stream: corpus layout changes do
+      // not reshuffle unrelated examples.
+      Rng ExampleRng = Master.split();
+      Trace BaseTrace = generateTrace(Cat, ExampleRng, Options.Generator);
+      BaseTrace.setName(std::string(Label) + std::to_string(Base) + ".0");
+      Corpus.push_back({BaseTrace, Label, Base, /*IsMutant=*/false});
+
+      for (size_t Copy = 1; Copy <= Options.CopiesPerBase; ++Copy) {
+        Trace Mutant = mutateTrace(BaseTrace, ExampleRng, Options.Mutator);
+        Mutant.setName(std::string(Label) + std::to_string(Base) + "." +
+                       std::to_string(Copy));
+        Corpus.push_back({std::move(Mutant), Label, Base,
+                          /*IsMutant=*/true});
+      }
+    }
+  }
+  return Corpus;
+}
+
+LabeledDataset kast::convertCorpus(const Pipeline &Pipeline,
+                                   const std::vector<LabeledTrace> &Corpus) {
+  LabeledDataset Data;
+  for (const LabeledTrace &Example : Corpus) {
+    WeightedString S = Pipeline.convert(Example.T);
+    S.setName(Example.T.name());
+    Data.add(std::move(S), Example.Label);
+  }
+  return Data;
+}

@@ -1,0 +1,62 @@
+//===- workloads/DatasetBuilder.h - The 110-example corpus -----*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's corpus shape (§4.1): 22 base examples over
+/// categories A/B/C/D, each with 4 mutated synthetic copies, giving 110
+/// examples distributed A:50, B:20, C:20, D:20 (so A has 10 base
+/// examples and B/C/D have 4 each). Traces are generated once and can
+/// then be converted by any Pipeline (byte-aware or byte-ignoring), as
+/// the paper evaluates both representations of the same corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_WORKLOADS_DATASETBUILDER_H
+#define KAST_WORKLOADS_DATASETBUILDER_H
+
+#include "core/Dataset.h"
+#include "core/Pipeline.h"
+#include "workloads/Generators.h"
+#include "workloads/Mutator.h"
+
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// One corpus element before string conversion.
+struct LabeledTrace {
+  Trace T;
+  std::string Label;     ///< "A", "B", "C" or "D".
+  size_t BaseIndex = 0;  ///< Which base example this descends from.
+  bool IsMutant = false; ///< True for the synthetic copies.
+};
+
+/// Corpus shape parameters (defaults = the paper's corpus).
+struct CorpusOptions {
+  size_t BaseA = 10;
+  size_t BaseB = 4;
+  size_t BaseC = 4;
+  size_t BaseD = 4;
+  size_t CopiesPerBase = 4;
+  uint64_t Seed = 20170904; ///< PaCT 2017 started September 4, 2017.
+  GeneratorConfig Generator;
+  MutatorOptions Mutator;
+};
+
+/// Generates the corpus traces (base examples + mutated copies), in
+/// category-major deterministic order.
+std::vector<LabeledTrace> generateCorpus(const CorpusOptions &Options = {});
+
+/// Converts corpus traces into a labeled string dataset with
+/// \p Pipeline; string names are "<label><base>.<copy>" (copy 0 is the
+/// base example).
+LabeledDataset convertCorpus(const Pipeline &Pipeline,
+                             const std::vector<LabeledTrace> &Corpus);
+
+} // namespace kast
+
+#endif // KAST_WORKLOADS_DATASETBUILDER_H

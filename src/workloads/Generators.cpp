@@ -1,0 +1,201 @@
+//===- workloads/Generators.cpp - Synthetic trace generators ---------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Design note: every generated BLOCK is *homogeneous* (one phase of
+// one transfer pattern). The paper's compression rules are greedy and
+// local; heterogeneous blocks collapse into composite tokens whose
+// byte signatures depend on incidental orderings, which makes two runs
+// of the same program look unrelated. Real I/O benchmarks behave like
+// the homogeneous shape anyway: IOR opens the file per phase, FLASH
+// writes its metadata burst and then streams uniform data chunks.
+// Under homogeneous blocks the compressor produces stable tokens
+// (read[S]:n, lseek+read[S]:2n, write[4+8+16+32]:4, ...) and the
+// corpus reproduces the separability structure §4.2 describes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Generators.h"
+
+using namespace kast;
+
+const char *kast::categoryLabel(Category C) {
+  switch (C) {
+  case Category::FlashIO:
+    return "A";
+  case Category::RandomPosix:
+    return "B";
+  case Category::NormalIO:
+    return "C";
+  case Category::RandomAccess:
+    return "D";
+  }
+  return "?";
+}
+
+const char *kast::categoryName(Category C) {
+  switch (C) {
+  case Category::FlashIO:
+    return "flash-io";
+  case Category::RandomPosix:
+    return "random-posix";
+  case Category::NormalIO:
+    return "normal-io";
+  case Category::RandomAccess:
+    return "random-access";
+  }
+  return "?";
+}
+
+/// Transfer sizes shared by categories B/C/D. The pools of B/C/D and A
+/// are disjoint: §4.2 attributes A's separation (with byte info) to
+/// write byte values "not present in the other categories".
+static const std::vector<uint64_t> &commonSizes() {
+  static const std::vector<uint64_t> Sizes = {4096, 8192, 65536};
+  return Sizes;
+}
+
+/// Large checkpoint chunk sizes used only by category A.
+static const std::vector<uint64_t> &flashChunkSizes() {
+  static const std::vector<uint64_t> Sizes = {131072, 262144, 524288,
+                                              1048576};
+  return Sizes;
+}
+
+Trace kast::generateFlashIO(Rng &R, const GeneratorConfig &Config) {
+  Trace T("flash-io");
+  // A checkpoint run writes a few files (plotfile, checkpoint,
+  // particle file). Per file: a metadata block — a burst of small
+  // writes with *different* byte values following the fixed header
+  // layout — then one or two data blocks streaming uniform chunks.
+  size_t NumFiles = R.uniformInt(2, 3);
+  for (size_t F = 0; F < NumFiles; ++F) {
+    uint64_t Handle = 10 + F;
+
+    // Metadata block: fixed 4/8/16/32 progression, occasionally with
+    // a trailing 64-byte attribute record.
+    T.append(OpKind::Open, Handle);
+    for (uint64_t FieldSize : {4, 8, 16, 32})
+      T.append(OpKind::Write, Handle, FieldSize);
+    if (R.flip(0.3))
+      T.append(OpKind::Write, Handle, 64);
+    T.append(OpKind::Close, Handle);
+
+    // Data blocks: uniform chunk size per block.
+    size_t DataBlocks = R.uniformInt(1, 2);
+    for (size_t B = 0; B < DataBlocks; ++B) {
+      uint64_t Chunk = R.pick(flashChunkSizes());
+      size_t Count = R.uniformInt(8, 24) * Config.Scale;
+      T.append(OpKind::Open, Handle);
+      for (size_t I = 0; I < Count; ++I)
+        T.append(OpKind::Write, Handle, Chunk);
+      if (R.flip(0.5))
+        T.append(OpKind::Fsync, Handle);
+      T.append(OpKind::Close, Handle);
+    }
+  }
+  return T;
+}
+
+Trace kast::generateRandomPosix(Rng &R, const GeneratorConfig &Config) {
+  Trace T("random-posix");
+  uint64_t Handle = 20;
+  // Random-I/O runs open with a short *sequential* warm-up scan (no
+  // seeks — ordinary reads from the size pool C/D also use), then the
+  // defining seek-then-transfer loops. The warm-up gives B the same
+  // surface vocabulary as C/D — a count-based kernel sees the shared
+  // token types and merges B with C/D — but the warm-up carries little
+  // weight next to the long lseek loops, so a weight-aware kernel
+  // still tells them apart. The first loop is always a page-sized
+  // index scan, which every B run shares.
+  T.append(OpKind::Open, Handle);
+  size_t WarmUp = R.uniformInt(4, 8);
+  for (size_t I = 0; I < WarmUp; ++I)
+    T.append(OpKind::Read, Handle, 4096);
+  T.append(OpKind::Close, Handle);
+
+  size_t Phases = R.uniformInt(2, 4);
+  for (size_t P = 0; P < Phases; ++P) {
+    uint64_t Size = P == 0 ? 4096 : R.pick(commonSizes());
+    bool Reading = P == 0 || R.flip(0.6);
+    size_t Iterations = R.uniformInt(15, 40) * Config.Scale;
+    T.append(OpKind::Open, Handle);
+    for (size_t I = 0; I < Iterations; ++I) {
+      T.append(OpKind::Lseek, Handle, 0);
+      T.append(Reading ? OpKind::Read : OpKind::Write, Handle, Size);
+    }
+    T.append(OpKind::Close, Handle);
+    // Occasionally a short plain burst between seek loops.
+    if (R.flip(0.4)) {
+      uint64_t BurstSize = R.pick(commonSizes());
+      size_t Burst = R.uniformInt(3, 6);
+      T.append(OpKind::Open, Handle);
+      for (size_t I = 0; I < Burst; ++I)
+        T.append(R.flip(0.5) ? OpKind::Read : OpKind::Write, Handle,
+                 BurstSize);
+      T.append(OpKind::Close, Handle);
+    }
+  }
+  return T;
+}
+
+Trace kast::generateNormalIO(Rng &R, const GeneratorConfig &Config) {
+  Trace T("normal-io");
+  uint64_t Handle = 30;
+  // Long sequential phases, one per open..close span (IOR reopens the
+  // file between its write and read phases). Few blocks, long runs.
+  size_t Phases = R.uniformInt(2, 4);
+  for (size_t P = 0; P < Phases; ++P) {
+    uint64_t Size = R.pick(commonSizes());
+    // Leading phases lean toward reads, trailing toward writes.
+    bool Reading = R.flip(P + 1 < Phases ? 0.7 : 0.3);
+    size_t Run = R.uniformInt(15, 40) * Config.Scale;
+    T.append(OpKind::Open, Handle);
+    for (size_t I = 0; I < Run; ++I)
+      T.append(Reading ? OpKind::Read : OpKind::Write, Handle, Size);
+    T.append(OpKind::Close, Handle);
+  }
+  return T;
+}
+
+Trace kast::generateRandomAccess(Rng &R, const GeneratorConfig &Config) {
+  Trace T("random-access");
+  uint64_t Handle = 40;
+  // Random access at the trace level shows up as many short transfer
+  // bursts over reopened spans, with the same operation vocabulary and
+  // size pool as C — which is why the paper finds C and D "shared
+  // roughly the same pattern". Many blocks, short runs, random mix.
+  size_t Bursts = R.uniformInt(5, 9);
+  for (size_t B = 0; B < Bursts; ++B) {
+    uint64_t Size = R.pick(commonSizes());
+    bool Reading = R.flip(0.5);
+    size_t Run = R.uniformInt(4, 12) * Config.Scale;
+    T.append(OpKind::Open, Handle);
+    for (size_t I = 0; I < Run; ++I)
+      T.append(Reading ? OpKind::Read : OpKind::Write, Handle, Size);
+    T.append(OpKind::Close, Handle);
+  }
+  return T;
+}
+
+Trace kast::generateTrace(Category C, Rng &R,
+                          const GeneratorConfig &Config) {
+  Trace T;
+  switch (C) {
+  case Category::FlashIO:
+    T = generateFlashIO(R, Config);
+    break;
+  case Category::RandomPosix:
+    T = generateRandomPosix(R, Config);
+    break;
+  case Category::NormalIO:
+    T = generateNormalIO(R, Config);
+    break;
+  case Category::RandomAccess:
+    T = generateRandomAccess(R, Config);
+    break;
+  }
+  return T;
+}

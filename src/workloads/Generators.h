@@ -1,0 +1,76 @@
+//===- workloads/Generators.h - Synthetic trace generators -----*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the paper's trace corpus (§4.1): patterns
+/// "generated from 4 different I/O forms of accessing the storage".
+/// The originals came from instrumented IOR [14] and FLASH [15] runs,
+/// which are not available; these generators encode the structural
+/// facts §4.2 attributes the clustering outcome to:
+///
+///   A  Flash I/O       — multi-file checkpoint writer: per handle a
+///                        burst of small metadata writes with *varying*
+///                        byte counts then large data writes ("(A)
+///                        examples contained contiguous write
+///                        operations with different byte values that
+///                        were not present in the other categories").
+///   B  Random POSIX    — seek-then-transfer loops ("(B) examples
+///                        contained lseek operations not seen
+///                        elsewhere").
+///   C  Normal I/O      — sequential fixed-size read/write phases.
+///   D  Random Access   — same operation vocabulary as C but irregular
+///                        interleavings and run lengths ("(C) and (D)
+///                        shared roughly the same pattern").
+///
+/// All generators draw structure (phase counts, sizes, run lengths)
+/// from a caller-provided Rng, so one category yields a family of
+/// related-but-distinct examples, as in the paper's corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_WORKLOADS_GENERATORS_H
+#define KAST_WORKLOADS_GENERATORS_H
+
+#include "trace/Trace.h"
+#include "util/Rng.h"
+
+#include <string>
+
+namespace kast {
+
+/// The four corpus categories.
+enum class Category { FlashIO, RandomPosix, NormalIO, RandomAccess };
+
+/// \returns "A", "B", "C" or "D" (the paper's group letters).
+const char *categoryLabel(Category C);
+
+/// \returns a descriptive name ("flash-io", ...).
+const char *categoryName(Category C);
+
+/// Generator tuning shared by all categories.
+struct GeneratorConfig {
+  /// Scale factor on loop lengths (1 = paper-scale small traces).
+  size_t Scale = 1;
+};
+
+/// Generates one FLASH-style checkpoint trace (category A).
+Trace generateFlashIO(Rng &R, const GeneratorConfig &Config = {});
+
+/// Generates one random-POSIX trace with lseek loops (category B).
+Trace generateRandomPosix(Rng &R, const GeneratorConfig &Config = {});
+
+/// Generates one sequential read/write trace (category C).
+Trace generateNormalIO(Rng &R, const GeneratorConfig &Config = {});
+
+/// Generates one random-access trace (category D).
+Trace generateRandomAccess(Rng &R, const GeneratorConfig &Config = {});
+
+/// Dispatches on \p C.
+Trace generateTrace(Category C, Rng &R, const GeneratorConfig &Config = {});
+
+} // namespace kast
+
+#endif // KAST_WORKLOADS_GENERATORS_H

@@ -1,0 +1,117 @@
+//===- workloads/Mutator.cpp - Synthetic trace mutations -------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Mutator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace kast;
+
+const char *kast::mutationKindName(size_t Kind) {
+  switch (Kind) {
+  case 0:
+    return "perturb-bytes";
+  case 1:
+    return "duplicate-run";
+  case 2:
+    return "delete-event";
+  case 3:
+    return "insert-event";
+  default:
+    return "?";
+  }
+}
+
+/// Indices of events that are safe to touch (not open/close, which
+/// would change block structure drastically).
+static std::vector<size_t> mutableIndices(const Trace &T) {
+  std::vector<size_t> Indices;
+  for (size_t I = 0; I < T.size(); ++I) {
+    const TraceEvent &E = T.events()[I];
+    if (!E.isOpen() && !E.isClose())
+      Indices.push_back(I);
+  }
+  return Indices;
+}
+
+static void perturbBytes(Trace &T, Rng &R) {
+  std::vector<size_t> Indices = mutableIndices(T);
+  if (Indices.empty())
+    return;
+  // Prefer events that actually carry bytes.
+  for (size_t Attempt = 0; Attempt < 8; ++Attempt) {
+    TraceEvent &E = T.events()[R.pick(Indices)];
+    if (E.Bytes == 0)
+      continue;
+    E.Bytes = R.flip(0.5) ? E.Bytes * 2 : std::max<uint64_t>(1, E.Bytes / 2);
+    return;
+  }
+}
+
+static void duplicateRun(Trace &T, Rng &R, size_t MaxRunLength) {
+  std::vector<size_t> Indices = mutableIndices(T);
+  if (Indices.empty())
+    return;
+  size_t Start = R.pick(Indices);
+  size_t Length = std::min<size_t>(R.uniformInt(1, MaxRunLength),
+                                   T.size() - Start);
+  // Do not copy across an open/close boundary.
+  for (size_t I = Start; I < Start + Length; ++I) {
+    const TraceEvent &E = T.events()[I];
+    if (E.isOpen() || E.isClose()) {
+      Length = I - Start;
+      break;
+    }
+  }
+  if (Length == 0)
+    return;
+  std::vector<TraceEvent> Run(T.events().begin() + Start,
+                              T.events().begin() + Start + Length);
+  T.events().insert(T.events().begin() + Start + Length, Run.begin(),
+                    Run.end());
+}
+
+static void deleteEvent(Trace &T, Rng &R) {
+  std::vector<size_t> Indices = mutableIndices(T);
+  if (Indices.size() < 2) // Keep at least one operation.
+    return;
+  T.events().erase(T.events().begin() + R.pick(Indices));
+}
+
+static void insertEvent(Trace &T, Rng &R) {
+  std::vector<size_t> Indices = mutableIndices(T);
+  if (Indices.empty())
+    return;
+  size_t Source = R.pick(Indices);
+  TraceEvent Copy = T.events()[Source];
+  T.events().insert(T.events().begin() + Source, std::move(Copy));
+}
+
+Trace kast::mutateTrace(const Trace &Original, Rng &R,
+                        const MutatorOptions &Options) {
+  assert(Options.MinMutations <= Options.MaxMutations &&
+         "inverted mutation range");
+  Trace Copy = Original;
+  size_t Count = R.uniformInt(Options.MinMutations, Options.MaxMutations);
+  for (size_t M = 0; M < Count; ++M) {
+    switch (R.uniformInt(0, 3)) {
+    case 0:
+      perturbBytes(Copy, R);
+      break;
+    case 1:
+      duplicateRun(Copy, R, Options.MaxRunLength);
+      break;
+    case 2:
+      deleteEvent(Copy, R);
+      break;
+    case 3:
+      insertEvent(Copy, R);
+      break;
+    }
+  }
+  return Copy;
+}

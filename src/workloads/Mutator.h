@@ -1,0 +1,54 @@
+//===- workloads/Mutator.h - Synthetic trace mutations ---------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small category-preserving mutations of traces, reproducing the
+/// paper's corpus expansion (§4.1: "For each pattern 4 additional
+/// synthetic copies were created. Such copies introduced small
+/// mutations on the pattern; ... access patterns that were, in theory,
+/// closer to a determined example than the rest of the category
+/// members").
+///
+/// Mutation kinds:
+///   * PerturbBytes  — scale one event's byte count (x2 or /2);
+///   * DuplicateRun  — duplicate a short run of events in place;
+///   * DeleteEvent   — remove one non-open/close event;
+///   * InsertEvent   — insert a copy of an existing event nearby.
+///
+/// Mutations only recombine material already present in the trace, so
+/// no category-foreign operation (e.g. an lseek in a category-C trace)
+/// can appear — the property that keeps copies clustered with their
+/// originals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_WORKLOADS_MUTATOR_H
+#define KAST_WORKLOADS_MUTATOR_H
+
+#include "trace/Trace.h"
+#include "util/Rng.h"
+
+namespace kast {
+
+/// Mutation tuning.
+struct MutatorOptions {
+  /// How many mutations one copy receives.
+  size_t MinMutations = 1;
+  size_t MaxMutations = 3;
+  /// Longest run DuplicateRun copies.
+  size_t MaxRunLength = 4;
+};
+
+/// Names of the four mutation kinds, index 0..3.
+const char *mutationKindName(size_t Kind);
+
+/// \returns a mutated copy of \p Original (named "<name>~mN").
+Trace mutateTrace(const Trace &Original, Rng &R,
+                  const MutatorOptions &Options = {});
+
+} // namespace kast
+
+#endif // KAST_WORKLOADS_MUTATOR_H

@@ -1,0 +1,74 @@
+//===- workloads/ParallelTrace.cpp - Multi-rank trace merging --------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ParallelTrace.h"
+
+#include <cassert>
+
+using namespace kast;
+
+std::vector<Trace>
+kast::disjointHandles(const std::vector<Trace> &RankTraces,
+                      uint64_t HandleStride) {
+  std::vector<Trace> Out;
+  Out.reserve(RankTraces.size());
+  for (size_t Rank = 0; Rank < RankTraces.size(); ++Rank) {
+    Trace Remapped = RankTraces[Rank];
+    for (TraceEvent &E : Remapped.events()) {
+      assert(E.Handle < HandleStride &&
+             "handle exceeds the disjoint-range stride");
+      E.Handle += static_cast<uint64_t>(Rank) * HandleStride;
+    }
+    Out.push_back(std::move(Remapped));
+  }
+  return Out;
+}
+
+Trace kast::interleaveTraces(const std::vector<Trace> &RankTraces, Rng &R,
+                             const InterleaveOptions &Options) {
+  Trace Global("parallel");
+  std::vector<size_t> Position(RankTraces.size(), 0);
+  size_t Remaining = 0;
+  for (const Trace &T : RankTraces)
+    Remaining += T.size();
+
+  size_t LastRank = RankTraces.size(); // Sentinel: no burst yet.
+  while (Remaining > 0) {
+    // Weighted pick over ranks with events left; the previous rank
+    // gets a burstiness bonus.
+    std::vector<double> Weights(RankTraces.size(), 0.0);
+    for (size_t Rank = 0; Rank < RankTraces.size(); ++Rank) {
+      if (Position[Rank] >= RankTraces[Rank].size())
+        continue;
+      Weights[Rank] = 1.0;
+      if (Rank == LastRank)
+        Weights[Rank] += Options.Burstiness;
+    }
+    size_t Rank = R.pickWeighted(Weights);
+    Global.append(RankTraces[Rank].events()[Position[Rank]]);
+    ++Position[Rank];
+    --Remaining;
+    LastRank = Rank;
+  }
+  return Global;
+}
+
+Trace kast::generateParallelTrace(Category C, size_t NumRanks, Rng &R,
+                                  const GeneratorConfig &Config,
+                                  const InterleaveOptions &Interleave) {
+  assert(NumRanks >= 1 && "a parallel run needs at least one rank");
+  std::vector<Trace> Ranks;
+  Ranks.reserve(NumRanks);
+  for (size_t Rank = 0; Rank < NumRanks; ++Rank) {
+    Rng RankRng = R.split();
+    Ranks.push_back(generateTrace(C, RankRng, Config));
+  }
+  Ranks = disjointHandles(Ranks);
+  Trace Global = interleaveTraces(Ranks, R, Interleave);
+  Global.setName(std::string(categoryName(C)) + "-x" +
+                 std::to_string(NumRanks));
+  return Global;
+}

@@ -1,0 +1,70 @@
+//===- workloads/ParallelTrace.h - Multi-rank trace merging ----*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel-program trace plumbing. The paper's tree construction
+/// exists because "with several file handles acting at the same time
+/// it is not always possible that all the operations belonging to the
+/// same file handle could have been written contiguously" (§3.1) —
+/// i.e. a parallel run's global trace interleaves the per-rank,
+/// per-handle streams. These helpers simulate that:
+///
+///  * disjointHandles  — remaps each rank's handles into a disjoint
+///    range (rank r's handle h becomes r * Stride + h), as a shared
+///    file system would assign distinct descriptors;
+///  * interleaveTraces — merges per-rank traces into one chronological
+///    global trace under a random (seeded) schedule that preserves
+///    each rank's internal order.
+///
+/// The representation's central invariance — the weighted string
+/// depends only on each handle's event sequence and the handles'
+/// first-appearance order, not on the interleaving — is property-
+/// tested in WorkloadsTest/PropertyTest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_WORKLOADS_PARALLELTRACE_H
+#define KAST_WORKLOADS_PARALLELTRACE_H
+
+#include "trace/Trace.h"
+#include "util/Rng.h"
+#include "workloads/Generators.h"
+
+#include <vector>
+
+namespace kast {
+
+/// Remaps the handles of \p RankTraces into disjoint ranges:
+/// rank r's handle h becomes r * HandleStride + h. Asserts that every
+/// original handle is below \p HandleStride.
+std::vector<Trace> disjointHandles(const std::vector<Trace> &RankTraces,
+                                   uint64_t HandleStride = 1000);
+
+/// Options for interleaving.
+struct InterleaveOptions {
+  /// Probability weight of continuing with the same rank (burstiness);
+  /// 0 = round-robin-ish uniform scheduling, larger = longer bursts,
+  /// matching the bursty behavior of real supercomputing I/O (§2.1).
+  double Burstiness = 0.0;
+};
+
+/// Merges per-rank traces into one global trace: repeatedly picks a
+/// rank (seeded by \p R) and emits its next event. Per-rank order is
+/// preserved exactly; the global order is a random legal schedule.
+Trace interleaveTraces(const std::vector<Trace> &RankTraces, Rng &R,
+                       const InterleaveOptions &Options = {});
+
+/// Generates a \p NumRanks-rank parallel run of category \p C: each
+/// rank runs the category generator with its own stream (ranks of one
+/// run resemble each other but are not identical), handles are made
+/// disjoint, and the result is interleaved into a global trace.
+Trace generateParallelTrace(Category C, size_t NumRanks, Rng &R,
+                            const GeneratorConfig &Config = {},
+                            const InterleaveOptions &Interleave = {});
+
+} // namespace kast
+
+#endif // KAST_WORKLOADS_PARALLELTRACE_H

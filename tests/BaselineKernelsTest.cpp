@@ -1,0 +1,278 @@
+//===- tests/BaselineKernelsTest.cpp - spectrum-family baselines -----------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StringSerializer.h"
+#include "kernels/BagOfWordsKernel.h"
+#include "kernels/SpectrumKernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+using namespace kast;
+
+namespace {
+
+WeightedString fromText(const std::shared_ptr<TokenTable> &Table,
+                        const std::string &Text) {
+  return parseWeightedString(Text, Table).take();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// k-spectrum
+//===----------------------------------------------------------------------===//
+
+TEST(KSpectrumTest, CountsExactLengthGrams) {
+  auto Table = TokenTable::create();
+  // 2-grams of "a b a b": {ab:2, ba:1}; of "b a b": {ba:1, ab:1}.
+  WeightedString S = fromText(Table, "a b a b");
+  WeightedString T = fromText(Table, "b a b");
+  KSpectrumKernel K(2);
+  // Shared: ab (2*1) + ba (1*1) = 3.
+  EXPECT_DOUBLE_EQ(K.evaluate(S, T), 3.0);
+}
+
+TEST(KSpectrumTest, LongerThanStringGivesZero) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a b");
+  KSpectrumKernel K(5);
+  EXPECT_DOUBLE_EQ(K.evaluate(S, S), 0.0);
+}
+
+TEST(KSpectrumTest, SelfKernelIsSumOfSquaredCounts) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a a a");
+  // 1-grams: {a:3} -> 9.
+  KSpectrumKernel K(1);
+  EXPECT_DOUBLE_EQ(K.evaluate(S, S), 9.0);
+}
+
+TEST(KSpectrumTest, IgnoresWeightsInClassicMode) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a:100 b:1");
+  WeightedString T = fromText(Table, "a:1 b:100");
+  KSpectrumKernel K(1);
+  // Counts only: a (1*1) + b (1*1).
+  EXPECT_DOUBLE_EQ(K.evaluate(S, T), 2.0);
+}
+
+TEST(KSpectrumTest, WeightedModeUsesWeights) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a:10 b:1");
+  WeightedString T = fromText(Table, "a:2 b:3");
+  KSpectrumKernel K(1, /*Weighted=*/true);
+  EXPECT_DOUBLE_EQ(K.evaluate(S, T), 10.0 * 2 + 1.0 * 3);
+}
+
+TEST(KSpectrumTest, WeightedModeHonorsCut) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a:10 b:1");
+  WeightedString T = fromText(Table, "a:2 b:3");
+  KSpectrumKernel K(1, /*Weighted=*/true, /*CutWeight=*/2);
+  // b:1 in S is below the cut -> only "a" contributes.
+  EXPECT_DOUBLE_EQ(K.evaluate(S, T), 20.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Blended spectrum
+//===----------------------------------------------------------------------===//
+
+TEST(BlendedTest, SumsAllLengthsUpToK) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a b");
+  WeightedString T = fromText(Table, "a b");
+  BlendedSpectrumKernel K(2);
+  // l=1: a+b = 2; l=2: ab = 1; total 3.
+  EXPECT_DOUBLE_EQ(K.evaluate(S, T), 3.0);
+}
+
+TEST(BlendedTest, EqualsSumOfKSpectra) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a b a c a b");
+  WeightedString T = fromText(Table, "c a b a");
+  BlendedSpectrumKernel Blended(3);
+  double Sum = 0.0;
+  for (size_t K = 1; K <= 3; ++K)
+    Sum += KSpectrumKernel(K).evaluate(S, T);
+  EXPECT_DOUBLE_EQ(Blended.evaluate(S, T), Sum);
+}
+
+TEST(BlendedTest, LambdaDecaysLongGrams) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a b");
+  BlendedSpectrumKernel K(2, /*Lambda=*/0.5);
+  // l=1: 0.25 * 2; l=2: 0.0625 * 1.
+  EXPECT_DOUBLE_EQ(K.evaluate(S, S), 0.25 * 2 + 0.0625);
+}
+
+TEST(BlendedTest, NormalizedIdenticalIsOne) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "x y z x");
+  BlendedSpectrumKernel K(3);
+  EXPECT_NEAR(K.evaluateNormalized(S, S), 1.0, 1e-12);
+}
+
+TEST(BlendedTest, NormalizedIsBoundedByOne) {
+  // Cauchy-Schwarz holds for explicit-embedding kernels.
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a b a b c");
+  WeightedString T = fromText(Table, "b a b");
+  BlendedSpectrumKernel K(3);
+  double N = K.evaluateNormalized(S, T);
+  EXPECT_GE(N, 0.0);
+  EXPECT_LE(N, 1.0 + 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Bag of tokens / bag of words
+//===----------------------------------------------------------------------===//
+
+TEST(BagOfTokensTest, SingleTokenOverlap) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a b b c");
+  WeightedString T = fromText(Table, "b c c d");
+  BagOfTokensKernel K;
+  // Shared: b (2*1) + c (1*2) = 4.
+  EXPECT_DOUBLE_EQ(K.evaluate(S, T), 4.0);
+}
+
+TEST(BagOfWordsTest, WordsAreDelimitedRuns) {
+  auto Table = TokenTable::create();
+  // Words of S: {a b}, {c}; words of T: {a b}, {d}.
+  WeightedString S = fromText(Table, "[ROOT] a b [LEVEL_UP] c");
+  WeightedString T = fromText(Table, "[ROOT] a b [LEVEL_UP] d");
+  BagOfWordsKernel K;
+  EXPECT_DOUBLE_EQ(K.evaluate(S, T), 1.0); // Shared word {a b}.
+}
+
+TEST(BagOfWordsTest, RepeatedWordsMultiply) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a [BLOCK] a [BLOCK] a");
+  WeightedString T = fromText(Table, "a [BLOCK] a");
+  BagOfWordsKernel K;
+  EXPECT_DOUBLE_EQ(K.evaluate(S, T), 6.0); // 3 * 2 for word {a}.
+}
+
+TEST(BagOfWordsTest, WeightedMode) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a:5 [BLOCK] a:7");
+  WeightedString T = fromText(Table, "a:2");
+  BagOfWordsKernel K(/*Weighted=*/true);
+  // Word {a} in S has values 5 and 7 -> 12; in T value 2.
+  EXPECT_DOUBLE_EQ(K.evaluate(S, T), 12.0 * 2.0);
+}
+
+TEST(BagOfWordsTest, NoSharedWords) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a b");
+  WeightedString T = fromText(Table, "a c");
+  BagOfWordsKernel K;
+  // Words {a b} vs {a c}: no overlap (whole runs must match).
+  EXPECT_DOUBLE_EQ(K.evaluate(S, T), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-kernel sanity
+//===----------------------------------------------------------------------===//
+
+TEST(BaselineKernelsTest, AllKernelsAreSymmetric) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a:2 b:3 a:4 c:1");
+  WeightedString T = fromText(Table, "b:1 a:5 c:2");
+  KSpectrumKernel KS(2);
+  BlendedSpectrumKernel BL(3, 0.7, /*Weighted=*/true, /*CutWeight=*/2);
+  BagOfTokensKernel BT(/*Weighted=*/true);
+  BagOfWordsKernel BW;
+  for (const StringKernel *K :
+       std::initializer_list<const StringKernel *>{&KS, &BL, &BT, &BW})
+    EXPECT_DOUBLE_EQ(K->evaluate(S, T), K->evaluate(T, S)) << K->name();
+}
+
+TEST(BaselineKernelsTest, NamesAreDescriptive) {
+  EXPECT_NE(KSpectrumKernel(4).name().find("4"), std::string::npos);
+  EXPECT_NE(BlendedSpectrumKernel(3, 1.0, true, 2).name().find("cut=2"),
+            std::string::npos);
+  EXPECT_EQ(BagOfTokensKernel().name(), "bag-of-tokens");
+}
+
+//===----------------------------------------------------------------------===//
+// Gap-weighted subsequences kernel
+//===----------------------------------------------------------------------===//
+
+#include "kernels/GapWeightedKernel.h"
+
+TEST(GapWeightedTest, OrderOneIsScaledTokenCounts) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a b a");
+  WeightedString T = fromText(Table, "a c");
+  // p=1: lambda^2 * sum of matching position pairs = 0.25 * 2 ("a"
+  // twice in S, once in T).
+  GapWeightedKernel K(1, 0.5);
+  EXPECT_DOUBLE_EQ(K.evaluate(S, T), 0.25 * 2);
+}
+
+TEST(GapWeightedTest, KnownPairValue) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a b");
+  GapWeightedKernel K(2, 0.5);
+  // Only subsequence "ab", contiguous on both sides: lambda^4.
+  EXPECT_DOUBLE_EQ(K.evaluate(S, S), 0.0625);
+}
+
+TEST(GapWeightedTest, GapsArePenalized) {
+  auto Table = TokenTable::create();
+  WeightedString AB = fromText(Table, "a b");
+  WeightedString AxB = fromText(Table, "a x b");
+  GapWeightedKernel K(2, 0.5);
+  // "ab" spans 2 in AB (lambda^2) but 3 in AxB (lambda^3):
+  // k(AB, AxB) = lambda^2 * lambda^3 = lambda^5.
+  EXPECT_DOUBLE_EQ(K.evaluate(AB, AxB), std::pow(0.5, 5));
+  // And the gapped occurrence scores below the contiguous one.
+  EXPECT_LT(K.evaluate(AB, AxB), K.evaluate(AB, AB));
+}
+
+TEST(GapWeightedTest, CountsAllSubsequenceAlignments) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a a");
+  GapWeightedKernel K(1, 1.0);
+  // p=1, lambda=1: every (i, j) match pair counts: 2 * 2 = 4.
+  EXPECT_DOUBLE_EQ(K.evaluate(S, S), 4.0);
+}
+
+TEST(GapWeightedTest, TooShortStringsGiveZero) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a b");
+  GapWeightedKernel K(3, 0.5);
+  EXPECT_DOUBLE_EQ(K.evaluate(S, S), 0.0);
+}
+
+TEST(GapWeightedTest, SymmetricAndNormalized) {
+  auto Table = TokenTable::create();
+  WeightedString S = fromText(Table, "a b c a b");
+  WeightedString T = fromText(Table, "b a c b");
+  GapWeightedKernel K(2, 0.7);
+  EXPECT_DOUBLE_EQ(K.evaluate(S, T), K.evaluate(T, S));
+  EXPECT_NEAR(K.evaluateNormalized(S, S), 1.0, 1e-12);
+  double N = K.evaluateNormalized(S, T);
+  EXPECT_GT(N, 0.0);
+  EXPECT_LE(N, 1.0 + 1e-12);
+}
+
+TEST(GapWeightedTest, OrderTwoHandComputed) {
+  auto Table = TokenTable::create();
+  // s = "a b a": subsequences of length 2 and their lambda^span
+  // feature values: "ab" span 2 -> l^2; "aa" span 3 -> l^3;
+  // "ba" span 2 -> l^2. phi(s) = {ab: l^2, aa: l^3, ba: l^2}.
+  // k(s, s) = l^4 + l^6 + l^4.
+  WeightedString S = fromText(Table, "a b a");
+  double L = 0.5;
+  GapWeightedKernel K(2, L);
+  EXPECT_NEAR(K.evaluate(S, S),
+              std::pow(L, 4) + std::pow(L, 6) + std::pow(L, 4), 1e-12);
+}

@@ -1,0 +1,127 @@
+//===- tests/ExplainTest.cpp - kernel explanation API ----------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Explain.h"
+#include "core/PreorderEncoder.h"
+#include "core/StringSerializer.h"
+
+#include <gtest/gtest.h>
+
+using namespace kast;
+
+namespace {
+
+/// The §3.2 worked-example strings (see KastKernelTest.cpp).
+class ExplainWorkedExample : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Table = TokenTable::create();
+    A = parseWeightedString("s:4 m:8 u:7 f1:10 s:9 f2:9 u:4 f3:9 u:4",
+                            Table, "A")
+            .take();
+    B = parseWeightedString("s:6 m:4 u:7 g1:9 s:5 m:6 u:7 g2:8", Table,
+                            "B")
+            .take();
+  }
+
+  std::shared_ptr<TokenTable> Table;
+  WeightedString A, B;
+  KastSpectrumKernel Kernel{KastKernelOptions{/*CutWeight=*/4}};
+};
+
+} // namespace
+
+TEST_F(ExplainWorkedExample, ContributionsMatchEq11) {
+  KernelExplanation E = explainKernel(Kernel, A, B);
+  ASSERT_EQ(E.Features.size(), 3u);
+  // Sorted by contribution: S1 = 19*35 = 665, S3 = 15*14 = 210,
+  // S2 = 13*11 = 143.
+  EXPECT_DOUBLE_EQ(E.Features[0].Contribution, 665.0);
+  EXPECT_EQ(E.Features[0].Substring, "s m u");
+  EXPECT_DOUBLE_EQ(E.Features[1].Contribution, 210.0);
+  EXPECT_EQ(E.Features[1].Substring, "u");
+  EXPECT_DOUBLE_EQ(E.Features[2].Contribution, 143.0);
+  EXPECT_EQ(E.Features[2].Substring, "s");
+  EXPECT_DOUBLE_EQ(E.KernelValue, 1018.0);
+  EXPECT_NEAR(E.NormalizedValue, 1018.0 / 3328.0, 1e-12);
+  EXPECT_EQ(E.WeightA, 64u);
+  EXPECT_EQ(E.WeightB, 52u);
+}
+
+TEST_F(ExplainWorkedExample, SharesSumToOne) {
+  KernelExplanation E = explainKernel(Kernel, A, B);
+  double Total = 0.0;
+  for (const FeatureContribution &C : E.Features)
+    Total += C.Share;
+  EXPECT_NEAR(Total, 1.0, 1e-12);
+}
+
+TEST_F(ExplainWorkedExample, FormattingContainsKeyNumbers) {
+  std::string Out = formatExplanation(explainKernel(Kernel, A, B));
+  EXPECT_NE(Out.find("s m u"), std::string::npos);
+  EXPECT_NE(Out.find("665.0"), std::string::npos);
+  EXPECT_NE(Out.find("1018.0"), std::string::npos);
+  EXPECT_NE(Out.find("0.3059"), std::string::npos);
+  EXPECT_NE(Out.find("64 / 52"), std::string::npos);
+}
+
+TEST_F(ExplainWorkedExample, MaxRowsTruncates) {
+  std::string Out =
+      formatExplanation(explainKernel(Kernel, A, B), /*MaxRows=*/1);
+  EXPECT_NE(Out.find("(2 more)"), std::string::npos);
+  EXPECT_EQ(Out.find("143.0"), std::string::npos);
+}
+
+TEST(ExplainTest, DisjointStringsExplainToNothing) {
+  auto Table = TokenTable::create();
+  WeightedString A = parseWeightedString("a:5", Table).take();
+  WeightedString B = parseWeightedString("b:5", Table).take();
+  KastSpectrumKernel Kernel({/*CutWeight=*/1});
+  KernelExplanation E = explainKernel(Kernel, A, B);
+  EXPECT_TRUE(E.Features.empty());
+  EXPECT_DOUBLE_EQ(E.KernelValue, 0.0);
+  EXPECT_DOUBLE_EQ(E.NormalizedValue, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// PreorderEncoder (shared by tree and AST flattening)
+//===----------------------------------------------------------------------===//
+
+TEST(PreorderEncoderTest, EmptyInput) {
+  auto Table = TokenTable::create();
+  WeightedString S = encodePreorder({}, Table);
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(PreorderEncoderTest, SiblingAndAscentWeights) {
+  auto Table = TokenTable::create();
+  // root(0) -> a(1) -> b(2), then sibling of a: c(1).
+  std::vector<PreorderItem> Items = {
+      {"root", 1, 0}, {"a", 1, 1}, {"b", 3, 2}, {"c", 1, 1}};
+  WeightedString S = encodePreorder(Items, Table);
+  EXPECT_EQ(formatWeightedString(S),
+            "root:1 a:1 b:3 [LEVEL_UP]:2 c:1");
+}
+
+TEST(PreorderEncoderTest, TrailingLevelUp) {
+  auto Table = TokenTable::create();
+  std::vector<PreorderItem> Items = {{"root", 1, 0}, {"a", 1, 1}};
+  PreorderEncodeOptions Options;
+  Options.EmitTrailingLevelUp = true;
+  WeightedString S = encodePreorder(Items, Table, Options);
+  EXPECT_EQ(formatWeightedString(S), "root:1 a:1 [LEVEL_UP]:2");
+}
+
+TEST(PreorderEncoderTest, DeepChainNoLevelUps) {
+  auto Table = TokenTable::create();
+  std::vector<PreorderItem> Items;
+  for (size_t D = 0; D < 6; ++D)
+    Items.push_back({"n" + std::to_string(D), 1, D});
+  WeightedString S = encodePreorder(Items, Table);
+  EXPECT_EQ(S.size(), 6u); // Pure descent: no [LEVEL_UP] tokens.
+  for (size_t I = 0; I < S.size(); ++I)
+    EXPECT_NE(S.literal(I), LevelUpLiteral);
+}

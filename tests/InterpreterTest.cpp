@@ -1,0 +1,158 @@
+//===- tests/InterpreterTest.cpp - Mini interpreter unit tests -------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Interpreter.h"
+#include "ast/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace kast;
+
+namespace {
+
+int64_t run(const char *Source, const std::string &Fn,
+            std::vector<int64_t> Args) {
+  Expected<Ast> Tree = parseProgram(Source);
+  EXPECT_TRUE(Tree.hasValue()) << Tree.message();
+  Expected<int64_t> V = runProgram(*Tree, Fn, Args);
+  EXPECT_TRUE(V.hasValue()) << V.message();
+  return V.hasValue() ? *V : -999999;
+}
+
+} // namespace
+
+TEST(InterpreterTest, ArithmeticAndPrecedence) {
+  EXPECT_EQ(run("fn f() { return 1 + 2 * 3; }", "f", {}), 7);
+  EXPECT_EQ(run("fn f() { return (1 + 2) * 3; }", "f", {}), 9);
+  EXPECT_EQ(run("fn f() { return 10 - 3 - 2; }", "f", {}), 5);
+  EXPECT_EQ(run("fn f() { return 17 % 5; }", "f", {}), 2);
+  EXPECT_EQ(run("fn f() { return -3 * -4; }", "f", {}), 12);
+}
+
+TEST(InterpreterTest, ComparisonsAndLogic) {
+  EXPECT_EQ(run("fn f() { return 3 < 4; }", "f", {}), 1);
+  EXPECT_EQ(run("fn f() { return 4 <= 3; }", "f", {}), 0);
+  EXPECT_EQ(run("fn f() { return 1 && 0 || 1; }", "f", {}), 1);
+  EXPECT_EQ(run("fn f() { return !5; }", "f", {}), 0);
+  EXPECT_EQ(run("fn f() { return !0; }", "f", {}), 1);
+}
+
+TEST(InterpreterTest, ShortCircuitSkipsSideConditions) {
+  // The right operand would divide by zero; && must not evaluate it.
+  EXPECT_EQ(run("fn f(x) { return x != 0 && 10 / x > 1; }", "f", {0}), 0);
+  EXPECT_EQ(run("fn f(x) { return x == 0 || 10 / x > 1; }", "f", {0}), 1);
+}
+
+TEST(InterpreterTest, VariablesAndAssignment) {
+  EXPECT_EQ(run("fn f() { let a = 2; a = a + 3; return a; }", "f", {}), 5);
+}
+
+TEST(InterpreterTest, IfElseChains) {
+  const char *Sign = "fn sign(x) { if (x < 0) { return 0 - 1; } "
+                     "else if (x == 0) { return 0; } else { return 1; } }";
+  EXPECT_EQ(run(Sign, "sign", {-5}), -1);
+  EXPECT_EQ(run(Sign, "sign", {0}), 0);
+  EXPECT_EQ(run(Sign, "sign", {9}), 1);
+}
+
+TEST(InterpreterTest, WhileLoops) {
+  const char *SumTo = "fn sum(n) { let s = 0; let i = 1; "
+                      "while (i <= n) { s = s + i; i = i + 1; } return s; }";
+  EXPECT_EQ(run(SumTo, "sum", {10}), 55);
+  EXPECT_EQ(run(SumTo, "sum", {0}), 0);
+}
+
+TEST(InterpreterTest, FunctionCallsAndRecursion) {
+  const char *Program = "fn fact(n) { if (n <= 1) { return 1; } "
+                        "return n * fact(n - 1); } "
+                        "fn twice(x) { return fact(x) * 2; }";
+  EXPECT_EQ(run(Program, "fact", {5}), 120);
+  EXPECT_EQ(run(Program, "twice", {4}), 48);
+}
+
+TEST(InterpreterTest, FallingOffTheEndReturnsZero) {
+  EXPECT_EQ(run("fn f() { let a = 1; }", "f", {}), 0);
+  EXPECT_EQ(run("fn f() { return; }", "f", {}), 0);
+}
+
+TEST(InterpreterTest, IterativeAndRecursiveGcdAgree) {
+  // The behavioral counterpart of the structural-similarity tests.
+  const char *Iterative =
+      "fn gcd(a, b) { while (b != 0) { let t = b; b = a % b; a = t; } "
+      "return a; }";
+  const char *Recursive = "fn gcd(a, b) { if (b == 0) { return a; } "
+                          "return gcd(b, a % b); }";
+  const std::pair<int64_t, int64_t> Cases[] = {
+      {48, 18}, {18, 48}, {7, 13}, {100, 100}, {270, 192}, {5, 0}};
+  for (auto [A, B] : Cases)
+    EXPECT_EQ(run(Iterative, "gcd", {A, B}), run(Recursive, "gcd", {A, B}))
+        << A << "," << B;
+}
+
+TEST(InterpreterTest, RuntimeErrors) {
+  Expected<Ast> Tree = parseProgram("fn f() { return 1 / 0; }");
+  ASSERT_TRUE(Tree.hasValue());
+  Expected<int64_t> V = runProgram(*Tree, "f", {});
+  ASSERT_FALSE(V.hasValue());
+  EXPECT_NE(V.message().find("division by zero"), std::string::npos);
+}
+
+TEST(InterpreterTest, UnknownFunctionAndArity) {
+  Expected<Ast> Tree = parseProgram("fn f(a) { return a; }");
+  ASSERT_TRUE(Tree.hasValue());
+  EXPECT_FALSE(runProgram(*Tree, "g", {}).hasValue());
+  EXPECT_FALSE(runProgram(*Tree, "f", {1, 2}).hasValue());
+}
+
+TEST(InterpreterTest, UndeclaredVariableFails) {
+  Expected<Ast> Tree = parseProgram("fn f() { x = 3; return x; }");
+  ASSERT_TRUE(Tree.hasValue());
+  Expected<int64_t> V = runProgram(*Tree, "f", {});
+  ASSERT_FALSE(V.hasValue());
+  EXPECT_NE(V.message().find("undeclared"), std::string::npos);
+}
+
+TEST(InterpreterTest, InfiniteLoopHitsStepLimit) {
+  Expected<Ast> Tree = parseProgram("fn f() { while (1) { } return 0; }");
+  ASSERT_TRUE(Tree.hasValue());
+  InterpreterLimits Limits;
+  Limits.MaxSteps = 1000;
+  Expected<int64_t> V = runProgram(*Tree, "f", {}, Limits);
+  ASSERT_FALSE(V.hasValue());
+  EXPECT_NE(V.message().find("step limit"), std::string::npos);
+}
+
+TEST(InterpreterTest, InfiniteRecursionHitsDepthLimit) {
+  Expected<Ast> Tree = parseProgram("fn f(n) { return f(n + 1); }");
+  ASSERT_TRUE(Tree.hasValue());
+  Expected<int64_t> V = runProgram(*Tree, "f", {0});
+  ASSERT_FALSE(V.hasValue());
+  // Either limit may fire first depending on constants; both are fine.
+  EXPECT_NE(V.message().find("limit"), std::string::npos);
+}
+
+TEST(InterpreterTest, FibonacciBothWays) {
+  const char *Iterative =
+      "fn fib(n) { let a = 0; let b = 1; "
+      "while (n != 0) { let t = b; b = a + b; a = t; n = n - 1; } "
+      "return a; }";
+  const char *Recursive = "fn fib(n) { if (n < 2) { return n; } "
+                          "return fib(n - 1) + fib(n - 2); }";
+  for (int64_t N : {0, 1, 2, 5, 10, 15})
+    EXPECT_EQ(run(Iterative, "fib", {N}), run(Recursive, "fib", {N}));
+  EXPECT_EQ(run(Iterative, "fib", {10}), 55);
+}
+
+TEST(InterpreterTest, NestedLoops) {
+  const char *Sum2d =
+      "fn sum(n, m) { let total = 0; let i = 0; "
+      "while (i < n) { let j = 0; "
+      "while (j < m) { total = total + i * j; j = j + 1; } "
+      "i = i + 1; } return total; }";
+  // sum over i<3, j<4 of i*j = (0+1+2)*(0+1+2+3) = 18.
+  EXPECT_EQ(run(Sum2d, "sum", {3, 4}), 18);
+  EXPECT_EQ(run(Sum2d, "sum", {0, 9}), 0);
+}

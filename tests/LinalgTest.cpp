@@ -1,0 +1,215 @@
+//===- tests/LinalgTest.cpp - linalg library unit tests --------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Eigen.h"
+#include "linalg/Matrix.h"
+#include "util/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace kast;
+
+namespace {
+
+/// Random symmetric matrix with entries in [-1, 1].
+Matrix randomSymmetric(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  Matrix A(N, N);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I; J < N; ++J) {
+      double V = 2.0 * R.uniformReal() - 1.0;
+      A.at(I, J) = V;
+      A.at(J, I) = V;
+    }
+  return A;
+}
+
+/// Reconstructs V * diag(Values) * V^T.
+Matrix reconstruct(const EigenDecomposition &E) {
+  const size_t N = E.Vectors.rows();
+  Matrix D(N, N, 0.0);
+  for (size_t K = 0; K < N; ++K)
+    D.at(K, K) = E.Values[K];
+  return E.Vectors.multiply(D).multiply(E.Vectors.transposed());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Matrix
+//===----------------------------------------------------------------------===//
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix M(2, 3, 1.5);
+  EXPECT_EQ(M.rows(), 2u);
+  EXPECT_EQ(M.cols(), 3u);
+  for (size_t I = 0; I < 2; ++I)
+    for (size_t J = 0; J < 3; ++J)
+      EXPECT_DOUBLE_EQ(M.at(I, J), 1.5);
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}});
+  Matrix I = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(A.multiply(I).maxAbsDiff(A), 0.0);
+  EXPECT_DOUBLE_EQ(I.multiply(A).maxAbsDiff(A), 0.0);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}});
+  Matrix B = Matrix::fromRows({{5, 6}, {7, 8}});
+  Matrix C = A.multiply(B);
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(C.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 50);
+}
+
+TEST(MatrixTest, TransposedTwiceIsIdentity) {
+  Matrix A = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_DOUBLE_EQ(A.transposed().transposed().maxAbsDiff(A), 0.0);
+  EXPECT_DOUBLE_EQ(A.transposed().at(2, 1), 6);
+}
+
+TEST(MatrixTest, SymmetryCheck) {
+  EXPECT_TRUE(Matrix::fromRows({{1, 2}, {2, 1}}).isSymmetric());
+  EXPECT_FALSE(Matrix::fromRows({{1, 2}, {3, 1}}).isSymmetric());
+  EXPECT_FALSE(Matrix(2, 3).isSymmetric()); // Non-square.
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix A = Matrix::fromRows({{3, 4}});
+  EXPECT_DOUBLE_EQ(A.frobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm({3, 4}), 5.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Jacobi eigendecomposition
+//===----------------------------------------------------------------------===//
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix A = Matrix::fromRows({{3, 0}, {0, 1}});
+  EigenDecomposition E = eigenSymmetric(A);
+  ASSERT_EQ(E.Values.size(), 2u);
+  EXPECT_NEAR(E.Values[0], 3.0, 1e-12);
+  EXPECT_NEAR(E.Values[1], 1.0, 1e-12);
+  EXPECT_TRUE(E.Converged);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix A = Matrix::fromRows({{2, 1}, {1, 2}});
+  EigenDecomposition E = eigenSymmetric(A);
+  EXPECT_NEAR(E.Values[0], 3.0, 1e-10);
+  EXPECT_NEAR(E.Values[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, ReconstructionMatchesInput) {
+  for (uint64_t Seed : {1u, 2u, 3u}) {
+    Matrix A = randomSymmetric(12, Seed);
+    EigenDecomposition E = eigenSymmetric(A);
+    EXPECT_LT(reconstruct(E).maxAbsDiff(A), 1e-8);
+  }
+}
+
+TEST(EigenTest, EigenvectorsOrthonormal) {
+  Matrix A = randomSymmetric(10, 99);
+  EigenDecomposition E = eigenSymmetric(A);
+  Matrix VtV = E.Vectors.transposed().multiply(E.Vectors);
+  EXPECT_LT(VtV.maxAbsDiff(Matrix::identity(10)), 1e-8);
+}
+
+TEST(EigenTest, ValuesSortedDescending) {
+  Matrix A = randomSymmetric(15, 5);
+  EigenDecomposition E = eigenSymmetric(A);
+  for (size_t I = 1; I < E.Values.size(); ++I)
+    EXPECT_GE(E.Values[I - 1], E.Values[I]);
+}
+
+TEST(EigenTest, TraceEqualsEigenvalueSum) {
+  Matrix A = randomSymmetric(9, 77);
+  EigenDecomposition E = eigenSymmetric(A);
+  double Trace = 0.0, Sum = 0.0;
+  for (size_t I = 0; I < 9; ++I)
+    Trace += A.at(I, I);
+  for (double V : E.Values)
+    Sum += V;
+  EXPECT_NEAR(Trace, Sum, 1e-9);
+}
+
+TEST(EigenTest, OneByOne) {
+  Matrix A = Matrix::fromRows({{42}});
+  EigenDecomposition E = eigenSymmetric(A);
+  ASSERT_EQ(E.Values.size(), 1u);
+  EXPECT_DOUBLE_EQ(E.Values[0], 42.0);
+}
+
+//===----------------------------------------------------------------------===//
+// PSD projection (paper §4.1 negative-eigenvalue repair)
+//===----------------------------------------------------------------------===//
+
+TEST(PsdTest, AlreadyPsdIsUnchanged) {
+  // Gram matrix of two vectors: PSD by construction.
+  Matrix K = Matrix::fromRows({{2, 1}, {1, 2}});
+  Matrix P = projectToPsd(K);
+  EXPECT_LT(P.maxAbsDiff(K), 1e-9);
+}
+
+TEST(PsdTest, IndefiniteGetsRepaired) {
+  // [[0,1],[1,0]] has eigenvalues +1 and -1.
+  Matrix K = Matrix::fromRows({{0, 1}, {1, 0}});
+  EXPECT_LT(minEigenvalue(K), -0.9);
+  Matrix P = projectToPsd(K);
+  EXPECT_GE(minEigenvalue(P), -1e-10);
+  // The positive eigenpair is retained: P = 0.5 * [[1,1],[1,1]].
+  EXPECT_NEAR(P.at(0, 0), 0.5, 1e-10);
+  EXPECT_NEAR(P.at(0, 1), 0.5, 1e-10);
+}
+
+TEST(PsdTest, RandomMatricesBecomePsd) {
+  for (uint64_t Seed : {10u, 20u, 30u}) {
+    Matrix A = randomSymmetric(8, Seed);
+    Matrix P = projectToPsd(A);
+    EXPECT_TRUE(P.isSymmetric(1e-9));
+    EXPECT_GE(minEigenvalue(P), -1e-8);
+  }
+}
+
+TEST(PsdTest, ProjectionIsIdempotent) {
+  Matrix A = randomSymmetric(7, 4);
+  Matrix P1 = projectToPsd(A);
+  Matrix P2 = projectToPsd(P1);
+  EXPECT_LT(P2.maxAbsDiff(P1), 1e-8);
+}
+
+//===----------------------------------------------------------------------===//
+// Double centering
+//===----------------------------------------------------------------------===//
+
+TEST(CenteringTest, RowAndColumnMeansVanish) {
+  Matrix K = randomSymmetric(6, 8);
+  Matrix C = doubleCenter(K);
+  for (size_t I = 0; I < 6; ++I) {
+    double RowSum = 0.0;
+    for (size_t J = 0; J < 6; ++J)
+      RowSum += C.at(I, J);
+    EXPECT_NEAR(RowSum, 0.0, 1e-9);
+  }
+  EXPECT_TRUE(C.isSymmetric(1e-9));
+}
+
+TEST(CenteringTest, CenteringIsIdempotent) {
+  Matrix K = randomSymmetric(5, 21);
+  Matrix C1 = doubleCenter(K);
+  Matrix C2 = doubleCenter(C1);
+  EXPECT_LT(C2.maxAbsDiff(C1), 1e-10);
+}

@@ -1,0 +1,127 @@
+//===- tests/StraceAdapterTest.cpp - strace ingestion unit tests -----------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/StraceAdapter.h"
+
+#include <gtest/gtest.h>
+
+using namespace kast;
+
+TEST(StraceAdapterTest, BasicSession) {
+  const char *Log =
+      R"(openat(AT_FDCWD, "data.bin", O_RDONLY) = 3
+read(3, "\177ELF\2\1\1\0"..., 4096) = 4096
+read(3, "", 4096) = 1024
+lseek(3, 1024, SEEK_SET) = 1024
+write(3, "abc", 3) = 3
+fsync(3) = 0
+close(3) = 0
+)";
+  StraceStats Stats;
+  Expected<Trace> T = parseStrace(Log, "session", &Stats);
+  ASSERT_TRUE(T.hasValue()) << T.message();
+  ASSERT_EQ(T->size(), 7u);
+  EXPECT_EQ(T->events()[0], TraceEvent("open", 3));
+  EXPECT_EQ(T->events()[1], TraceEvent("read", 3, 4096));
+  EXPECT_EQ(T->events()[2], TraceEvent("read", 3, 1024));
+  EXPECT_EQ(T->events()[3], TraceEvent("lseek", 3));
+  EXPECT_EQ(T->events()[4], TraceEvent("write", 3, 3));
+  EXPECT_EQ(T->events()[5], TraceEvent("fsync", 3));
+  EXPECT_EQ(T->events()[6], TraceEvent("close", 3));
+  EXPECT_EQ(Stats.EventsEmitted, 7u);
+  EXPECT_EQ(Stats.CallsFailed, 0u);
+}
+
+TEST(StraceAdapterTest, FailedCallsDropped) {
+  const char *Log = R"(open("missing", O_RDONLY) = -1 ENOENT (No such file)
+openat(AT_FDCWD, "there", O_RDONLY) = 4
+read(4, "", 16) = -1 EAGAIN (Resource temporarily unavailable)
+close(4) = 0
+)";
+  StraceStats Stats;
+  Expected<Trace> T = parseStrace(Log, "", &Stats);
+  ASSERT_TRUE(T.hasValue()) << T.message();
+  ASSERT_EQ(T->size(), 2u);
+  EXPECT_EQ(T->events()[0].Op, "open");
+  EXPECT_EQ(T->events()[1].Op, "close");
+  EXPECT_EQ(Stats.CallsFailed, 2u);
+}
+
+TEST(StraceAdapterTest, NonIoSyscallsSkipped) {
+  const char *Log = R"(execve("/bin/true", ["true"], 0x7ffe) = 0
+brk(NULL) = 0x55f0
+mmap(NULL, 8192, PROT_READ, MAP_PRIVATE, 3, 0) = 0x7f1a
+openat(AT_FDCWD, "f", O_RDONLY) = 3
+futex(0x7f, FUTEX_WAKE_PRIVATE, 1) = 0
+close(3) = 0
+)";
+  StraceStats Stats;
+  Expected<Trace> T = parseStrace(Log, "", &Stats);
+  ASSERT_TRUE(T.hasValue()) << T.message();
+  EXPECT_EQ(T->size(), 2u);
+  EXPECT_EQ(Stats.LinesSkipped, 4u);
+}
+
+TEST(StraceAdapterTest, PidAndTimestampPrefixes) {
+  // strace -f / -t prefixes.
+  const char *Log = R"(12345 14:03:22 read(7, "x", 1) = 1
+12345 14:03:22 close(7) = 0
+)";
+  Expected<Trace> T = parseStrace(Log);
+  ASSERT_TRUE(T.hasValue()) << T.message();
+  ASSERT_EQ(T->size(), 2u);
+  EXPECT_EQ(T->events()[0].Handle, 7u);
+}
+
+TEST(StraceAdapterTest, UnfinishedResumedSkipped) {
+  const char *Log =
+      "read(3,  <unfinished ...>\n"
+      "<... read resumed>\"x\", 1) = 1\n"
+      "close(3) = 0\n";
+  StraceStats Stats;
+  Expected<Trace> T = parseStrace(Log, "", &Stats);
+  ASSERT_TRUE(T.hasValue()) << T.message();
+  EXPECT_EQ(T->size(), 1u);
+  EXPECT_EQ(T->events()[0].Op, "close");
+}
+
+TEST(StraceAdapterTest, PreadMapsToRead) {
+  const char *Log = "pread64(5, \"abc\", 4096, 8192) = 4096\n"
+                    "pwrite64(5, \"abc\", 512, 0) = 512\n";
+  Expected<Trace> T = parseStrace(Log);
+  ASSERT_TRUE(T.hasValue()) << T.message();
+  ASSERT_EQ(T->size(), 2u);
+  EXPECT_EQ(T->events()[0], TraceEvent("read", 5, 4096));
+  EXPECT_EQ(T->events()[1], TraceEvent("write", 5, 512));
+}
+
+TEST(StraceAdapterTest, QuotedCommasDoNotConfuseArguments) {
+  const char *Log = "write(3, \"a,b,c\", 5) = 5\n";
+  Expected<Trace> T = parseStrace(Log);
+  ASSERT_TRUE(T.hasValue()) << T.message();
+  ASSERT_EQ(T->size(), 1u);
+  EXPECT_EQ(T->events()[0].Bytes, 5u);
+}
+
+TEST(StraceAdapterTest, DecoratedFdsAccepted) {
+  // strace -y renders fds as "3</path/to/file>".
+  const char *Log = "read(3</data/file.bin>, \"x\", 100) = 100\n";
+  Expected<Trace> T = parseStrace(Log);
+  ASSERT_TRUE(T.hasValue()) << T.message();
+  ASSERT_EQ(T->size(), 1u);
+  EXPECT_EQ(T->events()[0].Handle, 3u);
+}
+
+TEST(StraceAdapterTest, EmptyAndGarbage) {
+  EXPECT_TRUE(parseStrace("").hasValue());
+  Expected<Trace> T = parseStrace("+++ exited with 0 +++\n--- SIGCHLD ---\n");
+  ASSERT_TRUE(T.hasValue());
+  EXPECT_TRUE(T->empty());
+}
+
+TEST(StraceAdapterTest, MissingFileFails) {
+  EXPECT_FALSE(parseStraceFile("/nonexistent/kast.strace").hasValue());
+}

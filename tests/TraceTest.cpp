@@ -1,0 +1,170 @@
+//===- tests/TraceTest.cpp - trace library unit tests ----------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+#include "trace/TraceParser.h"
+#include "trace/TraceWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace kast;
+
+//===----------------------------------------------------------------------===//
+// Trace model
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, OpKindRoundTrip) {
+  for (OpKind K : {OpKind::Open, OpKind::Close, OpKind::Read, OpKind::Write,
+                   OpKind::Lseek, OpKind::Fsync, OpKind::Fileno,
+                   OpKind::Mmap, OpKind::Fscanf})
+    EXPECT_EQ(opKindFromName(opKindName(K)), K);
+  EXPECT_EQ(opKindFromName("pwrite64"), OpKind::Other);
+}
+
+TEST(TraceTest, HandlesInFirstAppearanceOrder) {
+  Trace T;
+  T.append(OpKind::Open, 7);
+  T.append(OpKind::Open, 3);
+  T.append(OpKind::Read, 7, 10);
+  T.append(OpKind::Open, 9);
+  std::vector<uint64_t> H = T.handles();
+  ASSERT_EQ(H.size(), 3u);
+  EXPECT_EQ(H[0], 7u);
+  EXPECT_EQ(H[1], 3u);
+  EXPECT_EQ(H[2], 9u);
+}
+
+TEST(TraceTest, WithoutBytesZeroesEverything) {
+  Trace T("t");
+  T.append(OpKind::Read, 1, 100);
+  T.append(OpKind::Write, 1, 200);
+  Trace Z = T.withoutBytes();
+  for (const TraceEvent &E : Z.events())
+    EXPECT_EQ(E.Bytes, 0u);
+  // Original untouched.
+  EXPECT_EQ(T.events()[0].Bytes, 100u);
+}
+
+TEST(TraceTest, FilteredDropsNegligibleOps) {
+  Trace T;
+  T.append(OpKind::Open, 1);
+  T.append(OpKind::Fileno, 1);
+  T.append(OpKind::Read, 1, 8);
+  T.append(OpKind::Mmap, 1, 4096);
+  T.append(OpKind::Fscanf, 1);
+  T.append(OpKind::Close, 1);
+  Trace F = T.filtered(Trace::defaultNegligibleOps());
+  ASSERT_EQ(F.size(), 3u);
+  EXPECT_EQ(F.events()[0].Op, "open");
+  EXPECT_EQ(F.events()[1].Op, "read");
+  EXPECT_EQ(F.events()[2].Op, "close");
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(TraceParserTest, ParsesCanonicalLine) {
+  Expected<std::optional<TraceEvent>> E =
+      parseTraceLine("read 3 bytes=4096 addr=0x7f00");
+  ASSERT_TRUE(E.hasValue());
+  ASSERT_TRUE(E->has_value());
+  EXPECT_EQ((*E)->Op, "read");
+  EXPECT_EQ((*E)->Handle, 3u);
+  EXPECT_EQ((*E)->Bytes, 4096u);
+  EXPECT_EQ((*E)->Address, 0x7f00u);
+}
+
+TEST(TraceParserTest, ParsesPositionalBytes) {
+  Expected<std::optional<TraceEvent>> E = parseTraceLine("write 5 1024");
+  ASSERT_TRUE(E.hasValue());
+  EXPECT_EQ((*E)->Bytes, 1024u);
+}
+
+TEST(TraceParserTest, LowercasesOpNames) {
+  Expected<std::optional<TraceEvent>> E = parseTraceLine("READ 1");
+  ASSERT_TRUE(E.hasValue());
+  EXPECT_EQ((*E)->Op, "read");
+}
+
+TEST(TraceParserTest, SkipsBlankAndComments) {
+  EXPECT_FALSE(parseTraceLine("").take().has_value());
+  EXPECT_FALSE(parseTraceLine("   ").take().has_value());
+  EXPECT_FALSE(parseTraceLine("# header").take().has_value());
+  EXPECT_FALSE(parseTraceLine("  # indented comment").take().has_value());
+}
+
+TEST(TraceParserTest, TrailingCommentsStripped) {
+  Expected<std::optional<TraceEvent>> E =
+      parseTraceLine("read 1 bytes=2 # loop body");
+  ASSERT_TRUE(E.hasValue());
+  EXPECT_EQ((*E)->Bytes, 2u);
+}
+
+TEST(TraceParserTest, RejectsMalformedLines) {
+  EXPECT_FALSE(parseTraceLine("read").hasValue());
+  EXPECT_FALSE(parseTraceLine("read xyz").hasValue());
+  EXPECT_FALSE(parseTraceLine("read 1 bytes=abc").hasValue());
+  EXPECT_FALSE(parseTraceLine("read 1 addr=zz").hasValue());
+  EXPECT_FALSE(parseTraceLine("re ad 1").hasValue());
+  EXPECT_FALSE(parseTraceLine("read 1 2 3").hasValue()); // Two byte fields.
+}
+
+TEST(TraceParserTest, ParsesWholeDocumentWithLineNumbers) {
+  const char *Doc = "# demo\n"
+                    "open 3\n"
+                    "read 3 bytes=100\n"
+                    "close 3\n";
+  Expected<Trace> T = parseTrace(Doc, "demo");
+  ASSERT_TRUE(T.hasValue());
+  EXPECT_EQ(T->name(), "demo");
+  EXPECT_EQ(T->size(), 3u);
+}
+
+TEST(TraceParserTest, ErrorNamesOffendingLine) {
+  Expected<Trace> T = parseTrace("open 1\nbroken line here ???\n");
+  ASSERT_FALSE(T.hasValue());
+  EXPECT_NE(T.message().find("line 2"), std::string::npos);
+}
+
+TEST(TraceParserTest, MissingFileFails) {
+  Expected<Trace> T = parseTraceFile("/nonexistent/path/trace.txt");
+  EXPECT_FALSE(T.hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// Writer round trip
+//===----------------------------------------------------------------------===//
+
+TEST(TraceWriterTest, FormatsCanonically) {
+  TraceEvent E("read", 3, 4096, 0x7f00);
+  EXPECT_EQ(formatTraceEvent(E), "read 3 bytes=4096 addr=0x7f00");
+  TraceEvent NoExtras("close", 3);
+  EXPECT_EQ(formatTraceEvent(NoExtras), "close 3");
+}
+
+TEST(TraceWriterTest, RoundTripsThroughParser) {
+  Trace T("rt");
+  T.append(OpKind::Open, 3);
+  T.append(OpKind::Read, 3, 100, 0xabc);
+  T.append(OpKind::Lseek, 3, 0);
+  T.append(OpKind::Write, 3, 12345);
+  T.append(OpKind::Close, 3);
+  Expected<Trace> Back = parseTrace(formatTrace(T), "rt");
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(Back->events(), T.events());
+}
+
+TEST(TraceWriterTest, FileRoundTrip) {
+  Trace T("file-rt");
+  T.append(OpKind::Write, 9, 64);
+  std::string Path = testing::TempDir() + "/kast_trace_rt.txt";
+  ASSERT_TRUE(writeTraceFile(T, Path));
+  Expected<Trace> Back = parseTraceFile(Path);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(Back->events(), T.events());
+  EXPECT_EQ(Back->name(), "kast_trace_rt.txt");
+}

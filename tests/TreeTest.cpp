@@ -1,0 +1,421 @@
+//===- tests/TreeTest.cpp - tree library unit tests ------------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tree/PatternTree.h"
+#include "tree/TreeBuilder.h"
+#include "tree/TreeCompressor.h"
+#include "tree/TreeDump.h"
+
+#include <gtest/gtest.h>
+
+using namespace kast;
+
+namespace {
+
+/// Leaf helper.
+PatternNode makeOp(const std::string &Name, uint64_t Bytes,
+                   uint64_t Reps = 1) {
+  PatternNode N;
+  N.Kind = NodeKind::Op;
+  N.NameSig = {Name};
+  N.ByteSig = {Bytes};
+  N.Reps = Reps;
+  return N;
+}
+
+/// The op leaves under the first BLOCK of the first HANDLE.
+std::vector<PatternNode> firstBlockLeaves(const PatternTree &Tree) {
+  const PatternNode &Root = Tree.node(Tree.root());
+  EXPECT_FALSE(Root.Children.empty());
+  const PatternNode &Handle = Tree.node(Root.Children[0]);
+  EXPECT_FALSE(Handle.Children.empty());
+  const PatternNode &Block = Tree.node(Handle.Children[0]);
+  std::vector<PatternNode> Leaves;
+  for (NodeId Id : Block.Children)
+    Leaves.push_back(Tree.node(Id));
+  return Leaves;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// PatternTree basics
+//===----------------------------------------------------------------------===//
+
+TEST(PatternTreeTest, RootAlwaysExists) {
+  PatternTree T;
+  EXPECT_EQ(T.size(), 1u);
+  EXPECT_EQ(T.node(T.root()).Kind, NodeKind::Root);
+  EXPECT_EQ(T.depth(T.root()), 0u);
+}
+
+TEST(PatternTreeTest, AddChildTracksParentAndDepth) {
+  PatternTree T;
+  NodeId H = T.addChild(T.root(), NodeKind::Handle);
+  NodeId B = T.addChild(H, NodeKind::Block);
+  NodeId O = T.addOp(B, "read", 8);
+  EXPECT_EQ(T.depth(H), 1u);
+  EXPECT_EQ(T.depth(B), 2u);
+  EXPECT_EQ(T.depth(O), 3u);
+  EXPECT_EQ(T.node(O).Parent, B);
+}
+
+TEST(PatternTreeTest, PreorderVisitsParentBeforeChildren) {
+  PatternTree T;
+  NodeId H1 = T.addChild(T.root(), NodeKind::Handle);
+  NodeId B1 = T.addChild(H1, NodeKind::Block);
+  NodeId O1 = T.addOp(B1, "read", 1);
+  NodeId H2 = T.addChild(T.root(), NodeKind::Handle);
+  std::vector<NodeId> Order = T.preorder();
+  ASSERT_EQ(Order.size(), 5u);
+  EXPECT_EQ(Order[0], T.root());
+  EXPECT_EQ(Order[1], H1);
+  EXPECT_EQ(Order[2], B1);
+  EXPECT_EQ(Order[3], O1);
+  EXPECT_EQ(Order[4], H2);
+}
+
+TEST(PatternTreeTest, LabelsAndSignatures) {
+  PatternNode N = makeOp("read", 1024, 5);
+  EXPECT_EQ(N.nameLabel(), "read");
+  EXPECT_EQ(N.byteLabel(), "1024");
+  N.NameSig.push_back("write");
+  N.ByteSig.push_back(2048);
+  EXPECT_EQ(N.nameLabel(), "read+write");
+  EXPECT_EQ(N.byteLabel(), "1024+2048");
+  EXPECT_FALSE(N.isZeroBytes());
+  PatternNode Z = makeOp("lseek", 0);
+  EXPECT_TRUE(Z.isZeroBytes());
+}
+
+TEST(PatternTreeTest, TotalRepsCountsLeaves) {
+  PatternTree T;
+  NodeId H = T.addChild(T.root(), NodeKind::Handle);
+  NodeId B = T.addChild(H, NodeKind::Block);
+  T.addOp(B, "read", 8, 5);
+  T.addOp(B, "write", 8, 2);
+  EXPECT_EQ(T.totalReps(), 7u);
+  EXPECT_EQ(T.numLeaves(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// TreeBuilder
+//===----------------------------------------------------------------------===//
+
+TEST(TreeBuilderTest, GroupsByHandleAndBlock) {
+  Trace T;
+  T.append(OpKind::Open, 3);
+  T.append(OpKind::Read, 3, 100);
+  T.append(OpKind::Read, 4, 50); // Interleaved handle without open.
+  T.append(OpKind::Write, 3, 100);
+  T.append(OpKind::Close, 3);
+  PatternTree Tree = buildTree(T);
+
+  const PatternNode &Root = Tree.node(Tree.root());
+  ASSERT_EQ(Root.Children.size(), 2u); // Two handles.
+  const PatternNode &H3 = Tree.node(Root.Children[0]);
+  EXPECT_EQ(H3.Handle, 3u);
+  ASSERT_EQ(H3.Children.size(), 1u); // One block.
+  EXPECT_EQ(Tree.node(H3.Children[0]).Children.size(), 2u); // read, write.
+
+  const PatternNode &H4 = Tree.node(Root.Children[1]);
+  EXPECT_EQ(H4.Handle, 4u);
+  ASSERT_EQ(H4.Children.size(), 1u); // Implicit block.
+}
+
+TEST(TreeBuilderTest, OpenClosePairsMakeSeparateBlocks) {
+  Trace T;
+  for (int Round = 0; Round < 3; ++Round) {
+    T.append(OpKind::Open, 1);
+    T.append(OpKind::Read, 1, 10);
+    T.append(OpKind::Close, 1);
+  }
+  PatternTree Tree = buildTree(T);
+  const PatternNode &H = Tree.node(Tree.node(Tree.root()).Children[0]);
+  EXPECT_EQ(H.Children.size(), 3u);
+}
+
+TEST(TreeBuilderTest, ReopenWithoutCloseStartsFreshBlock) {
+  Trace T;
+  T.append(OpKind::Open, 1);
+  T.append(OpKind::Read, 1, 10);
+  T.append(OpKind::Open, 1); // No close before.
+  T.append(OpKind::Write, 1, 10);
+  PatternTree Tree = buildTree(T);
+  const PatternNode &H = Tree.node(Tree.node(Tree.root()).Children[0]);
+  ASSERT_EQ(H.Children.size(), 2u);
+  EXPECT_EQ(Tree.node(H.Children[0]).Children.size(), 1u);
+  EXPECT_EQ(Tree.node(H.Children[1]).Children.size(), 1u);
+}
+
+TEST(TreeBuilderTest, DanglingCloseIgnored) {
+  Trace T;
+  T.append(OpKind::Close, 1);
+  T.append(OpKind::Read, 1, 10);
+  PatternTree Tree = buildTree(T);
+  EXPECT_EQ(Tree.numLeaves(), 1u);
+}
+
+TEST(TreeBuilderTest, NegligibleOpsDropped) {
+  Trace T;
+  T.append(OpKind::Open, 1);
+  T.append(OpKind::Fileno, 1);
+  T.append(OpKind::Mmap, 1, 4096);
+  T.append(OpKind::Read, 1, 10);
+  T.append(OpKind::Close, 1);
+  PatternTree Tree = buildTree(T);
+  EXPECT_EQ(Tree.numLeaves(), 1u);
+}
+
+TEST(TreeBuilderTest, IgnoreBytesZeroesLeaves) {
+  Trace T;
+  T.append(OpKind::Read, 1, 100);
+  TreeBuilderOptions Options;
+  Options.IgnoreBytes = true;
+  PatternTree Tree = buildTree(T, Options);
+  std::vector<PatternNode> Leaves = firstBlockLeaves(Tree);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_TRUE(Leaves[0].isZeroBytes());
+}
+
+TEST(TreeBuilderTest, OpenCloseEmitNoLeaves) {
+  Trace T;
+  T.append(OpKind::Open, 1);
+  T.append(OpKind::Close, 1);
+  PatternTree Tree = buildTree(T);
+  EXPECT_EQ(Tree.numLeaves(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// tryMergeRule — the four §3.1 transformations in isolation
+//===----------------------------------------------------------------------===//
+
+TEST(MergeRuleTest, Rule1SameNameSameBytes) {
+  std::optional<PatternNode> M =
+      tryMergeRule(1, makeOp("read", 8, 2), makeOp("read", 8, 3));
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->nameLabel(), "read");
+  EXPECT_EQ(M->byteLabel(), "8");
+  EXPECT_EQ(M->Reps, 5u);
+}
+
+TEST(MergeRuleTest, Rule1RejectsDifferences) {
+  EXPECT_FALSE(tryMergeRule(1, makeOp("read", 8), makeOp("read", 9)));
+  EXPECT_FALSE(tryMergeRule(1, makeOp("read", 8), makeOp("write", 8)));
+}
+
+TEST(MergeRuleTest, Rule2SameNameDifferentBytes) {
+  // The paper's struct example: read 2 bytes then read 4 bytes.
+  std::optional<PatternNode> M =
+      tryMergeRule(2, makeOp("read", 2), makeOp("read", 4));
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->nameLabel(), "read");
+  EXPECT_EQ(M->byteLabel(), "2+4");
+  EXPECT_EQ(M->Reps, 2u);
+}
+
+TEST(MergeRuleTest, Rule2RejectsSameBytes) {
+  EXPECT_FALSE(tryMergeRule(2, makeOp("read", 2), makeOp("read", 2)));
+  EXPECT_FALSE(tryMergeRule(2, makeOp("read", 2), makeOp("write", 4)));
+}
+
+TEST(MergeRuleTest, Rule3DifferentNameSameBytes) {
+  // The paper's copy example: interlaced read and write of n bytes.
+  std::optional<PatternNode> M =
+      tryMergeRule(3, makeOp("read", 64), makeOp("write", 64));
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->nameLabel(), "read+write");
+  EXPECT_EQ(M->byteLabel(), "64");
+  EXPECT_EQ(M->Reps, 2u);
+}
+
+TEST(MergeRuleTest, Rule4ZeroByteSideDropped) {
+  // The paper's lseek+write example.
+  std::optional<PatternNode> M =
+      tryMergeRule(4, makeOp("lseek", 0), makeOp("write", 512));
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->nameLabel(), "lseek+write");
+  EXPECT_EQ(M->byteLabel(), "512");
+  EXPECT_EQ(M->Reps, 2u);
+
+  // Order-independent on the zero side.
+  std::optional<PatternNode> M2 =
+      tryMergeRule(4, makeOp("write", 512), makeOp("lseek", 0));
+  ASSERT_TRUE(M2.has_value());
+  EXPECT_EQ(M2->nameLabel(), "write+lseek");
+  EXPECT_EQ(M2->byteLabel(), "512");
+}
+
+TEST(MergeRuleTest, Rule4NeedsExactlyOneZeroSide) {
+  EXPECT_FALSE(tryMergeRule(4, makeOp("lseek", 0), makeOp("fsync", 0)));
+  EXPECT_FALSE(tryMergeRule(4, makeOp("read", 2), makeOp("write", 4)));
+}
+
+TEST(MergeRuleTest, StructuralNodesNeverMerge) {
+  PatternNode Block;
+  Block.Kind = NodeKind::Block;
+  for (int Rule = 1; Rule <= 4; ++Rule)
+    EXPECT_FALSE(tryMergeRule(Rule, Block, makeOp("read", 8)));
+}
+
+//===----------------------------------------------------------------------===//
+// compressTree — sweeps and passes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a single-block trace with the given (name, bytes) ops.
+Trace blockTrace(const std::vector<std::pair<std::string, uint64_t>> &Ops) {
+  Trace T;
+  T.append(OpKind::Open, 1);
+  for (const auto &[Name, Bytes] : Ops)
+    T.append(TraceEvent(Name, 1, Bytes));
+  T.append(OpKind::Close, 1);
+  return T;
+}
+
+} // namespace
+
+TEST(CompressorTest, Rule1CollapsesARunInOneSweep) {
+  Trace T = blockTrace({{"read", 8}, {"read", 8}, {"read", 8}, {"read", 8}});
+  PatternTree Tree = buildTree(T);
+  CompressionStats Stats = compressTree(Tree);
+  std::vector<PatternNode> Leaves = firstBlockLeaves(Tree);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Leaves[0].Reps, 4u);
+  EXPECT_EQ(Stats.MergesByRule[0], 3u);
+  EXPECT_EQ(Stats.LeavesBefore, 4u);
+  EXPECT_EQ(Stats.LeavesAfter, 1u);
+}
+
+TEST(CompressorTest, AlternationCompressesAcrossPasses) {
+  // read[2] read[4] read[2] read[4]:
+  //   pass 1 rule 2 pairs -> read[2+4] read[2+4]
+  //   pass 2 rule 1       -> read[2+4] x2
+  Trace T = blockTrace({{"read", 2}, {"read", 4}, {"read", 2}, {"read", 4}});
+  PatternTree Tree = buildTree(T);
+  compressTree(Tree);
+  std::vector<PatternNode> Leaves = firstBlockLeaves(Tree);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Leaves[0].nameLabel(), "read");
+  EXPECT_EQ(Leaves[0].byteLabel(), "2+4");
+  EXPECT_EQ(Leaves[0].Reps, 4u);
+}
+
+TEST(CompressorTest, SinglePassLeavesAlternationPairs) {
+  Trace T = blockTrace({{"read", 2}, {"read", 4}, {"read", 2}, {"read", 4}});
+  PatternTree Tree = buildTree(T);
+  CompressorOptions Options;
+  Options.Passes = 1;
+  compressTree(Tree, Options);
+  std::vector<PatternNode> Leaves = firstBlockLeaves(Tree);
+  ASSERT_EQ(Leaves.size(), 2u);
+  EXPECT_EQ(Leaves[0].byteLabel(), "2+4");
+  EXPECT_EQ(Leaves[1].byteLabel(), "2+4");
+}
+
+TEST(CompressorTest, CopyPatternUsesRule3ThenRule1) {
+  // Interlaced read/write with equal sizes: a tacit copy loop.
+  Trace T = blockTrace(
+      {{"read", 64}, {"write", 64}, {"read", 64}, {"write", 64}});
+  PatternTree Tree = buildTree(T);
+  compressTree(Tree);
+  std::vector<PatternNode> Leaves = firstBlockLeaves(Tree);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Leaves[0].nameLabel(), "read+write");
+  EXPECT_EQ(Leaves[0].Reps, 4u);
+}
+
+TEST(CompressorTest, SeekWriteLoopUsesRule4) {
+  Trace T = blockTrace(
+      {{"lseek", 0}, {"write", 512}, {"lseek", 0}, {"write", 512}});
+  PatternTree Tree = buildTree(T);
+  compressTree(Tree);
+  std::vector<PatternNode> Leaves = firstBlockLeaves(Tree);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Leaves[0].nameLabel(), "lseek+write");
+  EXPECT_EQ(Leaves[0].byteLabel(), "512");
+  EXPECT_EQ(Leaves[0].Reps, 4u);
+}
+
+TEST(CompressorTest, RepsConservedByCompression) {
+  Trace T = blockTrace({{"read", 2}, {"read", 4}, {"read", 2}, {"read", 4},
+                        {"write", 8}, {"write", 8}, {"lseek", 0},
+                        {"write", 16}});
+  PatternTree Tree = buildTree(T);
+  uint64_t Before = Tree.totalReps();
+  compressTree(Tree);
+  EXPECT_EQ(Tree.totalReps(), Before);
+}
+
+TEST(CompressorTest, ZeroPassesIsIdentity) {
+  Trace T = blockTrace({{"read", 8}, {"read", 8}});
+  PatternTree Tree = buildTree(T);
+  PatternTree Copy = Tree;
+  CompressorOptions Options;
+  Options.Passes = 0;
+  compressTree(Tree, Options);
+  EXPECT_TRUE(Tree.equalsStructurally(Copy));
+}
+
+TEST(CompressorTest, DisabledRulesDoNotFire) {
+  Trace T = blockTrace({{"read", 8}, {"read", 8}});
+  PatternTree Tree = buildTree(T);
+  CompressorOptions Options;
+  Options.EnableRule1 = false;
+  CompressionStats Stats = compressTree(Tree, Options);
+  EXPECT_EQ(Stats.MergesByRule[0], 0u);
+  EXPECT_EQ(Tree.numLeaves(), 2u);
+}
+
+TEST(CompressorTest, CompressionIsIdempotentAtFixpoint) {
+  Trace T = blockTrace({{"read", 2}, {"read", 4}, {"read", 2}, {"read", 4},
+                        {"write", 8}, {"write", 8}});
+  PatternTree Tree = buildTree(T);
+  CompressorOptions Many;
+  Many.Passes = 8;
+  compressTree(Tree, Many);
+  PatternTree Again = Tree;
+  compressTree(Again, Many);
+  EXPECT_TRUE(Tree.equalsStructurally(Again));
+}
+
+TEST(CompressorTest, BlocksDoNotMergeAcrossBoundaries) {
+  Trace T;
+  T.append(OpKind::Open, 1);
+  T.append(OpKind::Read, 1, 8);
+  T.append(OpKind::Close, 1);
+  T.append(OpKind::Open, 1);
+  T.append(OpKind::Read, 1, 8);
+  T.append(OpKind::Close, 1);
+  PatternTree Tree = buildTree(T);
+  compressTree(Tree);
+  EXPECT_EQ(Tree.numLeaves(), 2u); // One per block; no cross-merge.
+}
+
+//===----------------------------------------------------------------------===//
+// Dumps
+//===----------------------------------------------------------------------===//
+
+TEST(TreeDumpTest, AsciiShowsHierarchy) {
+  Trace T = blockTrace({{"read", 1024}, {"read", 1024}});
+  PatternTree Tree = buildTree(T);
+  compressTree(Tree);
+  std::string Out = dumpTreeAscii(Tree);
+  EXPECT_NE(Out.find("ROOT"), std::string::npos);
+  EXPECT_NE(Out.find("HANDLE 1"), std::string::npos);
+  EXPECT_NE(Out.find("BLOCK"), std::string::npos);
+  EXPECT_NE(Out.find("read[1024] x2"), std::string::npos);
+}
+
+TEST(TreeDumpTest, DotIsWellFormed) {
+  Trace T = blockTrace({{"write", 4}});
+  PatternTree Tree = buildTree(T);
+  std::string Out = dumpTreeDot(Tree, "g");
+  EXPECT_NE(Out.find("digraph g {"), std::string::npos);
+  EXPECT_NE(Out.find("->"), std::string::npos);
+  EXPECT_EQ(Out.back(), '\n');
+}

@@ -1,0 +1,311 @@
+//===- tests/WorkloadsTest.cpp - generators, mutator, corpus ---------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/CorpusIO.h"
+#include "workloads/DatasetBuilder.h"
+#include "workloads/Generators.h"
+#include "workloads/Mutator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+using namespace kast;
+
+namespace {
+
+/// \returns the set of operation names in \p T.
+std::set<std::string> opNames(const Trace &T) {
+  std::set<std::string> Names;
+  for (const TraceEvent &E : T.events())
+    Names.insert(E.Op);
+  return Names;
+}
+
+/// \returns true if every open on a handle is eventually closed.
+bool openCloseBalanced(const Trace &T) {
+  std::set<uint64_t> Open;
+  for (const TraceEvent &E : T.events()) {
+    if (E.isOpen())
+      Open.insert(E.Handle);
+    else if (E.isClose())
+      Open.erase(E.Handle);
+  }
+  return Open.empty();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Generators — the structural facts behind the paper's clusters
+//===----------------------------------------------------------------------===//
+
+TEST(GeneratorTest, Deterministic) {
+  Rng R1(99), R2(99);
+  for (Category C : {Category::FlashIO, Category::RandomPosix,
+                     Category::NormalIO, Category::RandomAccess})
+    EXPECT_EQ(generateTrace(C, R1).events(), generateTrace(C, R2).events());
+}
+
+TEST(GeneratorTest, OnlyRandomPosixHasLseek) {
+  Rng R(1);
+  for (int Round = 0; Round < 10; ++Round) {
+    EXPECT_TRUE(opNames(generateRandomPosix(R)).count("lseek"));
+    EXPECT_FALSE(opNames(generateFlashIO(R)).count("lseek"));
+    EXPECT_FALSE(opNames(generateNormalIO(R)).count("lseek"));
+    EXPECT_FALSE(opNames(generateRandomAccess(R)).count("lseek"));
+  }
+}
+
+TEST(GeneratorTest, FlashIOHasDiverseWriteSizes) {
+  Rng R(2);
+  for (int Round = 0; Round < 10; ++Round) {
+    Trace T = generateFlashIO(R);
+    std::set<uint64_t> WriteSizes;
+    for (const TraceEvent &E : T.events())
+      if (E.Op == "write")
+        WriteSizes.insert(E.Bytes);
+    // "contiguous write operations with different byte values".
+    EXPECT_GE(WriteSizes.size(), 4u);
+  }
+}
+
+TEST(GeneratorTest, FlashIOIsMultiHandle) {
+  Rng R(3);
+  Trace T = generateFlashIO(R);
+  EXPECT_GE(T.handles().size(), 2u);
+}
+
+TEST(GeneratorTest, NormalAndRandomAccessShareVocabulary) {
+  // C and D must "share roughly the same pattern": same op names and
+  // overlapping size pools.
+  Rng R(4);
+  std::set<uint64_t> SizesC, SizesD;
+  std::set<std::string> NamesC, NamesD;
+  for (int Round = 0; Round < 20; ++Round) {
+    Trace C = generateNormalIO(R);
+    for (const TraceEvent &E : C.events()) {
+      NamesC.insert(E.Op);
+      if (E.Bytes)
+        SizesC.insert(E.Bytes);
+    }
+    Trace D = generateRandomAccess(R);
+    for (const TraceEvent &E : D.events()) {
+      NamesD.insert(E.Op);
+      if (E.Bytes)
+        SizesD.insert(E.Bytes);
+    }
+  }
+  EXPECT_EQ(NamesC, NamesD);
+  EXPECT_EQ(SizesC, SizesD);
+}
+
+TEST(GeneratorTest, AllTracesWellFormed) {
+  Rng R(5);
+  for (Category C : {Category::FlashIO, Category::RandomPosix,
+                     Category::NormalIO, Category::RandomAccess}) {
+    for (int Round = 0; Round < 5; ++Round) {
+      Trace T = generateTrace(C, R);
+      EXPECT_FALSE(T.empty());
+      EXPECT_TRUE(openCloseBalanced(T)) << categoryName(C);
+    }
+  }
+}
+
+TEST(GeneratorTest, ScaleGrowsTraces) {
+  Rng R1(6), R2(6);
+  GeneratorConfig Small, Large;
+  Large.Scale = 4;
+  size_t SmallTotal = 0, LargeTotal = 0;
+  for (int Round = 0; Round < 5; ++Round) {
+    SmallTotal += generateNormalIO(R1, Small).size();
+    LargeTotal += generateNormalIO(R2, Large).size();
+  }
+  EXPECT_GT(LargeTotal, 2 * SmallTotal);
+}
+
+TEST(GeneratorTest, CategoryNamesAndLabels) {
+  EXPECT_STREQ(categoryLabel(Category::FlashIO), "A");
+  EXPECT_STREQ(categoryLabel(Category::RandomPosix), "B");
+  EXPECT_STREQ(categoryLabel(Category::NormalIO), "C");
+  EXPECT_STREQ(categoryLabel(Category::RandomAccess), "D");
+  EXPECT_STREQ(categoryName(Category::FlashIO), "flash-io");
+}
+
+//===----------------------------------------------------------------------===//
+// Mutator
+//===----------------------------------------------------------------------===//
+
+TEST(MutatorTest, ProducesSmallChanges) {
+  Rng R(7);
+  Trace Base = generateNormalIO(R);
+  for (int Round = 0; Round < 20; ++Round) {
+    Trace Mutant = mutateTrace(Base, R);
+    // Size changes by at most MaxMutations * MaxRunLength.
+    size_t Diff = Mutant.size() > Base.size() ? Mutant.size() - Base.size()
+                                              : Base.size() - Mutant.size();
+    EXPECT_LE(Diff, 12u);
+  }
+}
+
+TEST(MutatorTest, NeverIntroducesForeignOps) {
+  Rng R(8);
+  for (Category C : {Category::FlashIO, Category::NormalIO,
+                     Category::RandomAccess}) {
+    Trace Base = generateTrace(C, R);
+    std::set<std::string> BaseNames = opNames(Base);
+    for (int Round = 0; Round < 20; ++Round) {
+      Trace Mutant = mutateTrace(Base, R);
+      for (const std::string &Name : opNames(Mutant))
+        EXPECT_TRUE(BaseNames.count(Name))
+            << "mutation invented op " << Name;
+    }
+  }
+}
+
+TEST(MutatorTest, PreservesOpenCloseBalance) {
+  Rng R(9);
+  Trace Base = generateFlashIO(R);
+  for (int Round = 0; Round < 20; ++Round)
+    EXPECT_TRUE(openCloseBalanced(mutateTrace(Base, R)));
+}
+
+TEST(MutatorTest, DeterministicGivenRngState) {
+  Trace Base = generateNormalIO(*std::make_unique<Rng>(10).get());
+  Rng R1(11), R2(11);
+  EXPECT_EQ(mutateTrace(Base, R1).events(), mutateTrace(Base, R2).events());
+}
+
+TEST(MutatorTest, UsuallyChangesTheTrace) {
+  Rng R(12);
+  Trace Base = generateRandomPosix(R);
+  int Changed = 0;
+  for (int Round = 0; Round < 20; ++Round)
+    Changed += mutateTrace(Base, R).events() != Base.events();
+  EXPECT_GE(Changed, 15);
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus builder — the 110-example shape of §4.1
+//===----------------------------------------------------------------------===//
+
+TEST(CorpusTest, PaperShape) {
+  std::vector<LabeledTrace> Corpus = generateCorpus();
+  EXPECT_EQ(Corpus.size(), 110u);
+  std::map<std::string, size_t> Counts;
+  for (const LabeledTrace &E : Corpus)
+    ++Counts[E.Label];
+  EXPECT_EQ(Counts["A"], 50u);
+  EXPECT_EQ(Counts["B"], 20u);
+  EXPECT_EQ(Counts["C"], 20u);
+  EXPECT_EQ(Counts["D"], 20u);
+  // 22 base examples.
+  size_t Bases = 0;
+  for (const LabeledTrace &E : Corpus)
+    Bases += !E.IsMutant;
+  EXPECT_EQ(Bases, 22u);
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  std::vector<LabeledTrace> C1 = generateCorpus();
+  std::vector<LabeledTrace> C2 = generateCorpus();
+  ASSERT_EQ(C1.size(), C2.size());
+  for (size_t I = 0; I < C1.size(); ++I)
+    EXPECT_EQ(C1[I].T.events(), C2[I].T.events());
+}
+
+TEST(CorpusTest, NamesEncodeLineage) {
+  std::vector<LabeledTrace> Corpus = generateCorpus();
+  EXPECT_EQ(Corpus[0].T.name(), "A0.0");
+  EXPECT_EQ(Corpus[1].T.name(), "A0.1");
+  EXPECT_EQ(Corpus[5].T.name(), "A1.0");
+}
+
+TEST(CorpusTest, CustomShape) {
+  CorpusOptions Options;
+  Options.BaseA = 1;
+  Options.BaseB = 1;
+  Options.BaseC = 0;
+  Options.BaseD = 0;
+  Options.CopiesPerBase = 2;
+  std::vector<LabeledTrace> Corpus = generateCorpus(Options);
+  EXPECT_EQ(Corpus.size(), 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus directory I/O
+//===----------------------------------------------------------------------===//
+
+TEST(CorpusIOTest, RoundTripsThroughDirectory) {
+  CorpusOptions Options;
+  Options.BaseA = 2;
+  Options.BaseB = 1;
+  Options.BaseC = 1;
+  Options.BaseD = 1;
+  Options.CopiesPerBase = 1;
+  std::vector<LabeledTrace> Corpus = generateCorpus(Options);
+
+  std::string Dir = testing::TempDir() + "/kast_corpus_rt";
+  Status W = writeCorpusDirectory(Corpus, Dir);
+  ASSERT_TRUE(W.ok()) << W.message();
+
+  Expected<std::vector<LabeledTrace>> Loaded = loadCorpusDirectory(Dir);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  ASSERT_EQ(Loaded->size(), Corpus.size());
+
+  // Directory order is name-sorted; match by name.
+  for (const LabeledTrace &Original : Corpus) {
+    const LabeledTrace *Found = nullptr;
+    for (const LabeledTrace &Candidate : *Loaded)
+      if (Candidate.T.name() == Original.T.name())
+        Found = &Candidate;
+    ASSERT_NE(Found, nullptr) << Original.T.name();
+    EXPECT_EQ(Found->T.events(), Original.T.events());
+    EXPECT_EQ(Found->Label, Original.Label);
+    EXPECT_EQ(Found->BaseIndex, Original.BaseIndex);
+    EXPECT_EQ(Found->IsMutant, Original.IsMutant);
+  }
+}
+
+TEST(CorpusIOTest, MissingDirectoryFails) {
+  EXPECT_FALSE(loadCorpusDirectory("/nonexistent/kast/dir").hasValue());
+}
+
+TEST(CorpusIOTest, IgnoresForeignFiles) {
+  std::string Dir = testing::TempDir() + "/kast_corpus_foreign";
+  std::filesystem::create_directories(Dir);
+  {
+    std::ofstream Note(Dir + "/README.md");
+    Note << "not a trace\n";
+    std::ofstream T(Dir + "/X1.0.trace");
+    T << "read 1 bytes=8\n";
+  }
+  Expected<std::vector<LabeledTrace>> Loaded = loadCorpusDirectory(Dir);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  ASSERT_EQ(Loaded->size(), 1u);
+  EXPECT_EQ((*Loaded)[0].Label, "X");
+  EXPECT_FALSE((*Loaded)[0].IsMutant);
+}
+
+TEST(CorpusTest, ConversionSharesOneTable) {
+  CorpusOptions Options;
+  Options.BaseA = 2;
+  Options.BaseB = 1;
+  Options.BaseC = 1;
+  Options.BaseD = 1;
+  Options.CopiesPerBase = 1;
+  std::vector<LabeledTrace> Corpus = generateCorpus(Options);
+  Pipeline P;
+  LabeledDataset Data = convertCorpus(P, Corpus);
+  ASSERT_EQ(Data.size(), Corpus.size());
+  for (size_t I = 1; I < Data.size(); ++I)
+    EXPECT_EQ(Data.string(I).table().get(), Data.string(0).table().get());
+  // Names carried over.
+  EXPECT_EQ(Data.string(0).name(), "A0.0");
+}
