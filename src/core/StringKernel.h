@@ -37,6 +37,8 @@ public:
 
   /// Cosine-normalized value k(A,B)/sqrt(k(A,A)k(B,B)); 0 when either
   /// self-kernel vanishes (and 1 when A and B coincide token-wise).
+  /// For the Kast kernel this reproduces the paper's Eq. (12)
+  /// normalization by weight(A) * weight(B); see KastKernel.h.
   double evaluateNormalized(const WeightedString &A,
                             const WeightedString &B) const;
 };

@@ -6,8 +6,8 @@
 ///
 /// \file
 /// A suffix automaton (Blumer et al.) over 32-bit token symbols. The
-/// Kast Spectrum Kernel needs, for two strings A and B, every *maximal
-/// match occurrence* — an interval of A whose literal sequence occurs
+/// Kast Spectrum Kernel (§3.2) needs, for two strings A and B, every
+/// *maximal match occurrence* — an interval of A whose literal sequence occurs
 /// in B and cannot be extended left or right while still occurring in
 /// B. The automaton of B answers "does this factor occur in B" in
 /// amortized O(1) per symbol, giving linear-time matching statistics;

@@ -119,9 +119,9 @@ TEST_F(WorkedExample, NestedOnlySubstringIsNotAFeature) {
   // "m" appears in both strings but never independently.
   KastSpectrumKernel K({/*CutWeight=*/4});
   for (const KastFeature &F : K.features(A, B))
-    for (uint32_t Id : F.Literals)
-      if (F.Literals.size() == 1)
-        EXPECT_NE(Table->literal(Id), "m");
+    if (F.Literals.size() == 1) {
+      EXPECT_NE(Table->literal(F.Literals[0]), "m");
+    }
 }
 
 TEST_F(WorkedExample, HigherCutDropsLightOccurrences) {

@@ -295,8 +295,9 @@ TEST_P(FuzzSweep, TraceParserAcceptsMangledValidTraces) {
       Mangled[Pos] = static_cast<char>(R.uniformInt(32, 126));
     }
     Expected<Trace> T = parseTrace(Mangled, "mangled");
-    if (!T)
+    if (!T) {
       EXPECT_NE(T.message().find("line"), std::string::npos);
+    }
   }
 }
 
