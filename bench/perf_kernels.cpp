@@ -20,6 +20,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 using namespace kast;
 
 namespace {
@@ -122,6 +124,72 @@ void BM_GramMatrixBuild(benchmark::State &State) {
         computeKernelMatrix(Kernel, Data.strings(), Options));
 }
 BENCHMARK(BM_GramMatrixBuild)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+/// Random corpus of N strings (length 64, alphabet 12) shared across
+/// the Gram benches below; one corpus per size.
+const std::vector<WeightedString> &randomCorpus(size_t N) {
+  static auto Table = TokenTable::create();
+  static std::map<size_t, std::vector<WeightedString>> Cache;
+  auto [It, Inserted] = Cache.try_emplace(N);
+  if (Inserted) {
+    Rng R(N * 7919 + 13);
+    for (size_t I = 0; I < N; ++I)
+      It->second.push_back(randomString(Table, R, 64, 12));
+  }
+  return It->second;
+}
+
+/// Spectrum-family Gram matrix: Args are {N, UsePrecompute}. The
+/// UsePrecompute=0 rows measure the pre-profile baseline (every pair
+/// rebuilds both strings' features); UsePrecompute=1 is the
+/// O(N·build + N²·dot) fast path.
+void BM_GramMatrixSpectrum(benchmark::State &State) {
+  const std::vector<WeightedString> &Corpus =
+      randomCorpus(static_cast<size_t>(State.range(0)));
+  BlendedSpectrumKernel Kernel(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+  KernelMatrixOptions Options;
+  Options.UsePrecompute = State.range(1) != 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeKernelMatrix(Kernel, Corpus, Options));
+}
+BENCHMARK(BM_GramMatrixSpectrum)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// Kast Gram matrix over random strings: Args are {N, UsePrecompute};
+/// the fast path reuses each string's reversed suffix automaton across
+/// its N-1 pairs.
+void BM_GramMatrixKast(benchmark::State &State) {
+  const std::vector<WeightedString> &Corpus =
+      randomCorpus(static_cast<size_t>(State.range(0)));
+  KastSpectrumKernel Kernel({/*CutWeight=*/2});
+  KernelMatrixOptions Options;
+  Options.UsePrecompute = State.range(1) != 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeKernelMatrix(Kernel, Corpus, Options));
+}
+BENCHMARK(BM_GramMatrixKast)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// Cost of building one spectrum profile (the O(N·build) half of the
+/// fast path), over string length.
+void BM_SpectrumProfileBuild(benchmark::State &State) {
+  auto [A, B] = randomPair(static_cast<size_t>(State.range(0)));
+  BlendedSpectrumKernel Kernel(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Kernel.profile(A));
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_SpectrumProfileBuild)->RangeMultiplier(4)->Range(16, 4096)
+    ->Complexity();
 
 } // namespace
 

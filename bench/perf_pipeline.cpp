@@ -11,13 +11,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/KernelMatrix.h"
 #include "core/Pipeline.h"
 #include "core/TreeFlattener.h"
+#include "kernels/SpectrumKernels.h"
 #include "trace/TraceParser.h"
 #include "trace/TraceWriter.h"
 #include "tree/TreeBuilder.h"
 #include "tree/TreeCompressor.h"
 #include "util/Rng.h"
+#include "workloads/DatasetBuilder.h"
 #include "workloads/Generators.h"
 
 #include <benchmark/benchmark.h>
@@ -84,6 +87,24 @@ void BM_FullPipeline(benchmark::State &State) {
                           static_cast<int64_t>(T.size()));
 }
 BENCHMARK(BM_FullPipeline)->RangeMultiplier(4)->Range(1, 64);
+
+/// The learning-stage hot path downstream of conversion: the Gram
+/// matrix of the paper-shaped corpus under the weighted blended
+/// spectrum kernel. Arg toggles KernelMatrixOptions::UsePrecompute, so
+/// the 0-row is the pre-profile O(N²·build) baseline and the 1-row the
+/// profiled O(N·build + N²·dot) fast path.
+void BM_CorpusGramMatrix(benchmark::State &State) {
+  static std::vector<LabeledTrace> Corpus = generateCorpus();
+  static LabeledDataset Data = convertCorpus(Pipeline::withBytes(), Corpus);
+  BlendedSpectrumKernel Kernel(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+  KernelMatrixOptions Options;
+  Options.UsePrecompute = State.range(0) != 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        computeKernelMatrix(Kernel, Data.strings(), Options));
+}
+BENCHMARK(BM_CorpusGramMatrix)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

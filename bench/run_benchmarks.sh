@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+#===-- bench/run_benchmarks.sh - perf bench driver ------------------------===#
+#
+# Runs the Google Benchmark perf drivers with JSON output so the perf
+# trajectory accumulates in version-controllable artifacts:
+#
+#   BENCH_kernels.json   <- bench/perf_kernels
+#   BENCH_pipeline.json  <- bench/perf_pipeline
+#
+# Usage:
+#   bench/run_benchmarks.sh [output-dir]
+#
+# Environment:
+#   BUILD_DIR      build tree containing bench/perf_* (default: build)
+#   BENCH_FILTER   --benchmark_filter regex (default: all benchmarks)
+#   BENCH_ARGS     extra flags, e.g. --benchmark_repetitions=3
+#
+# The build must have been configured with system Google Benchmark
+# available (the perf_* targets are skipped without it).
+#
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-"$REPO_ROOT/build"}"
+OUT_DIR="${1:-"$REPO_ROOT"}"
+mkdir -p "$OUT_DIR"
+BENCH_FILTER="${BENCH_FILTER:-}"
+BENCH_ARGS="${BENCH_ARGS:-}"
+
+run_bench() {
+  local name="$1" out="$2"
+  local bin="$BUILD_DIR/bench/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (configure with system Google Benchmark)" >&2
+    exit 1
+  fi
+  local flags=(--benchmark_format=json --benchmark_out="$out"
+               --benchmark_out_format=json)
+  [[ -n "$BENCH_FILTER" ]] && flags+=(--benchmark_filter="$BENCH_FILTER")
+  # shellcheck disable=SC2206
+  [[ -n "$BENCH_ARGS" ]] && flags+=($BENCH_ARGS)
+  echo "== $name -> $out"
+  "$bin" "${flags[@]}" > /dev/null
+}
+
+run_bench perf_kernels "$OUT_DIR/BENCH_kernels.json"
+run_bench perf_pipeline "$OUT_DIR/BENCH_pipeline.json"
+
+echo "done: $OUT_DIR/BENCH_kernels.json $OUT_DIR/BENCH_pipeline.json"

@@ -19,11 +19,26 @@ std::string KastSpectrumKernel::name() const {
   return "kast-spectrum(cut=" + std::to_string(Options.CutWeight) + ")";
 }
 
+namespace {
+
+/// Per-string precomputation: the suffix automaton of the reversed
+/// literal sequence, i.e. the partner index findMaximalMatches needs.
+struct KastPrecomputation final : KernelPrecomputation {
+  explicit KastPrecomputation(const WeightedString &X)
+      : ReversedSam(reversed(X.literalIds())) {}
+
+  SuffixAutomaton ReversedSam;
+};
+
+} // namespace
+
 /// Collects the distinct literal sequences of all maximal match
-/// occurrences in both directions.
+/// occurrences in both directions. \p RevA / \p RevB are optional
+/// cached automata of the reversed sequences.
 static std::map<std::vector<uint32_t>, KastFeature>
 collectCandidates(const WeightedString &A, const WeightedString &B,
-                  bool UseReferenceMatcher) {
+                  bool UseReferenceMatcher, const SuffixAutomaton *RevA,
+                  const SuffixAutomaton *RevB) {
   const std::vector<uint32_t> &IdsA = A.literalIds();
   const std::vector<uint32_t> &IdsB = B.literalIds();
 
@@ -32,10 +47,17 @@ collectCandidates(const WeightedString &A, const WeightedString &B,
     InA = findMaximalMatchesDP(IdsA, IdsB);
     InB = findMaximalMatchesDP(IdsB, IdsA);
   } else {
-    SuffixAutomaton RevB(reversed(IdsB));
-    SuffixAutomaton RevA(reversed(IdsA));
-    InA = findMaximalMatches(IdsA, RevB);
-    InB = findMaximalMatches(IdsB, RevA);
+    std::unique_ptr<SuffixAutomaton> OwnedRevA, OwnedRevB;
+    if (!RevB) {
+      OwnedRevB = std::make_unique<SuffixAutomaton>(reversed(IdsB));
+      RevB = OwnedRevB.get();
+    }
+    if (!RevA) {
+      OwnedRevA = std::make_unique<SuffixAutomaton>(reversed(IdsA));
+      RevA = OwnedRevA.get();
+    }
+    InA = findMaximalMatches(IdsA, *RevB);
+    InB = findMaximalMatches(IdsB, *RevA);
   }
 
   std::map<std::vector<uint32_t>, KastFeature> Candidates;
@@ -75,8 +97,10 @@ scoreOccurrences(const WeightedString &X,
 }
 
 std::vector<KastFeature>
-KastSpectrumKernel::features(const WeightedString &A,
-                             const WeightedString &B) const {
+KastSpectrumKernel::featuresImpl(const WeightedString &A,
+                                 const WeightedString &B,
+                                 const SuffixAutomaton *RevA,
+                                 const SuffixAutomaton *RevB) const {
   std::vector<KastFeature> Result;
   if (A.empty() || B.empty())
     return Result;
@@ -88,7 +112,7 @@ KastSpectrumKernel::features(const WeightedString &A,
     return Result;
 
   std::map<std::vector<uint32_t>, KastFeature> Candidates =
-      collectCandidates(A, B, Options.UseReferenceMatcher);
+      collectCandidates(A, B, Options.UseReferenceMatcher, RevA, RevB);
 
   for (auto &[Key, Feature] : Candidates) {
     auto [WeightA, CountA] =
@@ -111,11 +135,39 @@ KastSpectrumKernel::features(const WeightedString &A,
   return Result;
 }
 
-double KastSpectrumKernel::evaluate(const WeightedString &A,
-                                    const WeightedString &B) const {
+std::vector<KastFeature>
+KastSpectrumKernel::features(const WeightedString &A,
+                             const WeightedString &B) const {
+  return featuresImpl(A, B, nullptr, nullptr);
+}
+
+std::unique_ptr<KernelPrecomputation>
+KastSpectrumKernel::precompute(const WeightedString &X) const {
+  // The reference matcher never consults the automaton.
+  if (Options.UseReferenceMatcher)
+    return nullptr;
+  return std::make_unique<KastPrecomputation>(X);
+}
+
+static double innerProduct(const std::vector<KastFeature> &Features) {
   double Sum = 0.0;
-  for (const KastFeature &F : features(A, B))
+  for (const KastFeature &F : Features)
     Sum += static_cast<double>(F.WeightInA) *
            static_cast<double>(F.WeightInB);
   return Sum;
+}
+
+double KastSpectrumKernel::evaluate(const WeightedString &A,
+                                    const WeightedString &B) const {
+  return innerProduct(featuresImpl(A, B, nullptr, nullptr));
+}
+
+double KastSpectrumKernel::evaluatePrepared(
+    const WeightedString &A, const KernelPrecomputation *PrepA,
+    const WeightedString &B, const KernelPrecomputation *PrepB) const {
+  const auto *CachedA = static_cast<const KastPrecomputation *>(PrepA);
+  const auto *CachedB = static_cast<const KastPrecomputation *>(PrepB);
+  return innerProduct(featuresImpl(A, B,
+                                   CachedA ? &CachedA->ReversedSam : nullptr,
+                                   CachedB ? &CachedB->ReversedSam : nullptr));
 }

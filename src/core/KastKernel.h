@@ -45,6 +45,8 @@
 
 namespace kast {
 
+class SuffixAutomaton;
+
 /// How the cut weight filters candidate features.
 enum class CutPolicy {
   /// An occurrence qualifies iff its weight >= cut; a feature needs a
@@ -81,12 +83,24 @@ struct KastFeature {
 };
 
 /// The Kast Spectrum Kernel.
+///
+/// The kernel's features are pair-dependent (maximal matches of A
+/// *relative to B*), so it has no per-string profile; instead
+/// precompute() caches the suffix automaton of the reversed literal
+/// sequence — the partner index the matcher consults — which a Gram
+/// matrix build would otherwise reconstruct N-1 times per string.
 class KastSpectrumKernel : public StringKernel {
 public:
   explicit KastSpectrumKernel(KastKernelOptions Options = {});
 
   double evaluate(const WeightedString &A,
                   const WeightedString &B) const override;
+  std::unique_ptr<KernelPrecomputation>
+  precompute(const WeightedString &X) const override;
+  double evaluatePrepared(const WeightedString &A,
+                          const KernelPrecomputation *PrepA,
+                          const WeightedString &B,
+                          const KernelPrecomputation *PrepB) const override;
   std::string name() const override;
 
   /// Computes the explicit shared-feature embedding of (A, B); the
@@ -97,6 +111,13 @@ public:
   const KastKernelOptions &options() const { return Options; }
 
 private:
+  /// Shared implementation; \p RevA / \p RevB are optional cached
+  /// suffix automata of the reversed literal sequences.
+  std::vector<KastFeature> featuresImpl(const WeightedString &A,
+                                        const WeightedString &B,
+                                        const SuffixAutomaton *RevA,
+                                        const SuffixAutomaton *RevB) const;
+
   KastKernelOptions Options;
 };
 

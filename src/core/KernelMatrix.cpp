@@ -9,6 +9,7 @@
 #include "util/ThreadPool.h"
 
 #include <cmath>
+#include <memory>
 
 using namespace kast;
 
@@ -18,52 +19,72 @@ Matrix kast::computeKernelMatrix(const StringKernel &Kernel,
   const size_t N = Strings.size();
   Matrix K(N, N, 0.0);
 
+  // Per-string precomputation, amortized across the N-1 pairs each
+  // string participates in: profiled kernels build their feature
+  // profile here (making the fill below O(N·build + N²·dot) instead of
+  // O(N²·build)), the Kast kernel builds its reversed suffix automata,
+  // and plain kernels return nullptr at zero cost.
+  std::vector<std::unique_ptr<KernelPrecomputation>> Prep(N);
+  if (Options.UsePrecompute)
+    parallelFor(
+        N, [&](size_t I) { Prep[I] = Kernel.precompute(Strings[I]); },
+        Options.Threads);
+
   // Diagonal first; needed for normalization anyway.
   std::vector<double> Diag(N, 0.0);
   parallelFor(
       N,
       [&](size_t I) {
-        Diag[I] = Kernel.evaluate(Strings[I], Strings[I]);
+        Diag[I] = Kernel.evaluatePrepared(Strings[I], Prep[I].get(),
+                                          Strings[I], Prep[I].get());
         K.at(I, I) = Diag[I];
       },
       Options.Threads);
 
-  // Strict upper triangle, flattened: pair p -> (i, j).
+  // Strict upper triangle, flattened: pair p -> (i, j) with
+  // p = rowStart(i) + (j - i - 1) and rowStart(i) = i*(2N - i - 1)/2.
   const size_t NumPairs = N < 2 ? 0 : N * (N - 1) / 2;
+  auto RowStart = [N](size_t I) { return I * (2 * N - I - 1) / 2; };
   parallelFor(
       NumPairs,
       [&](size_t P) {
-        // Invert p = i*N - i(i+1)/2 + (j - i - 1) by scanning rows;
-        // cheap relative to a kernel evaluation.
-        size_t I = 0;
-        size_t RowLen = N - 1;
-        size_t Offset = P;
-        while (Offset >= RowLen) {
-          Offset -= RowLen;
+        // Closed-form triangular-number inversion: the largest i with
+        // rowStart(i) <= p solves i² - (2N-1)i + 2p = 0. The float
+        // root can be off by one, so nudge it exact.
+        double Disc = (2.0 * N - 1.0) * (2.0 * N - 1.0) -
+                      8.0 * static_cast<double>(P);
+        size_t I = static_cast<size_t>(
+            (2.0 * N - 1.0 - std::sqrt(Disc)) / 2.0);
+        if (I >= N - 1)
+          I = N - 2;
+        while (I > 0 && RowStart(I) > P)
+          --I;
+        while (I + 1 < N - 1 && RowStart(I + 1) <= P)
           ++I;
-          --RowLen;
-        }
-        size_t J = I + 1 + Offset;
-        double V = Kernel.evaluate(Strings[I], Strings[J]);
+        size_t J = I + 1 + (P - RowStart(I));
+        double V = Kernel.evaluatePrepared(Strings[I], Prep[I].get(),
+                                           Strings[J], Prep[J].get());
         K.at(I, J) = V;
         K.at(J, I) = V;
       },
       Options.Threads);
 
   if (Options.Normalize) {
-    for (size_t I = 0; I < N; ++I) {
-      for (size_t J = 0; J < N; ++J) {
-        if (I == J)
-          continue;
-        double D = Diag[I] * Diag[J];
-        K.at(I, J) = D > 0.0 ? K.at(I, J) / std::sqrt(D) : 0.0;
-      }
-    }
-    for (size_t I = 0; I < N; ++I)
-      K.at(I, I) = 1.0;
+    parallelFor(
+        N,
+        [&](size_t I) {
+          for (size_t J = 0; J < N; ++J) {
+            if (I == J)
+              continue;
+            double D = Diag[I] * Diag[J];
+            K.at(I, J) = D > 0.0 ? K.at(I, J) / std::sqrt(D) : 0.0;
+          }
+          K.at(I, I) = 1.0;
+        },
+        Options.Threads);
   }
 
-  if (Options.RepairPsd && N > 0 && minEigenvalue(K) < 0.0)
-    K = projectToPsd(K);
+  if (Options.RepairPsd && N > 0)
+    K = projectToPsdIfNeeded(K);
   return K;
 }

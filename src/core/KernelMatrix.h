@@ -34,10 +34,22 @@ struct KernelMatrixOptions {
   /// Worker threads for pairwise evaluation; 0 = hardware concurrency,
   /// 1 = inline (deterministic execution order).
   size_t Threads = 0;
+  /// Build every string's kernel precomputation (feature profile,
+  /// suffix automaton, ...) once up front and reuse it for all N-1
+  /// pairs — the O(N·build + N²·dot) fast path. Off = evaluate every
+  /// pair from scratch (the differential-testing baseline).
+  bool UsePrecompute = true;
 };
 
 /// Computes the full symmetric Gram matrix of \p Kernel over
 /// \p Strings.
+///
+/// Per-string work is amortized through StringKernel::precompute: all N
+/// precomputations are built in one parallelFor, then the N(N-1)/2
+/// upper-triangle entries are filled with evaluatePrepared. For
+/// ProfiledStringKernel instances the pair step is a sparse-profile dot
+/// product, turning Gram construction from O(N²·build) into
+/// O(N·build + N²·dot).
 Matrix computeKernelMatrix(const StringKernel &Kernel,
                            const std::vector<WeightedString> &Strings,
                            const KernelMatrixOptions &Options = {});

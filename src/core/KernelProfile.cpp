@@ -1,0 +1,45 @@
+//===- core/KernelProfile.cpp - Sparse feature profiles --------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KernelProfile.h"
+
+#include <algorithm>
+
+using namespace kast;
+
+void KernelProfile::finalize() {
+  std::sort(Entries.begin(), Entries.end(),
+            [](const ProfileEntry &L, const ProfileEntry &R) {
+              return L.Hash < R.Hash;
+            });
+  size_t Out = 0;
+  for (size_t In = 0; In < Entries.size();) {
+    uint64_t Hash = Entries[In].Hash;
+    double Value = 0.0;
+    while (In < Entries.size() && Entries[In].Hash == Hash)
+      Value += Entries[In++].Value;
+    if (Value != 0.0)
+      Entries[Out++] = {Hash, Value};
+  }
+  Entries.resize(Out);
+}
+
+double KernelProfile::dot(const KernelProfile &Rhs) const {
+  double Sum = 0.0;
+  size_t I = 0, J = 0;
+  const std::vector<ProfileEntry> &A = Entries;
+  const std::vector<ProfileEntry> &B = Rhs.Entries;
+  while (I < A.size() && J < B.size()) {
+    if (A[I].Hash < B[J].Hash)
+      ++I;
+    else if (B[J].Hash < A[I].Hash)
+      ++J;
+    else
+      Sum += A[I++].Value * B[J++].Value;
+  }
+  return Sum;
+}
+

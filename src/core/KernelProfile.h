@@ -1,0 +1,73 @@
+//===- core/KernelProfile.h - Sparse feature profiles ----------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-string feature representation of the profiled-kernel fast
+/// path. A KernelProfile is a flat, hash-sorted sparse vector of
+/// (feature hash, feature value) pairs: kernels that admit an explicit
+/// per-string embedding (the spectrum family, bag-of-words) emit one
+/// profile per string, and any pairwise kernel value is then the
+/// merge-join dot product of two profiles. Building all N profiles
+/// once and dotting the N(N-1)/2 pairs turns Gram-matrix construction
+/// from O(N²·build) into O(N·build + N²·dot); see KernelMatrix.
+///
+/// Features are identified by 64-bit hashes (util/Hashing.h) of their
+/// literal-id sequences, replacing the map<vector<uint32_t>, double>
+/// representation: no per-feature allocation, and the intersection of
+/// two profiles is a cache-friendly linear merge instead of O(n log n)
+/// tree probes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_CORE_KERNELPROFILE_H
+#define KAST_CORE_KERNELPROFILE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kast {
+
+/// One sparse feature: the hash of its literal sequence and its
+/// (decay- and weight-scaled) value in the string's embedding.
+struct ProfileEntry {
+  uint64_t Hash = 0;
+  double Value = 0.0;
+
+  bool operator==(const ProfileEntry &Rhs) const = default;
+};
+
+/// A flat sorted sparse feature vector.
+///
+/// Build protocol: add() every occurrence (duplicates allowed, in any
+/// order), then finalize() once, which sorts by hash and merges
+/// duplicate features by summing their values. dot() requires both
+/// operands to be finalized.
+class KernelProfile {
+public:
+  /// Appends one feature occurrence; cheap, unordered, duplicates OK.
+  void add(uint64_t Hash, double Value) { Entries.push_back({Hash, Value}); }
+
+  /// Sorts by hash and coalesces duplicate hashes (summing values).
+  /// Zero-valued features are dropped. Idempotent.
+  void finalize();
+
+  /// Merge-join inner product with \p Rhs; both must be finalized.
+  double dot(const KernelProfile &Rhs) const;
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+  void reserve(size_t N) { Entries.reserve(N); }
+
+  const std::vector<ProfileEntry> &entries() const { return Entries; }
+
+private:
+  std::vector<ProfileEntry> Entries;
+};
+
+} // namespace kast
+
+#endif // KAST_CORE_KERNELPROFILE_H

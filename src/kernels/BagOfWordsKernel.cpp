@@ -5,9 +5,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "kernels/BagOfWordsKernel.h"
+#include "util/Hashing.h"
 
 #include <cassert>
-#include <map>
 
 using namespace kast;
 
@@ -19,17 +19,16 @@ static bool isStructural(const std::string &Literal) {
          Literal == BlockLiteral || Literal == LevelUpLiteral;
 }
 
-/// Word multiset of \p X: values keyed by the literal-id sequence of
-/// each maximal non-structural run.
-static std::map<std::vector<uint32_t>, double>
-wordValues(const WeightedString &X, bool Weighted) {
-  std::map<std::vector<uint32_t>, double> Values;
-  std::vector<uint32_t> Word;
+KernelProfile BagOfWordsKernel::profile(const WeightedString &X) const {
+  KernelProfile P;
+  NgramHasher H;
+  size_t WordLength = 0;
   double Weight = 0.0;
   auto Flush = [&] {
-    if (!Word.empty())
-      Values[Word] += Weighted ? Weight : 1.0;
-    Word.clear();
+    if (WordLength > 0)
+      P.add(H.value(), Weighted ? Weight : 1.0);
+    H.reset();
+    WordLength = 0;
     Weight = 0.0;
   };
   for (size_t I = 0; I < X.size(); ++I) {
@@ -37,29 +36,13 @@ wordValues(const WeightedString &X, bool Weighted) {
       Flush();
       continue;
     }
-    Word.push_back(X.literalId(I));
+    H.append(X.literalId(I));
+    ++WordLength;
     Weight += static_cast<double>(X.weight(I));
   }
   Flush();
-  return Values;
-}
-
-double BagOfWordsKernel::evaluate(const WeightedString &A,
-                                  const WeightedString &B) const {
-  assert((A.empty() || B.empty() ||
-          A.table().get() == B.table().get()) &&
-         "kernel arguments must share one token table");
-  std::map<std::vector<uint32_t>, double> InA = wordValues(A, Weighted);
-  std::map<std::vector<uint32_t>, double> InB = wordValues(B, Weighted);
-  double Sum = 0.0;
-  const auto &Small = InA.size() <= InB.size() ? InA : InB;
-  const auto &Large = InA.size() <= InB.size() ? InB : InA;
-  for (const auto &[Key, Value] : Small) {
-    auto It = Large.find(Key);
-    if (It != Large.end())
-      Sum += Value * It->second;
-  }
-  return Sum;
+  P.finalize();
+  return P;
 }
 
 std::string BagOfWordsKernel::name() const {

@@ -24,13 +24,16 @@
 namespace kast {
 
 /// Bag-of-words kernel over structural-token-delimited runs.
-class BagOfWordsKernel : public StringKernel {
+///
+/// Profiled: one feature per distinct word (hashed literal-id run),
+/// valued by occurrence count or summed weight, so Gram matrices take
+/// the KernelMatrix fast path.
+class BagOfWordsKernel : public ProfiledStringKernel {
 public:
   /// \param Weighted count words by summed token weight instead of 1.
   explicit BagOfWordsKernel(bool Weighted = false);
 
-  double evaluate(const WeightedString &A,
-                  const WeightedString &B) const override;
+  KernelProfile profile(const WeightedString &X) const override;
   std::string name() const override;
 
 private:

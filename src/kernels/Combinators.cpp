@@ -7,8 +7,42 @@
 #include "kernels/Combinators.h"
 
 #include <cassert>
+#include <cmath>
 
 using namespace kast;
+
+namespace {
+
+/// One precomputation handle per component kernel. Entries may be
+/// nullptr when a part has nothing to precompute.
+struct CombinedPrecomputation final : KernelPrecomputation {
+  std::vector<std::unique_ptr<KernelPrecomputation>> Parts;
+};
+
+/// Inner handle plus the cached self-kernel k(x, x).
+struct NormalizedPrecomputation final : KernelPrecomputation {
+  std::unique_ptr<KernelPrecomputation> Inner;
+  double SelfKernel = 0.0;
+};
+
+/// Part I of a combined handle, or nullptr when \p Prep is absent.
+const KernelPrecomputation *part(const KernelPrecomputation *Prep, size_t I) {
+  if (!Prep)
+    return nullptr;
+  return static_cast<const CombinedPrecomputation *>(Prep)->Parts[I].get();
+}
+
+std::unique_ptr<KernelPrecomputation>
+precomputeParts(const std::vector<std::shared_ptr<StringKernel>> &Kernels,
+                const WeightedString &X) {
+  auto Prep = std::make_unique<CombinedPrecomputation>();
+  Prep->Parts.reserve(Kernels.size());
+  for (const std::shared_ptr<StringKernel> &K : Kernels)
+    Prep->Parts.push_back(K->precompute(X));
+  return Prep;
+}
+
+} // namespace
 
 SumKernel::SumKernel(std::vector<std::shared_ptr<StringKernel>> Parts)
     : Parts(std::move(Parts)), Weights(this->Parts.size(), 1.0) {
@@ -27,9 +61,22 @@ SumKernel::SumKernel(std::vector<std::shared_ptr<StringKernel>> Parts,
 
 double SumKernel::evaluate(const WeightedString &A,
                            const WeightedString &B) const {
+  return evaluatePrepared(A, nullptr, B, nullptr);
+}
+
+std::unique_ptr<KernelPrecomputation>
+SumKernel::precompute(const WeightedString &X) const {
+  return precomputeParts(Parts, X);
+}
+
+double SumKernel::evaluatePrepared(const WeightedString &A,
+                                   const KernelPrecomputation *PrepA,
+                                   const WeightedString &B,
+                                   const KernelPrecomputation *PrepB) const {
   double Sum = 0.0;
   for (size_t I = 0; I < Parts.size(); ++I)
-    Sum += Weights[I] * Parts[I]->evaluate(A, B);
+    Sum += Weights[I] * Parts[I]->evaluatePrepared(A, part(PrepA, I), B,
+                                                   part(PrepB, I));
   return Sum;
 }
 
@@ -51,9 +98,21 @@ ProductKernel::ProductKernel(
 
 double ProductKernel::evaluate(const WeightedString &A,
                                const WeightedString &B) const {
+  return evaluatePrepared(A, nullptr, B, nullptr);
+}
+
+std::unique_ptr<KernelPrecomputation>
+ProductKernel::precompute(const WeightedString &X) const {
+  return precomputeParts(Parts, X);
+}
+
+double ProductKernel::evaluatePrepared(
+    const WeightedString &A, const KernelPrecomputation *PrepA,
+    const WeightedString &B, const KernelPrecomputation *PrepB) const {
   double Product = 1.0;
-  for (const std::shared_ptr<StringKernel> &Part : Parts)
-    Product *= Part->evaluate(A, B);
+  for (size_t I = 0; I < Parts.size(); ++I)
+    Product *= Parts[I]->evaluatePrepared(A, part(PrepA, I), B,
+                                          part(PrepB, I));
   return Product;
 }
 
@@ -75,6 +134,29 @@ NormalizedKernel::NormalizedKernel(std::shared_ptr<StringKernel> Inner)
 double NormalizedKernel::evaluate(const WeightedString &A,
                                   const WeightedString &B) const {
   return Inner->evaluateNormalized(A, B);
+}
+
+std::unique_ptr<KernelPrecomputation>
+NormalizedKernel::precompute(const WeightedString &X) const {
+  auto Prep = std::make_unique<NormalizedPrecomputation>();
+  Prep->Inner = Inner->precompute(X);
+  Prep->SelfKernel =
+      Inner->evaluatePrepared(X, Prep->Inner.get(), X, Prep->Inner.get());
+  return Prep;
+}
+
+double NormalizedKernel::evaluatePrepared(
+    const WeightedString &A, const KernelPrecomputation *PrepA,
+    const WeightedString &B, const KernelPrecomputation *PrepB) const {
+  if (!PrepA || !PrepB)
+    return evaluate(A, B);
+  const auto *CachedA = static_cast<const NormalizedPrecomputation *>(PrepA);
+  const auto *CachedB = static_cast<const NormalizedPrecomputation *>(PrepB);
+  if (CachedA->SelfKernel <= 0.0 || CachedB->SelfKernel <= 0.0)
+    return 0.0;
+  double Kab = Inner->evaluatePrepared(A, CachedA->Inner.get(), B,
+                                       CachedB->Inner.get());
+  return Kab / std::sqrt(CachedA->SelfKernel * CachedB->SelfKernel);
 }
 
 std::string NormalizedKernel::name() const {

@@ -14,6 +14,14 @@
 ///
 /// Components are held by shared_ptr so combinators compose freely.
 ///
+/// All three combinators forward the per-string precomputation seam to
+/// their components (each part precomputes its own state — a profile
+/// for profiled parts, a suffix automaton for the Kast kernel), so a
+/// composite kernel still takes the O(N·build + N²·combine) Gram fast
+/// path of KernelMatrix. NormalizedKernel additionally caches the
+/// self-kernel k(x,x) per string, which the unprepared path recomputes
+/// for every pair.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef KAST_KERNELS_COMBINATORS_H
@@ -36,6 +44,12 @@ public:
 
   double evaluate(const WeightedString &A,
                   const WeightedString &B) const override;
+  std::unique_ptr<KernelPrecomputation>
+  precompute(const WeightedString &X) const override;
+  double evaluatePrepared(const WeightedString &A,
+                          const KernelPrecomputation *PrepA,
+                          const WeightedString &B,
+                          const KernelPrecomputation *PrepB) const override;
   std::string name() const override;
 
 private:
@@ -51,6 +65,12 @@ public:
 
   double evaluate(const WeightedString &A,
                   const WeightedString &B) const override;
+  std::unique_ptr<KernelPrecomputation>
+  precompute(const WeightedString &X) const override;
+  double evaluatePrepared(const WeightedString &A,
+                          const KernelPrecomputation *PrepA,
+                          const WeightedString &B,
+                          const KernelPrecomputation *PrepB) const override;
   std::string name() const override;
 
 private:
@@ -65,6 +85,12 @@ public:
 
   double evaluate(const WeightedString &A,
                   const WeightedString &B) const override;
+  std::unique_ptr<KernelPrecomputation>
+  precompute(const WeightedString &X) const override;
+  double evaluatePrepared(const WeightedString &A,
+                          const KernelPrecomputation *PrepA,
+                          const WeightedString &B,
+                          const KernelPrecomputation *PrepB) const override;
   std::string name() const override;
 
 private:

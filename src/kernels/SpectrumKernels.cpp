@@ -5,10 +5,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "kernels/SpectrumKernels.h"
+#include "util/Hashing.h"
 
 #include <cassert>
 #include <cmath>
-#include <map>
 
 using namespace kast;
 
@@ -18,52 +18,41 @@ SpectrumFamilyKernel::SpectrumFamilyKernel(SpectrumOptions Options)
          "bad spectrum length range");
 }
 
-/// Aggregated value of every l-gram of \p X for one length.
-static std::map<std::vector<uint32_t>, double>
-gramValues(const WeightedString &X, size_t Length,
-           const SpectrumOptions &Options) {
-  std::map<std::vector<uint32_t>, double> Values;
+KernelProfile SpectrumFamilyKernel::profile(const WeightedString &X) const {
+  KernelProfile P;
   const std::vector<uint32_t> &Ids = X.literalIds();
-  if (Length > Ids.size())
-    return Values;
-  for (size_t I = 0; I + Length <= Ids.size(); ++I) {
-    double Contribution = 1.0;
-    if (Options.Weighted) {
-      uint64_t W = X.rangeWeight(I, I + Length);
-      if (W < Options.CutWeight)
-        continue;
-      Contribution = static_cast<double>(W);
-    }
-    std::vector<uint32_t> Key(Ids.begin() + I, Ids.begin() + I + Length);
-    Values[std::move(Key)] += Contribution;
-  }
-  return Values;
-}
+  const size_t N = Ids.size();
+  if (N < Options.MinLength)
+    return P;
 
-double SpectrumFamilyKernel::evaluate(const WeightedString &A,
-                                      const WeightedString &B) const {
-  assert((A.empty() || B.empty() ||
-          A.table().get() == B.table().get()) &&
-         "kernel arguments must share one token table");
-  double Sum = 0.0;
-  for (size_t L = Options.MinLength; L <= Options.MaxLength; ++L) {
-    std::map<std::vector<uint32_t>, double> InA = gramValues(A, L, Options);
-    if (InA.empty())
-      continue;
-    std::map<std::vector<uint32_t>, double> InB = gramValues(B, L, Options);
-    double LengthSum = 0.0;
-    // Iterate the smaller map, probe the larger.
-    const auto &Small = InA.size() <= InB.size() ? InA : InB;
-    const auto &Large = InA.size() <= InB.size() ? InB : InA;
-    for (const auto &[Key, Value] : Small) {
-      auto It = Large.find(Key);
-      if (It != Large.end())
-        LengthSum += Value * It->second;
+  // lambda^l per length; dotting two profiles yields lambda^(2l).
+  std::vector<double> Decay(Options.MaxLength + 1, 1.0);
+  if (Options.Lambda != 1.0)
+    for (size_t L = 1; L <= Options.MaxLength; ++L)
+      Decay[L] = Decay[L - 1] * Options.Lambda;
+
+  const size_t Lengths =
+      std::min(Options.MaxLength, N) - Options.MinLength + 1;
+  P.reserve(N * Lengths);
+  for (size_t I = 0; I < N; ++I) {
+    NgramHasher H;
+    const size_t Limit = std::min(Options.MaxLength, N - I);
+    for (size_t L = 1; L <= Limit; ++L) {
+      H.append(Ids[I + L - 1]);
+      if (L < Options.MinLength)
+        continue;
+      double Contribution = 1.0;
+      if (Options.Weighted) {
+        uint64_t W = X.rangeWeight(I, I + L);
+        if (W < Options.CutWeight)
+          continue;
+        Contribution = static_cast<double>(W);
+      }
+      P.add(H.value(), Decay[L] * Contribution);
     }
-    double Decay = std::pow(Options.Lambda, 2.0 * static_cast<double>(L));
-    Sum += Decay * LengthSum;
   }
-  return Sum;
+  P.finalize();
+  return P;
 }
 
 std::string SpectrumFamilyKernel::name() const {

@@ -48,12 +48,16 @@ struct SpectrumOptions {
 };
 
 /// Engine shared by the concrete baselines below.
-class SpectrumFamilyKernel : public StringKernel {
+///
+/// Profiled: the embedding of a string is one feature per distinct
+/// l-gram (l = MinLength..MaxLength) valued lambda^l * v_g(x), so the
+/// profile dot reproduces the lambda^(2l)-decayed sum above and Gram
+/// matrices take the O(N·build + N²·dot) fast path of KernelMatrix.
+class SpectrumFamilyKernel : public ProfiledStringKernel {
 public:
   explicit SpectrumFamilyKernel(SpectrumOptions Options);
 
-  double evaluate(const WeightedString &A,
-                  const WeightedString &B) const override;
+  KernelProfile profile(const WeightedString &X) const override;
   std::string name() const override;
 
   const SpectrumOptions &options() const { return Options; }

@@ -98,9 +98,9 @@ EigenDecomposition kast::eigenSymmetric(const Matrix &Input,
   return Result;
 }
 
-Matrix kast::projectToPsd(const Matrix &A, const JacobiOptions &Options) {
-  EigenDecomposition E = eigenSymmetric(A, Options);
-  const size_t N = A.rows();
+/// Rebuilds sum over non-negative eigenvalues of lambda * v v^T from a
+/// computed decomposition; shared by the two PSD projections.
+static Matrix rebuildClipped(const EigenDecomposition &E, size_t N) {
   Matrix Out(N, N, 0.0);
   // Out = sum over non-negative eigenvalues of lambda * v v^T.
   for (size_t K = 0; K < N; ++K) {
@@ -123,6 +123,18 @@ Matrix kast::projectToPsd(const Matrix &A, const JacobiOptions &Options) {
       Out.at(J, I) = Mean;
     }
   return Out;
+}
+
+Matrix kast::projectToPsd(const Matrix &A, const JacobiOptions &Options) {
+  return rebuildClipped(eigenSymmetric(A, Options), A.rows());
+}
+
+Matrix kast::projectToPsdIfNeeded(const Matrix &A,
+                                  const JacobiOptions &Options) {
+  EigenDecomposition E = eigenSymmetric(A, Options);
+  if (E.Values.empty() || E.Values.back() >= 0.0)
+    return A;
+  return rebuildClipped(E, A.rows());
 }
 
 double kast::minEigenvalue(const Matrix &A, const JacobiOptions &Options) {

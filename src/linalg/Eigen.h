@@ -61,6 +61,13 @@ EigenDecomposition eigenSymmetric(const Matrix &A,
 /// The result is re-symmetrized to remove rounding asymmetry.
 Matrix projectToPsd(const Matrix &A, const JacobiOptions &Options = {});
 
+/// Like projectToPsd, but returns \p A unchanged when its spectrum is
+/// already non-negative — and decides that from the same single
+/// eigendecomposition the rebuild uses, where the minEigenvalue-then-
+/// projectToPsd sequence costs two.
+Matrix projectToPsdIfNeeded(const Matrix &A,
+                            const JacobiOptions &Options = {});
+
 /// \returns the smallest eigenvalue of symmetric \p A.
 double minEigenvalue(const Matrix &A, const JacobiOptions &Options = {});
 
