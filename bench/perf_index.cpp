@@ -1,0 +1,118 @@
+//===- bench/perf_index.cpp - retrieval-scale growth benchmarks ------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The corpus-growth story in numbers: extending an existing Gram matrix
+// with KernelMatrix::appendRows versus recomputing it from scratch, and
+// top-k profile-index queries versus the full-matrix detour they
+// replace. Args are {N, M}: N already-indexed strings, M arriving ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KernelMatrix.h"
+#include "index/ProfileIndex.h"
+#include "kernels/SpectrumKernels.h"
+#include "util/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+using namespace kast;
+
+namespace {
+
+WeightedString randomString(const std::shared_ptr<TokenTable> &Table,
+                            Rng &R, size_t Length, uint32_t Alphabet) {
+  WeightedString S(Table);
+  for (size_t I = 0; I < Length; ++I)
+    S.append("t" + std::to_string(R.uniformInt(0, Alphabet - 1)),
+             R.uniformInt(1, 16));
+  return S;
+}
+
+/// Random corpus of N strings (length 64, alphabet 12); one per size.
+const std::vector<WeightedString> &randomCorpus(size_t N) {
+  static auto Table = TokenTable::create();
+  static std::map<size_t, std::vector<WeightedString>> Cache;
+  auto [It, Inserted] = Cache.try_emplace(N);
+  if (Inserted) {
+    Rng R(N * 7919 + 13);
+    for (size_t I = 0; I < N; ++I)
+      It->second.push_back(randomString(Table, R, 64, 12));
+  }
+  return It->second;
+}
+
+BlendedSpectrumKernel &kernel() {
+  static BlendedSpectrumKernel K(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+  return K;
+}
+
+/// Growing an N-string Gram by M rows: only the N·M + M(M+1)/2 new
+/// entries are evaluated; the base build runs outside the timed region.
+void BM_GramAppendRows(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const size_t M = static_cast<size_t>(State.range(1));
+  const std::vector<WeightedString> &All = randomCorpus(N + M);
+  std::vector<WeightedString> Base(All.begin(), All.begin() + N);
+  std::vector<WeightedString> Extra(All.begin() + N, All.end());
+  for (auto _ : State) {
+    State.PauseTiming();
+    KernelMatrix Gram(kernel(), {});
+    Gram.appendRows(Base);
+    State.ResumeTiming();
+    Gram.appendRows(Extra);
+    benchmark::DoNotOptimize(Gram.raw().data().data());
+  }
+}
+BENCHMARK(BM_GramAppendRows)
+    ->Args({96, 32})
+    ->Args({256, 32})
+    ->Args({1024, 32})
+    ->Unit(benchmark::kMillisecond);
+
+/// The alternative appendRows replaces: recomputing the whole
+/// (N+M)×(N+M) matrix when M strings arrive.
+void BM_GramRecomputeAfterArrival(benchmark::State &State) {
+  const std::vector<WeightedString> &All =
+      randomCorpus(static_cast<size_t>(State.range(0)) +
+                   static_cast<size_t>(State.range(1)));
+  KernelMatrixOptions Options;
+  Options.Normalize = false;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeKernelMatrix(kernel(), All, Options));
+}
+BENCHMARK(BM_GramRecomputeAfterArrival)
+    ->Args({96, 32})
+    ->Args({256, 32})
+    ->Args({1024, 32})
+    ->Unit(benchmark::kMillisecond);
+
+/// One top-k query against an N-string index: O(N · dot), the
+/// retrieval hot path.
+void BM_IndexQueryTop5(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const std::vector<WeightedString> &Corpus = randomCorpus(N + 1);
+  ProfileIndex Index = ProfileIndex::build(
+      kernel(), {Corpus.begin(), Corpus.begin() + N});
+  KernelProfile Query = kernel().profile(Corpus[N]);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Index.query(Query, 5));
+}
+BENCHMARK(BM_IndexQueryTop5)->Arg(128)->Arg(1024)->Arg(8192);
+
+/// Building the index itself (N profiles + norms, parallel).
+void BM_IndexBuild(benchmark::State &State) {
+  const std::vector<WeightedString> &Corpus =
+      randomCorpus(static_cast<size_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(ProfileIndex::build(kernel(), Corpus));
+}
+BENCHMARK(BM_IndexBuild)->Arg(128)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

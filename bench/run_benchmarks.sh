@@ -6,6 +6,7 @@
 #
 #   BENCH_kernels.json   <- bench/perf_kernels
 #   BENCH_pipeline.json  <- bench/perf_pipeline
+#   BENCH_index.json     <- bench/perf_index  (append-vs-recompute, queries)
 #
 # Usage:
 #   bench/run_benchmarks.sh [output-dir]
@@ -47,5 +48,7 @@ run_bench() {
 
 run_bench perf_kernels "$OUT_DIR/BENCH_kernels.json"
 run_bench perf_pipeline "$OUT_DIR/BENCH_pipeline.json"
+run_bench perf_index "$OUT_DIR/BENCH_index.json"
 
-echo "done: $OUT_DIR/BENCH_kernels.json $OUT_DIR/BENCH_pipeline.json"
+echo "done: $OUT_DIR/BENCH_kernels.json $OUT_DIR/BENCH_pipeline.json" \
+     "$OUT_DIR/BENCH_index.json"

@@ -8,66 +8,128 @@
 #include "linalg/Eigen.h"
 #include "util/ThreadPool.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
-#include <memory>
 
 using namespace kast;
 
-Matrix kast::computeKernelMatrix(const StringKernel &Kernel,
-                                 const std::vector<WeightedString> &Strings,
-                                 const KernelMatrixOptions &Options) {
-  const size_t N = Strings.size();
-  Matrix K(N, N, 0.0);
+GramPair kast::invertTrianglePairIndex(size_t P, size_t N) {
+  assert(N >= 2 && P < N * (N - 1) / 2 && "pair index out of range");
+  // rowStart(i) = i*(2N - i - 1)/2; the largest i with
+  // rowStart(i) <= p solves i² - (2N-1)i + 2p = 0. The float root can
+  // be off by one, so nudge it exact.
+  auto RowStart = [N](size_t I) { return I * (2 * N - I - 1) / 2; };
+  double Disc =
+      (2.0 * N - 1.0) * (2.0 * N - 1.0) - 8.0 * static_cast<double>(P);
+  size_t I = static_cast<size_t>(
+      (2.0 * N - 1.0 - std::sqrt(Disc > 0.0 ? Disc : 0.0)) / 2.0);
+  if (I >= N - 1)
+    I = N - 2;
+  while (I > 0 && RowStart(I) > P)
+    --I;
+  while (I + 1 < N - 1 && RowStart(I + 1) <= P)
+    ++I;
+  return {I, I + 1 + (P - RowStart(I))};
+}
 
-  // Per-string precomputation, amortized across the N-1 pairs each
-  // string participates in: profiled kernels build their feature
-  // profile here (making the fill below O(N·build + N²·dot) instead of
-  // O(N²·build)), the Kast kernel builds its reversed suffix automata,
-  // and plain kernels return nullptr at zero cost.
-  std::vector<std::unique_ptr<KernelPrecomputation>> Prep(N);
+GramPair kast::invertAppendPairIndex(size_t P, size_t OldN) {
+  // New row OldN + R pairs with every earlier string (old and new), so
+  // its pairs start at offset(R) = R*OldN + R(R-1)/2. The largest R
+  // with offset(R) <= p solves R² + (2*OldN - 1)R - 2p = 0; same
+  // float-root nudge as above.
+  auto Offset = [OldN](size_t R) { return R * OldN + R * (R - 1) / 2; };
+  double B = 2.0 * static_cast<double>(OldN) - 1.0;
+  double Root =
+      (std::sqrt(B * B + 8.0 * static_cast<double>(P)) - B) / 2.0;
+  size_t R = Root > 0.0 ? static_cast<size_t>(Root) : 0;
+  while (R > 0 && Offset(R) > P)
+    --R;
+  while (Offset(R + 1) <= P)
+    ++R;
+  return {OldN + R, P - Offset(R)};
+}
+
+KernelMatrix::KernelMatrix(const StringKernel &Kernel,
+                           KernelMatrixOptions Options)
+    : Kernel(Kernel), Options(Options) {}
+
+void KernelMatrix::appendRows(const std::vector<WeightedString> &NewStrings) {
+  const size_t OldN = Strings.size();
+  const size_t M = NewStrings.size();
+  if (M == 0)
+    return;
+  const size_t N = OldN + M;
+
+  Strings.insert(Strings.end(), NewStrings.begin(), NewStrings.end());
+
+  // Per-string precomputation for the new rows only, amortized across
+  // every pair each new string participates in: profiled kernels build
+  // their feature profile here, the Kast kernel its reversed suffix
+  // automata, and plain kernels return nullptr at zero cost. The old
+  // rows keep the handles built when they were appended.
+  Prep.resize(N);
   if (Options.UsePrecompute)
     parallelFor(
-        N, [&](size_t I) { Prep[I] = Kernel.precompute(Strings[I]); },
+        M,
+        [&](size_t I) { Prep[OldN + I] = Kernel.precompute(Strings[OldN + I]); },
         Options.Threads);
 
-  // Diagonal first; needed for normalization anyway.
-  std::vector<double> Diag(N, 0.0);
+  // Grow the raw matrix by copying the existing block row-wise — a
+  // memory move, never a kernel re-evaluation.
+  Matrix Grown(N, N, 0.0);
+  for (size_t I = 0; I < OldN; ++I)
+    std::copy(Raw.data().begin() + static_cast<ptrdiff_t>(I * OldN),
+              Raw.data().begin() + static_cast<ptrdiff_t>((I + 1) * OldN),
+              Grown.data().begin() + static_cast<ptrdiff_t>(I * N));
+  Raw = std::move(Grown);
+
+  // New diagonal entries; needed for normalization anyway.
+  Diag.resize(N, 0.0);
   parallelFor(
-      N,
+      M,
       [&](size_t I) {
-        Diag[I] = Kernel.evaluatePrepared(Strings[I], Prep[I].get(),
-                                          Strings[I], Prep[I].get());
-        K.at(I, I) = Diag[I];
+        const size_t Row = OldN + I;
+        Diag[Row] = Kernel.evaluatePrepared(Strings[Row], Prep[Row].get(),
+                                            Strings[Row], Prep[Row].get());
+        Raw.at(Row, Row) = Diag[Row];
       },
       Options.Threads);
 
-  // Strict upper triangle, flattened: pair p -> (i, j) with
-  // p = rowStart(i) + (j - i - 1) and rowStart(i) = i*(2N - i - 1)/2.
-  const size_t NumPairs = N < 2 ? 0 : N * (N - 1) / 2;
-  auto RowStart = [N](size_t I) { return I * (2 * N - I - 1) / 2; };
-  parallelFor(
-      NumPairs,
-      [&](size_t P) {
-        // Closed-form triangular-number inversion: the largest i with
-        // rowStart(i) <= p solves i² - (2N-1)i + 2p = 0. The float
-        // root can be off by one, so nudge it exact.
-        double Disc = (2.0 * N - 1.0) * (2.0 * N - 1.0) -
-                      8.0 * static_cast<double>(P);
-        size_t I = static_cast<size_t>(
-            (2.0 * N - 1.0 - std::sqrt(Disc)) / 2.0);
-        if (I >= N - 1)
-          I = N - 2;
-        while (I > 0 && RowStart(I) > P)
-          --I;
-        while (I + 1 < N - 1 && RowStart(I + 1) <= P)
-          ++I;
-        size_t J = I + 1 + (P - RowStart(I));
-        double V = Kernel.evaluatePrepared(Strings[I], Prep[I].get(),
-                                           Strings[J], Prep[J].get());
-        K.at(I, J) = V;
-        K.at(J, I) = V;
-      },
-      Options.Threads);
+  // The entries the new strings introduce: the OldN × M rectangle plus
+  // the M(M-1)/2 new-pair triangle. The initial build (OldN == 0) is
+  // the plain strict upper triangle and keeps the seed's flattened
+  // enumeration order.
+  auto Fill = [&](size_t I, size_t J) {
+    double V = Kernel.evaluatePrepared(Strings[I], Prep[I].get(), Strings[J],
+                                       Prep[J].get());
+    Raw.at(I, J) = V;
+    Raw.at(J, I) = V;
+  };
+  if (OldN == 0) {
+    const size_t NumPairs = N < 2 ? 0 : N * (N - 1) / 2;
+    parallelFor(
+        NumPairs,
+        [&](size_t P) {
+          GramPair Pair = invertTrianglePairIndex(P, N);
+          Fill(Pair.I, Pair.J);
+        },
+        Options.Threads);
+  } else {
+    const size_t NumNewPairs = OldN * M + M * (M - 1) / 2;
+    parallelFor(
+        NumNewPairs,
+        [&](size_t P) {
+          GramPair Pair = invertAppendPairIndex(P, OldN);
+          Fill(Pair.I, Pair.J);
+        },
+        Options.Threads);
+  }
+}
+
+Matrix KernelMatrix::materialize() const {
+  const size_t N = Strings.size();
+  Matrix K = Raw;
 
   if (Options.Normalize) {
     parallelFor(
@@ -87,4 +149,12 @@ Matrix kast::computeKernelMatrix(const StringKernel &Kernel,
   if (Options.RepairPsd && N > 0)
     K = projectToPsdIfNeeded(K);
   return K;
+}
+
+Matrix kast::computeKernelMatrix(const StringKernel &Kernel,
+                                 const std::vector<WeightedString> &Strings,
+                                 const KernelMatrixOptions &Options) {
+  KernelMatrix Gram(Kernel, Options);
+  Gram.appendRows(Strings);
+  return Gram.materialize();
 }

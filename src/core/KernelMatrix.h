@@ -10,6 +10,17 @@
 /// normalization (Eq. 12) and PSD repair by negative-eigenvalue
 /// clipping (§4.1). Pairwise evaluations run in parallel.
 ///
+/// Two entry points:
+///
+///   * computeKernelMatrix — one-shot: the whole corpus in, the
+///     post-processed matrix out.
+///   * KernelMatrix — stateful and incrementally growable: appendRows
+///     extends an existing N×N Gram to (N+M)×(N+M) by evaluating only
+///     the N·M + M(M+1)/2 entries the new strings introduce, reusing
+///     the cached per-string precomputations for the old rows. This is
+///     what lets a served corpus grow one batch of traces at a time
+///     without the O(N²·dot) rebuild.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef KAST_CORE_KERNELMATRIX_H
@@ -18,6 +29,7 @@
 #include "core/StringKernel.h"
 #include "linalg/Matrix.h"
 
+#include <memory>
 #include <vector>
 
 namespace kast {
@@ -41,8 +53,81 @@ struct KernelMatrixOptions {
   bool UsePrecompute = true;
 };
 
+/// A pair of string indices into a Gram matrix.
+struct GramPair {
+  size_t I = 0;
+  size_t J = 0;
+
+  bool operator==(const GramPair &Rhs) const = default;
+};
+
+/// Closed-form inversion of the flattened strict-upper-triangle index:
+/// over N strings, pair P in [0, N(N-1)/2) maps to (I, J) with I < J
+/// and P = I(2N-I-1)/2 + (J-I-1). One sqrt plus a ±1 nudge for the
+/// float root; exposed so the randomized differential test can compare
+/// it against a loop-based inversion.
+GramPair invertTrianglePairIndex(size_t P, size_t N);
+
+/// Closed-form inversion of the flattened append-fill index: with
+/// \p OldN existing rows, new-pair P maps to (I, J) with I >= OldN,
+/// J < I, and P = R·OldN + R(R-1)/2 + J where R = I - OldN. Covers
+/// both the old-vs-new rectangle and the new-vs-new triangle in one
+/// index space; exposed for the same differential test.
+GramPair invertAppendPairIndex(size_t P, size_t OldN);
+
+/// Incrementally grown Gram matrix over one kernel.
+///
+/// Owns the raw (unnormalized) symmetric kernel matrix of the strings
+/// appended so far, plus each string's precomputation handle and
+/// self-kernel value. Post-processing (normalization, PSD repair) is
+/// applied by materialize() to a copy, so the raw state stays
+/// growable. \p Kernel is captured by reference and must outlive the
+/// KernelMatrix.
+class KernelMatrix {
+public:
+  explicit KernelMatrix(const StringKernel &Kernel,
+                        KernelMatrixOptions Options = {});
+
+  /// Appends \p NewStrings, precomputing their per-string state and
+  /// evaluating only the entries they introduce: M self-kernels, the
+  /// old-N × M rectangle and the M(M-1)/2 new-pair triangle. No
+  /// existing entry is re-evaluated.
+  void appendRows(const std::vector<WeightedString> &NewStrings);
+
+  /// Number of strings appended so far.
+  size_t size() const { return Strings.size(); }
+
+  /// The raw (unnormalized, un-repaired) symmetric kernel matrix.
+  const Matrix &raw() const { return Raw; }
+
+  /// Raw self-kernel values k(i, i) (the diagonal of raw()).
+  const std::vector<double> &diagonal() const { return Diag; }
+
+  /// The strings appended so far, in order.
+  const std::vector<WeightedString> &strings() const { return Strings; }
+
+  /// The cached precomputation handle of string \p I (nullptr when
+  /// UsePrecompute is off or the kernel has nothing to precompute).
+  const KernelPrecomputation *precomputation(size_t I) const {
+    return Prep[I].get();
+  }
+
+  /// A copy of raw() with the configured post-processing applied:
+  /// cosine normalization (zero-self-kernel rows get zero
+  /// off-diagonals and an exact unit diagonal) and PSD repair.
+  Matrix materialize() const;
+
+private:
+  const StringKernel &Kernel;
+  KernelMatrixOptions Options;
+  std::vector<WeightedString> Strings;
+  std::vector<std::unique_ptr<KernelPrecomputation>> Prep;
+  std::vector<double> Diag;
+  Matrix Raw;
+};
+
 /// Computes the full symmetric Gram matrix of \p Kernel over
-/// \p Strings.
+/// \p Strings (one-shot KernelMatrix build + materialize).
 ///
 /// Per-string work is amortized through StringKernel::precompute: all N
 /// precomputations are built in one parallelFor, then the N(N-1)/2

@@ -23,6 +23,15 @@ WeightedString Pipeline::convert(const Trace &T) const {
   return convertDetailed(T).String;
 }
 
+std::vector<WeightedString>
+Pipeline::convertAll(const std::vector<Trace> &Ts) const {
+  std::vector<WeightedString> Strings;
+  Strings.reserve(Ts.size());
+  for (const Trace &T : Ts)
+    Strings.push_back(convert(T));
+  return Strings;
+}
+
 PipelineResult Pipeline::convertDetailed(const Trace &T) const {
   PipelineResult Result;
   Result.Tree = buildTree(T, Opts.Builder);

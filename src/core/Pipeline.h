@@ -56,6 +56,12 @@ public:
   /// trace).
   WeightedString convert(const Trace &T) const;
 
+  /// Converts a batch of traces — the unit incremental Gram growth
+  /// (KernelMatrix::appendRows) and index insertion operate on. All
+  /// outputs share this pipeline's TokenTable, so strings from
+  /// successive batches stay kernel-comparable.
+  std::vector<WeightedString> convertAll(const std::vector<Trace> &Ts) const;
+
   /// Converts and returns every intermediate stage.
   PipelineResult convertDetailed(const Trace &T) const;
 

@@ -1,0 +1,191 @@
+//===- core/ProfileSerializer.cpp - Profile cache on disk ------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProfileSerializer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <optional>
+
+using namespace kast;
+
+namespace {
+
+// Fixed-width little-endian encoding, independent of host endianness,
+// so caches are portable across machines.
+
+void writeU32(std::ostream &Out, uint32_t V) {
+  char Bytes[4];
+  for (int I = 0; I < 4; ++I)
+    Bytes[I] = static_cast<char>((V >> (8 * I)) & 0xFF);
+  Out.write(Bytes, sizeof(Bytes));
+}
+
+void writeU64(std::ostream &Out, uint64_t V) {
+  char Bytes[8];
+  for (int I = 0; I < 8; ++I)
+    Bytes[I] = static_cast<char>((V >> (8 * I)) & 0xFF);
+  Out.write(Bytes, sizeof(Bytes));
+}
+
+void writeStringField(std::ostream &Out, const std::string &S) {
+  writeU32(Out, static_cast<uint32_t>(S.size()));
+  Out.write(S.data(), static_cast<std::streamsize>(S.size()));
+}
+
+std::optional<uint32_t> readU32(std::istream &In) {
+  unsigned char Bytes[4];
+  if (!In.read(reinterpret_cast<char *>(Bytes), sizeof(Bytes)))
+    return std::nullopt;
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(Bytes[I]) << (8 * I);
+  return V;
+}
+
+std::optional<uint64_t> readU64(std::istream &In) {
+  unsigned char Bytes[8];
+  if (!In.read(reinterpret_cast<char *>(Bytes), sizeof(Bytes)))
+    return std::nullopt;
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(Bytes[I]) << (8 * I);
+  return V;
+}
+
+/// Guards string-field allocations against corrupt length prefixes.
+constexpr uint32_t MaxStringField = 1u << 24;
+
+/// Guards count-driven reserve() against corrupt count fields: never
+/// pre-reserve more than this many elements — larger (honest) counts
+/// just grow through push_back, while a corrupt 2^60 count surfaces as
+/// a truncation diagnostic on the first missing entry instead of as
+/// std::bad_alloc.
+constexpr uint64_t MaxReserve = 1u << 20;
+
+std::optional<std::string> readStringField(std::istream &In) {
+  std::optional<uint32_t> Size = readU32(In);
+  if (!Size || *Size > MaxStringField)
+    return std::nullopt;
+  std::string S(*Size, '\0');
+  if (*Size > 0 && !In.read(S.data(), static_cast<std::streamsize>(*Size)))
+    return std::nullopt;
+  return S;
+}
+
+} // namespace
+
+void kast::writeProfile(const KernelProfile &P, std::ostream &Out) {
+  writeU64(Out, static_cast<uint64_t>(P.size()));
+  for (const ProfileEntry &E : P.entries()) {
+    writeU64(Out, E.Hash);
+    writeU64(Out, std::bit_cast<uint64_t>(E.Value));
+  }
+}
+
+Expected<KernelProfile> kast::readProfile(std::istream &In) {
+  using Result = Expected<KernelProfile>;
+  std::optional<uint64_t> Count = readU64(In);
+  if (!Count)
+    return Result::error("truncated profile: missing entry count");
+  KernelProfile P;
+  P.reserve(static_cast<size_t>(std::min(*Count, MaxReserve)));
+  for (uint64_t I = 0; I < *Count; ++I) {
+    std::optional<uint64_t> Hash = readU64(In);
+    std::optional<uint64_t> Bits = readU64(In);
+    if (!Hash || !Bits)
+      return Result::error("truncated profile: entry " + std::to_string(I) +
+                           " of " + std::to_string(*Count));
+    P.add(*Hash, std::bit_cast<double>(*Bits));
+  }
+  // Written profiles are finalized (sorted, coalesced, no zeros), so
+  // this is a bit-exact no-op for well-formed input and a repair pass
+  // for hand-edited or corrupt entry orderings.
+  P.finalize();
+  return P;
+}
+
+Status kast::writeProfileCache(const ProfileCache &Cache, std::ostream &Out) {
+  Out.write(ProfileCacheMagic, sizeof(ProfileCacheMagic));
+  writeU32(Out, ProfileCacheVersion);
+  writeStringField(Out, Cache.KernelName);
+  writeU64(Out, static_cast<uint64_t>(Cache.Records.size()));
+  for (const ProfileRecord &R : Cache.Records) {
+    writeStringField(Out, R.Name);
+    writeStringField(Out, R.Label);
+    writeProfile(R.Profile, Out);
+  }
+  if (!Out)
+    return Status::error("profile cache write failed");
+  return Status();
+}
+
+Expected<ProfileCache> kast::readProfileCache(std::istream &In) {
+  using Result = Expected<ProfileCache>;
+  char Magic[sizeof(ProfileCacheMagic)];
+  if (!In.read(Magic, sizeof(Magic)) ||
+      std::memcmp(Magic, ProfileCacheMagic, sizeof(Magic)) != 0)
+    return Result::error("not a profile cache (bad magic)");
+  std::optional<uint32_t> Version = readU32(In);
+  if (!Version)
+    return Result::error("truncated profile cache: missing version");
+  if (*Version != ProfileCacheVersion)
+    return Result::error("unsupported profile cache version " +
+                         std::to_string(*Version) + " (expected " +
+                         std::to_string(ProfileCacheVersion) + ")");
+  std::optional<std::string> KernelName = readStringField(In);
+  if (!KernelName)
+    return Result::error("truncated profile cache: missing kernel name");
+  std::optional<uint64_t> Count = readU64(In);
+  if (!Count)
+    return Result::error("truncated profile cache: missing record count");
+
+  ProfileCache Cache;
+  Cache.KernelName = std::move(*KernelName);
+  Cache.Records.reserve(static_cast<size_t>(std::min(*Count, MaxReserve)));
+  for (uint64_t I = 0; I < *Count; ++I) {
+    std::optional<std::string> Name = readStringField(In);
+    std::optional<std::string> Label = readStringField(In);
+    if (!Name || !Label)
+      return Result::error("truncated profile cache: record " +
+                           std::to_string(I) + " of " +
+                           std::to_string(*Count));
+    Expected<KernelProfile> P = readProfile(In);
+    if (!P)
+      return Result::error("record " + std::to_string(I) + " ('" + *Name +
+                           "'): " + P.message());
+    Cache.Records.push_back(
+        {std::move(*Name), std::move(*Label), P.take()});
+  }
+  return Cache;
+}
+
+Status kast::writeProfileCacheFile(const ProfileCache &Cache,
+                                   const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return Status::error("cannot open '" + Path + "' for writing");
+  Status S = writeProfileCache(Cache, Out);
+  if (!S)
+    return Status::error("'" + Path + "': " + S.message());
+  Out.close();
+  if (!Out)
+    return Status::error("cannot flush '" + Path + "'");
+  return Status();
+}
+
+Expected<ProfileCache> kast::readProfileCacheFile(const std::string &Path) {
+  using Result = Expected<ProfileCache>;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Result::error("cannot open '" + Path + "'");
+  Expected<ProfileCache> Cache = readProfileCache(In);
+  if (!Cache)
+    return Result::error("'" + Path + "': " + Cache.message());
+  return Cache;
+}

@@ -1,0 +1,82 @@
+//===- core/ProfileSerializer.h - Profile cache on disk --------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary, versioned serialization for KernelProfile and labeled
+/// profile collections — the on-disk half of the retrieval pipeline:
+/// per-string profiles are computed once, cached, and reloaded
+/// bit-exactly, so Gram growth (KernelMatrix::appendRows) and index
+/// queries (index/ProfileIndex) never rebuild a profile the corpus
+/// already paid for.
+///
+/// File layout (all integers little-endian, doubles as IEEE-754 bit
+/// patterns — round-trips are bit-exact by construction):
+///
+///   magic   8 bytes   "KASTPROF"
+///   version u32       1
+///   kernel  string    name() of the producing kernel
+///   count   u64       number of records
+///   record: name string, label string, nnz u64,
+///           nnz × (hash u64, value-bits u64)
+///
+/// where `string` is a u32 byte length followed by the bytes. Readers
+/// reject bad magic, unknown versions, and truncated input with a
+/// diagnostic Expected error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_CORE_PROFILESERIALIZER_H
+#define KAST_CORE_PROFILESERIALIZER_H
+
+#include "core/KernelProfile.h"
+#include "util/Error.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// The on-disk magic and the current (only) format version.
+inline constexpr char ProfileCacheMagic[8] = {'K', 'A', 'S', 'T',
+                                              'P', 'R', 'O', 'F'};
+inline constexpr uint32_t ProfileCacheVersion = 1;
+
+/// One cached profile with its provenance.
+struct ProfileRecord {
+  std::string Name;      ///< String/trace name ("A3.2").
+  std::string Label;     ///< Category label ("A"); may be empty.
+  KernelProfile Profile; ///< Finalized sparse feature vector.
+};
+
+/// A profile collection as stored on disk.
+struct ProfileCache {
+  /// name() of the kernel that produced the profiles; profiles from
+  /// different kernels are not comparable, so loaders verify this.
+  std::string KernelName;
+  std::vector<ProfileRecord> Records;
+};
+
+/// Writes one finalized profile (nnz + entries) to \p Out.
+void writeProfile(const KernelProfile &P, std::ostream &Out);
+
+/// Reads one profile written by writeProfile.
+Expected<KernelProfile> readProfile(std::istream &In);
+
+/// Writes the full cache (magic, version, kernel name, records).
+Status writeProfileCache(const ProfileCache &Cache, std::ostream &Out);
+
+/// Reads a cache, validating magic and version.
+Expected<ProfileCache> readProfileCache(std::istream &In);
+
+/// File convenience wrappers over the stream forms.
+Status writeProfileCacheFile(const ProfileCache &Cache,
+                             const std::string &Path);
+Expected<ProfileCache> readProfileCacheFile(const std::string &Path);
+
+} // namespace kast
+
+#endif // KAST_CORE_PROFILESERIALIZER_H

@@ -1,0 +1,124 @@
+//===- index/ProfileIndex.cpp - Profile nearest-neighbor index -------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "index/ProfileIndex.h"
+#include "util/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace kast;
+
+ProfileIndex ProfileIndex::build(const ProfiledStringKernel &Kernel,
+                                 const std::vector<WeightedString> &Strings,
+                                 const std::vector<std::string> &Labels,
+                                 size_t Threads) {
+  assert((Labels.empty() || Labels.size() == Strings.size()) &&
+         "label count mismatch");
+  std::vector<KernelProfile> Profiles(Strings.size());
+  parallelFor(
+      Strings.size(),
+      [&](size_t I) { Profiles[I] = Kernel.profile(Strings[I]); }, Threads);
+
+  ProfileIndex Index(Kernel.name());
+  for (size_t I = 0; I < Strings.size(); ++I)
+    Index.add(Strings[I].name(), Labels.empty() ? "" : Labels[I],
+              std::move(Profiles[I]));
+  return Index;
+}
+
+ProfileIndex ProfileIndex::fromCache(ProfileCache Cache) {
+  ProfileIndex Index(std::move(Cache.KernelName));
+  for (ProfileRecord &R : Cache.Records)
+    Index.add(std::move(R.Name), std::move(R.Label), std::move(R.Profile));
+  return Index;
+}
+
+void ProfileIndex::add(std::string Name, std::string Label,
+                       KernelProfile Profile) {
+  Norms.push_back(std::sqrt(Profile.dot(Profile)));
+  Names.push_back(std::move(Name));
+  Labels.push_back(std::move(Label));
+  Profiles.push_back(std::move(Profile));
+}
+
+std::vector<Neighbor> ProfileIndex::query(const KernelProfile &Query,
+                                          size_t K, bool Normalize) const {
+  std::vector<Neighbor> All;
+  All.reserve(Profiles.size());
+  const double QueryNorm =
+      Normalize ? std::sqrt(Query.dot(Query)) : 1.0;
+  for (size_t I = 0; I < Profiles.size(); ++I) {
+    double Sim = Query.dot(Profiles[I]);
+    if (Normalize) {
+      double Denominator = QueryNorm * Norms[I];
+      Sim = Denominator > 0.0 ? Sim / Denominator : 0.0;
+    }
+    All.push_back({I, Sim});
+  }
+  const size_t Take = std::min(K, All.size());
+  std::partial_sort(All.begin(), All.begin() + Take, All.end(),
+                    [](const Neighbor &L, const Neighbor &R) {
+                      if (L.Similarity != R.Similarity)
+                        return L.Similarity > R.Similarity;
+                      return L.Index < R.Index;
+                    });
+  All.resize(Take);
+  return All;
+}
+
+std::vector<std::vector<Neighbor>>
+ProfileIndex::queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
+                         bool Normalize, size_t Threads) const {
+  std::vector<std::vector<Neighbor>> Results(Queries.size());
+  parallelFor(
+      Queries.size(),
+      [&](size_t I) { Results[I] = query(Queries[I], K, Normalize); },
+      Threads);
+  return Results;
+}
+
+std::string
+ProfileIndex::majorityLabel(const std::vector<Neighbor> &Neighbors) const {
+  std::string Best;
+  size_t BestCount = 0;
+  // Neighbors arrive most-similar first, so scanning in order and
+  // requiring a strictly greater count to displace the incumbent
+  // breaks ties toward the nearer neighbor's label.
+  for (const Neighbor &Hit : Neighbors) {
+    const std::string &Label = Labels[Hit.Index];
+    size_t Count = 0;
+    for (const Neighbor &Other : Neighbors)
+      if (Labels[Other.Index] == Label)
+        ++Count;
+    if (Count > BestCount) {
+      BestCount = Count;
+      Best = Label;
+    }
+  }
+  return Best;
+}
+
+ProfileCache ProfileIndex::toCache() const {
+  ProfileCache Cache;
+  Cache.KernelName = KernelName;
+  Cache.Records.reserve(size());
+  for (size_t I = 0; I < size(); ++I)
+    Cache.Records.push_back({Names[I], Labels[I], Profiles[I]});
+  return Cache;
+}
+
+Status ProfileIndex::save(const std::string &Path) const {
+  return writeProfileCacheFile(toCache(), Path);
+}
+
+Expected<ProfileIndex> ProfileIndex::load(const std::string &Path) {
+  Expected<ProfileCache> Cache = readProfileCacheFile(Path);
+  if (!Cache)
+    return Expected<ProfileIndex>::error(Cache.message());
+  return fromCache(Cache.take());
+}

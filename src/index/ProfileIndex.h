@@ -1,0 +1,110 @@
+//===- index/ProfileIndex.h - Profile nearest-neighbor index ---*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Retrieval over cached kernel profiles — the paper's "access patterns
+/// as fingerprints" claim served directly. A ProfileIndex holds N
+/// prepared (finalized) KernelProfiles with names, labels and cached
+/// self-norms, and answers top-k nearest-neighbor queries by merge-join
+/// dot products against the query profile. No Gram matrix is built:
+/// one query costs O(N · dot) instead of the O(N² · dot) a full-matrix
+/// detour would, and batched queries parallelize per query.
+///
+/// Indexes round-trip through the versioned binary profile cache
+/// (core/ProfileSerializer), so a served corpus profiles each trace
+/// exactly once — build, save(), and every later process load()s and
+/// queries without touching a kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_INDEX_PROFILEINDEX_H
+#define KAST_INDEX_PROFILEINDEX_H
+
+#include "core/ProfileSerializer.h"
+#include "core/StringKernel.h"
+#include "util/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// One retrieval hit: the index entry and its similarity to the query.
+struct Neighbor {
+  size_t Index = 0;
+  double Similarity = 0.0;
+
+  bool operator==(const Neighbor &Rhs) const = default;
+};
+
+/// Top-k nearest-neighbor index over prepared kernel profiles.
+class ProfileIndex {
+public:
+  ProfileIndex() = default;
+
+  /// An empty index tagged with the producing kernel's name.
+  explicit ProfileIndex(std::string KernelName)
+      : KernelName(std::move(KernelName)) {}
+
+  /// Profiles every string with \p Kernel (in parallel) and indexes
+  /// the results. \p Labels may be empty (unlabeled corpus) or must
+  /// match \p Strings in length.
+  static ProfileIndex build(const ProfiledStringKernel &Kernel,
+                            const std::vector<WeightedString> &Strings,
+                            const std::vector<std::string> &Labels = {},
+                            size_t Threads = 0);
+
+  /// Adopts an in-memory profile cache (e.g. loaded from disk).
+  static ProfileIndex fromCache(ProfileCache Cache);
+
+  /// Appends one finalized profile.
+  void add(std::string Name, std::string Label, KernelProfile Profile);
+
+  size_t size() const { return Profiles.size(); }
+  bool empty() const { return Profiles.empty(); }
+
+  const std::string &kernelName() const { return KernelName; }
+  const std::string &name(size_t I) const { return Names[I]; }
+  const std::string &label(size_t I) const { return Labels[I]; }
+  const KernelProfile &profile(size_t I) const { return Profiles[I]; }
+
+  /// sqrt(dot(p, p)) of entry \p I, cached at insertion.
+  double norm(size_t I) const { return Norms[I]; }
+
+  /// The \p K entries most similar to \p Query, most similar first;
+  /// ties break toward the smaller index for determinism. \p Normalize
+  /// selects cosine similarity (entries or queries with vanishing
+  /// norm score 0) over the raw profile dot.
+  std::vector<Neighbor> query(const KernelProfile &Query, size_t K,
+                              bool Normalize = true) const;
+
+  /// query() for a batch, one query per parallelFor item.
+  std::vector<std::vector<Neighbor>>
+  queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
+             bool Normalize = true, size_t Threads = 0) const;
+
+  /// Majority label among \p Neighbors; ties break toward the label of
+  /// the nearer neighbor. Empty for an empty neighbor list.
+  std::string majorityLabel(const std::vector<Neighbor> &Neighbors) const;
+
+  /// Copies the index contents into a serializable cache.
+  ProfileCache toCache() const;
+
+  /// Round-trip through core/ProfileSerializer's binary format.
+  Status save(const std::string &Path) const;
+  static Expected<ProfileIndex> load(const std::string &Path);
+
+private:
+  std::string KernelName;
+  std::vector<std::string> Names;
+  std::vector<std::string> Labels;
+  std::vector<KernelProfile> Profiles;
+  std::vector<double> Norms;
+};
+
+} // namespace kast
+
+#endif // KAST_INDEX_PROFILEINDEX_H

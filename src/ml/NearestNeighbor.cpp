@@ -20,16 +20,21 @@ LooResult kast::leaveOneOutNearestNeighbor(
   Result.Predictions.resize(N);
   size_t Correct = 0;
   for (size_t I = 0; I < N; ++I) {
+    // Seed from the first J != I rather than a sentinel similarity:
+    // unnormalized kernels can put every neighbor at or below any
+    // fixed sentinel, which would leak the self-index through as an
+    // empty prediction.
     size_t Best = I;
-    double BestSim = -1.0;
+    double BestSim = 0.0;
     for (size_t J = 0; J < N; ++J) {
       if (J == I)
         continue;
-      if (K.at(I, J) > BestSim) {
+      if (Best == I || K.at(I, J) > BestSim) {
         BestSim = K.at(I, J);
         Best = J;
       }
     }
+    // Best == I only when N == 1 (no candidate neighbor exists).
     Result.Predictions[I] = Best == I ? "" : Labels[Best];
     if (Result.Predictions[I] == Labels[I])
       ++Correct;

@@ -8,6 +8,7 @@
 #include "trace/TraceParser.h"
 #include "trace/TraceWriter.h"
 #include "util/StringUtil.h"
+#include "util/ThreadPool.h"
 
 #include <algorithm>
 #include <cctype>
@@ -32,23 +33,31 @@ Status kast::writeCorpusDirectory(const std::vector<LabeledTrace> &Corpus,
   return Status();
 }
 
-/// Splits "<label><base>.<copy>" lineage out of a trace name.
-static void parseLineage(const std::string &Name, LabeledTrace &Out) {
+/// Splits "<label><base>.<copy>" lineage out of a trace name; every
+/// part is mandatory, so a nonconforming name fails loudly instead of
+/// yielding an empty label that corrupts downstream accuracy metrics.
+static Status parseLineage(const std::string &Name, LabeledTrace &Out) {
   size_t I = 0;
   while (I < Name.size() &&
          std::isalpha(static_cast<unsigned char>(Name[I])))
     ++I;
+  if (I == 0)
+    return Status::error("no alphabetic label prefix");
   Out.Label = Name.substr(0, I);
   size_t Dot = Name.find('.', I);
+  if (Dot == std::string::npos)
+    return Status::error("no '.<copy>' suffix");
   std::optional<uint64_t> Base =
       parseUnsigned(std::string_view(Name).substr(I, Dot - I));
-  if (Base)
-    Out.BaseIndex = static_cast<size_t>(*Base);
-  if (Dot != std::string::npos) {
-    std::optional<uint64_t> Copy =
-        parseUnsigned(std::string_view(Name).substr(Dot + 1));
-    Out.IsMutant = Copy && *Copy != 0;
-  }
+  if (!Base)
+    return Status::error("no base index between label and '.'");
+  Out.BaseIndex = static_cast<size_t>(*Base);
+  std::optional<uint64_t> Copy =
+      parseUnsigned(std::string_view(Name).substr(Dot + 1));
+  if (!Copy)
+    return Status::error("copy index after '.' is not a number");
+  Out.IsMutant = *Copy != 0;
+  return Status();
 }
 
 Expected<std::vector<LabeledTrace>>
@@ -80,8 +89,44 @@ kast::loadCorpusDirectory(const std::string &Dir) {
     if (endsWith(Name, ".trace"))
       Name.resize(Name.size() - 6);
     Example.T.setName(Name);
-    parseLineage(Name, Example);
+    Status Lineage = parseLineage(Name, Example);
+    if (!Lineage)
+      return Result::error("malformed trace name '" + Name + "' ('" + Path +
+                           "'): " + Lineage.message());
     Corpus.push_back(std::move(Example));
   }
   return Corpus;
+}
+
+Status kast::writeCorpusProfileCache(const std::string &Path,
+                                     const ProfiledStringKernel &Kernel,
+                                     const LabeledDataset &Data,
+                                     size_t Threads) {
+  std::vector<KernelProfile> Profiles(Data.size());
+  parallelFor(
+      Data.size(),
+      [&](size_t I) { Profiles[I] = Kernel.profile(Data.string(I)); },
+      Threads);
+
+  ProfileCache Cache;
+  Cache.KernelName = Kernel.name();
+  Cache.Records.reserve(Data.size());
+  for (size_t I = 0; I < Data.size(); ++I)
+    Cache.Records.push_back(
+        {Data.string(I).name(), Data.label(I), std::move(Profiles[I])});
+  return writeProfileCacheFile(Cache, Path);
+}
+
+Expected<ProfileCache>
+kast::loadCorpusProfileCache(const std::string &Path,
+                             const ProfiledStringKernel &Kernel) {
+  using Result = Expected<ProfileCache>;
+  Expected<ProfileCache> Cache = readProfileCacheFile(Path);
+  if (!Cache)
+    return Cache;
+  if (Cache->KernelName != Kernel.name())
+    return Result::error("profile cache '" + Path + "' was built by kernel '" +
+                         Cache->KernelName + "', expected '" + Kernel.name() +
+                         "'");
+  return Cache;
 }

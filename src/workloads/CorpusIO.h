@@ -7,16 +7,24 @@
 /// \file
 /// Materializes a corpus as a directory of plain-text access pattern
 /// files — the form the paper's corpus originally had — and loads such
-/// a directory back. File names are "<name>.trace" where the name's
-/// leading alphabetic prefix is the category label ("A3.2.trace" is a
-/// category-A example). This lets every tool in examples/ run against
-/// on-disk corpora, synthetic or real.
+/// a directory back. File names are "<name>.trace" where the name
+/// follows the "<label><base>.<copy>" lineage convention: a leading
+/// alphabetic category label ("A3.2.trace" is a category-A example),
+/// a base-example index, and the mutated-copy index after the dot.
+/// Loading rejects names that break the convention with a diagnostic
+/// error rather than guessing at labels.
+///
+/// Next to the plain-text traces, a corpus can carry a binary profile
+/// cache (core/ProfileSerializer): per-string kernel profiles computed
+/// once and reused by every later Gram build or index query.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef KAST_WORKLOADS_CORPUSIO_H
 #define KAST_WORKLOADS_CORPUSIO_H
 
+#include "core/ProfileSerializer.h"
+#include "core/StringKernel.h"
 #include "util/Error.h"
 #include "workloads/DatasetBuilder.h"
 
@@ -31,11 +39,28 @@ Status writeCorpusDirectory(const std::vector<LabeledTrace> &Corpus,
                             const std::string &Dir);
 
 /// Loads every "*.trace" file of \p Dir (sorted by file name for
-/// determinism). Labels are recovered from the leading alphabetic
-/// prefix of the file name; BaseIndex/IsMutant are recovered from the
-/// "<label><base>.<copy>" convention when present, else 0/false.
+/// determinism). Labels and lineage are recovered from the
+/// "<label><base>.<copy>" file-name convention; a name with no
+/// alphabetic label prefix, no base index, or no ".<copy>" suffix is
+/// a hard error naming the offending file.
 Expected<std::vector<LabeledTrace>>
 loadCorpusDirectory(const std::string &Dir);
+
+/// Profiles every string of \p Data with \p Kernel (in parallel) and
+/// writes the versioned binary profile cache to \p Path, tagged with
+/// the kernel's name.
+Status writeCorpusProfileCache(const std::string &Path,
+                               const ProfiledStringKernel &Kernel,
+                               const LabeledDataset &Data,
+                               size_t Threads = 0);
+
+/// Loads a profile cache and verifies it was produced by a kernel
+/// named like \p Kernel — profiles from different kernels (or the
+/// same kernel under different options) are not comparable, and the
+/// mismatch surfaces here instead of as silently wrong similarities.
+Expected<ProfileCache>
+loadCorpusProfileCache(const std::string &Path,
+                       const ProfiledStringKernel &Kernel);
 
 } // namespace kast
 

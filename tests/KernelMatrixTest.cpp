@@ -1,0 +1,281 @@
+//===- tests/KernelMatrixTest.cpp - incremental Gram growth ----------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The KernelMatrix growth contract: appendRows must evaluate exactly
+// the entries the new strings introduce (verified by an
+// evaluation-count probe) and produce the same matrix as a one-shot
+// build; the closed-form pair-index inversions must agree with
+// loop-based references across the whole size range the float-root
+// "nudge" is supposed to cover; normalization must keep an exactly
+// unit diagonal even for zero-length strings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KastKernel.h"
+#include "core/KernelMatrix.h"
+#include "core/StringSerializer.h"
+#include "kernels/SpectrumKernels.h"
+#include "util/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+using namespace kast;
+
+namespace {
+
+WeightedString randomString(const std::shared_ptr<TokenTable> &Table,
+                            Rng &R, size_t Length, uint32_t Alphabet) {
+  WeightedString S(Table);
+  for (size_t I = 0; I < Length; ++I)
+    S.append("t" + std::to_string(R.uniformInt(0, Alphabet - 1)),
+             R.uniformInt(1, 16));
+  return S;
+}
+
+std::vector<WeightedString>
+randomCorpus(const std::shared_ptr<TokenTable> &Table, Rng &R, size_t N) {
+  std::vector<WeightedString> Corpus;
+  for (size_t I = 0; I < N; ++I)
+    Corpus.push_back(randomString(Table, R, R.uniformInt(1, 24), 5));
+  return Corpus;
+}
+
+/// Forwarding wrapper that counts pairwise evaluations — the probe the
+/// appendRows contract is asserted with.
+class CountingKernel : public StringKernel {
+public:
+  explicit CountingKernel(const StringKernel &Inner) : Inner(Inner) {}
+
+  double evaluate(const WeightedString &A,
+                  const WeightedString &B) const override {
+    ++Evaluations;
+    return Inner.evaluate(A, B);
+  }
+  std::unique_ptr<KernelPrecomputation>
+  precompute(const WeightedString &X) const override {
+    ++Precomputations;
+    return Inner.precompute(X);
+  }
+  double evaluatePrepared(const WeightedString &A,
+                          const KernelPrecomputation *PrepA,
+                          const WeightedString &B,
+                          const KernelPrecomputation *PrepB) const override {
+    ++Evaluations;
+    return Inner.evaluatePrepared(A, PrepA, B, PrepB);
+  }
+  std::string name() const override { return "counting(" + Inner.name() + ")"; }
+
+  void reset() {
+    Evaluations = 0;
+    Precomputations = 0;
+  }
+
+  mutable std::atomic<size_t> Evaluations{0};
+  mutable std::atomic<size_t> Precomputations{0};
+
+private:
+  const StringKernel &Inner;
+};
+
+void expectSameMatrix(const Matrix &A, const Matrix &B) {
+  ASSERT_EQ(A.rows(), B.rows());
+  ASSERT_EQ(A.cols(), B.cols());
+  for (size_t I = 0; I < A.rows(); ++I)
+    for (size_t J = 0; J < A.cols(); ++J)
+      EXPECT_NEAR(A.at(I, J), B.at(I, J),
+                  1e-12 * std::max(1.0, std::fabs(B.at(I, J))))
+          << "(" << I << ", " << J << ")";
+}
+
+//===----------------------------------------------------------------------===//
+// appendRows: exact evaluation counts, no rebuild of existing entries
+//===----------------------------------------------------------------------===//
+
+TEST(KernelMatrixTest, AppendRowsEvaluatesOnlyNewEntries) {
+  const size_t N = 96, M = 32;
+  Rng R(96320);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Base = randomCorpus(Table, R, N);
+  std::vector<WeightedString> Extra = randomCorpus(Table, R, M);
+
+  BlendedSpectrumKernel Inner(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+  CountingKernel Probe(Inner);
+
+  KernelMatrixOptions Options;
+  Options.Threads = 1;
+  KernelMatrix Gram(Probe, Options);
+
+  Gram.appendRows(Base);
+  EXPECT_EQ(Probe.Evaluations.load(), N + N * (N - 1) / 2);
+  EXPECT_EQ(Probe.Precomputations.load(), N);
+
+  // Growing by M must evaluate exactly the new entries — M diagonal
+  // values, the N×M rectangle, and the M(M-1)/2 new-pair triangle —
+  // and none of the existing N×N block.
+  Probe.reset();
+  Gram.appendRows(Extra);
+  EXPECT_EQ(Probe.Evaluations.load(), M + N * M + M * (M - 1) / 2);
+  EXPECT_EQ(Probe.Precomputations.load(), M);
+  EXPECT_EQ(Gram.size(), N + M);
+
+  // And the grown matrix must equal the one-shot build over all N+M.
+  std::vector<WeightedString> All = Base;
+  All.insert(All.end(), Extra.begin(), Extra.end());
+  expectSameMatrix(Gram.raw(),
+                   [&] {
+                     KernelMatrixOptions RawOptions = Options;
+                     RawOptions.Normalize = false;
+                     return computeKernelMatrix(Inner, All, RawOptions);
+                   }());
+  expectSameMatrix(Gram.materialize(), computeKernelMatrix(Inner, All, Options));
+}
+
+TEST(KernelMatrixTest, AppendRowsInStagesMatchesOneShot) {
+  Rng R(171717);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> All = randomCorpus(Table, R, 23);
+
+  KastSpectrumKernel Kernel({/*CutWeight=*/2});
+  KernelMatrixOptions Options;
+  Options.Threads = 0; // Exercise the parallel fill.
+
+  KernelMatrix Gram(Kernel, Options);
+  size_t Cuts[] = {0, 7, 7, 15, 16, 23};
+  for (size_t C = 0; C + 1 < std::size(Cuts); ++C)
+    Gram.appendRows({All.begin() + Cuts[C], All.begin() + Cuts[C + 1]});
+
+  EXPECT_EQ(Gram.size(), All.size());
+  expectSameMatrix(Gram.materialize(), computeKernelMatrix(Kernel, All, Options));
+}
+
+TEST(KernelMatrixTest, AppendRowsWithoutPrecompute) {
+  Rng R(5);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> All = randomCorpus(Table, R, 10);
+
+  BlendedSpectrumKernel Kernel(2);
+  KernelMatrixOptions Options;
+  Options.UsePrecompute = false;
+  Options.Threads = 1;
+
+  KernelMatrix Gram(Kernel, Options);
+  Gram.appendRows({All.begin(), All.begin() + 6});
+  Gram.appendRows({All.begin() + 6, All.end()});
+  expectSameMatrix(Gram.materialize(), computeKernelMatrix(Kernel, All, Options));
+}
+
+//===----------------------------------------------------------------------===//
+// Closed-form pair-index inversions vs loop-based references
+//===----------------------------------------------------------------------===//
+
+GramPair loopInvertTriangle(size_t P, size_t N) {
+  size_t Start = 0;
+  for (size_t I = 0; I + 1 < N; ++I) {
+    size_t RowLength = N - I - 1;
+    if (P < Start + RowLength)
+      return {I, I + 1 + (P - Start)};
+    Start += RowLength;
+  }
+  ADD_FAILURE() << "pair index " << P << " out of range for N=" << N;
+  return {0, 0};
+}
+
+GramPair loopInvertAppend(size_t P, size_t OldN) {
+  size_t Start = 0;
+  for (size_t R = 0;; ++R) {
+    size_t RowLength = OldN + R;
+    if (P < Start + RowLength)
+      return {OldN + R, P - Start};
+    Start += RowLength;
+  }
+}
+
+TEST(KernelMatrixTest, TriangleInversionExhaustiveSmall) {
+  for (size_t N = 2; N <= 40; ++N)
+    for (size_t P = 0; P < N * (N - 1) / 2; ++P)
+      EXPECT_EQ(invertTrianglePairIndex(P, N), loopInvertTriangle(P, N))
+          << "N=" << N << " P=" << P;
+}
+
+TEST(KernelMatrixTest, TriangleInversionRandomizedLarge) {
+  Rng R(314159);
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    size_t N = R.uniformInt(2, 10000);
+    size_t NumPairs = N * (N - 1) / 2;
+    size_t P = R.uniformInt(0, NumPairs - 1);
+    EXPECT_EQ(invertTrianglePairIndex(P, N), loopInvertTriangle(P, N))
+        << "N=" << N << " P=" << P;
+    // Boundaries, where an off-by-one float root would land.
+    EXPECT_EQ(invertTrianglePairIndex(0, N), loopInvertTriangle(0, N));
+    EXPECT_EQ(invertTrianglePairIndex(NumPairs - 1, N),
+              loopInvertTriangle(NumPairs - 1, N));
+    size_t Row = R.uniformInt(0, N - 2);
+    size_t RowStart = Row * (2 * N - Row - 1) / 2;
+    EXPECT_EQ(invertTrianglePairIndex(RowStart, N),
+              loopInvertTriangle(RowStart, N))
+        << "N=" << N << " rowStart(" << Row << ")";
+  }
+}
+
+TEST(KernelMatrixTest, AppendInversionExhaustiveSmall) {
+  for (size_t OldN = 0; OldN <= 24; ++OldN)
+    for (size_t M = 1; M <= 24; ++M) {
+      size_t NumPairs = OldN * M + M * (M - 1) / 2;
+      for (size_t P = 0; P < NumPairs; ++P)
+        EXPECT_EQ(invertAppendPairIndex(P, OldN), loopInvertAppend(P, OldN))
+            << "OldN=" << OldN << " P=" << P;
+    }
+}
+
+TEST(KernelMatrixTest, AppendInversionRandomizedLarge) {
+  Rng R(271828);
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    size_t OldN = R.uniformInt(0, 10000);
+    size_t M = R.uniformInt(1, 512);
+    size_t NumPairs = OldN * M + M * (M - 1) / 2;
+    size_t P = R.uniformInt(0, NumPairs - 1);
+    EXPECT_EQ(invertAppendPairIndex(P, OldN), loopInvertAppend(P, OldN))
+        << "OldN=" << OldN << " P=" << P;
+    EXPECT_EQ(invertAppendPairIndex(0, OldN), loopInvertAppend(0, OldN));
+    EXPECT_EQ(invertAppendPairIndex(NumPairs - 1, OldN),
+              loopInvertAppend(NumPairs - 1, OldN));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Normalization edge case: zero-length strings
+//===----------------------------------------------------------------------===//
+
+TEST(KernelMatrixTest, ZeroLengthStringNormalizesToExactUnitDiagonal) {
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus;
+  Corpus.push_back(WeightedString(Table, "empty")); // k(x, x) = 0.
+  Corpus.push_back(parseWeightedString("a b c", Table, "s1").take());
+  Corpus.push_back(parseWeightedString("a b", Table, "s2").take());
+
+  BlendedSpectrumKernel Kernel(3);
+  KernelMatrixOptions Options;
+  Options.Threads = 1;
+  Matrix K = computeKernelMatrix(Kernel, Corpus, Options);
+
+  for (size_t I = 0; I < K.rows(); ++I)
+    EXPECT_EQ(K.at(I, I), 1.0) << "diagonal " << I;
+  // The zero-self-kernel row is explicitly zero off the diagonal, in
+  // both directions.
+  for (size_t J = 1; J < K.cols(); ++J) {
+    EXPECT_EQ(K.at(0, J), 0.0);
+    EXPECT_EQ(K.at(J, 0), 0.0);
+  }
+  // Raw (unnormalized) keeps the honest zero self-kernel.
+  Options.Normalize = false;
+  Matrix Raw = computeKernelMatrix(Kernel, Corpus, Options);
+  EXPECT_EQ(Raw.at(0, 0), 0.0);
+}
+
+} // namespace

@@ -390,6 +390,34 @@ TEST(NearestNeighborTest, TieBreaksTowardSmallerIndex) {
   EXPECT_EQ(R.Predictions[2], "A"); // Index 0 wins the tie.
 }
 
+TEST(NearestNeighborTest, SelectsNeighborWhenAllSimilaritiesBelowMinusOne) {
+  // Regression: BestSim used to start at the sentinel -1.0, so with an
+  // unnormalized kernel whose similarities all sit at or below -1 no
+  // neighbor was ever selected and the self-index leaked through as
+  // prediction "".
+  std::vector<std::string> Labels = {"A", "B", "A"};
+  Matrix K(3, 3, 0.0);
+  K.at(0, 1) = K.at(1, 0) = -2.0;
+  K.at(0, 2) = K.at(2, 0) = -1.5;
+  K.at(1, 2) = K.at(2, 1) = -3.0;
+  LooResult R = leaveOneOutNearestNeighbor(K, Labels);
+  EXPECT_EQ(R.Predictions[0], "A"); // Argmax of {-2, -1.5} is index 2.
+  EXPECT_EQ(R.Predictions[1], "A"); // Argmax of {-2, -3} is index 0.
+  EXPECT_EQ(R.Predictions[2], "A"); // Argmax of {-1.5, -3} is index 0.
+  EXPECT_NEAR(R.Accuracy, 2.0 / 3.0, 1e-12);
+  ASSERT_EQ(R.Errors.size(), 1u);
+  EXPECT_EQ(R.Errors[0], 1u);
+}
+
+TEST(NearestNeighborTest, SingletonCorpusHasNoNeighbor) {
+  // With N == 1 there is no J != I at all; the prediction stays empty
+  // and counts as an error.
+  Matrix K(1, 1, 1.0);
+  LooResult R = leaveOneOutNearestNeighbor(K, {"A"});
+  EXPECT_EQ(R.Predictions[0], "");
+  EXPECT_DOUBLE_EQ(R.Accuracy, 0.0);
+}
+
 TEST(MetricsTest, SilhouetteSingleClusterIsZero) {
   std::vector<std::pair<double, double>> Points = {{0, 0}, {1, 1}};
   Matrix D = distOfPoints(Points);

@@ -1,0 +1,333 @@
+//===- tests/ProfileIndexTest.cpp - profile cache and retrieval ------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The persistence contract of the retrieval subsystem: profiles written
+// through core/ProfileSerializer reload bit-exactly (hashes, value bit
+// patterns, and therefore every dot product), malformed caches fail
+// with diagnostics instead of garbage similarities, and ProfileIndex
+// queries agree with the Gram-matrix ground truth produced by
+// computeKernelMatrix over the same kernel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KernelMatrix.h"
+#include "core/ProfileSerializer.h"
+#include "index/ProfileIndex.h"
+#include "kernels/SpectrumKernels.h"
+#include "util/Rng.h"
+#include "workloads/CorpusIO.h"
+#include "workloads/DatasetBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+
+using namespace kast;
+
+namespace {
+
+WeightedString randomString(const std::shared_ptr<TokenTable> &Table,
+                            Rng &R, size_t Length, uint32_t Alphabet) {
+  WeightedString S(Table);
+  for (size_t I = 0; I < Length; ++I)
+    S.append("t" + std::to_string(R.uniformInt(0, Alphabet - 1)),
+             R.uniformInt(1, 16));
+  return S;
+}
+
+std::vector<WeightedString>
+randomCorpus(const std::shared_ptr<TokenTable> &Table, Rng &R, size_t N,
+             const std::string &Prefix) {
+  std::vector<WeightedString> Corpus;
+  for (size_t I = 0; I < N; ++I) {
+    WeightedString S = randomString(Table, R, R.uniformInt(1, 32), 6);
+    S.setName(Prefix + std::to_string(I));
+    Corpus.push_back(std::move(S));
+  }
+  return Corpus;
+}
+
+void expectBitExact(const KernelProfile &A, const KernelProfile &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A.entries()[I].Hash, B.entries()[I].Hash);
+    EXPECT_EQ(std::bit_cast<uint64_t>(A.entries()[I].Value),
+              std::bit_cast<uint64_t>(B.entries()[I].Value))
+        << "entry " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Serializer: bit-exact round-trips, versioning, corruption
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileSerializerTest, RoundTripsBitExactAgainstFreshProfiles) {
+  Rng R(90210);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 24, "s");
+  BlendedSpectrumKernel Kernel(3, 0.8, /*Weighted=*/true, /*CutWeight=*/2);
+
+  ProfileCache Cache;
+  Cache.KernelName = Kernel.name();
+  for (const WeightedString &S : Corpus)
+    Cache.Records.push_back({S.name(), "L", Kernel.profile(S)});
+
+  std::string Path = testing::TempDir() + "/kast_profiles_rt.kpc";
+  Status W = writeProfileCacheFile(Cache, Path);
+  ASSERT_TRUE(W.ok()) << W.message();
+  Expected<ProfileCache> Loaded = readProfileCacheFile(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+
+  ASSERT_EQ(Loaded->Records.size(), Corpus.size());
+  EXPECT_EQ(Loaded->KernelName, Kernel.name());
+  for (size_t I = 0; I < Corpus.size(); ++I) {
+    EXPECT_EQ(Loaded->Records[I].Name, Corpus[I].name());
+    EXPECT_EQ(Loaded->Records[I].Label, "L");
+    // Bit-exact against a *freshly built* profile, not just the one we
+    // serialized: cache hits and cache misses must be indistinguishable.
+    expectBitExact(Loaded->Records[I].Profile, Kernel.profile(Corpus[I]));
+  }
+  // Consequently every pairwise dot is bit-identical too.
+  for (size_t I = 0; I < Corpus.size(); ++I)
+    for (size_t J = I; J < Corpus.size(); ++J) {
+      double Fresh =
+          Kernel.profile(Corpus[I]).dot(Kernel.profile(Corpus[J]));
+      double Cached =
+          Loaded->Records[I].Profile.dot(Loaded->Records[J].Profile);
+      EXPECT_EQ(std::bit_cast<uint64_t>(Fresh),
+                std::bit_cast<uint64_t>(Cached))
+          << I << "," << J;
+    }
+}
+
+TEST(ProfileSerializerTest, EmptyProfileAndEmptyCacheRoundTrip) {
+  std::stringstream Buffer;
+  writeProfile(KernelProfile(), Buffer);
+  Expected<KernelProfile> P = readProfile(Buffer);
+  ASSERT_TRUE(P.hasValue()) << P.message();
+  EXPECT_TRUE(P->empty());
+
+  std::stringstream CacheBuffer;
+  ProfileCache Empty;
+  Empty.KernelName = "k";
+  ASSERT_TRUE(writeProfileCache(Empty, CacheBuffer).ok());
+  Expected<ProfileCache> Loaded = readProfileCache(CacheBuffer);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  EXPECT_EQ(Loaded->KernelName, "k");
+  EXPECT_TRUE(Loaded->Records.empty());
+}
+
+TEST(ProfileSerializerTest, RejectsBadMagicVersionAndTruncation) {
+  ProfileCache Cache;
+  Cache.KernelName = "blended";
+  KernelProfile P;
+  P.add(42, 1.5);
+  P.finalize();
+  Cache.Records.push_back({"a1.0", "a", std::move(P)});
+
+  std::stringstream Good;
+  ASSERT_TRUE(writeProfileCache(Cache, Good).ok());
+  std::string Bytes = Good.str();
+
+  {
+    std::string Bad = Bytes;
+    Bad[0] = 'X';
+    std::stringstream In(Bad);
+    Expected<ProfileCache> E = readProfileCache(In);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("magic"), std::string::npos) << E.message();
+  }
+  {
+    std::string Bad = Bytes;
+    Bad[8] = 99; // Version field (little-endian low byte).
+    std::stringstream In(Bad);
+    Expected<ProfileCache> E = readProfileCache(In);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("version"), std::string::npos) << E.message();
+  }
+  for (size_t Cut : {Bytes.size() - 1, Bytes.size() - 9, size_t(10)}) {
+    std::stringstream In(Bytes.substr(0, Cut));
+    Expected<ProfileCache> E = readProfileCache(In);
+    EXPECT_FALSE(E.hasValue()) << "cut at " << Cut;
+  }
+
+  {
+    // A corrupt (absurdly large) record count must come back as a
+    // truncation diagnostic, not an allocation failure: layout is
+    // magic(8) + version(4) + kernel name(4 + 7), so the count's high
+    // bytes start at offset 23.
+    std::string Bad = Bytes;
+    for (size_t I = 23; I < 31; ++I)
+      Bad[I] = '\xFF';
+    std::stringstream In(Bad);
+    Expected<ProfileCache> E = readProfileCache(In);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("truncated"), std::string::npos)
+        << E.message();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ProfileIndex: queries, determinism, Gram ground truth
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileIndexTest, TopKOrderingAndTieBreaks) {
+  ProfileIndex Index("test");
+  auto MakeProfile = [](std::vector<ProfileEntry> Entries) {
+    KernelProfile P;
+    for (const ProfileEntry &E : Entries)
+      P.add(E.Hash, E.Value);
+    P.finalize();
+    return P;
+  };
+  // Entries 0 and 2 are identical (tie); entry 1 is orthogonal.
+  Index.add("e0", "x", MakeProfile({{1, 1.0}}));
+  Index.add("e1", "y", MakeProfile({{2, 1.0}}));
+  Index.add("e2", "x", MakeProfile({{1, 1.0}}));
+
+  KernelProfile Query = MakeProfile({{1, 2.0}});
+  std::vector<Neighbor> Hits = Index.query(Query, 2);
+  ASSERT_EQ(Hits.size(), 2u);
+  EXPECT_EQ(Hits[0].Index, 0u); // Tie with 2 breaks toward smaller index.
+  EXPECT_EQ(Hits[1].Index, 2u);
+  EXPECT_DOUBLE_EQ(Hits[0].Similarity, 1.0); // Cosine.
+  EXPECT_EQ(Index.majorityLabel(Hits), "x");
+
+  // K beyond size clamps; orthogonal entry scores zero.
+  Hits = Index.query(Query, 10);
+  ASSERT_EQ(Hits.size(), 3u);
+  EXPECT_EQ(Hits[2].Index, 1u);
+  EXPECT_DOUBLE_EQ(Hits[2].Similarity, 0.0);
+
+  // Raw (unnormalized) dot keeps magnitudes.
+  Hits = Index.query(Query, 1, /*Normalize=*/false);
+  EXPECT_DOUBLE_EQ(Hits[0].Similarity, 2.0);
+
+  // An empty query has vanishing norm: all cosine scores are zero.
+  Hits = Index.query(KernelProfile(), 1);
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_DOUBLE_EQ(Hits[0].Similarity, 0.0);
+}
+
+TEST(ProfileIndexTest, AgreesWithGramMatrixGroundTruth) {
+  Rng R(60601);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 20, "c");
+  BlendedSpectrumKernel Kernel(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+
+  ProfileIndex Index = ProfileIndex::build(Kernel, Corpus, {}, /*Threads=*/1);
+  ASSERT_EQ(Index.size(), Corpus.size());
+  EXPECT_EQ(Index.kernelName(), Kernel.name());
+
+  KernelMatrixOptions Options;
+  Options.Threads = 1;
+  Matrix K = computeKernelMatrix(Kernel, Corpus, Options);
+
+  for (size_t I = 0; I < Corpus.size(); ++I) {
+    std::vector<Neighbor> Hits = Index.query(Index.profile(I), 2);
+    ASSERT_EQ(Hits.size(), 2u);
+    // Top hit is the string itself at cosine 1.
+    EXPECT_EQ(Hits[0].Index, I);
+    EXPECT_NEAR(Hits[0].Similarity, 1.0, 1e-12);
+    // Runner-up matches the normalized Gram row's best off-diagonal.
+    size_t Best = I == 0 ? 1 : 0;
+    for (size_t J = 0; J < Corpus.size(); ++J)
+      if (J != I && K.at(I, J) > K.at(I, Best))
+        Best = J;
+    EXPECT_NEAR(Hits[1].Similarity, K.at(I, Best), 1e-9)
+        << "query " << I << ": index found " << Hits[1].Index
+        << ", Gram argmax " << Best;
+  }
+}
+
+TEST(ProfileIndexTest, BatchedQueriesMatchSingleQueries) {
+  Rng R(424243);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 16, "c");
+  std::vector<WeightedString> Queries = randomCorpus(Table, R, 8, "q");
+  KSpectrumKernel Kernel(2, /*Weighted=*/true, /*CutWeight=*/2);
+
+  ProfileIndex Index = ProfileIndex::build(Kernel, Corpus, {}, 1);
+  std::vector<KernelProfile> QueryProfiles;
+  for (const WeightedString &Q : Queries)
+    QueryProfiles.push_back(Kernel.profile(Q));
+
+  std::vector<std::vector<Neighbor>> Batched =
+      Index.queryBatch(QueryProfiles, 3, /*Normalize=*/true, /*Threads=*/0);
+  ASSERT_EQ(Batched.size(), Queries.size());
+  for (size_t I = 0; I < QueryProfiles.size(); ++I)
+    EXPECT_EQ(Batched[I], Index.query(QueryProfiles[I], 3));
+}
+
+TEST(ProfileIndexTest, SaveLoadPreservesQueries) {
+  Rng R(777);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 12, "c");
+  std::vector<std::string> Labels;
+  for (size_t I = 0; I < Corpus.size(); ++I)
+    Labels.push_back(I % 2 == 0 ? "even" : "odd");
+  BlendedSpectrumKernel Kernel(3);
+
+  ProfileIndex Index = ProfileIndex::build(Kernel, Corpus, Labels, 1);
+  std::string Path = testing::TempDir() + "/kast_index_rt.kpc";
+  Status S = Index.save(Path);
+  ASSERT_TRUE(S.ok()) << S.message();
+
+  Expected<ProfileIndex> Loaded = ProfileIndex::load(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  ASSERT_EQ(Loaded->size(), Index.size());
+  EXPECT_EQ(Loaded->kernelName(), Index.kernelName());
+  for (size_t I = 0; I < Index.size(); ++I) {
+    EXPECT_EQ(Loaded->name(I), Index.name(I));
+    EXPECT_EQ(Loaded->label(I), Index.label(I));
+    EXPECT_EQ(Loaded->norm(I), Index.norm(I));
+  }
+  KernelProfile Query = Kernel.profile(randomString(Table, R, 20, 6));
+  EXPECT_EQ(Loaded->query(Query, 5), Index.query(Query, 5));
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus profile cache (workloads/CorpusIO)
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileIndexTest, CorpusProfileCacheVerifiesKernelName) {
+  CorpusOptions Shape;
+  Shape.BaseA = 2;
+  Shape.BaseB = 1;
+  Shape.BaseC = 0;
+  Shape.BaseD = 0;
+  Shape.CopiesPerBase = 1;
+  LabeledDataset Data =
+      convertCorpus(Pipeline::withBytes(), generateCorpus(Shape));
+  ASSERT_GT(Data.size(), 0u);
+
+  BlendedSpectrumKernel Kernel(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+  std::string Path = testing::TempDir() + "/kast_corpus_profiles.kpc";
+  Status W = writeCorpusProfileCache(Path, Kernel, Data, /*Threads=*/1);
+  ASSERT_TRUE(W.ok()) << W.message();
+
+  Expected<ProfileCache> Good = loadCorpusProfileCache(Path, Kernel);
+  ASSERT_TRUE(Good.hasValue()) << Good.message();
+  ASSERT_EQ(Good->Records.size(), Data.size());
+  for (size_t I = 0; I < Data.size(); ++I) {
+    EXPECT_EQ(Good->Records[I].Name, Data.string(I).name());
+    EXPECT_EQ(Good->Records[I].Label, Data.label(I));
+    expectBitExact(Good->Records[I].Profile, Kernel.profile(Data.string(I)));
+  }
+
+  // A differently-configured kernel names itself differently, and the
+  // mismatch is a load-time error, not a silent wrong similarity.
+  BlendedSpectrumKernel Other(4, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+  ASSERT_NE(Other.name(), Kernel.name());
+  Expected<ProfileCache> Bad = loadCorpusProfileCache(Path, Other);
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_NE(Bad.message().find(Kernel.name()), std::string::npos)
+      << Bad.message();
+}
+
+} // namespace

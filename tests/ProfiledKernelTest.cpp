@@ -21,6 +21,7 @@
 #include "core/StringSerializer.h"
 #include "kernels/BagOfWordsKernel.h"
 #include "kernels/Combinators.h"
+#include "kernels/GapWeightedKernel.h"
 #include "kernels/SpectrumKernels.h"
 #include "util/Rng.h"
 
@@ -318,6 +319,49 @@ TEST(ProfiledKernelTest, CombinatorsPreparedMatchesDirect) {
       double Prepared =
           Kernel->evaluatePrepared(A, PrepA.get(), B, PrepB.get());
       expectRelNear(Prepared, Direct, Kernel->name());
+    }
+  }
+}
+
+TEST(ProfiledKernelTest, AllShippedKernelsPreparedMatchesDirect) {
+  // Every kernel in the library — including GapWeightedKernel, whose
+  // seam is a documented pass-through — must be observationally
+  // identical through evaluate and evaluatePrepared, with two, one, or
+  // zero cached handles.
+  Rng R(20260731);
+  auto Table = TokenTable::create();
+  auto Blended =
+      std::make_shared<BlendedSpectrumKernel>(3, 0.8, /*Weighted=*/true,
+                                              /*CutWeight=*/2);
+  auto Kast = std::make_shared<KastSpectrumKernel>(
+      KastKernelOptions{/*CutWeight=*/2});
+  KSpectrumKernel KSpec(2, /*Weighted=*/true, /*CutWeight=*/2);
+  BagOfTokensKernel Bag;
+  BagOfWordsKernel Words(true);
+  GapWeightedKernel Gap(3, 0.5);
+  SumKernel Sum({Blended, Kast}, {0.5, 1.5});
+  ProductKernel Product({Blended, Kast});
+  NormalizedKernel Normalized(Blended);
+  const std::initializer_list<const StringKernel *> Kernels = {
+      Blended.get(), Kast.get(), &KSpec, &Bag,       &Words,
+      &Gap,          &Sum,       &Product, &Normalized};
+  for (int Trial = 0; Trial < 12; ++Trial) {
+    WeightedString A = randomString(Table, R, R.uniformInt(1, 24), 4,
+                                    /*StructuralEvery=*/6);
+    WeightedString B = randomString(Table, R, R.uniformInt(1, 24), 4,
+                                    /*StructuralEvery=*/6);
+    for (const StringKernel *Kernel : Kernels) {
+      auto PrepA = Kernel->precompute(A);
+      auto PrepB = Kernel->precompute(B);
+      double Direct = Kernel->evaluate(A, B);
+      expectRelNear(Kernel->evaluatePrepared(A, PrepA.get(), B, PrepB.get()),
+                    Direct, Kernel->name() + " (both handles)");
+      expectRelNear(Kernel->evaluatePrepared(A, PrepA.get(), B, nullptr),
+                    Direct, Kernel->name() + " (left handle)");
+      expectRelNear(Kernel->evaluatePrepared(A, nullptr, B, PrepB.get()),
+                    Direct, Kernel->name() + " (right handle)");
+      expectRelNear(Kernel->evaluatePrepared(A, nullptr, B, nullptr),
+                    Direct, Kernel->name() + " (no handles)");
     }
   }
 }

@@ -293,6 +293,54 @@ TEST(CorpusIOTest, IgnoresForeignFiles) {
   EXPECT_FALSE((*Loaded)[0].IsMutant);
 }
 
+TEST(CorpusIOTest, MalformedNamesAreDiagnosedErrors) {
+  // Each offending file goes in its own directory because loading
+  // stops at the first error.
+  struct Case {
+    const char *File;
+    const char *ExpectInMessage;
+  };
+  const Case Cases[] = {
+      {"1A.0.trace", "label"},       // No alphabetic prefix.
+      {"A.trace", "suffix"},         // No '.<copy>' part at all.
+      {"A.0.trace", "base"},         // Label but no base index.
+      {"A1.x.trace", "copy"},        // Copy part is not a number.
+      {"unnamed.trace", "suffix"},   // Bare word, no lineage.
+  };
+  for (const Case &C : Cases) {
+    std::string Dir =
+        testing::TempDir() + "/kast_corpus_bad_" + std::string(1, C.File[0]) +
+        std::to_string(&C - Cases);
+    std::filesystem::create_directories(Dir);
+    {
+      std::ofstream T(Dir + "/" + C.File);
+      T << "read 1 bytes=8\n";
+    }
+    Expected<std::vector<LabeledTrace>> Loaded = loadCorpusDirectory(Dir);
+    ASSERT_FALSE(Loaded.hasValue()) << C.File;
+    EXPECT_NE(Loaded.message().find("malformed trace name"),
+              std::string::npos)
+        << C.File << ": " << Loaded.message();
+    EXPECT_NE(Loaded.message().find(C.ExpectInMessage), std::string::npos)
+        << C.File << ": " << Loaded.message();
+  }
+}
+
+TEST(CorpusIOTest, MultiLetterLabelsAndLineageParse) {
+  std::string Dir = testing::TempDir() + "/kast_corpus_multiletter";
+  std::filesystem::create_directories(Dir);
+  {
+    std::ofstream T(Dir + "/AB12.3.trace");
+    T << "read 1 bytes=8\n";
+  }
+  Expected<std::vector<LabeledTrace>> Loaded = loadCorpusDirectory(Dir);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  ASSERT_EQ(Loaded->size(), 1u);
+  EXPECT_EQ((*Loaded)[0].Label, "AB");
+  EXPECT_EQ((*Loaded)[0].BaseIndex, 12u);
+  EXPECT_TRUE((*Loaded)[0].IsMutant);
+}
+
 TEST(CorpusTest, ConversionSharesOneTable) {
   CorpusOptions Options;
   Options.BaseA = 2;
