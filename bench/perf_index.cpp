@@ -5,9 +5,11 @@
 //===----------------------------------------------------------------------===//
 //
 // The corpus-growth story in numbers: extending an existing Gram matrix
-// with KernelMatrix::appendRows versus recomputing it from scratch, and
-// top-k profile-index queries versus the full-matrix detour they
-// replace. Args are {N, M}: N already-indexed strings, M arriving ones.
+// with KernelMatrix::appendRows versus recomputing it from scratch,
+// top-k profile-index queries (single and batched over the ProfileStore
+// arena) versus the full-matrix detour they replace, and v2 block-cache
+// loads versus the per-entry v1 format. Args are {N, M}: N
+// already-indexed strings, M arriving ones.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +20,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <map>
 
 using namespace kast;
@@ -104,6 +109,29 @@ void BM_IndexQueryTop5(benchmark::State &State) {
 }
 BENCHMARK(BM_IndexQueryTop5)->Arg(128)->Arg(1024)->Arg(8192);
 
+/// Batched top-k queries over the arena: Args are {N, B} — B queries
+/// against an N-string index through queryBatch, which scores views
+/// straight off the store's flat hash/value arrays and reuses one
+/// O(N) candidate buffer per worker thread across the whole batch.
+void BM_IndexQueryBatchTop5(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const size_t B = static_cast<size_t>(State.range(1));
+  const std::vector<WeightedString> &Corpus = randomCorpus(N + B);
+  ProfileIndex Index = ProfileIndex::build(
+      kernel(), {Corpus.begin(), Corpus.begin() + N});
+  std::vector<KernelProfile> Queries;
+  for (size_t I = 0; I < B; ++I)
+    Queries.push_back(kernel().profile(Corpus[N + I]));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Index.queryBatch(Queries, 5));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(B));
+}
+BENCHMARK(BM_IndexQueryBatchTop5)
+    ->Args({1024, 64})
+    ->Args({8192, 64})
+    ->Unit(benchmark::kMillisecond);
+
 /// Building the index itself (N profiles + norms, parallel).
 void BM_IndexBuild(benchmark::State &State) {
   const std::vector<WeightedString> &Corpus =
@@ -112,6 +140,52 @@ void BM_IndexBuild(benchmark::State &State) {
     benchmark::DoNotOptimize(ProfileIndex::build(kernel(), Corpus));
 }
 BENCHMARK(BM_IndexBuild)->Arg(128)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+/// Per-process scratch path: concurrent bench runs (nightly job plus
+/// a developer run) must not truncate each other's cache mid-load.
+std::string scratchCachePath(const char *Tag) {
+  return "/tmp/kast_perf_index_" + std::string(Tag) + "." +
+         std::to_string(static_cast<long>(::getpid())) + ".kpc";
+}
+
+/// Loading an N-profile cache in the v2 block format: the offset,
+/// hash and value arrays arrive as three bulk reads straight into the
+/// ProfileStore arena.
+void BM_IndexLoadV2(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const std::vector<WeightedString> &Corpus = randomCorpus(N);
+  ProfileIndex Index = ProfileIndex::build(kernel(), Corpus);
+  std::string Path = scratchCachePath("v2");
+  if (Status S = Index.save(Path); !S) {
+    std::remove(Path.c_str());
+    State.SkipWithError(S.message().c_str());
+    return;
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(ProfileIndex::load(Path));
+  std::remove(Path.c_str());
+}
+BENCHMARK(BM_IndexLoadV2)->Arg(1024)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same load through the per-entry v1 format — the copy-by-copy
+/// baseline the block layout replaces.
+void BM_IndexLoadV1(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const std::vector<WeightedString> &Corpus = randomCorpus(N);
+  ProfileIndex Index = ProfileIndex::build(kernel(), Corpus);
+  std::string Path = scratchCachePath("v1");
+  if (Status S = writeProfileCacheFile(Index.toCache(), Path); !S) {
+    std::remove(Path.c_str());
+    State.SkipWithError(S.message().c_str());
+    return;
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(ProfileIndex::load(Path));
+  std::remove(Path.c_str());
+}
+BENCHMARK(BM_IndexLoadV1)->Arg(1024)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -142,7 +142,9 @@ const std::vector<WeightedString> &randomCorpus(size_t N) {
 /// Spectrum-family Gram matrix: Args are {N, UsePrecompute}. The
 /// UsePrecompute=0 rows measure the pre-profile baseline (every pair
 /// rebuilds both strings' features); UsePrecompute=1 is the
-/// O(N·build + N²·dot) fast path.
+/// O(N·build + N²·dot) fast path — since the ProfileStore arena, the
+/// cache-blocked tile fill over structure-of-arrays views (the
+/// N=1024 row is the tiled-Gram headline number).
 void BM_GramMatrixSpectrum(benchmark::State &State) {
   const std::vector<WeightedString> &Corpus =
       randomCorpus(static_cast<size_t>(State.range(0)));
@@ -158,6 +160,7 @@ BENCHMARK(BM_GramMatrixSpectrum)
     ->Args({128, 0})
     ->Args({128, 1})
     ->Args({256, 1})
+    ->Args({1024, 1})
     ->Unit(benchmark::kMillisecond);
 
 /// Kast Gram matrix over random strings: Args are {N, UsePrecompute};

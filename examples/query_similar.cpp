@@ -120,6 +120,14 @@ int main(int ArgC, char **ArgV) {
               FromCache ? ("cache hit on " + CachePath).c_str()
                         : "built from corpus",
               Index.kernelName().c_str());
+  // The profiles live in one structure-of-arrays arena (three flat
+  // arrays + CSR offsets), which is also exactly what the v2 cache
+  // file stores as contiguous blobs.
+  const ProfileStore &Store = Index.store();
+  std::printf("arena: %zu features in %zu + %zu + %zu byte blobs\n",
+              Store.entryCount(), Store.hashes().size() * sizeof(uint64_t),
+              Store.values().size() * sizeof(double),
+              Store.offsets().size() * sizeof(uint64_t));
 
   std::vector<KernelProfile> Queries;
   Queries.reserve(QueryStrings.size());

@@ -52,60 +52,64 @@ GramPair kast::invertAppendPairIndex(size_t P, size_t OldN) {
 
 KernelMatrix::KernelMatrix(const StringKernel &Kernel,
                            KernelMatrixOptions Options)
-    : Kernel(Kernel), Options(Options) {}
-
-void KernelMatrix::appendRows(const std::vector<WeightedString> &NewStrings) {
-  const size_t OldN = Strings.size();
-  const size_t M = NewStrings.size();
-  if (M == 0)
-    return;
-  const size_t N = OldN + M;
-
-  Strings.insert(Strings.end(), NewStrings.begin(), NewStrings.end());
-
-  // Per-string precomputation for the new rows only, amortized across
-  // every pair each new string participates in: profiled kernels build
-  // their feature profile here, the Kast kernel its reversed suffix
-  // automata, and plain kernels return nullptr at zero cost. The old
-  // rows keep the handles built when they were appended.
-  Prep.resize(N);
+    : Kernel(Kernel), Options(Options) {
+  // Profiled kernels get the arena-backed tiled path; their per-string
+  // state is a flat sparse vector, which the store lays out as
+  // structure-of-arrays for the whole corpus. (The fast path dots
+  // views directly — the documented ProfiledStringKernel contract that
+  // k(A, B) is the plain merge-join dot of the two profiles, the same
+  // assumption index/ProfileIndex retrieval already makes.)
   if (Options.UsePrecompute)
-    parallelFor(
-        M,
-        [&](size_t I) { Prep[OldN + I] = Kernel.precompute(Strings[OldN + I]); },
-        Options.Threads);
+    Profiled = dynamic_cast<const ProfiledStringKernel *>(&Kernel);
+}
 
-  // Grow the raw matrix by copying the existing block row-wise — a
-  // memory move, never a kernel re-evaluation.
-  Matrix Grown(N, N, 0.0);
-  for (size_t I = 0; I < OldN; ++I)
-    std::copy(Raw.data().begin() + static_cast<ptrdiff_t>(I * OldN),
-              Raw.data().begin() + static_cast<ptrdiff_t>((I + 1) * OldN),
-              Grown.data().begin() + static_cast<ptrdiff_t>(I * N));
-  Raw = std::move(Grown);
+/// Row-tile edge for the cache-blocked fill: tile pairs of up to
+/// 64×64 view dots reuse each loaded hash array ~64 times while it is
+/// cache-resident, and one tile pair is a chunky enough work item for
+/// the pool's atomic-counter scheduling.
+static constexpr size_t GramTileRows = 64;
 
-  // New diagonal entries; needed for normalization anyway.
-  Diag.resize(N, 0.0);
+/// Cache-blocked fill of the entries the new rows introduce: every
+/// (I, J) with I < J and J >= OldN, visited tile-by-tile. Row tiles
+/// cover [0, N), column tiles only the new rows [OldN, N); each tile
+/// pair is one parallel work item, and each (I, J) belongs to exactly
+/// one tile pair, so writes never race.
+void KernelMatrix::fillTiled(size_t OldN, size_t N) {
+  const size_t RowTiles = (N + GramTileRows - 1) / GramTileRows;
+  const size_t ColTiles = (N - OldN + GramTileRows - 1) / GramTileRows;
   parallelFor(
-      M,
-      [&](size_t I) {
-        const size_t Row = OldN + I;
-        Diag[Row] = Kernel.evaluatePrepared(Strings[Row], Prep[Row].get(),
-                                            Strings[Row], Prep[Row].get());
-        Raw.at(Row, Row) = Diag[Row];
+      RowTiles * ColTiles,
+      [&](size_t T) {
+        const size_t IBegin = (T / ColTiles) * GramTileRows;
+        const size_t IEnd = std::min(N, IBegin + GramTileRows);
+        const size_t JBegin = OldN + (T % ColTiles) * GramTileRows;
+        const size_t JEnd = std::min(N, JBegin + GramTileRows);
+        if (IBegin + 1 >= JEnd)
+          return; // Entirely on or below the diagonal.
+        for (size_t I = IBegin; I < IEnd; ++I) {
+          const ProfileView Vi = Store.view(I);
+          for (size_t J = std::max(JBegin, I + 1); J < JEnd; ++J) {
+            double V = dot(Vi, Store.view(J));
+            Raw.at(I, J) = V;
+            Raw.at(J, I) = V;
+          }
+        }
       },
       Options.Threads);
+}
 
-  // The entries the new strings introduce: the OldN × M rectangle plus
-  // the M(M-1)/2 new-pair triangle. The initial build (OldN == 0) is
-  // the plain strict upper triangle and keeps the seed's flattened
-  // enumeration order.
+/// The opaque-handle fill: evaluatePrepared over the flattened pair
+/// index space (the pre-store path, still used by the Kast kernel's
+/// suffix automata and by UsePrecompute=off differential baselines).
+void KernelMatrix::fillPrepared(size_t OldN, size_t N) {
   auto Fill = [&](size_t I, size_t J) {
     double V = Kernel.evaluatePrepared(Strings[I], Prep[I].get(), Strings[J],
                                        Prep[J].get());
     Raw.at(I, J) = V;
     Raw.at(J, I) = V;
   };
+  // The initial build (OldN == 0) is the plain strict upper triangle
+  // and keeps the seed's flattened enumeration order.
   if (OldN == 0) {
     const size_t NumPairs = N < 2 ? 0 : N * (N - 1) / 2;
     parallelFor(
@@ -116,6 +120,7 @@ void KernelMatrix::appendRows(const std::vector<WeightedString> &NewStrings) {
         },
         Options.Threads);
   } else {
+    const size_t M = N - OldN;
     const size_t NumNewPairs = OldN * M + M * (M - 1) / 2;
     parallelFor(
         NumNewPairs,
@@ -125,6 +130,77 @@ void KernelMatrix::appendRows(const std::vector<WeightedString> &NewStrings) {
         },
         Options.Threads);
   }
+}
+
+void KernelMatrix::appendRows(const std::vector<WeightedString> &NewStrings) {
+  const size_t OldN = Strings.size();
+  const size_t M = NewStrings.size();
+  if (M == 0)
+    return;
+  const size_t N = OldN + M;
+
+  Strings.insert(Strings.end(), NewStrings.begin(), NewStrings.end());
+
+  // Per-string state for the new rows only, amortized across every
+  // pair each new string participates in. Profiled kernels stage their
+  // profiles in parallel, then append them to the arena (a flat copy);
+  // other kernels keep opaque handles (the Kast kernel its reversed
+  // suffix automata, plain kernels nullptr at zero cost). The old rows
+  // keep the state built when they were appended.
+  if (UseStore()) {
+    std::vector<KernelProfile> Staged(M);
+    parallelFor(
+        M,
+        [&](size_t I) { Staged[I] = Profiled->profile(Strings[OldN + I]); },
+        Options.Threads);
+    Store.appendAll(Staged);
+  } else {
+    Prep.resize(N);
+    if (Options.UsePrecompute)
+      parallelFor(
+          M,
+          [&](size_t I) {
+            Prep[OldN + I] = Kernel.precompute(Strings[OldN + I]);
+          },
+          Options.Threads);
+  }
+
+  // Grow the raw matrix by copying the existing block row-wise — a
+  // memory move, never a kernel re-evaluation.
+  Matrix Grown(N, N, 0.0);
+  for (size_t I = 0; I < OldN; ++I)
+    std::copy(Raw.data().begin() + static_cast<ptrdiff_t>(I * OldN),
+              Raw.data().begin() + static_cast<ptrdiff_t>((I + 1) * OldN),
+              Grown.data().begin() + static_cast<ptrdiff_t>(I * N));
+  Raw = std::move(Grown);
+
+  // New diagonal entries; needed for normalization anyway. The store
+  // caches every profile's self-dot at append (bit-identical to the
+  // merge-join dot of the profile with itself).
+  Diag.resize(N, 0.0);
+  if (UseStore()) {
+    for (size_t Row = OldN; Row < N; ++Row) {
+      Diag[Row] = Store.selfDot(Row);
+      Raw.at(Row, Row) = Diag[Row];
+    }
+  } else {
+    parallelFor(
+        M,
+        [&](size_t I) {
+          const size_t Row = OldN + I;
+          Diag[Row] = Kernel.evaluatePrepared(Strings[Row], Prep[Row].get(),
+                                              Strings[Row], Prep[Row].get());
+          Raw.at(Row, Row) = Diag[Row];
+        },
+        Options.Threads);
+  }
+
+  // The entries the new strings introduce: the OldN × M rectangle plus
+  // the M(M-1)/2 new-pair triangle.
+  if (UseStore())
+    fillTiled(OldN, N);
+  else
+    fillPrepared(OldN, N);
 }
 
 Matrix KernelMatrix::materialize() const {

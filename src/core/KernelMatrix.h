@@ -21,11 +21,22 @@
 ///     what lets a served corpus grow one batch of traces at a time
 ///     without the O(N²·dot) rebuild.
 ///
+/// For ProfiledStringKernel instances (with UsePrecompute on) the
+/// per-string state lives in a core/ProfileStore arena — one flat
+/// structure-of-arrays for the whole corpus instead of one heap
+/// vector per string — and the pair fill is cache-blocked: entries
+/// are computed tile-by-tile over ProfileView pairs, so the hash
+/// arrays of one row tile stay cache-resident while a column tile
+/// sweeps past them. Other kernels (the Kast kernel's suffix
+/// automata, plain pairwise kernels) keep the opaque
+/// KernelPrecomputation handle path.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef KAST_CORE_KERNELMATRIX_H
 #define KAST_CORE_KERNELMATRIX_H
 
+#include "core/ProfileStore.h"
 #include "core/StringKernel.h"
 #include "linalg/Matrix.h"
 
@@ -106,10 +117,11 @@ public:
   /// The strings appended so far, in order.
   const std::vector<WeightedString> &strings() const { return Strings; }
 
-  /// The cached precomputation handle of string \p I (nullptr when
-  /// UsePrecompute is off or the kernel has nothing to precompute).
-  const KernelPrecomputation *precomputation(size_t I) const {
-    return Prep[I].get();
+  /// The profile arena backing the fast path, or nullptr when the
+  /// kernel is not profiled (or UsePrecompute is off) and the opaque
+  /// handle path is active instead.
+  const ProfileStore *profileStore() const {
+    return UseStore() ? &Store : nullptr;
   }
 
   /// A copy of raw() with the configured post-processing applied:
@@ -118,10 +130,18 @@ public:
   Matrix materialize() const;
 
 private:
+  bool UseStore() const { return Profiled != nullptr; }
+  void fillTiled(size_t OldN, size_t N);
+  void fillPrepared(size_t OldN, size_t N);
+
   const StringKernel &Kernel;
+  /// Non-null iff Kernel is a ProfiledStringKernel and UsePrecompute
+  /// is on — then Store (not Prep) carries the per-string state.
+  const ProfiledStringKernel *Profiled = nullptr;
   KernelMatrixOptions Options;
   std::vector<WeightedString> Strings;
   std::vector<std::unique_ptr<KernelPrecomputation>> Prep;
+  ProfileStore Store;
   std::vector<double> Diag;
   Matrix Raw;
 };

@@ -25,21 +25,19 @@ void KernelProfile::finalize() {
       Entries[Out++] = {Hash, Value};
   }
   Entries.resize(Out);
+  // Build-time adds over-reserve (duplicates, growth doubling); a
+  // finalized profile is long-lived corpus state, so give the slack
+  // back rather than pinning it N-profiles-wide.
+  Entries.shrink_to_fit();
 }
 
 double KernelProfile::dot(const KernelProfile &Rhs) const {
-  double Sum = 0.0;
-  size_t I = 0, J = 0;
   const std::vector<ProfileEntry> &A = Entries;
   const std::vector<ProfileEntry> &B = Rhs.Entries;
-  while (I < A.size() && J < B.size()) {
-    if (A[I].Hash < B[J].Hash)
-      ++I;
-    else if (B[J].Hash < A[I].Hash)
-      ++J;
-    else
-      Sum += A[I++].Value * B[J++].Value;
-  }
-  return Sum;
+  return detail::mergeJoinDot(
+      A.size(), [&](size_t I) { return A[I].Hash; },
+      [&](size_t I) { return A[I].Value; }, B.size(),
+      [&](size_t J) { return B[J].Hash; },
+      [&](size_t J) { return B[J].Value; });
 }
 

@@ -52,7 +52,8 @@ public:
   void add(uint64_t Hash, double Value) { Entries.push_back({Hash, Value}); }
 
   /// Sorts by hash and coalesces duplicate hashes (summing values).
-  /// Zero-valued features are dropped. Idempotent.
+  /// Zero-valued features are dropped and over-reserved build capacity
+  /// is released (profiles are long-lived corpus state). Idempotent.
   void finalize();
 
   /// Merge-join inner product with \p Rhs; both must be finalized.
@@ -67,6 +68,37 @@ public:
 private:
   std::vector<ProfileEntry> Entries;
 };
+
+namespace detail {
+
+/// The one merge-join inner-product implementation behind
+/// KernelProfile::dot and the ProfileView dot overloads
+/// (core/ProfileStore.h). Hash/value access is abstracted over index
+/// so the AoS staging type and the SoA arena share one loop — the
+/// bit-exactness contract between them (asserted in ProfileStoreTest)
+/// then holds by construction. \p AHash/\p AValue (and the B pair)
+/// are callables from index to hash/value.
+template <typename AHashFn, typename AValueFn, typename BHashFn,
+          typename BValueFn>
+double mergeJoinDot(size_t ASize, AHashFn AHash, AValueFn AValue,
+                    size_t BSize, BHashFn BHash, BValueFn BValue) {
+  double Sum = 0.0;
+  size_t I = 0, J = 0;
+  while (I < ASize && J < BSize) {
+    if (AHash(I) < BHash(J))
+      ++I;
+    else if (BHash(J) < AHash(I))
+      ++J;
+    else {
+      Sum += AValue(I) * BValue(J);
+      ++I;
+      ++J;
+    }
+  }
+  return Sum;
+}
+
+} // namespace detail
 
 } // namespace kast
 

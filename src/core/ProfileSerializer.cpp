@@ -78,6 +78,244 @@ std::optional<std::string> readStringField(std::istream &In) {
   return S;
 }
 
+/// Bytes left in the stream from the current position, or nullopt when
+/// the stream is not seekable. Lets blob loads reject a corrupt
+/// element count *before* sizing a buffer for it, so the diagnostic is
+/// "truncated", never std::bad_alloc.
+std::optional<uint64_t> remainingBytes(std::istream &In) {
+  std::istream::pos_type Here = In.tellg();
+  if (Here == std::istream::pos_type(-1))
+    return std::nullopt;
+  In.seekg(0, std::ios::end);
+  std::istream::pos_type End = In.tellg();
+  In.seekg(Here);
+  if (End == std::istream::pos_type(-1) || !In)
+    return std::nullopt;
+  return static_cast<uint64_t>(End - Here);
+}
+
+/// One bulk read of \p Count little-endian 8-byte elements straight
+/// into a pre-sized vector<uint64_t> or vector<double> — the v2 hot
+/// path. The whole blob lands with a single In.read, then decodes in
+/// place (through memcpy, never a typed u64 lvalue, so the double
+/// variant stays aliasing-clean).
+template <typename T>
+std::optional<std::vector<T>> readBlob(std::istream &In, uint64_t Count) {
+  static_assert(sizeof(T) == 8);
+  if (std::optional<uint64_t> Left = remainingBytes(In)) {
+    if (*Left / 8 < Count)
+      return std::nullopt;
+  } else if (Count > (uint64_t(1) << 28)) {
+    // Non-seekable stream: no byte count to validate against, so at
+    // least refuse to size a multi-gigabyte buffer from a corrupt
+    // count field — surface it as truncation, not std::bad_alloc.
+    return std::nullopt;
+  }
+  std::vector<T> Blob;
+  Blob.resize(static_cast<size_t>(Count));
+  if (Count == 0)
+    return Blob;
+  if (!In.read(reinterpret_cast<char *>(Blob.data()),
+               static_cast<std::streamsize>(Count * 8)))
+    return std::nullopt;
+  if constexpr (std::endian::native != std::endian::little)
+    for (T &V : Blob) {
+      unsigned char Bytes[8];
+      std::memcpy(Bytes, &V, 8);
+      uint64_t Decoded = 0;
+      for (int I = 0; I < 8; ++I)
+        Decoded |= static_cast<uint64_t>(Bytes[I]) << (8 * I);
+      std::memcpy(&V, &Decoded, 8);
+    }
+  return Blob;
+}
+
+/// One bulk write of \p Count little-endian u64-wide elements.
+/// \p Data may point at uint64_t or double storage (both are written
+/// as their 8-byte patterns), so access goes through char/memcpy only
+/// — never a typed uint64_t lvalue — keeping the big-endian branch
+/// free of aliasing UB.
+void writeU64Blob(std::ostream &Out, const void *Data, size_t Count) {
+  if constexpr (std::endian::native == std::endian::little) {
+    Out.write(static_cast<const char *>(Data),
+              static_cast<std::streamsize>(Count * 8));
+  } else {
+    const char *Bytes = static_cast<const char *>(Data);
+    for (size_t I = 0; I < Count; ++I) {
+      uint64_t V;
+      std::memcpy(&V, Bytes + I * 8, 8);
+      writeU64(Out, V);
+    }
+  }
+}
+
+/// Shared v1/v2 header: magic, version, kernel name.
+struct CacheHeader {
+  uint32_t Version = 0;
+  std::string KernelName;
+};
+
+Expected<CacheHeader> readCacheHeader(std::istream &In) {
+  using Result = Expected<CacheHeader>;
+  char Magic[sizeof(ProfileCacheMagic)];
+  if (!In.read(Magic, sizeof(Magic)) ||
+      std::memcmp(Magic, ProfileCacheMagic, sizeof(Magic)) != 0)
+    return Result::error("not a profile cache (bad magic)");
+  std::optional<uint32_t> Version = readU32(In);
+  if (!Version)
+    return Result::error("truncated profile cache: missing version");
+  if (*Version != ProfileCacheVersion && *Version != ProfileCacheVersionV2)
+    return Result::error("unsupported profile cache version " +
+                         std::to_string(*Version) + " (expected " +
+                         std::to_string(ProfileCacheVersion) + " or " +
+                         std::to_string(ProfileCacheVersionV2) + ")");
+  std::optional<std::string> KernelName = readStringField(In);
+  if (!KernelName)
+    return Result::error("truncated profile cache: missing kernel name");
+  CacheHeader Header;
+  Header.Version = *Version;
+  Header.KernelName = std::move(*KernelName);
+  return Header;
+}
+
+/// v1 body: count, then per-record name/label/profile.
+Expected<ProfileCache> readRecordsBody(std::istream &In,
+                                       std::string KernelName) {
+  using Result = Expected<ProfileCache>;
+  std::optional<uint64_t> Count = readU64(In);
+  if (!Count)
+    return Result::error("truncated profile cache: missing record count");
+  ProfileCache Cache;
+  Cache.KernelName = std::move(KernelName);
+  Cache.Records.reserve(static_cast<size_t>(std::min(*Count, MaxReserve)));
+  for (uint64_t I = 0; I < *Count; ++I) {
+    std::optional<std::string> Name = readStringField(In);
+    std::optional<std::string> Label = readStringField(In);
+    if (!Name || !Label)
+      return Result::error("truncated profile cache: record " +
+                           std::to_string(I) + " of " +
+                           std::to_string(*Count));
+    Expected<KernelProfile> P = readProfile(In);
+    if (!P)
+      return Result::error("record " + std::to_string(I) + " ('" + *Name +
+                           "'): " + P.message());
+    Cache.Records.push_back({std::move(*Name), std::move(*Label), P.take()});
+  }
+  return Cache;
+}
+
+/// v2 body: counts, names, labels, then three contiguous blobs.
+Expected<ProfileStoreCache> readStoreBody(std::istream &In,
+                                          std::string KernelName) {
+  using Result = Expected<ProfileStoreCache>;
+  std::optional<uint64_t> Count = readU64(In);
+  std::optional<uint64_t> Total = readU64(In);
+  if (!Count || !Total)
+    return Result::error("truncated profile cache: missing counts");
+
+  ProfileStoreCache Cache;
+  Cache.KernelName = std::move(KernelName);
+  Cache.Names.reserve(static_cast<size_t>(std::min(*Count, MaxReserve)));
+  Cache.Labels.reserve(static_cast<size_t>(std::min(*Count, MaxReserve)));
+  for (uint64_t I = 0; I < *Count; ++I) {
+    std::optional<std::string> Name = readStringField(In);
+    if (!Name)
+      return Result::error("truncated profile cache: name " +
+                           std::to_string(I) + " of " + std::to_string(*Count));
+    Cache.Names.push_back(std::move(*Name));
+  }
+  for (uint64_t I = 0; I < *Count; ++I) {
+    std::optional<std::string> Label = readStringField(In);
+    if (!Label)
+      return Result::error("truncated profile cache: label " +
+                           std::to_string(I) + " of " + std::to_string(*Count));
+    Cache.Labels.push_back(std::move(*Label));
+  }
+
+  std::optional<std::vector<uint64_t>> Offsets =
+      readBlob<uint64_t>(In, *Count + 1);
+  if (!Offsets)
+    return Result::error("truncated profile cache: offset array");
+  std::optional<std::vector<uint64_t>> Hashes = readBlob<uint64_t>(In, *Total);
+  if (!Hashes)
+    return Result::error("truncated profile cache: hash array");
+  // Value bit patterns land directly in the arena's double array —
+  // the third and last bulk read, no intermediate integer copy.
+  std::optional<std::vector<double>> Values = readBlob<double>(In, *Total);
+  if (!Values)
+    return Result::error("truncated profile cache: value array");
+
+  for (size_t I = 1; I < Offsets->size(); ++I)
+    if ((*Offsets)[I] < (*Offsets)[I - 1])
+      return Result::error("corrupt profile cache: offsets not monotonic");
+  if (Offsets->front() != 0 || Offsets->back() != *Total)
+    return Result::error("corrupt profile cache: offsets disagree with "
+                         "entry total");
+
+  Cache.Store = ProfileStore::adopt(std::move(*Hashes), std::move(*Values),
+                                    std::move(*Offsets));
+  if (!Cache.Store.isFinalized())
+    return Result::error("corrupt profile cache: profile entries not "
+                         "sorted by hash");
+  return Cache;
+}
+
+ProfileStoreCache recordsToStore(ProfileCache Cache) {
+  ProfileStoreCache Store;
+  Store.KernelName = std::move(Cache.KernelName);
+  Store.Names.reserve(Cache.Records.size());
+  Store.Labels.reserve(Cache.Records.size());
+  std::vector<KernelProfile> Profiles;
+  Profiles.reserve(Cache.Records.size());
+  for (ProfileRecord &R : Cache.Records) {
+    Store.Names.push_back(std::move(R.Name));
+    Store.Labels.push_back(std::move(R.Label));
+    Profiles.push_back(std::move(R.Profile));
+  }
+  Store.Store.appendAll(Profiles);
+  return Store;
+}
+
+ProfileCache storeToRecords(ProfileStoreCache Cache) {
+  ProfileCache Records;
+  Records.KernelName = std::move(Cache.KernelName);
+  Records.Records.reserve(Cache.Store.size());
+  for (size_t I = 0; I < Cache.Store.size(); ++I)
+    Records.Records.push_back({std::move(Cache.Names[I]),
+                               std::move(Cache.Labels[I]),
+                               Cache.Store.materialize(I)});
+  return Records;
+}
+
+/// Shared file plumbing for both cache flavors: open/write/flush with
+/// path-prefixed diagnostics (write) and open/read with the same
+/// prefixing (read), so durability changes (fsync, atomic rename)
+/// land in exactly one place.
+template <typename WriteFn>
+Status writeCacheFile(const std::string &Path, WriteFn Write) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return Status::error("cannot open '" + Path + "' for writing");
+  Status S = Write(Out);
+  if (!S)
+    return Status::error("'" + Path + "': " + S.message());
+  Out.close();
+  if (!Out)
+    return Status::error("cannot flush '" + Path + "'");
+  return Status();
+}
+
+template <typename T, typename ReadFn>
+Expected<T> readCacheFile(const std::string &Path, ReadFn Read) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Expected<T>::error("cannot open '" + Path + "'");
+  Expected<T> Cache = Read(In);
+  if (!Cache)
+    return Expected<T>::error("'" + Path + "': " + Cache.message());
+  return Cache;
+}
+
 } // namespace
 
 void kast::writeProfile(const KernelProfile &P, std::ostream &Out) {
@@ -126,66 +364,97 @@ Status kast::writeProfileCache(const ProfileCache &Cache, std::ostream &Out) {
 }
 
 Expected<ProfileCache> kast::readProfileCache(std::istream &In) {
-  using Result = Expected<ProfileCache>;
-  char Magic[sizeof(ProfileCacheMagic)];
-  if (!In.read(Magic, sizeof(Magic)) ||
-      std::memcmp(Magic, ProfileCacheMagic, sizeof(Magic)) != 0)
-    return Result::error("not a profile cache (bad magic)");
-  std::optional<uint32_t> Version = readU32(In);
-  if (!Version)
-    return Result::error("truncated profile cache: missing version");
-  if (*Version != ProfileCacheVersion)
-    return Result::error("unsupported profile cache version " +
-                         std::to_string(*Version) + " (expected " +
-                         std::to_string(ProfileCacheVersion) + ")");
-  std::optional<std::string> KernelName = readStringField(In);
-  if (!KernelName)
-    return Result::error("truncated profile cache: missing kernel name");
-  std::optional<uint64_t> Count = readU64(In);
-  if (!Count)
-    return Result::error("truncated profile cache: missing record count");
+  Expected<CacheHeader> Header = readCacheHeader(In);
+  if (!Header)
+    return Expected<ProfileCache>::error(Header.message());
+  if (Header->Version == ProfileCacheVersion)
+    return readRecordsBody(In, std::move(Header->KernelName));
+  Expected<ProfileStoreCache> Store =
+      readStoreBody(In, std::move(Header->KernelName));
+  if (!Store)
+    return Expected<ProfileCache>::error(Store.message());
+  return storeToRecords(Store.take());
+}
 
-  ProfileCache Cache;
-  Cache.KernelName = std::move(*KernelName);
-  Cache.Records.reserve(static_cast<size_t>(std::min(*Count, MaxReserve)));
-  for (uint64_t I = 0; I < *Count; ++I) {
-    std::optional<std::string> Name = readStringField(In);
-    std::optional<std::string> Label = readStringField(In);
-    if (!Name || !Label)
-      return Result::error("truncated profile cache: record " +
-                           std::to_string(I) + " of " +
-                           std::to_string(*Count));
-    Expected<KernelProfile> P = readProfile(In);
-    if (!P)
-      return Result::error("record " + std::to_string(I) + " ('" + *Name +
-                           "'): " + P.message());
-    Cache.Records.push_back(
-        {std::move(*Name), std::move(*Label), P.take()});
-  }
-  return Cache;
+Status kast::writeProfileStoreCache(const ProfileStoreCache &Cache,
+                                    std::ostream &Out) {
+  return writeProfileStoreCache(Cache.KernelName, Cache.Names, Cache.Labels,
+                                Cache.Store, Out);
+}
+
+Status kast::writeProfileStoreCache(const std::string &KernelName,
+                                    const std::vector<std::string> &Names,
+                                    const std::vector<std::string> &Labels,
+                                    const ProfileStore &Store,
+                                    std::ostream &Out) {
+  if (Names.size() != Store.size() || Labels.size() != Store.size())
+    return Status::error("profile store cache has " +
+                         std::to_string(Store.size()) + " profiles but " +
+                         std::to_string(Names.size()) + " names / " +
+                         std::to_string(Labels.size()) + " labels");
+  Out.write(ProfileCacheMagic, sizeof(ProfileCacheMagic));
+  writeU32(Out, ProfileCacheVersionV2);
+  writeStringField(Out, KernelName);
+  writeU64(Out, static_cast<uint64_t>(Store.size()));
+  writeU64(Out, static_cast<uint64_t>(Store.entryCount()));
+  for (const std::string &Name : Names)
+    writeStringField(Out, Name);
+  for (const std::string &Label : Labels)
+    writeStringField(Out, Label);
+
+  // The three arena arrays as contiguous blobs, written wholesale —
+  // the store already keeps offsets at the u64 wire width.
+  writeU64Blob(Out, Store.offsets().data(), Store.offsets().size());
+  writeU64Blob(Out, Store.hashes().data(), Store.hashes().size());
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  writeU64Blob(Out, Store.values().data(), Store.values().size());
+  if (!Out)
+    return Status::error("profile cache write failed");
+  return Status();
+}
+
+Expected<ProfileStoreCache> kast::readProfileStoreCache(std::istream &In) {
+  Expected<CacheHeader> Header = readCacheHeader(In);
+  if (!Header)
+    return Expected<ProfileStoreCache>::error(Header.message());
+  if (Header->Version == ProfileCacheVersionV2)
+    return readStoreBody(In, std::move(Header->KernelName));
+  Expected<ProfileCache> Records =
+      readRecordsBody(In, std::move(Header->KernelName));
+  if (!Records)
+    return Expected<ProfileStoreCache>::error(Records.message());
+  return recordsToStore(Records.take());
 }
 
 Status kast::writeProfileCacheFile(const ProfileCache &Cache,
                                    const std::string &Path) {
-  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
-  if (!Out)
-    return Status::error("cannot open '" + Path + "' for writing");
-  Status S = writeProfileCache(Cache, Out);
-  if (!S)
-    return Status::error("'" + Path + "': " + S.message());
-  Out.close();
-  if (!Out)
-    return Status::error("cannot flush '" + Path + "'");
-  return Status();
+  return writeCacheFile(
+      Path, [&](std::ostream &Out) { return writeProfileCache(Cache, Out); });
 }
 
 Expected<ProfileCache> kast::readProfileCacheFile(const std::string &Path) {
-  using Result = Expected<ProfileCache>;
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return Result::error("cannot open '" + Path + "'");
-  Expected<ProfileCache> Cache = readProfileCache(In);
-  if (!Cache)
-    return Result::error("'" + Path + "': " + Cache.message());
-  return Cache;
+  return readCacheFile<ProfileCache>(
+      Path, [](std::istream &In) { return readProfileCache(In); });
+}
+
+Status kast::writeProfileStoreCacheFile(const ProfileStoreCache &Cache,
+                                        const std::string &Path) {
+  return writeProfileStoreCacheFile(Cache.KernelName, Cache.Names,
+                                    Cache.Labels, Cache.Store, Path);
+}
+
+Status kast::writeProfileStoreCacheFile(const std::string &KernelName,
+                                        const std::vector<std::string> &Names,
+                                        const std::vector<std::string> &Labels,
+                                        const ProfileStore &Store,
+                                        const std::string &Path) {
+  return writeCacheFile(Path, [&](std::ostream &Out) {
+    return writeProfileStoreCache(KernelName, Names, Labels, Store, Out);
+  });
+}
+
+Expected<ProfileStoreCache>
+kast::readProfileStoreCacheFile(const std::string &Path) {
+  return readCacheFile<ProfileStoreCache>(
+      Path, [](std::istream &In) { return readProfileStoreCache(In); });
 }

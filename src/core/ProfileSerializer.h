@@ -5,15 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Binary, versioned serialization for KernelProfile and labeled
-/// profile collections — the on-disk half of the retrieval pipeline:
-/// per-string profiles are computed once, cached, and reloaded
-/// bit-exactly, so Gram growth (KernelMatrix::appendRows) and index
-/// queries (index/ProfileIndex) never rebuild a profile the corpus
-/// already paid for.
+/// Binary, versioned serialization for kernel-profile collections —
+/// the on-disk half of the retrieval pipeline: per-string profiles are
+/// computed once, cached, and reloaded bit-exactly, so Gram growth
+/// (KernelMatrix::appendRows) and index queries (index/ProfileIndex)
+/// never rebuild a profile the corpus already paid for.
 ///
-/// File layout (all integers little-endian, doubles as IEEE-754 bit
-/// patterns — round-trips are bit-exact by construction):
+/// Two format versions share the magic (all integers little-endian,
+/// doubles as IEEE-754 bit patterns — round-trips are bit-exact by
+/// construction; `string` is a u32 byte length followed by the bytes):
+///
+/// v1 — record-wise (writeProfileCache; readers keep full support):
 ///
 ///   magic   8 bytes   "KASTPROF"
 ///   version u32       1
@@ -22,8 +24,25 @@
 ///   record: name string, label string, nnz u64,
 ///           nnz × (hash u64, value-bits u64)
 ///
-/// where `string` is a u32 byte length followed by the bytes. Readers
-/// reject bad magic, unknown versions, and truncated input with a
+/// v2 — block layout mirroring core/ProfileStore's structure-of-arrays
+/// arena (writeProfileStoreCache): the three arrays are single
+/// contiguous blobs, so loading is three bulk reads straight into the
+/// arena instead of count × nnz per-entry copies:
+///
+///   magic   8 bytes   "KASTPROF"
+///   version u32       2
+///   kernel  string
+///   count   u64       number of profiles N
+///   total   u64       total entries across all profiles
+///   names   N × string
+///   labels  N × string
+///   offsets (N+1) × u64   CSR offsets (leading 0, last == total)
+///   hashes  total × u64   one blob
+///   values  total × u64   value bit patterns, one blob
+///
+/// Readers of either entry point accept both versions (a v1 file loads
+/// into a store, a v2 file loads into records) and reject bad magic,
+/// unknown versions, and truncated or inconsistent input with a
 /// diagnostic Expected error.
 ///
 //===----------------------------------------------------------------------===//
@@ -32,6 +51,7 @@
 #define KAST_CORE_PROFILESERIALIZER_H
 
 #include "core/KernelProfile.h"
+#include "core/ProfileStore.h"
 #include "util/Error.h"
 
 #include <iosfwd>
@@ -40,10 +60,11 @@
 
 namespace kast {
 
-/// The on-disk magic and the current (only) format version.
+/// The on-disk magic and the supported format versions.
 inline constexpr char ProfileCacheMagic[8] = {'K', 'A', 'S', 'T',
                                               'P', 'R', 'O', 'F'};
 inline constexpr uint32_t ProfileCacheVersion = 1;
+inline constexpr uint32_t ProfileCacheVersionV2 = 2;
 
 /// One cached profile with its provenance.
 struct ProfileRecord {
@@ -52,12 +73,21 @@ struct ProfileRecord {
   KernelProfile Profile; ///< Finalized sparse feature vector.
 };
 
-/// A profile collection as stored on disk.
+/// A profile collection in the record-wise (v1-shaped) in-memory form.
 struct ProfileCache {
   /// name() of the kernel that produced the profiles; profiles from
   /// different kernels are not comparable, so loaders verify this.
   std::string KernelName;
   std::vector<ProfileRecord> Records;
+};
+
+/// A profile collection in the arena (v2-shaped) in-memory form:
+/// per-profile names/labels alongside one ProfileStore.
+struct ProfileStoreCache {
+  std::string KernelName;
+  std::vector<std::string> Names;  ///< size() == Store.size()
+  std::vector<std::string> Labels; ///< size() == Store.size()
+  ProfileStore Store;
 };
 
 /// Writes one finalized profile (nnz + entries) to \p Out.
@@ -66,16 +96,44 @@ void writeProfile(const KernelProfile &P, std::ostream &Out);
 /// Reads one profile written by writeProfile.
 Expected<KernelProfile> readProfile(std::istream &In);
 
-/// Writes the full cache (magic, version, kernel name, records).
+/// Writes the record-wise v1 format (magic, version, kernel name,
+/// records) — kept for compatibility fixtures and differential tests;
+/// new caches should use writeProfileStoreCache.
 Status writeProfileCache(const ProfileCache &Cache, std::ostream &Out);
 
-/// Reads a cache, validating magic and version.
+/// Reads a v1 or v2 cache into records, validating magic and version.
 Expected<ProfileCache> readProfileCache(std::istream &In);
+
+/// Writes the v2 block format: names, labels, then the store's three
+/// arrays as contiguous blobs.
+Status writeProfileStoreCache(const ProfileStoreCache &Cache,
+                              std::ostream &Out);
+
+/// Component-wise v2 writer — same bytes as the struct form, but the
+/// caller keeps ownership (no arena copy to assemble a cache struct).
+Status writeProfileStoreCache(const std::string &KernelName,
+                              const std::vector<std::string> &Names,
+                              const std::vector<std::string> &Labels,
+                              const ProfileStore &Store, std::ostream &Out);
+
+/// Reads a v1 or v2 cache into an arena. v2 loads the offset, hash and
+/// value blobs with three bulk reads; v1 falls back to per-record
+/// reads appended profile by profile.
+Expected<ProfileStoreCache> readProfileStoreCache(std::istream &In);
 
 /// File convenience wrappers over the stream forms.
 Status writeProfileCacheFile(const ProfileCache &Cache,
                              const std::string &Path);
 Expected<ProfileCache> readProfileCacheFile(const std::string &Path);
+Status writeProfileStoreCacheFile(const ProfileStoreCache &Cache,
+                                  const std::string &Path);
+Status writeProfileStoreCacheFile(const std::string &KernelName,
+                                  const std::vector<std::string> &Names,
+                                  const std::vector<std::string> &Labels,
+                                  const ProfileStore &Store,
+                                  const std::string &Path);
+Expected<ProfileStoreCache>
+readProfileStoreCacheFile(const std::string &Path);
 
 } // namespace kast
 

@@ -1,0 +1,108 @@
+//===- core/ProfileStore.cpp - Arena-backed profile storage ----------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProfileStore.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace kast;
+
+double kast::dot(const ProfileView &A, const ProfileView &B) {
+  return detail::mergeJoinDot(
+      A.Size, [&](size_t I) { return A.Hashes[I]; },
+      [&](size_t I) { return A.Values[I]; }, B.Size,
+      [&](size_t J) { return B.Hashes[J]; },
+      [&](size_t J) { return B.Values[J]; });
+}
+
+double kast::dot(const ProfileView &A, const KernelProfile &B) {
+  const std::vector<ProfileEntry> &Rhs = B.entries();
+  return detail::mergeJoinDot(
+      A.Size, [&](size_t I) { return A.Hashes[I]; },
+      [&](size_t I) { return A.Values[I]; }, Rhs.size(),
+      [&](size_t J) { return Rhs[J].Hash; },
+      [&](size_t J) { return Rhs[J].Value; });
+}
+
+size_t ProfileStore::append(const KernelProfile &Profile) {
+  const std::vector<ProfileEntry> &Entries = Profile.entries();
+  double SelfDot = 0.0;
+  // No per-append reserve: an exact-size reserve beats geometric
+  // growth only once, then forces a full arena copy on every later
+  // append. push_back's doubling keeps N appends amortized O(total).
+  for (const ProfileEntry &E : Entries) {
+    assert((Hashes.size() == Offsets.back() || Hashes.back() < E.Hash) &&
+           "profile must be finalized (sorted, coalesced)");
+    Hashes.push_back(E.Hash);
+    Values.push_back(E.Value);
+    SelfDot += E.Value * E.Value;
+  }
+  Offsets.push_back(Hashes.size());
+  SelfDots.push_back(SelfDot);
+  Norms.push_back(std::sqrt(SelfDot));
+  return size() - 1;
+}
+
+void ProfileStore::appendAll(const std::vector<KernelProfile> &Profiles) {
+  if (empty()) {
+    size_t TotalEntries = 0;
+    for (const KernelProfile &P : Profiles)
+      TotalEntries += P.size();
+    reserve(Profiles.size(), TotalEntries);
+  }
+  for (const KernelProfile &P : Profiles)
+    append(P);
+}
+
+ProfileStore ProfileStore::adopt(std::vector<uint64_t> Hashes,
+                                 std::vector<double> Values,
+                                 std::vector<uint64_t> Offsets) {
+  assert(!Offsets.empty() && Offsets.front() == 0 &&
+         Offsets.back() == Hashes.size() && Hashes.size() == Values.size() &&
+         "malformed CSR offsets");
+  ProfileStore Store;
+  Store.Hashes = std::move(Hashes);
+  Store.Values = std::move(Values);
+  Store.Offsets = std::move(Offsets);
+  const size_t N = Store.size();
+  Store.SelfDots.resize(N);
+  Store.Norms.resize(N);
+  for (size_t I = 0; I < N; ++I) {
+    double SelfDot = 0.0;
+    for (size_t E = Store.Offsets[I]; E < Store.Offsets[I + 1]; ++E)
+      SelfDot += Store.Values[E] * Store.Values[E];
+    Store.SelfDots[I] = SelfDot;
+    Store.Norms[I] = std::sqrt(SelfDot);
+  }
+  return Store;
+}
+
+void ProfileStore::reserve(size_t Profiles, size_t Entries) {
+  Offsets.reserve(Profiles + 1);
+  SelfDots.reserve(Profiles);
+  Norms.reserve(Profiles);
+  Hashes.reserve(Entries);
+  Values.reserve(Entries);
+}
+
+KernelProfile ProfileStore::materialize(size_t I) const {
+  KernelProfile P;
+  P.reserve(Offsets[I + 1] - Offsets[I]);
+  // The arena already holds finalized (sorted, coalesced) entries, so
+  // plain adds reproduce the profile bit-exactly; no re-finalize.
+  for (size_t E = Offsets[I]; E < Offsets[I + 1]; ++E)
+    P.add(Hashes[E], Values[E]);
+  return P;
+}
+
+bool ProfileStore::isFinalized() const {
+  for (size_t I = 0; I < size(); ++I)
+    for (size_t E = Offsets[I] + 1; E < Offsets[I + 1]; ++E)
+      if (Hashes[E - 1] >= Hashes[E])
+        return false;
+  return true;
+}

@@ -1,0 +1,149 @@
+//===- core/ProfileStore.h - Arena-backed profile storage ------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contiguous structure-of-arrays storage for a whole corpus of kernel
+/// profiles. A KernelProfile is the per-string *staging* type — built
+/// feature by feature, then finalized — but storing N of them keeps N
+/// separately heap-allocated vectors of interleaved (hash, value)
+/// pairs: every merge-join loads the value it almost never needs into
+/// the same cache line as the hash it always compares, and a
+/// million-trace corpus fragments into a million allocations.
+///
+/// A ProfileStore flattens all N profiles into one arena of three
+/// parallel arrays:
+///
+///     Hashes:  [ h00 h01 h02 | h10 h11 | h20 h21 h22 h23 | ... ]
+///     Values:  [ v00 v01 v02 | v10 v11 | v20 v21 v22 v23 | ... ]
+///     Offsets: [ 0, 3, 5, 9, ... ]          (CSR; size() + 1 entries)
+///
+/// plus cached per-profile self-dots and norms. Profile I spans
+/// [Offsets[I], Offsets[I+1]) of Hashes/Values. Consumers address
+/// profiles through ProfileView — a non-owning (hash span, value span,
+/// cached self-norm) triple — and the merge-join dot over two views
+/// streams the dense hash arrays, touching values only on a hash
+/// match. This is the storage behind the Gram fast path
+/// (core/KernelMatrix), retrieval (index/ProfileIndex), and the v2
+/// block cache format (core/ProfileSerializer), which writes the three
+/// arrays as single contiguous blobs.
+///
+/// Views are invalidated by append (the arena may reallocate); indices
+/// are stable forever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_CORE_PROFILESTORE_H
+#define KAST_CORE_PROFILESTORE_H
+
+#include "core/KernelProfile.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kast {
+
+/// Non-owning window onto one profile in a ProfileStore: parallel
+/// hash/value spans plus the cached self-dot and norm. Cheap to copy;
+/// valid until the next append to the owning store.
+struct ProfileView {
+  const uint64_t *Hashes = nullptr;
+  const double *Values = nullptr;
+  size_t Size = 0;
+  /// Raw self-kernel dot(p, p), cached at append.
+  double SelfDot = 0.0;
+  /// sqrt(SelfDot), cached at append (cosine denominators).
+  double Norm = 0.0;
+
+  bool empty() const { return Size == 0; }
+};
+
+/// Merge-join inner product of two views. The hash-compare phase
+/// streams the two dense hash arrays; values are loaded only on a
+/// match. Bit-identical to KernelProfile::dot over the same features.
+double dot(const ProfileView &A, const ProfileView &B);
+
+/// Merge-join inner product of a view against a staged (finalized)
+/// KernelProfile — the one-off query side of index retrieval, where
+/// the query never enters the arena.
+double dot(const ProfileView &A, const KernelProfile &B);
+
+/// Arena of N profiles as structure-of-arrays with CSR offsets.
+class ProfileStore {
+public:
+  /// Copies a finalized profile into the arena and caches its
+  /// self-dot/norm. \returns the new profile's index.
+  size_t append(const KernelProfile &Profile);
+
+  /// Appends a whole batch, encoding the arena's sizing policy once
+  /// for every bulk-build call site: an empty store is exact-size
+  /// reserved for the batch; a non-empty store grows geometrically
+  /// (an exact reserve per batch would force a full arena copy on
+  /// every append).
+  void appendAll(const std::vector<KernelProfile> &Profiles);
+
+  /// Bulk variant of append: adopts entry arrays wholesale (e.g. the
+  /// blobs of a v2 cache file). Entries of each profile must be sorted
+  /// by strictly increasing hash — the finalize() invariant; use
+  /// isFinalized() to validate untrusted input first. \p Offsets must
+  /// be a CSR offset array: size N+1, leading 0, non-decreasing, last
+  /// element == Hashes.size() == Values.size().
+  static ProfileStore adopt(std::vector<uint64_t> Hashes,
+                            std::vector<double> Values,
+                            std::vector<uint64_t> Offsets);
+
+  /// Number of profiles stored.
+  size_t size() const { return Offsets.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  /// Total (hash, value) entries across all profiles.
+  size_t entryCount() const { return Hashes.size(); }
+
+  /// The view of profile \p I; invalidated by the next append.
+  ProfileView view(size_t I) const {
+    const size_t Begin = static_cast<size_t>(Offsets[I]);
+    return {Hashes.data() + Begin, Values.data() + Begin,
+            static_cast<size_t>(Offsets[I + 1]) - Begin, SelfDots[I],
+            Norms[I]};
+  }
+
+  /// Raw self-kernel dot(p, p) of profile \p I.
+  double selfDot(size_t I) const { return SelfDots[I]; }
+
+  /// sqrt(selfDot(I)).
+  double norm(size_t I) const { return Norms[I]; }
+
+  /// Pre-sizes the arena for \p Profiles profiles totaling \p Entries
+  /// features, so a bulk build appends without reallocation.
+  void reserve(size_t Profiles, size_t Entries);
+
+  /// Copies profile \p I back out as a staging-type KernelProfile
+  /// (compatibility paths: v1 serialization, record-wise caches).
+  KernelProfile materialize(size_t I) const;
+
+  /// Checks the finalize() invariant (strictly increasing hashes) for
+  /// every profile — the validation gate for adopt() on file input.
+  bool isFinalized() const;
+
+  // Raw arena access for block serialization; Offsets has size()+1
+  // elements with Offsets[0] == 0. Offsets are kept as u64 — the v2
+  // wire width — so save/load move the blob wholesale with no
+  // widen/narrow copy.
+  const std::vector<uint64_t> &hashes() const { return Hashes; }
+  const std::vector<double> &values() const { return Values; }
+  const std::vector<uint64_t> &offsets() const { return Offsets; }
+
+private:
+  std::vector<uint64_t> Hashes;
+  std::vector<double> Values;
+  std::vector<uint64_t> Offsets = {0};
+  std::vector<double> SelfDots;
+  std::vector<double> Norms;
+};
+
+} // namespace kast
+
+#endif // KAST_CORE_PROFILESTORE_H

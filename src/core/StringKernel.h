@@ -87,9 +87,14 @@ public:
   /// The explicit (hashed) feature embedding of \p X, finalized.
   virtual KernelProfile profile(const WeightedString &X) const = 0;
 
-  /// Inner product of two profiles; override only for kernels whose
-  /// value is not the plain dot (none today).
-  virtual double dot(const KernelProfile &A, const KernelProfile &B) const;
+  /// Inner product of two profiles. Deliberately non-virtual: the
+  /// ProfiledStringKernel contract is that k(A, B) *is* the plain
+  /// merge-join dot of the two profiles — the arena fast paths
+  /// (KernelMatrix's tiled fill, ProfileIndex retrieval) dot stored
+  /// ProfileViews directly without consulting the kernel, so a kernel
+  /// whose value is not the plain dot must not be profiled; fold the
+  /// transform into profile() instead.
+  double dot(const KernelProfile &A, const KernelProfile &B) const;
 
   /// k(A, B) = dot(profile(A), profile(B)).
   double evaluate(const WeightedString &A,

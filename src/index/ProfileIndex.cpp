@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <thread>
 
 using namespace kast;
 
@@ -25,59 +26,99 @@ ProfileIndex ProfileIndex::build(const ProfiledStringKernel &Kernel,
       [&](size_t I) { Profiles[I] = Kernel.profile(Strings[I]); }, Threads);
 
   ProfileIndex Index(Kernel.name());
-  for (size_t I = 0; I < Strings.size(); ++I)
-    Index.add(Strings[I].name(), Labels.empty() ? "" : Labels[I],
-              std::move(Profiles[I]));
+  Index.Store.appendAll(Profiles);
+  for (size_t I = 0; I < Strings.size(); ++I) {
+    Index.Names.push_back(Strings[I].name());
+    Index.Labels.push_back(Labels.empty() ? "" : Labels[I]);
+  }
   return Index;
 }
 
 ProfileIndex ProfileIndex::fromCache(ProfileCache Cache) {
   ProfileIndex Index(std::move(Cache.KernelName));
   for (ProfileRecord &R : Cache.Records)
-    Index.add(std::move(R.Name), std::move(R.Label), std::move(R.Profile));
+    Index.add(std::move(R.Name), std::move(R.Label), R.Profile);
+  return Index;
+}
+
+ProfileIndex ProfileIndex::fromStoreCache(ProfileStoreCache Cache) {
+  ProfileIndex Index(std::move(Cache.KernelName));
+  Index.Names = std::move(Cache.Names);
+  Index.Labels = std::move(Cache.Labels);
+  Index.Store = std::move(Cache.Store);
   return Index;
 }
 
 void ProfileIndex::add(std::string Name, std::string Label,
-                       KernelProfile Profile) {
-  Norms.push_back(std::sqrt(Profile.dot(Profile)));
+                       const KernelProfile &Profile) {
+  Store.append(Profile);
   Names.push_back(std::move(Name));
   Labels.push_back(std::move(Label));
-  Profiles.push_back(std::move(Profile));
 }
 
-std::vector<Neighbor> ProfileIndex::query(const KernelProfile &Query,
-                                          size_t K, bool Normalize) const {
-  std::vector<Neighbor> All;
-  All.reserve(Profiles.size());
-  const double QueryNorm =
-      Normalize ? std::sqrt(Query.dot(Query)) : 1.0;
-  for (size_t I = 0; I < Profiles.size(); ++I) {
-    double Sim = Query.dot(Profiles[I]);
+/// The shared single-query kernel: scores every entry into \p All
+/// (resized, never reallocated once warm), then partial-sorts the top
+/// K out. Callers own the scratch so batched queries can reuse it.
+static std::vector<Neighbor> queryInto(const ProfileStore &Store,
+                                       const KernelProfile &Query, size_t K,
+                                       bool Normalize,
+                                       std::vector<Neighbor> &All) {
+  if (K == 0 || Store.empty())
+    return {};
+  const size_t N = Store.size();
+  All.resize(N);
+  double QueryNorm = 1.0;
+  if (Normalize) {
+    double SelfDot = 0.0;
+    for (const ProfileEntry &E : Query.entries())
+      SelfDot += E.Value * E.Value;
+    QueryNorm = std::sqrt(SelfDot);
+  }
+  for (size_t I = 0; I < N; ++I) {
+    const ProfileView V = Store.view(I);
+    double Sim = dot(V, Query);
     if (Normalize) {
-      double Denominator = QueryNorm * Norms[I];
+      double Denominator = QueryNorm * V.Norm;
       Sim = Denominator > 0.0 ? Sim / Denominator : 0.0;
     }
-    All.push_back({I, Sim});
+    All[I] = {I, Sim};
   }
-  const size_t Take = std::min(K, All.size());
+  const size_t Take = std::min(K, N);
   std::partial_sort(All.begin(), All.begin() + Take, All.end(),
                     [](const Neighbor &L, const Neighbor &R) {
                       if (L.Similarity != R.Similarity)
                         return L.Similarity > R.Similarity;
                       return L.Index < R.Index;
                     });
-  All.resize(Take);
-  return All;
+  return {All.begin(), All.begin() + Take};
+}
+
+std::vector<Neighbor> ProfileIndex::query(const KernelProfile &Query,
+                                          size_t K, bool Normalize) const {
+  std::vector<Neighbor> Scratch;
+  return queryInto(Store, Query, K, Normalize, Scratch);
 }
 
 std::vector<std::vector<Neighbor>>
 ProfileIndex::queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
                          bool Normalize, size_t Threads) const {
   std::vector<std::vector<Neighbor>> Results(Queries.size());
+  // Queries are strided across worker-count chunks so each chunk
+  // allocates its O(N) candidate buffer once and reuses it for every
+  // query it scores; the scratch is call-scoped (a thread_local would
+  // pin index-sized buffers to caller threads for the process
+  // lifetime). Query cost is uniform, so striding balances fine.
+  const size_t Workers = Threads != 0 ? Threads
+                         : std::max<size_t>(
+                               1, std::thread::hardware_concurrency());
+  const size_t Chunks = std::min(Queries.size(), Workers);
   parallelFor(
-      Queries.size(),
-      [&](size_t I) { Results[I] = query(Queries[I], K, Normalize); },
+      Chunks,
+      [&](size_t Chunk) {
+        std::vector<Neighbor> Scratch;
+        for (size_t I = Chunk; I < Queries.size(); I += Chunks)
+          Results[I] = queryInto(Store, Queries[I], K, Normalize, Scratch);
+      },
       Threads);
   return Results;
 }
@@ -108,17 +149,19 @@ ProfileCache ProfileIndex::toCache() const {
   Cache.KernelName = KernelName;
   Cache.Records.reserve(size());
   for (size_t I = 0; I < size(); ++I)
-    Cache.Records.push_back({Names[I], Labels[I], Profiles[I]});
+    Cache.Records.push_back({Names[I], Labels[I], Store.materialize(I)});
   return Cache;
 }
 
 Status ProfileIndex::save(const std::string &Path) const {
-  return writeProfileCacheFile(toCache(), Path);
+  // v2 block layout straight from the arena: the three arrays go out
+  // as contiguous blobs, no per-profile materialization or copy.
+  return writeProfileStoreCacheFile(KernelName, Names, Labels, Store, Path);
 }
 
 Expected<ProfileIndex> ProfileIndex::load(const std::string &Path) {
-  Expected<ProfileCache> Cache = readProfileCacheFile(Path);
+  Expected<ProfileStoreCache> Cache = readProfileStoreCacheFile(Path);
   if (!Cache)
     return Expected<ProfileIndex>::error(Cache.message());
-  return fromCache(Cache.take());
+  return fromStoreCache(Cache.take());
 }

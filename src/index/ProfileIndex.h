@@ -7,16 +7,21 @@
 /// \file
 /// Retrieval over cached kernel profiles — the paper's "access patterns
 /// as fingerprints" claim served directly. A ProfileIndex holds N
-/// prepared (finalized) KernelProfiles with names, labels and cached
-/// self-norms, and answers top-k nearest-neighbor queries by merge-join
-/// dot products against the query profile. No Gram matrix is built:
-/// one query costs O(N · dot) instead of the O(N² · dot) a full-matrix
-/// detour would, and batched queries parallelize per query.
+/// prepared profiles in a core/ProfileStore arena (one flat
+/// structure-of-arrays, not N heap vectors) with names, labels and
+/// cached self-norms, and answers top-k nearest-neighbor queries by
+/// merge-join dot products of the query against each stored
+/// ProfileView. No Gram matrix is built: one query costs O(N · dot)
+/// instead of the O(N² · dot) a full-matrix detour would, the scan
+/// streams one contiguous hash array instead of chasing N pointers,
+/// and batched queries parallelize per query reusing one scratch
+/// buffer per worker thread.
 ///
 /// Indexes round-trip through the versioned binary profile cache
-/// (core/ProfileSerializer), so a served corpus profiles each trace
-/// exactly once — build, save(), and every later process load()s and
-/// queries without touching a kernel.
+/// (core/ProfileSerializer; saved in the v2 block format, v1 caches
+/// still load), so a served corpus profiles each trace exactly once —
+/// build, save(), and every later process load()s and queries without
+/// touching a kernel.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +29,7 @@
 #define KAST_INDEX_PROFILEINDEX_H
 
 #include "core/ProfileSerializer.h"
+#include "core/ProfileStore.h"
 #include "core/StringKernel.h"
 #include "util/Error.h"
 
@@ -57,31 +63,48 @@ public:
                             const std::vector<std::string> &Labels = {},
                             size_t Threads = 0);
 
-  /// Adopts an in-memory profile cache (e.g. loaded from disk).
+  /// Adopts an in-memory record-wise profile cache.
   static ProfileIndex fromCache(ProfileCache Cache);
 
-  /// Appends one finalized profile.
-  void add(std::string Name, std::string Label, KernelProfile Profile);
+  /// Adopts an in-memory arena cache (the v2 load path: the store
+  /// moves in wholesale, no per-profile copying).
+  static ProfileIndex fromStoreCache(ProfileStoreCache Cache);
 
-  size_t size() const { return Profiles.size(); }
-  bool empty() const { return Profiles.empty(); }
+  /// Appends one finalized profile (copied into the arena).
+  void add(std::string Name, std::string Label,
+           const KernelProfile &Profile);
+
+  size_t size() const { return Store.size(); }
+  bool empty() const { return Store.empty(); }
 
   const std::string &kernelName() const { return KernelName; }
   const std::string &name(size_t I) const { return Names[I]; }
   const std::string &label(size_t I) const { return Labels[I]; }
-  const KernelProfile &profile(size_t I) const { return Profiles[I]; }
+
+  /// The arena view of entry \p I; invalidated by the next add().
+  ProfileView view(size_t I) const { return Store.view(I); }
+
+  /// Entry \p I copied back out as a staging-type KernelProfile (e.g.
+  /// to re-query the index with one of its own entries).
+  KernelProfile profile(size_t I) const { return Store.materialize(I); }
+
+  /// The arena backing the index.
+  const ProfileStore &store() const { return Store; }
 
   /// sqrt(dot(p, p)) of entry \p I, cached at insertion.
-  double norm(size_t I) const { return Norms[I]; }
+  double norm(size_t I) const { return Store.norm(I); }
 
-  /// The \p K entries most similar to \p Query, most similar first;
-  /// ties break toward the smaller index for determinism. \p Normalize
-  /// selects cosine similarity (entries or queries with vanishing
-  /// norm score 0) over the raw profile dot.
+  /// The min(K, size()) entries most similar to \p Query, most similar
+  /// first; ties break toward the smaller index for determinism.
+  /// \p Normalize selects cosine similarity (entries or queries with
+  /// vanishing norm score 0) over the raw profile dot. K == 0 and an
+  /// empty index both return an empty list.
   std::vector<Neighbor> query(const KernelProfile &Query, size_t K,
                               bool Normalize = true) const;
 
-  /// query() for a batch, one query per parallelFor item.
+  /// query() for a batch, one query per parallelFor item; candidate
+  /// scratch (the O(N) similarity buffer) is allocated once per worker
+  /// thread and reused across that thread's queries.
   std::vector<std::vector<Neighbor>>
   queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
              bool Normalize = true, size_t Threads = 0) const;
@@ -90,10 +113,12 @@ public:
   /// the nearer neighbor. Empty for an empty neighbor list.
   std::string majorityLabel(const std::vector<Neighbor> &Neighbors) const;
 
-  /// Copies the index contents into a serializable cache.
+  /// Copies the index contents into a record-wise cache.
   ProfileCache toCache() const;
 
-  /// Round-trip through core/ProfileSerializer's binary format.
+  /// Round-trip through core/ProfileSerializer's binary format: save
+  /// writes the v2 block layout straight from the arena; load accepts
+  /// v1 and v2 files.
   Status save(const std::string &Path) const;
   static Expected<ProfileIndex> load(const std::string &Path);
 
@@ -101,8 +126,7 @@ private:
   std::string KernelName;
   std::vector<std::string> Names;
   std::vector<std::string> Labels;
-  std::vector<KernelProfile> Profiles;
-  std::vector<double> Norms;
+  ProfileStore Store;
 };
 
 } // namespace kast

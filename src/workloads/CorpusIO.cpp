@@ -108,13 +108,16 @@ Status kast::writeCorpusProfileCache(const std::string &Path,
       [&](size_t I) { Profiles[I] = Kernel.profile(Data.string(I)); },
       Threads);
 
-  ProfileCache Cache;
+  ProfileStoreCache Cache;
   Cache.KernelName = Kernel.name();
-  Cache.Records.reserve(Data.size());
-  for (size_t I = 0; I < Data.size(); ++I)
-    Cache.Records.push_back(
-        {Data.string(I).name(), Data.label(I), std::move(Profiles[I])});
-  return writeProfileCacheFile(Cache, Path);
+  Cache.Names.reserve(Data.size());
+  Cache.Labels.reserve(Data.size());
+  Cache.Store.appendAll(Profiles);
+  for (size_t I = 0; I < Data.size(); ++I) {
+    Cache.Names.push_back(Data.string(I).name());
+    Cache.Labels.push_back(Data.label(I));
+  }
+  return writeProfileStoreCacheFile(Cache, Path);
 }
 
 Expected<ProfileCache>
@@ -122,6 +125,20 @@ kast::loadCorpusProfileCache(const std::string &Path,
                              const ProfiledStringKernel &Kernel) {
   using Result = Expected<ProfileCache>;
   Expected<ProfileCache> Cache = readProfileCacheFile(Path);
+  if (!Cache)
+    return Cache;
+  if (Cache->KernelName != Kernel.name())
+    return Result::error("profile cache '" + Path + "' was built by kernel '" +
+                         Cache->KernelName + "', expected '" + Kernel.name() +
+                         "'");
+  return Cache;
+}
+
+Expected<ProfileStoreCache>
+kast::loadCorpusProfileStore(const std::string &Path,
+                             const ProfiledStringKernel &Kernel) {
+  using Result = Expected<ProfileStoreCache>;
+  Expected<ProfileStoreCache> Cache = readProfileStoreCacheFile(Path);
   if (!Cache)
     return Cache;
   if (Cache->KernelName != Kernel.name())

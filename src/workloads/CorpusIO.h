@@ -46,20 +46,29 @@ Status writeCorpusDirectory(const std::vector<LabeledTrace> &Corpus,
 Expected<std::vector<LabeledTrace>>
 loadCorpusDirectory(const std::string &Dir);
 
-/// Profiles every string of \p Data with \p Kernel (in parallel) and
-/// writes the versioned binary profile cache to \p Path, tagged with
-/// the kernel's name.
+/// Profiles every string of \p Data with \p Kernel (in parallel),
+/// gathers the results into one ProfileStore arena, and writes the
+/// versioned binary profile cache (v2 block layout) to \p Path,
+/// tagged with the kernel's name.
 Status writeCorpusProfileCache(const std::string &Path,
                                const ProfiledStringKernel &Kernel,
                                const LabeledDataset &Data,
                                size_t Threads = 0);
 
-/// Loads a profile cache and verifies it was produced by a kernel
-/// named like \p Kernel — profiles from different kernels (or the
-/// same kernel under different options) are not comparable, and the
-/// mismatch surfaces here instead of as silently wrong similarities.
+/// Loads a profile cache (v1 or v2) into record-wise form and verifies
+/// it was produced by a kernel named like \p Kernel — profiles from
+/// different kernels (or the same kernel under different options) are
+/// not comparable, and the mismatch surfaces here instead of as
+/// silently wrong similarities.
 Expected<ProfileCache>
 loadCorpusProfileCache(const std::string &Path,
+                       const ProfiledStringKernel &Kernel);
+
+/// loadCorpusProfileCache in arena form: a v2 file loads as three bulk
+/// blob reads straight into the ProfileStore, with the same
+/// kernel-name verification.
+Expected<ProfileStoreCache>
+loadCorpusProfileStore(const std::string &Path,
                        const ProfiledStringKernel &Kernel);
 
 } // namespace kast

@@ -214,6 +214,72 @@ TEST(ProfileIndexTest, TopKOrderingAndTieBreaks) {
   EXPECT_DOUBLE_EQ(Hits[0].Similarity, 0.0);
 }
 
+TEST(ProfileIndexTest, EdgeCasesReturnCleanly) {
+  KernelProfile P;
+  P.add(3, 1.0);
+  P.finalize();
+
+  // Querying an empty index: no hits, no crash, for both entry points.
+  ProfileIndex Empty("k");
+  EXPECT_TRUE(Empty.query(P, 3).empty());
+  EXPECT_TRUE(Empty.query(P, 0).empty());
+  std::vector<std::vector<Neighbor>> Batch =
+      Empty.queryBatch({P, KernelProfile()}, 3, true, 1);
+  ASSERT_EQ(Batch.size(), 2u);
+  EXPECT_TRUE(Batch[0].empty());
+  EXPECT_TRUE(Batch[1].empty());
+  EXPECT_EQ(Empty.majorityLabel({}), "");
+
+  ProfileIndex Index("k");
+  Index.add("a", "x", P);
+  Index.add("b", "y", P);
+
+  // k == 0 is an explicit no-op, not a caller-discipline assumption.
+  EXPECT_TRUE(Index.query(P, 0).empty());
+  for (const std::vector<Neighbor> &Hits :
+       Index.queryBatch({P, P}, 0, true, 1))
+    EXPECT_TRUE(Hits.empty());
+
+  // k beyond size() clamps to size().
+  EXPECT_EQ(Index.query(P, 100).size(), 2u);
+  EXPECT_EQ(Index.queryBatch({P}, 100, true, 1)[0].size(), 2u);
+}
+
+TEST(ProfileIndexTest, SaveWritesV2AndLoadsEitherVersion) {
+  Rng R(515151);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 10, "c");
+  BlendedSpectrumKernel Kernel(3);
+  ProfileIndex Index = ProfileIndex::build(Kernel, Corpus, {}, 1);
+
+  // save() emits the v2 block format...
+  std::string V2Path = testing::TempDir() + "/kast_index_v2.kpc";
+  ASSERT_TRUE(Index.save(V2Path).ok());
+  {
+    std::ifstream In(V2Path, std::ios::binary);
+    char Magic[8];
+    ASSERT_TRUE(In.read(Magic, 8).good());
+    unsigned char VersionByte;
+    ASSERT_TRUE(
+        In.read(reinterpret_cast<char *>(&VersionByte), 1).good());
+    EXPECT_EQ(VersionByte, ProfileCacheVersionV2);
+  }
+
+  // ...and load() accepts both a v2 file and a legacy v1 file of the
+  // same records, with identical query behavior.
+  std::string V1Path = testing::TempDir() + "/kast_index_v1.kpc";
+  ASSERT_TRUE(writeProfileCacheFile(Index.toCache(), V1Path).ok());
+  Expected<ProfileIndex> FromV2 = ProfileIndex::load(V2Path);
+  Expected<ProfileIndex> FromV1 = ProfileIndex::load(V1Path);
+  ASSERT_TRUE(FromV2.hasValue()) << FromV2.message();
+  ASSERT_TRUE(FromV1.hasValue()) << FromV1.message();
+  ASSERT_EQ(FromV2->size(), Index.size());
+  ASSERT_EQ(FromV1->size(), Index.size());
+  KernelProfile Query = Kernel.profile(randomString(Table, R, 20, 6));
+  EXPECT_EQ(FromV2->query(Query, 4), Index.query(Query, 4));
+  EXPECT_EQ(FromV1->query(Query, 4), Index.query(Query, 4));
+}
+
 TEST(ProfileIndexTest, AgreesWithGramMatrixGroundTruth) {
   Rng R(60601);
   auto Table = TokenTable::create();
@@ -320,14 +386,31 @@ TEST(ProfileIndexTest, CorpusProfileCacheVerifiesKernelName) {
     expectBitExact(Good->Records[I].Profile, Kernel.profile(Data.string(I)));
   }
 
+  // The arena form of the same load: identical provenance and
+  // bit-identical profiles, straight into a ProfileStore.
+  Expected<ProfileStoreCache> Arena = loadCorpusProfileStore(Path, Kernel);
+  ASSERT_TRUE(Arena.hasValue()) << Arena.message();
+  ASSERT_EQ(Arena->Store.size(), Data.size());
+  for (size_t I = 0; I < Data.size(); ++I) {
+    EXPECT_EQ(Arena->Names[I], Data.string(I).name());
+    EXPECT_EQ(Arena->Labels[I], Data.label(I));
+    expectBitExact(Arena->Store.materialize(I),
+                   Kernel.profile(Data.string(I)));
+  }
+
   // A differently-configured kernel names itself differently, and the
-  // mismatch is a load-time error, not a silent wrong similarity.
+  // mismatch is a load-time error, not a silent wrong similarity —
+  // through both load forms.
   BlendedSpectrumKernel Other(4, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
   ASSERT_NE(Other.name(), Kernel.name());
   Expected<ProfileCache> Bad = loadCorpusProfileCache(Path, Other);
   ASSERT_FALSE(Bad.hasValue());
   EXPECT_NE(Bad.message().find(Kernel.name()), std::string::npos)
       << Bad.message();
+  Expected<ProfileStoreCache> BadArena = loadCorpusProfileStore(Path, Other);
+  ASSERT_FALSE(BadArena.hasValue());
+  EXPECT_NE(BadArena.message().find(Kernel.name()), std::string::npos)
+      << BadArena.message();
 }
 
 } // namespace

@@ -1,0 +1,354 @@
+//===- tests/ProfileStoreTest.cpp - arena storage and v2 cache -------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The structure-of-arrays storage contract: profiles copied into a
+// ProfileStore come back bit-exactly (views, materialized staging
+// copies, and every pairwise dot), the Gram fast path over store views
+// matches the per-pair baseline across tile boundaries, and the v2
+// block cache format round-trips stores bit-exactly while remaining
+// interchangeable with v1 files in both directions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KernelMatrix.h"
+#include "core/ProfileSerializer.h"
+#include "core/ProfileStore.h"
+#include "kernels/SpectrumKernels.h"
+#include "util/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+using namespace kast;
+
+namespace {
+
+WeightedString randomString(const std::shared_ptr<TokenTable> &Table,
+                            Rng &R, size_t Length, uint32_t Alphabet) {
+  WeightedString S(Table);
+  for (size_t I = 0; I < Length; ++I)
+    S.append("t" + std::to_string(R.uniformInt(0, Alphabet - 1)),
+             R.uniformInt(1, 16));
+  return S;
+}
+
+std::vector<WeightedString>
+randomCorpus(const std::shared_ptr<TokenTable> &Table, Rng &R, size_t N) {
+  std::vector<WeightedString> Corpus;
+  for (size_t I = 0; I < N; ++I) {
+    WeightedString S = randomString(Table, R, R.uniformInt(1, 32), 6);
+    S.setName("s" + std::to_string(I));
+    Corpus.push_back(std::move(S));
+  }
+  return Corpus;
+}
+
+void expectBitExact(const KernelProfile &A, const KernelProfile &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A.entries()[I].Hash, B.entries()[I].Hash);
+    EXPECT_EQ(std::bit_cast<uint64_t>(A.entries()[I].Value),
+              std::bit_cast<uint64_t>(B.entries()[I].Value))
+        << "entry " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Arena append, views, dots
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileStoreTest, ViewsAndDotsMatchStagingProfilesBitExactly) {
+  Rng R(10110);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 24);
+  BlendedSpectrumKernel Kernel(3, 0.9, /*Weighted=*/true, /*CutWeight=*/2);
+
+  std::vector<KernelProfile> Staged;
+  ProfileStore Store;
+  for (const WeightedString &S : Corpus) {
+    Staged.push_back(Kernel.profile(S));
+    EXPECT_EQ(Store.append(Staged.back()), Staged.size() - 1);
+  }
+  ASSERT_EQ(Store.size(), Corpus.size());
+  EXPECT_TRUE(Store.isFinalized());
+
+  size_t TotalEntries = 0;
+  for (size_t I = 0; I < Staged.size(); ++I) {
+    const ProfileView V = Store.view(I);
+    ASSERT_EQ(V.Size, Staged[I].size());
+    for (size_t E = 0; E < V.Size; ++E) {
+      EXPECT_EQ(V.Hashes[E], Staged[I].entries()[E].Hash);
+      EXPECT_EQ(std::bit_cast<uint64_t>(V.Values[E]),
+                std::bit_cast<uint64_t>(Staged[I].entries()[E].Value));
+    }
+    // Cached self-dot and norm agree with the merge-join ground truth.
+    EXPECT_EQ(std::bit_cast<uint64_t>(V.SelfDot),
+              std::bit_cast<uint64_t>(Staged[I].dot(Staged[I])));
+    EXPECT_DOUBLE_EQ(V.Norm, std::sqrt(V.SelfDot));
+    EXPECT_EQ(Store.selfDot(I), V.SelfDot);
+    EXPECT_EQ(Store.norm(I), V.Norm);
+    // Materialized staging copies are bit-exact.
+    expectBitExact(Store.materialize(I), Staged[I]);
+    TotalEntries += V.Size;
+  }
+  EXPECT_EQ(Store.entryCount(), TotalEntries);
+
+  // Every pairwise dot — view×view and view×staging — is bit-identical
+  // to the staging-type merge join.
+  for (size_t I = 0; I < Staged.size(); ++I)
+    for (size_t J = 0; J < Staged.size(); ++J) {
+      double Truth = Staged[I].dot(Staged[J]);
+      EXPECT_EQ(std::bit_cast<uint64_t>(dot(Store.view(I), Store.view(J))),
+                std::bit_cast<uint64_t>(Truth))
+          << I << "," << J;
+      EXPECT_EQ(std::bit_cast<uint64_t>(dot(Store.view(I), Staged[J])),
+                std::bit_cast<uint64_t>(Truth))
+          << I << "," << J;
+    }
+}
+
+TEST(ProfileStoreTest, EmptyProfilesTakeZeroArenaSpace) {
+  ProfileStore Store;
+  KernelProfile NonEmpty;
+  NonEmpty.add(7, 2.0);
+  NonEmpty.finalize();
+
+  Store.append(KernelProfile());
+  Store.append(NonEmpty);
+  Store.append(KernelProfile());
+
+  ASSERT_EQ(Store.size(), 3u);
+  EXPECT_EQ(Store.entryCount(), 1u);
+  EXPECT_TRUE(Store.view(0).empty());
+  EXPECT_TRUE(Store.view(2).empty());
+  EXPECT_EQ(Store.view(0).Norm, 0.0);
+  EXPECT_EQ(Store.view(1).Size, 1u);
+  EXPECT_DOUBLE_EQ(Store.view(1).SelfDot, 4.0);
+  EXPECT_EQ(dot(Store.view(0), Store.view(1)), 0.0);
+  EXPECT_TRUE(Store.materialize(0).empty());
+}
+
+TEST(ProfileStoreTest, AdoptRebuildsNormsAndValidates) {
+  // Two profiles: {(1, 3.0), (5, 4.0)} and {(2, 1.0)}.
+  ProfileStore Store = ProfileStore::adopt({1, 5, 2}, {3.0, 4.0, 1.0},
+                                           {0, 2, 3});
+  ASSERT_EQ(Store.size(), 2u);
+  EXPECT_TRUE(Store.isFinalized());
+  EXPECT_DOUBLE_EQ(Store.selfDot(0), 25.0);
+  EXPECT_DOUBLE_EQ(Store.norm(0), 5.0);
+  EXPECT_DOUBLE_EQ(Store.selfDot(1), 1.0);
+
+  // Unsorted (or duplicated) hashes within one profile break the
+  // finalize() invariant the dot kernels rely on.
+  EXPECT_FALSE(
+      ProfileStore::adopt({5, 1}, {1.0, 1.0}, {0, 2}).isFinalized());
+  EXPECT_FALSE(
+      ProfileStore::adopt({3, 3}, {1.0, 1.0}, {0, 2}).isFinalized());
+}
+
+//===----------------------------------------------------------------------===//
+// Tiled Gram fill over the store (KernelMatrix fast path)
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileStoreTest, TiledGramMatchesPerPairBaselineAcrossTileEdges) {
+  Rng R(646465);
+  auto Table = TokenTable::create();
+  // 70 + 70 rows: the initial build and the appended block both
+  // straddle the 64-row tile edge, so partial edge tiles, full tiles,
+  // and the rectangle/triangle split all get exercised.
+  std::vector<WeightedString> Base = randomCorpus(Table, R, 70);
+  std::vector<WeightedString> Extra = randomCorpus(Table, R, 70);
+  BlendedSpectrumKernel Kernel(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+
+  KernelMatrixOptions Options;
+  Options.Threads = 0; // Exercise the parallel tile fill.
+  KernelMatrix Gram(Kernel, Options);
+  Gram.appendRows(Base);
+  ASSERT_NE(Gram.profileStore(), nullptr);
+  EXPECT_EQ(Gram.profileStore()->size(), Base.size());
+  Gram.appendRows(Extra);
+  EXPECT_EQ(Gram.profileStore()->size(), Base.size() + Extra.size());
+
+  std::vector<WeightedString> All = Base;
+  All.insert(All.end(), Extra.begin(), Extra.end());
+  KernelMatrixOptions Baseline = Options;
+  Baseline.UsePrecompute = false; // Per-pair evaluate(), no store.
+  Matrix Truth = computeKernelMatrix(Kernel, All, Baseline);
+
+  Matrix Tiled = Gram.materialize();
+  ASSERT_EQ(Tiled.rows(), Truth.rows());
+  for (size_t I = 0; I < Truth.rows(); ++I)
+    for (size_t J = 0; J < Truth.cols(); ++J)
+      EXPECT_NEAR(Tiled.at(I, J), Truth.at(I, J),
+                  1e-12 * std::max(1.0, std::fabs(Truth.at(I, J))))
+          << "(" << I << ", " << J << ")";
+}
+
+TEST(ProfileStoreTest, NonProfiledKernelsKeepTheHandlePath) {
+  auto Table = TokenTable::create();
+  Rng R(11);
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 4);
+  BlendedSpectrumKernel Profiled(2);
+  KernelMatrixOptions NoPrecompute;
+  NoPrecompute.UsePrecompute = false;
+  // UsePrecompute off: even a profiled kernel takes the handle path.
+  KernelMatrix Off(Profiled, NoPrecompute);
+  Off.appendRows(Corpus);
+  EXPECT_EQ(Off.profileStore(), nullptr);
+  // On: the arena backs the fast path.
+  KernelMatrix On(Profiled, {});
+  On.appendRows(Corpus);
+  EXPECT_NE(On.profileStore(), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// v2 block cache format
+//===----------------------------------------------------------------------===//
+
+ProfileStoreCache makeStoreCache(Rng &R, size_t N,
+                                 const std::string &KernelName) {
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, N);
+  BlendedSpectrumKernel Kernel(3, 0.8, /*Weighted=*/true, /*CutWeight=*/2);
+  ProfileStoreCache Cache;
+  Cache.KernelName = KernelName;
+  for (size_t I = 0; I < Corpus.size(); ++I) {
+    Cache.Names.push_back(Corpus[I].name());
+    Cache.Labels.push_back(I % 2 ? "odd" : "even");
+    Cache.Store.append(Kernel.profile(Corpus[I]));
+  }
+  return Cache;
+}
+
+TEST(ProfileStoreCacheTest, V2RoundTripsStoresBitExactly) {
+  Rng R(20202);
+  ProfileStoreCache Cache = makeStoreCache(R, 17, "blended");
+
+  std::stringstream Buffer;
+  ASSERT_TRUE(writeProfileStoreCache(Cache, Buffer).ok());
+  Expected<ProfileStoreCache> Loaded = readProfileStoreCache(Buffer);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+
+  EXPECT_EQ(Loaded->KernelName, "blended");
+  ASSERT_EQ(Loaded->Store.size(), Cache.Store.size());
+  EXPECT_EQ(Loaded->Names, Cache.Names);
+  EXPECT_EQ(Loaded->Labels, Cache.Labels);
+  // The three arrays survive byte-for-byte: hashes, value bit
+  // patterns, offsets — and therefore norms and every dot.
+  EXPECT_EQ(Loaded->Store.hashes(), Cache.Store.hashes());
+  EXPECT_EQ(Loaded->Store.offsets(), Cache.Store.offsets());
+  ASSERT_EQ(Loaded->Store.values().size(), Cache.Store.values().size());
+  for (size_t I = 0; I < Cache.Store.values().size(); ++I)
+    EXPECT_EQ(std::bit_cast<uint64_t>(Loaded->Store.values()[I]),
+              std::bit_cast<uint64_t>(Cache.Store.values()[I]));
+  for (size_t I = 0; I < Cache.Store.size(); ++I)
+    EXPECT_EQ(std::bit_cast<uint64_t>(Loaded->Store.norm(I)),
+              std::bit_cast<uint64_t>(Cache.Store.norm(I)));
+}
+
+TEST(ProfileStoreCacheTest, V1AndV2LoadInterchangeably) {
+  Rng R(30303);
+  ProfileStoreCache StoreCache = makeStoreCache(R, 9, "k");
+
+  // The same collection in both formats.
+  std::stringstream V2;
+  ASSERT_TRUE(writeProfileStoreCache(StoreCache, V2).ok());
+  ProfileCache Records;
+  Records.KernelName = StoreCache.KernelName;
+  for (size_t I = 0; I < StoreCache.Store.size(); ++I)
+    Records.Records.push_back({StoreCache.Names[I], StoreCache.Labels[I],
+                               StoreCache.Store.materialize(I)});
+  std::stringstream V1;
+  ASSERT_TRUE(writeProfileCache(Records, V1).ok());
+
+  // v1 bytes into a store (the upgrade path)...
+  Expected<ProfileStoreCache> V1AsStore = readProfileStoreCache(V1);
+  ASSERT_TRUE(V1AsStore.hasValue()) << V1AsStore.message();
+  EXPECT_EQ(V1AsStore->Store.hashes(), StoreCache.Store.hashes());
+  EXPECT_EQ(V1AsStore->Store.offsets(), StoreCache.Store.offsets());
+  EXPECT_EQ(V1AsStore->Names, StoreCache.Names);
+
+  // ...and v2 bytes into records (the downgrade path); both agree
+  // with the originals bit-exactly.
+  Expected<ProfileCache> V2AsRecords = readProfileCache(V2);
+  ASSERT_TRUE(V2AsRecords.hasValue()) << V2AsRecords.message();
+  ASSERT_EQ(V2AsRecords->Records.size(), Records.Records.size());
+  for (size_t I = 0; I < Records.Records.size(); ++I) {
+    EXPECT_EQ(V2AsRecords->Records[I].Name, Records.Records[I].Name);
+    EXPECT_EQ(V2AsRecords->Records[I].Label, Records.Records[I].Label);
+    expectBitExact(V2AsRecords->Records[I].Profile,
+                   Records.Records[I].Profile);
+  }
+}
+
+TEST(ProfileStoreCacheTest, RejectsBadMagicTruncationAndCorruptOffsets) {
+  Rng R(40404);
+  ProfileStoreCache Cache = makeStoreCache(R, 5, "k");
+  std::stringstream Good;
+  ASSERT_TRUE(writeProfileStoreCache(Cache, Good).ok());
+  std::string Bytes = Good.str();
+
+  {
+    std::string Bad = Bytes;
+    Bad[0] = 'X';
+    std::stringstream In(Bad);
+    Expected<ProfileStoreCache> E = readProfileStoreCache(In);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("magic"), std::string::npos) << E.message();
+  }
+  {
+    std::string Bad = Bytes;
+    Bad[8] = 99; // Version field (little-endian low byte).
+    std::stringstream In(Bad);
+    Expected<ProfileStoreCache> E = readProfileStoreCache(In);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("version"), std::string::npos) << E.message();
+  }
+  // Truncation anywhere — inside the header, the name table, the
+  // offset array, or the value blob — is a diagnostic, not garbage.
+  for (size_t Cut : {Bytes.size() - 1, Bytes.size() - 9,
+                     Bytes.size() / 2, size_t(30), size_t(10)}) {
+    std::stringstream In(Bytes.substr(0, Cut));
+    Expected<ProfileStoreCache> E = readProfileStoreCache(In);
+    EXPECT_FALSE(E.hasValue()) << "cut at " << Cut;
+  }
+
+  // An entry total inconsistent with the offsets is rejected before
+  // any profile is served. The total lives right after the profile
+  // count: magic(8) + version(4) + kernel "k"(4 + 1) + count(8).
+  {
+    std::string Bad = Bytes;
+    const size_t TotalOffset = 8 + 4 + 4 + 1 + 8;
+    Bad[TotalOffset] = static_cast<char>(Bad[TotalOffset] + 1);
+    std::stringstream In(Bad);
+    Expected<ProfileStoreCache> E = readProfileStoreCache(In);
+    ASSERT_FALSE(E.hasValue());
+  }
+}
+
+TEST(ProfileStoreCacheTest, FileRoundTripAndWriterValidation) {
+  Rng R(50505);
+  ProfileStoreCache Cache = makeStoreCache(R, 6, "k");
+  std::string Path = testing::TempDir() + "/kast_store_rt.kpc";
+  ASSERT_TRUE(writeProfileStoreCacheFile(Cache, Path).ok());
+  Expected<ProfileStoreCache> Loaded = readProfileStoreCacheFile(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  EXPECT_EQ(Loaded->Store.hashes(), Cache.Store.hashes());
+
+  // A cache whose name/label tables disagree with the store is a
+  // writer-side error, not a corrupt file.
+  Cache.Names.pop_back();
+  std::stringstream Out;
+  Status S = writeProfileStoreCache(Cache, Out);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("names"), std::string::npos) << S.message();
+}
+
+} // namespace
