@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_kast_kpca.dir/fig6_kast_kpca.cpp.o"
+  "CMakeFiles/fig6_kast_kpca.dir/fig6_kast_kpca.cpp.o.d"
+  "fig6_kast_kpca"
+  "fig6_kast_kpca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_kast_kpca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_kast_kpca.
+# This may be replaced when dependencies are built.

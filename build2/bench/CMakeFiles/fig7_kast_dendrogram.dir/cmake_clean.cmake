@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_kast_dendrogram.dir/fig7_kast_dendrogram.cpp.o"
+  "CMakeFiles/fig7_kast_dendrogram.dir/fig7_kast_dendrogram.cpp.o.d"
+  "fig7_kast_dendrogram"
+  "fig7_kast_dendrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_kast_dendrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

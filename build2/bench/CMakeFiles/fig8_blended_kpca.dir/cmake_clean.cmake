@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_blended_kpca.dir/fig8_blended_kpca.cpp.o"
+  "CMakeFiles/fig8_blended_kpca.dir/fig8_blended_kpca.cpp.o.d"
+  "fig8_blended_kpca"
+  "fig8_blended_kpca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_blended_kpca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_blended_kpca.
+# This may be replaced when dependencies are built.

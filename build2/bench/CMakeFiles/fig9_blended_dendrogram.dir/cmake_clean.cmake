@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_blended_dendrogram.dir/fig9_blended_dendrogram.cpp.o"
+  "CMakeFiles/fig9_blended_dendrogram.dir/fig9_blended_dendrogram.cpp.o.d"
+  "fig9_blended_dendrogram"
+  "fig9_blended_dendrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_blended_dendrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_blended_dendrogram.
+# This may be replaced when dependencies are built.

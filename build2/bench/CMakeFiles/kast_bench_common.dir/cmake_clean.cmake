@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kast_bench_common.dir/FigureCommon.cpp.o"
+  "CMakeFiles/kast_bench_common.dir/FigureCommon.cpp.o.d"
+  "libkast_bench_common.a"
+  "libkast_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kast_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

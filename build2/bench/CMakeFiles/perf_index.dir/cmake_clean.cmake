@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_index.dir/perf_index.cpp.o"
+  "CMakeFiles/perf_index.dir/perf_index.cpp.o.d"
+  "perf_index"
+  "perf_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_kernels.dir/perf_kernels.cpp.o"
+  "CMakeFiles/perf_kernels.dir/perf_kernels.cpp.o.d"
+  "perf_kernels"
+  "perf_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_ml.dir/perf_ml.cpp.o"
+  "CMakeFiles/perf_ml.dir/perf_ml.cpp.o.d"
+  "perf_ml"
+  "perf_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

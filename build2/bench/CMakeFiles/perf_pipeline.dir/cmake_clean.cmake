@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_pipeline.dir/perf_pipeline.cpp.o"
+  "CMakeFiles/perf_pipeline.dir/perf_pipeline.cpp.o.d"
+  "perf_pipeline"
+  "perf_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

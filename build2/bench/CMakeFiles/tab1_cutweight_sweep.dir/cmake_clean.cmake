@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_cutweight_sweep.dir/tab1_cutweight_sweep.cpp.o"
+  "CMakeFiles/tab1_cutweight_sweep.dir/tab1_cutweight_sweep.cpp.o.d"
+  "tab1_cutweight_sweep"
+  "tab1_cutweight_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_cutweight_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

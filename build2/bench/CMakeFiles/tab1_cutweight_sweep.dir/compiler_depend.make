@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab1_cutweight_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_cut_cost.dir/tab2_cut_cost.cpp.o"
+  "CMakeFiles/tab2_cut_cost.dir/tab2_cut_cost.cpp.o.d"
+  "tab2_cut_cost"
+  "tab2_cut_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_cut_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab2_cut_cost.
+# This may be replaced when dependencies are built.

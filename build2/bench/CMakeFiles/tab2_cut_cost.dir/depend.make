@@ -1,0 +1,2 @@
+# Empty dependencies file for tab2_cut_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_ablation.dir/tab3_ablation.cpp.o"
+  "CMakeFiles/tab3_ablation.dir/tab3_ablation.cpp.o.d"
+  "tab3_ablation"
+  "tab3_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_traces.dir/cluster_traces.cpp.o"
+  "CMakeFiles/cluster_traces.dir/cluster_traces.cpp.o.d"
+  "cluster_traces"
+  "cluster_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

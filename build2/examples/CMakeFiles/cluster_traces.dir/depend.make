@@ -1,0 +1,2 @@
+# Empty dependencies file for cluster_traces.
+# This may be replaced when dependencies are built.

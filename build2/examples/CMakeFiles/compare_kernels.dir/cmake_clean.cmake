@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_kernels.dir/compare_kernels.cpp.o"
+  "CMakeFiles/compare_kernels.dir/compare_kernels.cpp.o.d"
+  "compare_kernels"
+  "compare_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

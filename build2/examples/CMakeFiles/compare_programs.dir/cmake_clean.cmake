@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_programs.dir/compare_programs.cpp.o"
+  "CMakeFiles/compare_programs.dir/compare_programs.cpp.o.d"
+  "compare_programs"
+  "compare_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

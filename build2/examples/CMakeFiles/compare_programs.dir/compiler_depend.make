@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for compare_programs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for compare_programs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_similarity.dir/explain_similarity.cpp.o"
+  "CMakeFiles/explain_similarity.dir/explain_similarity.cpp.o.d"
+  "explain_similarity"
+  "explain_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

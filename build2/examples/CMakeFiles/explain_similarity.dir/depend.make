@@ -1,0 +1,2 @@
+# Empty dependencies file for explain_similarity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_similar.dir/query_similar.cpp.o"
+  "CMakeFiles/query_similar.dir/query_similar.cpp.o.d"
+  "query_similar"
+  "query_similar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_similar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

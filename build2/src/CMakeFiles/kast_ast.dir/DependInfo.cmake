@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/Ast.cpp" "src/CMakeFiles/kast_ast.dir/ast/Ast.cpp.o" "gcc" "src/CMakeFiles/kast_ast.dir/ast/Ast.cpp.o.d"
+  "/root/repo/src/ast/AstEncoder.cpp" "src/CMakeFiles/kast_ast.dir/ast/AstEncoder.cpp.o" "gcc" "src/CMakeFiles/kast_ast.dir/ast/AstEncoder.cpp.o.d"
+  "/root/repo/src/ast/Interpreter.cpp" "src/CMakeFiles/kast_ast.dir/ast/Interpreter.cpp.o" "gcc" "src/CMakeFiles/kast_ast.dir/ast/Interpreter.cpp.o.d"
+  "/root/repo/src/ast/Lexer.cpp" "src/CMakeFiles/kast_ast.dir/ast/Lexer.cpp.o" "gcc" "src/CMakeFiles/kast_ast.dir/ast/Lexer.cpp.o.d"
+  "/root/repo/src/ast/Parser.cpp" "src/CMakeFiles/kast_ast.dir/ast/Parser.cpp.o" "gcc" "src/CMakeFiles/kast_ast.dir/ast/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/kast_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_linalg.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_tree.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

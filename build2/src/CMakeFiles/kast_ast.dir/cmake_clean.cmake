@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kast_ast.dir/ast/Ast.cpp.o"
+  "CMakeFiles/kast_ast.dir/ast/Ast.cpp.o.d"
+  "CMakeFiles/kast_ast.dir/ast/AstEncoder.cpp.o"
+  "CMakeFiles/kast_ast.dir/ast/AstEncoder.cpp.o.d"
+  "CMakeFiles/kast_ast.dir/ast/Interpreter.cpp.o"
+  "CMakeFiles/kast_ast.dir/ast/Interpreter.cpp.o.d"
+  "CMakeFiles/kast_ast.dir/ast/Lexer.cpp.o"
+  "CMakeFiles/kast_ast.dir/ast/Lexer.cpp.o.d"
+  "CMakeFiles/kast_ast.dir/ast/Parser.cpp.o"
+  "CMakeFiles/kast_ast.dir/ast/Parser.cpp.o.d"
+  "libkast_ast.a"
+  "libkast_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kast_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Dataset.cpp" "src/CMakeFiles/kast_core.dir/core/Dataset.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/Dataset.cpp.o.d"
+  "/root/repo/src/core/Explain.cpp" "src/CMakeFiles/kast_core.dir/core/Explain.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/Explain.cpp.o.d"
+  "/root/repo/src/core/KastKernel.cpp" "src/CMakeFiles/kast_core.dir/core/KastKernel.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/KastKernel.cpp.o.d"
+  "/root/repo/src/core/KernelMatrix.cpp" "src/CMakeFiles/kast_core.dir/core/KernelMatrix.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/KernelMatrix.cpp.o.d"
+  "/root/repo/src/core/KernelProfile.cpp" "src/CMakeFiles/kast_core.dir/core/KernelProfile.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/KernelProfile.cpp.o.d"
+  "/root/repo/src/core/Matcher.cpp" "src/CMakeFiles/kast_core.dir/core/Matcher.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/Matcher.cpp.o.d"
+  "/root/repo/src/core/Pipeline.cpp" "src/CMakeFiles/kast_core.dir/core/Pipeline.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/Pipeline.cpp.o.d"
+  "/root/repo/src/core/PreorderEncoder.cpp" "src/CMakeFiles/kast_core.dir/core/PreorderEncoder.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/PreorderEncoder.cpp.o.d"
+  "/root/repo/src/core/ProfileSerializer.cpp" "src/CMakeFiles/kast_core.dir/core/ProfileSerializer.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/ProfileSerializer.cpp.o.d"
+  "/root/repo/src/core/ProfileStore.cpp" "src/CMakeFiles/kast_core.dir/core/ProfileStore.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/ProfileStore.cpp.o.d"
+  "/root/repo/src/core/StringKernel.cpp" "src/CMakeFiles/kast_core.dir/core/StringKernel.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/StringKernel.cpp.o.d"
+  "/root/repo/src/core/StringSerializer.cpp" "src/CMakeFiles/kast_core.dir/core/StringSerializer.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/StringSerializer.cpp.o.d"
+  "/root/repo/src/core/SuffixAutomaton.cpp" "src/CMakeFiles/kast_core.dir/core/SuffixAutomaton.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/SuffixAutomaton.cpp.o.d"
+  "/root/repo/src/core/Token.cpp" "src/CMakeFiles/kast_core.dir/core/Token.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/Token.cpp.o.d"
+  "/root/repo/src/core/TreeFlattener.cpp" "src/CMakeFiles/kast_core.dir/core/TreeFlattener.cpp.o" "gcc" "src/CMakeFiles/kast_core.dir/core/TreeFlattener.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/kast_linalg.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_tree.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

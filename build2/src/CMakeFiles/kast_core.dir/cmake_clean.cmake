@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kast_core.dir/core/Dataset.cpp.o"
+  "CMakeFiles/kast_core.dir/core/Dataset.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/Explain.cpp.o"
+  "CMakeFiles/kast_core.dir/core/Explain.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/KastKernel.cpp.o"
+  "CMakeFiles/kast_core.dir/core/KastKernel.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/KernelMatrix.cpp.o"
+  "CMakeFiles/kast_core.dir/core/KernelMatrix.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/KernelProfile.cpp.o"
+  "CMakeFiles/kast_core.dir/core/KernelProfile.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/Matcher.cpp.o"
+  "CMakeFiles/kast_core.dir/core/Matcher.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/Pipeline.cpp.o"
+  "CMakeFiles/kast_core.dir/core/Pipeline.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/PreorderEncoder.cpp.o"
+  "CMakeFiles/kast_core.dir/core/PreorderEncoder.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/ProfileSerializer.cpp.o"
+  "CMakeFiles/kast_core.dir/core/ProfileSerializer.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/ProfileStore.cpp.o"
+  "CMakeFiles/kast_core.dir/core/ProfileStore.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/StringKernel.cpp.o"
+  "CMakeFiles/kast_core.dir/core/StringKernel.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/StringSerializer.cpp.o"
+  "CMakeFiles/kast_core.dir/core/StringSerializer.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/SuffixAutomaton.cpp.o"
+  "CMakeFiles/kast_core.dir/core/SuffixAutomaton.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/Token.cpp.o"
+  "CMakeFiles/kast_core.dir/core/Token.cpp.o.d"
+  "CMakeFiles/kast_core.dir/core/TreeFlattener.cpp.o"
+  "CMakeFiles/kast_core.dir/core/TreeFlattener.cpp.o.d"
+  "libkast_core.a"
+  "libkast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kast_index.dir/index/ProfileIndex.cpp.o"
+  "CMakeFiles/kast_index.dir/index/ProfileIndex.cpp.o.d"
+  "libkast_index.a"
+  "libkast_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kast_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/BagOfWordsKernel.cpp" "src/CMakeFiles/kast_kernels.dir/kernels/BagOfWordsKernel.cpp.o" "gcc" "src/CMakeFiles/kast_kernels.dir/kernels/BagOfWordsKernel.cpp.o.d"
+  "/root/repo/src/kernels/Combinators.cpp" "src/CMakeFiles/kast_kernels.dir/kernels/Combinators.cpp.o" "gcc" "src/CMakeFiles/kast_kernels.dir/kernels/Combinators.cpp.o.d"
+  "/root/repo/src/kernels/GapWeightedKernel.cpp" "src/CMakeFiles/kast_kernels.dir/kernels/GapWeightedKernel.cpp.o" "gcc" "src/CMakeFiles/kast_kernels.dir/kernels/GapWeightedKernel.cpp.o.d"
+  "/root/repo/src/kernels/SpectrumKernels.cpp" "src/CMakeFiles/kast_kernels.dir/kernels/SpectrumKernels.cpp.o" "gcc" "src/CMakeFiles/kast_kernels.dir/kernels/SpectrumKernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/kast_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_linalg.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_tree.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

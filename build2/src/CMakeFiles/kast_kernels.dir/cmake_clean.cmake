@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kast_kernels.dir/kernels/BagOfWordsKernel.cpp.o"
+  "CMakeFiles/kast_kernels.dir/kernels/BagOfWordsKernel.cpp.o.d"
+  "CMakeFiles/kast_kernels.dir/kernels/Combinators.cpp.o"
+  "CMakeFiles/kast_kernels.dir/kernels/Combinators.cpp.o.d"
+  "CMakeFiles/kast_kernels.dir/kernels/GapWeightedKernel.cpp.o"
+  "CMakeFiles/kast_kernels.dir/kernels/GapWeightedKernel.cpp.o.d"
+  "CMakeFiles/kast_kernels.dir/kernels/SpectrumKernels.cpp.o"
+  "CMakeFiles/kast_kernels.dir/kernels/SpectrumKernels.cpp.o.d"
+  "libkast_kernels.a"
+  "libkast_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kast_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/Eigen.cpp" "src/CMakeFiles/kast_linalg.dir/linalg/Eigen.cpp.o" "gcc" "src/CMakeFiles/kast_linalg.dir/linalg/Eigen.cpp.o.d"
+  "/root/repo/src/linalg/Matrix.cpp" "src/CMakeFiles/kast_linalg.dir/linalg/Matrix.cpp.o" "gcc" "src/CMakeFiles/kast_linalg.dir/linalg/Matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/kast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kast_linalg.dir/linalg/Eigen.cpp.o"
+  "CMakeFiles/kast_linalg.dir/linalg/Eigen.cpp.o.d"
+  "CMakeFiles/kast_linalg.dir/linalg/Matrix.cpp.o"
+  "CMakeFiles/kast_linalg.dir/linalg/Matrix.cpp.o.d"
+  "libkast_linalg.a"
+  "libkast_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kast_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

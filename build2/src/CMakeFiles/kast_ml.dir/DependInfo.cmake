@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/ClusterMetrics.cpp" "src/CMakeFiles/kast_ml.dir/ml/ClusterMetrics.cpp.o" "gcc" "src/CMakeFiles/kast_ml.dir/ml/ClusterMetrics.cpp.o.d"
+  "/root/repo/src/ml/HierarchicalClustering.cpp" "src/CMakeFiles/kast_ml.dir/ml/HierarchicalClustering.cpp.o" "gcc" "src/CMakeFiles/kast_ml.dir/ml/HierarchicalClustering.cpp.o.d"
+  "/root/repo/src/ml/KernelPca.cpp" "src/CMakeFiles/kast_ml.dir/ml/KernelPca.cpp.o" "gcc" "src/CMakeFiles/kast_ml.dir/ml/KernelPca.cpp.o.d"
+  "/root/repo/src/ml/NearestNeighbor.cpp" "src/CMakeFiles/kast_ml.dir/ml/NearestNeighbor.cpp.o" "gcc" "src/CMakeFiles/kast_ml.dir/ml/NearestNeighbor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/kast_linalg.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

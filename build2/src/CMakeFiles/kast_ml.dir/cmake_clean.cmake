@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kast_ml.dir/ml/ClusterMetrics.cpp.o"
+  "CMakeFiles/kast_ml.dir/ml/ClusterMetrics.cpp.o.d"
+  "CMakeFiles/kast_ml.dir/ml/HierarchicalClustering.cpp.o"
+  "CMakeFiles/kast_ml.dir/ml/HierarchicalClustering.cpp.o.d"
+  "CMakeFiles/kast_ml.dir/ml/KernelPca.cpp.o"
+  "CMakeFiles/kast_ml.dir/ml/KernelPca.cpp.o.d"
+  "CMakeFiles/kast_ml.dir/ml/NearestNeighbor.cpp.o"
+  "CMakeFiles/kast_ml.dir/ml/NearestNeighbor.cpp.o.d"
+  "libkast_ml.a"
+  "libkast_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kast_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/StraceAdapter.cpp" "src/CMakeFiles/kast_trace.dir/trace/StraceAdapter.cpp.o" "gcc" "src/CMakeFiles/kast_trace.dir/trace/StraceAdapter.cpp.o.d"
+  "/root/repo/src/trace/Trace.cpp" "src/CMakeFiles/kast_trace.dir/trace/Trace.cpp.o" "gcc" "src/CMakeFiles/kast_trace.dir/trace/Trace.cpp.o.d"
+  "/root/repo/src/trace/TraceParser.cpp" "src/CMakeFiles/kast_trace.dir/trace/TraceParser.cpp.o" "gcc" "src/CMakeFiles/kast_trace.dir/trace/TraceParser.cpp.o.d"
+  "/root/repo/src/trace/TraceWriter.cpp" "src/CMakeFiles/kast_trace.dir/trace/TraceWriter.cpp.o" "gcc" "src/CMakeFiles/kast_trace.dir/trace/TraceWriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/kast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

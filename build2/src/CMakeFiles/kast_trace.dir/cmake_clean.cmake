@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kast_trace.dir/trace/StraceAdapter.cpp.o"
+  "CMakeFiles/kast_trace.dir/trace/StraceAdapter.cpp.o.d"
+  "CMakeFiles/kast_trace.dir/trace/Trace.cpp.o"
+  "CMakeFiles/kast_trace.dir/trace/Trace.cpp.o.d"
+  "CMakeFiles/kast_trace.dir/trace/TraceParser.cpp.o"
+  "CMakeFiles/kast_trace.dir/trace/TraceParser.cpp.o.d"
+  "CMakeFiles/kast_trace.dir/trace/TraceWriter.cpp.o"
+  "CMakeFiles/kast_trace.dir/trace/TraceWriter.cpp.o.d"
+  "libkast_trace.a"
+  "libkast_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kast_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/PatternTree.cpp" "src/CMakeFiles/kast_tree.dir/tree/PatternTree.cpp.o" "gcc" "src/CMakeFiles/kast_tree.dir/tree/PatternTree.cpp.o.d"
+  "/root/repo/src/tree/TreeBuilder.cpp" "src/CMakeFiles/kast_tree.dir/tree/TreeBuilder.cpp.o" "gcc" "src/CMakeFiles/kast_tree.dir/tree/TreeBuilder.cpp.o.d"
+  "/root/repo/src/tree/TreeCompressor.cpp" "src/CMakeFiles/kast_tree.dir/tree/TreeCompressor.cpp.o" "gcc" "src/CMakeFiles/kast_tree.dir/tree/TreeCompressor.cpp.o.d"
+  "/root/repo/src/tree/TreeDump.cpp" "src/CMakeFiles/kast_tree.dir/tree/TreeDump.cpp.o" "gcc" "src/CMakeFiles/kast_tree.dir/tree/TreeDump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/kast_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

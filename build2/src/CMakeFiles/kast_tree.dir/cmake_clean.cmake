@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kast_tree.dir/tree/PatternTree.cpp.o"
+  "CMakeFiles/kast_tree.dir/tree/PatternTree.cpp.o.d"
+  "CMakeFiles/kast_tree.dir/tree/TreeBuilder.cpp.o"
+  "CMakeFiles/kast_tree.dir/tree/TreeBuilder.cpp.o.d"
+  "CMakeFiles/kast_tree.dir/tree/TreeCompressor.cpp.o"
+  "CMakeFiles/kast_tree.dir/tree/TreeCompressor.cpp.o.d"
+  "CMakeFiles/kast_tree.dir/tree/TreeDump.cpp.o"
+  "CMakeFiles/kast_tree.dir/tree/TreeDump.cpp.o.d"
+  "libkast_tree.a"
+  "libkast_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kast_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

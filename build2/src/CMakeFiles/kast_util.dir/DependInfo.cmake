@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/AsciiPlot.cpp" "src/CMakeFiles/kast_util.dir/util/AsciiPlot.cpp.o" "gcc" "src/CMakeFiles/kast_util.dir/util/AsciiPlot.cpp.o.d"
+  "/root/repo/src/util/Csv.cpp" "src/CMakeFiles/kast_util.dir/util/Csv.cpp.o" "gcc" "src/CMakeFiles/kast_util.dir/util/Csv.cpp.o.d"
+  "/root/repo/src/util/Rng.cpp" "src/CMakeFiles/kast_util.dir/util/Rng.cpp.o" "gcc" "src/CMakeFiles/kast_util.dir/util/Rng.cpp.o.d"
+  "/root/repo/src/util/StringUtil.cpp" "src/CMakeFiles/kast_util.dir/util/StringUtil.cpp.o" "gcc" "src/CMakeFiles/kast_util.dir/util/StringUtil.cpp.o.d"
+  "/root/repo/src/util/TextTable.cpp" "src/CMakeFiles/kast_util.dir/util/TextTable.cpp.o" "gcc" "src/CMakeFiles/kast_util.dir/util/TextTable.cpp.o.d"
+  "/root/repo/src/util/ThreadPool.cpp" "src/CMakeFiles/kast_util.dir/util/ThreadPool.cpp.o" "gcc" "src/CMakeFiles/kast_util.dir/util/ThreadPool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kast_util.dir/util/AsciiPlot.cpp.o"
+  "CMakeFiles/kast_util.dir/util/AsciiPlot.cpp.o.d"
+  "CMakeFiles/kast_util.dir/util/Csv.cpp.o"
+  "CMakeFiles/kast_util.dir/util/Csv.cpp.o.d"
+  "CMakeFiles/kast_util.dir/util/Rng.cpp.o"
+  "CMakeFiles/kast_util.dir/util/Rng.cpp.o.d"
+  "CMakeFiles/kast_util.dir/util/StringUtil.cpp.o"
+  "CMakeFiles/kast_util.dir/util/StringUtil.cpp.o.d"
+  "CMakeFiles/kast_util.dir/util/TextTable.cpp.o"
+  "CMakeFiles/kast_util.dir/util/TextTable.cpp.o.d"
+  "CMakeFiles/kast_util.dir/util/ThreadPool.cpp.o"
+  "CMakeFiles/kast_util.dir/util/ThreadPool.cpp.o.d"
+  "libkast_util.a"
+  "libkast_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kast_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

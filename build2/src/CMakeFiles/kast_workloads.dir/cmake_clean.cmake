@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kast_workloads.dir/workloads/CorpusIO.cpp.o"
+  "CMakeFiles/kast_workloads.dir/workloads/CorpusIO.cpp.o.d"
+  "CMakeFiles/kast_workloads.dir/workloads/DatasetBuilder.cpp.o"
+  "CMakeFiles/kast_workloads.dir/workloads/DatasetBuilder.cpp.o.d"
+  "CMakeFiles/kast_workloads.dir/workloads/Generators.cpp.o"
+  "CMakeFiles/kast_workloads.dir/workloads/Generators.cpp.o.d"
+  "CMakeFiles/kast_workloads.dir/workloads/Mutator.cpp.o"
+  "CMakeFiles/kast_workloads.dir/workloads/Mutator.cpp.o.d"
+  "CMakeFiles/kast_workloads.dir/workloads/ParallelTrace.cpp.o"
+  "CMakeFiles/kast_workloads.dir/workloads/ParallelTrace.cpp.o.d"
+  "libkast_workloads.a"
+  "libkast_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kast_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

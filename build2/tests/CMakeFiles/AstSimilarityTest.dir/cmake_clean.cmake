@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "AstSimilarityTest"
+  "AstSimilarityTest.pdb"
+  "CMakeFiles/AstSimilarityTest.dir/AstSimilarityTest.cpp.o"
+  "CMakeFiles/AstSimilarityTest.dir/AstSimilarityTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AstSimilarityTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "AstTest"
+  "AstTest.pdb"
+  "CMakeFiles/AstTest.dir/AstTest.cpp.o"
+  "CMakeFiles/AstTest.dir/AstTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AstTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

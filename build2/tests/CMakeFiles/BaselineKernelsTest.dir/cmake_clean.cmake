@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "BaselineKernelsTest"
+  "BaselineKernelsTest.pdb"
+  "CMakeFiles/BaselineKernelsTest.dir/BaselineKernelsTest.cpp.o"
+  "CMakeFiles/BaselineKernelsTest.dir/BaselineKernelsTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BaselineKernelsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CoreTest.dir/CoreTest.cpp.o"
+  "CMakeFiles/CoreTest.dir/CoreTest.cpp.o.d"
+  "CoreTest"
+  "CoreTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CoreTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

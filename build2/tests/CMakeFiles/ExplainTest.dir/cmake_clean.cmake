@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExplainTest.dir/ExplainTest.cpp.o"
+  "CMakeFiles/ExplainTest.dir/ExplainTest.cpp.o.d"
+  "ExplainTest"
+  "ExplainTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExplainTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ExplainTest.
+# This may be replaced when dependencies are built.

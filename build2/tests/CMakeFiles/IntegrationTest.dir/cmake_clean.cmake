@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/IntegrationTest.dir/IntegrationTest.cpp.o"
+  "CMakeFiles/IntegrationTest.dir/IntegrationTest.cpp.o.d"
+  "IntegrationTest"
+  "IntegrationTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/IntegrationTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for IntegrationTest.
+# This may be replaced when dependencies are built.

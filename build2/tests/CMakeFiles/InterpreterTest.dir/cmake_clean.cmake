@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/InterpreterTest.dir/InterpreterTest.cpp.o"
+  "CMakeFiles/InterpreterTest.dir/InterpreterTest.cpp.o.d"
+  "InterpreterTest"
+  "InterpreterTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/InterpreterTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/KastKernelTest.dir/KastKernelTest.cpp.o"
+  "CMakeFiles/KastKernelTest.dir/KastKernelTest.cpp.o.d"
+  "KastKernelTest"
+  "KastKernelTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/KastKernelTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/KernelAlgebraTest.dir/KernelAlgebraTest.cpp.o"
+  "CMakeFiles/KernelAlgebraTest.dir/KernelAlgebraTest.cpp.o.d"
+  "KernelAlgebraTest"
+  "KernelAlgebraTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/KernelAlgebraTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/KernelMatrixTest.dir/KernelMatrixTest.cpp.o"
+  "CMakeFiles/KernelMatrixTest.dir/KernelMatrixTest.cpp.o.d"
+  "KernelMatrixTest"
+  "KernelMatrixTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/KernelMatrixTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LinalgTest.dir/LinalgTest.cpp.o"
+  "CMakeFiles/LinalgTest.dir/LinalgTest.cpp.o.d"
+  "LinalgTest"
+  "LinalgTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LinalgTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

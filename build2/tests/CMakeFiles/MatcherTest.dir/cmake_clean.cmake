@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MatcherTest.dir/MatcherTest.cpp.o"
+  "CMakeFiles/MatcherTest.dir/MatcherTest.cpp.o.d"
+  "MatcherTest"
+  "MatcherTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MatcherTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MlTest.dir/MlTest.cpp.o"
+  "CMakeFiles/MlTest.dir/MlTest.cpp.o.d"
+  "MlTest"
+  "MlTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MlTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

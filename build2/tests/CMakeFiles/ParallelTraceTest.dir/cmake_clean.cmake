@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ParallelTraceTest.dir/ParallelTraceTest.cpp.o"
+  "CMakeFiles/ParallelTraceTest.dir/ParallelTraceTest.cpp.o.d"
+  "ParallelTraceTest"
+  "ParallelTraceTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ParallelTraceTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ParallelTraceTest.
+# This may be replaced when dependencies are built.

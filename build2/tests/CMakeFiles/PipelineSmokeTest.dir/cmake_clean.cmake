@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PipelineSmokeTest.dir/PipelineSmokeTest.cpp.o"
+  "CMakeFiles/PipelineSmokeTest.dir/PipelineSmokeTest.cpp.o.d"
+  "PipelineSmokeTest"
+  "PipelineSmokeTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PipelineSmokeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ProfileIndexTest.dir/ProfileIndexTest.cpp.o"
+  "CMakeFiles/ProfileIndexTest.dir/ProfileIndexTest.cpp.o.d"
+  "ProfileIndexTest"
+  "ProfileIndexTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ProfileIndexTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

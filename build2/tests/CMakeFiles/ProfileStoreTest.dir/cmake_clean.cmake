@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ProfileStoreTest.dir/ProfileStoreTest.cpp.o"
+  "CMakeFiles/ProfileStoreTest.dir/ProfileStoreTest.cpp.o.d"
+  "ProfileStoreTest"
+  "ProfileStoreTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ProfileStoreTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ProfiledKernelTest.dir/ProfiledKernelTest.cpp.o"
+  "CMakeFiles/ProfiledKernelTest.dir/ProfiledKernelTest.cpp.o.d"
+  "ProfiledKernelTest"
+  "ProfiledKernelTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ProfiledKernelTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PropertyTest.dir/PropertyTest.cpp.o"
+  "CMakeFiles/PropertyTest.dir/PropertyTest.cpp.o.d"
+  "PropertyTest"
+  "PropertyTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PropertyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

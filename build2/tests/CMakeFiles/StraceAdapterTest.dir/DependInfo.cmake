@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/StraceAdapterTest.cpp" "tests/CMakeFiles/StraceAdapterTest.dir/StraceAdapterTest.cpp.o" "gcc" "tests/CMakeFiles/StraceAdapterTest.dir/StraceAdapterTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/kast_kernels.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_ast.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_ml.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_index.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_workloads.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_linalg.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_tree.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/kast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StraceAdapterTest.dir/StraceAdapterTest.cpp.o"
+  "CMakeFiles/StraceAdapterTest.dir/StraceAdapterTest.cpp.o.d"
+  "StraceAdapterTest"
+  "StraceAdapterTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StraceAdapterTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

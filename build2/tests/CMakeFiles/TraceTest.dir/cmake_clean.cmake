@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TraceTest.dir/TraceTest.cpp.o"
+  "CMakeFiles/TraceTest.dir/TraceTest.cpp.o.d"
+  "TraceTest"
+  "TraceTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TraceTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TreeTest.dir/TreeTest.cpp.o"
+  "CMakeFiles/TreeTest.dir/TreeTest.cpp.o.d"
+  "TreeTest"
+  "TreeTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TreeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

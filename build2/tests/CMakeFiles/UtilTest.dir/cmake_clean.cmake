@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/UtilTest.dir/UtilTest.cpp.o"
+  "CMakeFiles/UtilTest.dir/UtilTest.cpp.o.d"
+  "UtilTest"
+  "UtilTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/UtilTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/WorkloadsTest.dir/WorkloadsTest.cpp.o"
+  "CMakeFiles/WorkloadsTest.dir/WorkloadsTest.cpp.o.d"
+  "WorkloadsTest"
+  "WorkloadsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/WorkloadsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
