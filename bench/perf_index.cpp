@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/KernelMatrix.h"
+#include "index/IndexService.h"
 #include "index/ProfileIndex.h"
 #include "kernels/SpectrumKernels.h"
 #include "util/Rng.h"
@@ -22,8 +23,10 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <map>
+#include <thread>
 
 using namespace kast;
 
@@ -140,6 +143,70 @@ void BM_IndexBuild(benchmark::State &State) {
     benchmark::DoNotOptimize(ProfileIndex::build(kernel(), Corpus));
 }
 BENCHMARK(BM_IndexBuild)->Arg(128)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+/// Query latency *during* concurrent ingest — the serving-layer claim
+/// in one number. An IndexService starts with N entries; a background
+/// writer thread appends continuously (removing every 8th of its own
+/// adds) for the whole measurement, while the timed loop runs top-5
+/// queries through fresh snapshots. Compare against BM_IndexQueryTop5
+/// at the same N: the gap is the cost of snapshot isolation plus
+/// whatever cache pressure the writer induces. A bare ProfileIndex
+/// cannot run this benchmark at all — add() invalidates the views a
+/// concurrent query is scanning.
+void BM_ServiceQueryWhileAppend(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const std::vector<WeightedString> &Corpus = randomCorpus(N + 1);
+  IndexService Service = IndexService::fromIndex(
+      ProfileIndex::build(kernel(), {Corpus.begin(), Corpus.begin() + N}));
+  KernelProfile Query = kernel().profile(Corpus[N]);
+
+  // The ingest stream reuses pre-built profiles round-robin under
+  // fresh names (publish cost, not profile construction), holds the
+  // live set bounded with a ring of removals so every timed query
+  // scans a fixed-size corpus, and compacts periodically so tombstone
+  // accumulation stays bounded too — the shape a real serving loop
+  // has, and the shape that makes the measurement stable.
+  std::vector<KernelProfile> IngestPool;
+  for (size_t I = 0; I < std::min<size_t>(N, 256); ++I)
+    IngestPool.push_back(kernel().profile(Corpus[I]));
+  constexpr size_t IngestWindow = 256;
+  std::atomic<bool> Stop{false};
+  std::atomic<size_t> Appended{0};
+  std::thread Writer([&] {
+    size_t I = 0;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      Service.add("in" + std::to_string(I), "ingest",
+                  IngestPool[I % IngestPool.size()]);
+      if (I >= IngestWindow)
+        Service.remove("in" + std::to_string(I - IngestWindow));
+      if (I % 2048 == 2047)
+        Service.compact(1);
+      ++I;
+      Appended.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Service.query(Query, 5, true, 1));
+  Stop.store(true);
+  Writer.join();
+  State.counters["appends"] =
+      benchmark::Counter(static_cast<double>(Appended.load()));
+}
+BENCHMARK(BM_ServiceQueryWhileAppend)->Arg(1024)->Arg(8192);
+
+/// The quiesced baseline for the same service: identical snapshot
+/// query machinery, no writer running.
+void BM_ServiceQueryQuiesced(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const std::vector<WeightedString> &Corpus = randomCorpus(N + 1);
+  IndexService Service = IndexService::fromIndex(
+      ProfileIndex::build(kernel(), {Corpus.begin(), Corpus.begin() + N}));
+  KernelProfile Query = kernel().profile(Corpus[N]);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Service.query(Query, 5, true, 1));
+}
+BENCHMARK(BM_ServiceQueryQuiesced)->Arg(1024)->Arg(8192);
 
 /// Per-process scratch path: concurrent bench runs (nightly job plus
 /// a developer run) must not truncate each other's cache mid-load.

@@ -25,6 +25,7 @@
 #ifndef KAST_CORE_KERNELPROFILE_H
 #define KAST_CORE_KERNELPROFILE_H
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -58,6 +59,17 @@ public:
 
   /// Merge-join inner product with \p Rhs; both must be finalized.
   double dot(const KernelProfile &Rhs) const;
+
+  /// sqrt(dot(*this, *this)) without the merge join — the cosine
+  /// denominator of a one-off query profile. The one definition both
+  /// retrieval layers (index/ProfileIndex, index/IndexService) divide
+  /// by, so their scores stay bit-identical by construction.
+  double norm() const {
+    double SelfDot = 0.0;
+    for (const ProfileEntry &E : Entries)
+      SelfDot += E.Value * E.Value;
+    return std::sqrt(SelfDot);
+  }
 
   size_t size() const { return Entries.size(); }
   bool empty() const { return Entries.empty(); }

@@ -58,6 +58,22 @@ void ProfileStore::appendAll(const std::vector<KernelProfile> &Profiles) {
     append(P);
 }
 
+size_t ProfileStore::appendFrom(const ProfileStore &Other, size_t I) {
+  // Self-append would insert from iterators into the vector being
+  // grown — a reallocation mid-insert reads freed memory.
+  assert(this != &Other && "appendFrom cannot copy a store into itself");
+  const size_t Begin = static_cast<size_t>(Other.Offsets[I]);
+  const size_t End = static_cast<size_t>(Other.Offsets[I + 1]);
+  Hashes.insert(Hashes.end(), Other.Hashes.begin() + Begin,
+                Other.Hashes.begin() + End);
+  Values.insert(Values.end(), Other.Values.begin() + Begin,
+                Other.Values.begin() + End);
+  Offsets.push_back(Hashes.size());
+  SelfDots.push_back(Other.SelfDots[I]);
+  Norms.push_back(Other.Norms[I]);
+  return size() - 1;
+}
+
 ProfileStore ProfileStore::adopt(std::vector<uint64_t> Hashes,
                                  std::vector<double> Values,
                                  std::vector<uint64_t> Offsets) {

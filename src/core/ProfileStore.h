@@ -85,6 +85,16 @@ public:
   /// every append).
   void appendAll(const std::vector<KernelProfile> &Profiles);
 
+  /// Copies profile \p I of \p Other straight into this arena — two
+  /// contiguous range inserts plus the cached self-dot/norm, no
+  /// KernelProfile materialization. This is the rebuild primitive for
+  /// arena-to-arena movement (shard distribution, tombstone-dropping
+  /// compaction in index/IndexService, sharded cache export).
+  /// \p Other must not be this store (asserted): self-append would
+  /// read from an arena mid-reallocation. \returns the new profile's
+  /// index.
+  size_t appendFrom(const ProfileStore &Other, size_t I);
+
   /// Bulk variant of append: adopts entry arrays wholesale (e.g. the
   /// blobs of a v2 cache file). Entries of each profile must be sorted
   /// by strictly increasing hash — the finalize() invariant; use

@@ -1,0 +1,456 @@
+//===- index/IndexService.cpp - Snapshot-isolated profile serving ----------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "index/IndexService.h"
+#include "util/ThreadPool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <thread>
+
+using namespace kast;
+
+//===----------------------------------------------------------------------===//
+// Snapshot scoring and k-way merge
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One scored candidate inside a shard. Pos is the flattened insertion
+/// position across the shard's segments — the deterministic tie-break
+/// within a shard (older entries win ties, mirroring ProfileIndex's
+/// smaller-index rule).
+struct ShardHit {
+  double Sim = 0.0;
+  size_t Pos = 0;
+  size_t Seg = 0;
+  size_t Off = 0;
+};
+
+/// Visits (segment, offset) of every live entry across parallel
+/// segment/tombstone lists — the one definition of "live" shared by
+/// compaction and cache export, so a tombstone-representation change
+/// cannot leave the two walks disagreeing.
+template <typename Fn>
+void forEachLiveEntry(
+    const std::vector<std::shared_ptr<const detail::IndexSegment>> &Segments,
+    const std::vector<std::shared_ptr<const std::vector<uint8_t>>> &Tombs,
+    Fn Visit) {
+  for (size_t S = 0; S < Segments.size(); ++S) {
+    const detail::IndexSegment &Seg = *Segments[S];
+    const std::vector<uint8_t> *T = Tombs[S].get();
+    for (size_t I = 0; I < Seg.size(); ++I)
+      if (!T || !(*T)[I])
+        Visit(Seg, I);
+  }
+}
+
+/// Scores every live entry of \p Shard against \p Query into
+/// \p Scratch (caller-owned so batches reuse the allocation) and
+/// leaves the shard's top-K, best first, in \p TopK.
+void scoreShard(const detail::IndexShard &Shard, const KernelProfile &Query,
+                size_t K, bool Normalize, double QNorm,
+                std::vector<ShardHit> &Scratch, std::vector<ShardHit> &TopK) {
+  TopK.clear();
+  if (K == 0 || Shard.LiveCount == 0)
+    return;
+  Scratch.clear();
+  size_t Pos = 0;
+  for (size_t S = 0; S < Shard.Segments.size(); ++S) {
+    const detail::IndexSegment &Seg = *Shard.Segments[S];
+    const std::vector<uint8_t> *Tombs = Shard.Tombstones[S].get();
+    for (size_t I = 0; I < Seg.size(); ++I, ++Pos) {
+      if (Tombs && (*Tombs)[I])
+        continue;
+      const ProfileView V = Seg.Store.view(I);
+      double Sim = dot(V, Query);
+      if (Normalize) {
+        double Denominator = QNorm * V.Norm;
+        Sim = Denominator > 0.0 ? Sim / Denominator : 0.0;
+      }
+      Scratch.push_back({Sim, Pos, S, I});
+    }
+  }
+  const size_t Take = std::min(K, Scratch.size());
+  std::partial_sort(Scratch.begin(), Scratch.begin() + Take, Scratch.end(),
+                    [](const ShardHit &L, const ShardHit &R) {
+                      if (L.Sim != R.Sim)
+                        return L.Sim > R.Sim;
+                      return L.Pos < R.Pos;
+                    });
+  TopK.assign(Scratch.begin(), Scratch.begin() + Take);
+}
+
+/// K-way merge of per-shard top-k lists into the global top-K. Lists
+/// are short (at most K each), so a linear scan over the S heads per
+/// emitted hit beats heap bookkeeping; ties break toward the lower
+/// shard index, then the earlier position (strictly-greater test keeps
+/// the incumbent).
+std::vector<ServiceHit>
+mergeTopK(const std::vector<std::shared_ptr<const detail::IndexShard>> &Shards,
+          const std::vector<std::vector<ShardHit>> &PerShard, size_t K) {
+  std::vector<size_t> Heads(PerShard.size(), 0);
+  std::vector<ServiceHit> Out;
+  while (Out.size() < K) {
+    size_t Best = PerShard.size();
+    for (size_t S = 0; S < PerShard.size(); ++S) {
+      if (Heads[S] >= PerShard[S].size())
+        continue;
+      if (Best == PerShard.size() ||
+          PerShard[S][Heads[S]].Sim > PerShard[Best][Heads[Best]].Sim)
+        Best = S;
+    }
+    if (Best == PerShard.size())
+      break;
+    const ShardHit &H = PerShard[Best][Heads[Best]++];
+    const detail::IndexSegment &Seg = *Shards[Best]->Segments[H.Seg];
+    Out.push_back({Seg.Names[H.Off], Seg.Labels[H.Off], H.Sim});
+  }
+  return Out;
+}
+
+} // namespace
+
+size_t IndexSnapshot::size() const {
+  size_t Live = 0;
+  for (const std::shared_ptr<const detail::IndexShard> &S : Shards)
+    Live += S->LiveCount;
+  return Live;
+}
+
+size_t IndexSnapshot::entryCount() const {
+  size_t Entries = 0;
+  for (const std::shared_ptr<const detail::IndexShard> &S : Shards)
+    Entries += S->EntryCount;
+  return Entries;
+}
+
+std::vector<ServiceHit> IndexSnapshot::query(const KernelProfile &Query,
+                                             size_t K, bool Normalize,
+                                             size_t Threads) const {
+  if (K == 0 || Shards.empty())
+    return {};
+  const double QNorm = Normalize ? Query.norm() : 1.0;
+  std::vector<std::vector<ShardHit>> PerShard(Shards.size());
+  parallelFor(
+      Shards.size(),
+      [&](size_t S) {
+        std::vector<ShardHit> Scratch;
+        scoreShard(*Shards[S], Query, K, Normalize, QNorm, Scratch,
+                   PerShard[S]);
+      },
+      Threads);
+  return mergeTopK(Shards, PerShard, K);
+}
+
+std::vector<std::vector<ServiceHit>>
+IndexSnapshot::queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
+                          bool Normalize, size_t Threads) const {
+  std::vector<std::vector<ServiceHit>> Results(Queries.size());
+  if (Shards.empty())
+    return Results;
+  // Same striding scheme as ProfileIndex::queryBatch: each chunk owns
+  // one scoring scratch and one set of per-shard top-k lists, reused
+  // for every query the chunk scores.
+  const size_t Workers =
+      Threads != 0 ? Threads
+                   : std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t Chunks = std::min(Queries.size(), Workers);
+  parallelFor(
+      Chunks,
+      [&](size_t Chunk) {
+        std::vector<ShardHit> Scratch;
+        std::vector<std::vector<ShardHit>> PerShard(Shards.size());
+        for (size_t I = Chunk; I < Queries.size(); I += Chunks) {
+          const double QNorm = Normalize ? Queries[I].norm() : 1.0;
+          for (size_t S = 0; S < Shards.size(); ++S)
+            scoreShard(*Shards[S], Queries[I], K, Normalize, QNorm, Scratch,
+                       PerShard[S]);
+          Results[I] = mergeTopK(Shards, PerShard, K);
+        }
+      },
+      Threads);
+  return Results;
+}
+
+std::string IndexSnapshot::majorityLabel(const std::vector<ServiceHit> &Hits) {
+  return detail::majorityVote(
+      Hits.size(), [&](size_t I) -> const std::string & { return Hits[I].Label; });
+}
+
+//===----------------------------------------------------------------------===//
+// Service: construction and publication
+//===----------------------------------------------------------------------===//
+
+IndexService::IndexService(std::string KernelName, IndexServiceOptions Opts)
+    : KernelName(std::move(KernelName)), Options(Opts) {
+  Options.Shards = std::max<size_t>(1, Options.Shards);
+  Options.SealThreshold = std::max<size_t>(1, Options.SealThreshold);
+  Shards.reserve(Options.Shards);
+  for (size_t I = 0; I < Options.Shards; ++I) {
+    Shards.push_back(std::make_unique<ShardState>());
+    Shards.back()->Published.store(std::make_shared<const detail::IndexShard>());
+  }
+}
+
+size_t IndexService::shardOf(const std::string &Name) const {
+  return std::hash<std::string>{}(Name) % Shards.size();
+}
+
+void IndexService::publishLocked(ShardState &Shard, size_t SealThreshold) {
+  ShardWriter &W = Shard.Writer;
+  const auto anyTomb = [](const std::vector<uint8_t> &Tombs) {
+    return std::find(Tombs.begin(), Tombs.end(), uint8_t(1)) != Tombs.end();
+  };
+  if (W.Staging.size() >= SealThreshold) {
+    // Seal by *moving* the staging arena — the whole point of the
+    // cheap ProfileStore move: no entry is copied again after this.
+    W.SealedTombs.push_back(
+        anyTomb(W.StagingTombs)
+            ? std::make_shared<const std::vector<uint8_t>>(
+                  std::move(W.StagingTombs))
+            : nullptr);
+    W.Sealed.push_back(
+        std::make_shared<const detail::IndexSegment>(std::move(W.Staging)));
+    W.Staging = {};
+    W.StagingTombs.clear();
+  }
+  auto Published = std::make_shared<detail::IndexShard>();
+  Published->Segments = W.Sealed;
+  Published->Tombstones = W.SealedTombs;
+  if (W.Staging.size() > 0) {
+    // The mutable tail is copied into the published shard; the copy is
+    // bounded by the seal threshold, so per-add publish cost stays
+    // O(threshold) regardless of shard size.
+    Published->Segments.push_back(
+        std::make_shared<const detail::IndexSegment>(W.Staging));
+    Published->Tombstones.push_back(
+        anyTomb(W.StagingTombs)
+            ? std::make_shared<const std::vector<uint8_t>>(W.StagingTombs)
+            : nullptr);
+  }
+  Published->EntryCount = W.EntryCount;
+  Published->LiveCount = W.LiveCount;
+  Shard.Published.store(
+      std::shared_ptr<const detail::IndexShard>(std::move(Published)));
+}
+
+IndexSnapshot IndexService::snapshot() const {
+  IndexSnapshot Snap;
+  Snap.Shards.reserve(Shards.size());
+  for (const std::unique_ptr<ShardState> &S : Shards)
+    Snap.Shards.push_back(S->Published.load());
+  return Snap;
+}
+
+//===----------------------------------------------------------------------===//
+// Service: writers
+//===----------------------------------------------------------------------===//
+
+void IndexService::add(std::string Name, std::string Label,
+                       const KernelProfile &Profile) {
+  ShardState &Shard = *Shards[shardOf(Name)];
+  std::lock_guard<std::mutex> Lock(Shard.WriterMutex);
+  ShardWriter &W = Shard.Writer;
+  W.Staging.Store.append(Profile);
+  W.Staging.Names.push_back(std::move(Name));
+  W.Staging.Labels.push_back(std::move(Label));
+  W.StagingTombs.push_back(0);
+  ++W.LiveCount;
+  ++W.EntryCount;
+  publishLocked(Shard, Options.SealThreshold);
+}
+
+size_t IndexService::removeFromShard(ShardState &Shard,
+                                     const std::string &Name,
+                                     size_t SealThreshold) {
+  std::lock_guard<std::mutex> Lock(Shard.WriterMutex);
+  ShardWriter &W = Shard.Writer;
+  size_t Removed = 0;
+  for (size_t S = 0; S < W.Sealed.size(); ++S) {
+    const detail::IndexSegment &Seg = *W.Sealed[S];
+    // Sealed segments are shared with outstanding snapshots, so the
+    // tombstone bitmap is copied on the first hit (copy-on-write) and
+    // mutated privately; the segment arena itself is never touched.
+    std::shared_ptr<std::vector<uint8_t>> Copy;
+    for (size_t I = 0; I < Seg.size(); ++I) {
+      if (Seg.Names[I] != Name)
+        continue;
+      const std::vector<uint8_t> *Current =
+          Copy ? Copy.get() : W.SealedTombs[S].get();
+      if (Current && (*Current)[I])
+        continue;
+      if (!Copy)
+        Copy = W.SealedTombs[S]
+                   ? std::make_shared<std::vector<uint8_t>>(*W.SealedTombs[S])
+                   : std::make_shared<std::vector<uint8_t>>(Seg.size(), 0);
+      (*Copy)[I] = 1;
+      ++Removed;
+    }
+    if (Copy)
+      W.SealedTombs[S] = std::move(Copy);
+  }
+  for (size_t I = 0; I < W.Staging.size(); ++I) {
+    if (W.Staging.Names[I] == Name && !W.StagingTombs[I]) {
+      W.StagingTombs[I] = 1;
+      ++Removed;
+    }
+  }
+  if (Removed) {
+    W.LiveCount -= Removed;
+    publishLocked(Shard, SealThreshold);
+  }
+  return Removed;
+}
+
+size_t IndexService::remove(const std::string &Name) {
+  // add() routes by name hash, so under strict routing the home shard
+  // is the only one that can hold the name. A foreign cache layout
+  // (detected at restore) voids that invariant, and every shard must
+  // be swept — accumulating, since the same name may sit in several.
+  if (StrictRouting)
+    return removeFromShard(*Shards[shardOf(Name)], Name,
+                           Options.SealThreshold);
+  size_t Removed = 0;
+  for (const std::unique_ptr<ShardState> &Shard : Shards)
+    Removed += removeFromShard(*Shard, Name, Options.SealThreshold);
+  return Removed;
+}
+
+void IndexService::compact(size_t Threads) {
+  parallelFor(
+      Shards.size(),
+      [&](size_t ShardIdx) {
+        ShardState &Shard = *Shards[ShardIdx];
+        std::lock_guard<std::mutex> Lock(Shard.WriterMutex);
+        ShardWriter &W = Shard.Writer;
+        const auto forEachLive = [&](auto Fn) {
+          forEachLiveEntry(W.Sealed, W.SealedTombs, Fn);
+          for (size_t I = 0; I < W.Staging.size(); ++I)
+            if (!W.StagingTombs[I])
+              Fn(W.Staging, I);
+        };
+        size_t LiveEntries = 0;
+        forEachLive([&](const detail::IndexSegment &Seg, size_t I) {
+          LiveEntries += Seg.Store.view(I).Size;
+        });
+        detail::IndexSegment Merged;
+        Merged.Store.reserve(W.LiveCount, LiveEntries);
+        Merged.Names.reserve(W.LiveCount);
+        Merged.Labels.reserve(W.LiveCount);
+        forEachLive([&](const detail::IndexSegment &Seg, size_t I) {
+          Merged.Store.appendFrom(Seg.Store, I);
+          Merged.Names.push_back(Seg.Names[I]);
+          Merged.Labels.push_back(Seg.Labels[I]);
+        });
+        W.Sealed.clear();
+        W.SealedTombs.clear();
+        W.EntryCount = W.LiveCount = Merged.size();
+        if (Merged.size() > 0) {
+          W.Sealed.push_back(
+              std::make_shared<const detail::IndexSegment>(std::move(Merged)));
+          W.SealedTombs.push_back(nullptr);
+        }
+        W.Staging = {};
+        W.StagingTombs.clear();
+        publishLocked(Shard, Options.SealThreshold);
+      },
+      Threads);
+}
+
+//===----------------------------------------------------------------------===//
+// Service: bulk import/export
+//===----------------------------------------------------------------------===//
+
+IndexService IndexService::fromIndex(const ProfileIndex &Index,
+                                     IndexServiceOptions Opts) {
+  IndexService Service(Index.kernelName(), Opts);
+  // A fresh service has no concurrent readers or writers yet, so the
+  // entries are staged shard by shard and published once per shard;
+  // staging exceeding the seal threshold is moved (not copied) into a
+  // sealed segment by publishLocked.
+  for (size_t I = 0; I < Index.size(); ++I) {
+    ShardWriter &W = Service.Shards[Service.shardOf(Index.name(I))]->Writer;
+    W.Staging.Store.appendFrom(Index.store(), I);
+    W.Staging.Names.push_back(Index.name(I));
+    W.Staging.Labels.push_back(Index.label(I));
+    W.StagingTombs.push_back(0);
+    ++W.LiveCount;
+    ++W.EntryCount;
+  }
+  for (const std::unique_ptr<ShardState> &Shard : Service.Shards) {
+    std::lock_guard<std::mutex> Lock(Shard->WriterMutex);
+    publishLocked(*Shard, Service.Options.SealThreshold);
+  }
+  return Service;
+}
+
+Expected<IndexService>
+IndexService::fromShardCaches(std::vector<ProfileStoreCache> Caches,
+                              IndexServiceOptions Opts) {
+  using Result = Expected<IndexService>;
+  if (Caches.empty())
+    return Result::error("no shard caches to restore a service from");
+  for (size_t S = 0; S < Caches.size(); ++S) {
+    if (Caches[S].KernelName != Caches[0].KernelName)
+      return Result::error("shard cache " + std::to_string(S) +
+                           " was built by kernel '" + Caches[S].KernelName +
+                           "', shard 0 by '" + Caches[0].KernelName + "'");
+    if (Caches[S].Names.size() != Caches[S].Store.size() ||
+        Caches[S].Labels.size() != Caches[S].Store.size())
+      return Result::error("shard cache " + std::to_string(S) +
+                           " has inconsistent name/label/profile counts");
+  }
+  Opts.Shards = Caches.size();
+  IndexService Service(Caches[0].KernelName, Opts);
+  for (size_t S = 0; S < Caches.size(); ++S) {
+    ShardWriter &W = Service.Shards[S]->Writer;
+    auto Seg = std::make_shared<detail::IndexSegment>();
+    Seg->Store = std::move(Caches[S].Store);
+    Seg->Names = std::move(Caches[S].Names);
+    Seg->Labels = std::move(Caches[S].Labels);
+    // Verify the add() routing invariant entry by entry: caches from
+    // toShardCaches always satisfy it, but a hand-assembled layout may
+    // hold off-route names, and remove() must know to sweep for them.
+    for (const std::string &Name : Seg->Names)
+      if (Service.shardOf(Name) != S)
+        Service.StrictRouting = false;
+    W.EntryCount = W.LiveCount = Seg->size();
+    W.Sealed.push_back(std::move(Seg));
+    W.SealedTombs.push_back(nullptr);
+    std::lock_guard<std::mutex> Lock(Service.Shards[S]->WriterMutex);
+    publishLocked(*Service.Shards[S], Service.Options.SealThreshold);
+  }
+  return Service;
+}
+
+std::vector<ProfileStoreCache> IndexService::toShardCaches() const {
+  // Export from the published snapshot: consistent per shard, and no
+  // writer lock is held while the arenas are copied out.
+  IndexSnapshot Snap = snapshot();
+  std::vector<ProfileStoreCache> Caches(Snap.Shards.size());
+  for (size_t S = 0; S < Snap.Shards.size(); ++S) {
+    const detail::IndexShard &Shard = *Snap.Shards[S];
+    ProfileStoreCache &Cache = Caches[S];
+    Cache.KernelName = KernelName;
+    size_t LiveEntries = 0;
+    forEachLiveEntry(Shard.Segments, Shard.Tombstones,
+                     [&](const detail::IndexSegment &Seg, size_t I) {
+                       LiveEntries += Seg.Store.view(I).Size;
+                     });
+    Cache.Store.reserve(Shard.LiveCount, LiveEntries);
+    Cache.Names.reserve(Shard.LiveCount);
+    Cache.Labels.reserve(Shard.LiveCount);
+    forEachLiveEntry(Shard.Segments, Shard.Tombstones,
+                     [&](const detail::IndexSegment &Seg, size_t I) {
+                       Cache.Store.appendFrom(Seg.Store, I);
+                       Cache.Names.push_back(Seg.Names[I]);
+                       Cache.Labels.push_back(Seg.Labels[I]);
+                     });
+  }
+  return Caches;
+}

@@ -67,13 +67,7 @@ static std::vector<Neighbor> queryInto(const ProfileStore &Store,
     return {};
   const size_t N = Store.size();
   All.resize(N);
-  double QueryNorm = 1.0;
-  if (Normalize) {
-    double SelfDot = 0.0;
-    for (const ProfileEntry &E : Query.entries())
-      SelfDot += E.Value * E.Value;
-    QueryNorm = std::sqrt(SelfDot);
-  }
+  const double QueryNorm = Normalize ? Query.norm() : 1.0;
   for (size_t I = 0; I < N; ++I) {
     const ProfileView V = Store.view(I);
     double Sim = dot(V, Query);
@@ -125,23 +119,11 @@ ProfileIndex::queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
 
 std::string
 ProfileIndex::majorityLabel(const std::vector<Neighbor> &Neighbors) const {
-  std::string Best;
-  size_t BestCount = 0;
-  // Neighbors arrive most-similar first, so scanning in order and
-  // requiring a strictly greater count to displace the incumbent
-  // breaks ties toward the nearer neighbor's label.
-  for (const Neighbor &Hit : Neighbors) {
-    const std::string &Label = Labels[Hit.Index];
-    size_t Count = 0;
-    for (const Neighbor &Other : Neighbors)
-      if (Labels[Other.Index] == Label)
-        ++Count;
-    if (Count > BestCount) {
-      BestCount = Count;
-      Best = Label;
-    }
-  }
-  return Best;
+  // Neighbors arrive most-similar first; majorityVote's first-seen
+  // tie-break therefore lands on the nearer neighbor's label.
+  return detail::majorityVote(
+      Neighbors.size(),
+      [&](size_t I) -> const std::string & { return Labels[Neighbors[I].Index]; });
 }
 
 ProfileCache ProfileIndex::toCache() const {

@@ -34,9 +34,47 @@
 #include "util/Error.h"
 
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace kast {
+
+namespace detail {
+
+/// Single-pass majority vote over \p Count labels addressed
+/// most-similar-first by \p LabelAt (an index → const std::string&
+/// callable). The winner is the label with the highest total count;
+/// ties break toward the label whose first occurrence is nearest —
+/// the contract ProfileIndex::majorityLabel and
+/// IndexSnapshot::majorityLabel both document. O(Count) expected,
+/// replacing the O(Count²) rescan-per-neighbor counting.
+template <typename LabelAtFn>
+std::string majorityVote(size_t Count, LabelAtFn LabelAt) {
+  // Counts are kept in first-seen order, so "earliest slot among the
+  // maxima" is exactly "nearest first occurrence". The string_view
+  // keys borrow from the caller's label storage, which outlives the
+  // vote.
+  std::unordered_map<std::string_view, size_t> Slots;
+  std::vector<std::pair<std::string_view, size_t>> Counts;
+  for (size_t I = 0; I < Count; ++I) {
+    const std::string &Label = LabelAt(I);
+    auto [It, Inserted] = Slots.try_emplace(Label, Counts.size());
+    if (Inserted)
+      Counts.push_back({Label, 0});
+    ++Counts[It->second].second;
+  }
+  if (Counts.empty())
+    return {};
+  size_t Best = 0;
+  for (size_t I = 1; I < Counts.size(); ++I)
+    if (Counts[I].second > Counts[Best].second)
+      Best = I;
+  return std::string(Counts[Best].first);
+}
+
+} // namespace detail
 
 /// One retrieval hit: the index entry and its similarity to the query.
 struct Neighbor {

@@ -36,7 +36,10 @@ Status kast::writeCorpusDirectory(const std::vector<LabeledTrace> &Corpus,
 /// Splits "<label><base>.<copy>" lineage out of a trace name; every
 /// part is mandatory, so a nonconforming name fails loudly instead of
 /// yielding an empty label that corrupts downstream accuracy metrics.
-static Status parseLineage(const std::string &Name, LabeledTrace &Out) {
+/// \p CopyOut receives the numeric copy index (the load order's final
+/// sort key).
+static Status parseLineage(const std::string &Name, LabeledTrace &Out,
+                           uint64_t &CopyOut) {
   size_t I = 0;
   while (I < Name.size() &&
          std::isalpha(static_cast<unsigned char>(Name[I])))
@@ -56,6 +59,7 @@ static Status parseLineage(const std::string &Name, LabeledTrace &Out) {
       parseUnsigned(std::string_view(Name).substr(Dot + 1));
   if (!Copy)
     return Status::error("copy index after '.' is not a number");
+  CopyOut = *Copy;
   Out.IsMutant = *Copy != 0;
   return Status();
 }
@@ -74,27 +78,54 @@ kast::loadCorpusDirectory(const std::string &Dir) {
     if (Entry.is_regular_file() &&
         Entry.path().extension() == ".trace")
       Paths.push_back(Entry.path().string());
+  // Directory iteration order is platform-dependent; pin it before
+  // parsing so diagnostics fire in a deterministic order too.
   std::sort(Paths.begin(), Paths.end());
 
-  std::vector<LabeledTrace> Corpus;
-  Corpus.reserve(Paths.size());
+  // Loaded examples keep their numeric copy index alongside so the
+  // final order can be the *lineage* order (label, base, copy), not
+  // the lexicographic file-name order — which would interleave bases
+  // ("A10.0" sorts before "A2.0") the moment a corpus has ten or more
+  // bases per label, silently breaking every consumer that assumes
+  // corpus order matches lineage order.
+  struct ParsedTrace {
+    LabeledTrace Example;
+    uint64_t Copy = 0;
+  };
+  std::vector<ParsedTrace> Parsed;
+  Parsed.reserve(Paths.size());
   for (const std::string &Path : Paths) {
     Expected<Trace> T = parseTraceFile(Path);
     if (!T)
       return Result::error(T.message());
-    LabeledTrace Example;
-    Example.T = T.take();
+    ParsedTrace Entry;
+    Entry.Example.T = T.take();
     // Strip the ".trace" suffix the parser kept in the name.
-    std::string Name = Example.T.name();
+    std::string Name = Entry.Example.T.name();
     if (endsWith(Name, ".trace"))
       Name.resize(Name.size() - 6);
-    Example.T.setName(Name);
-    Status Lineage = parseLineage(Name, Example);
+    Entry.Example.T.setName(Name);
+    Status Lineage = parseLineage(Name, Entry.Example, Entry.Copy);
     if (!Lineage)
       return Result::error("malformed trace name '" + Name + "' ('" + Path +
                            "'): " + Lineage.message());
-    Corpus.push_back(std::move(Example));
+    Parsed.push_back(std::move(Entry));
   }
+  std::sort(Parsed.begin(), Parsed.end(),
+            [](const ParsedTrace &L, const ParsedTrace &R) {
+              if (L.Example.Label != R.Example.Label)
+                return L.Example.Label < R.Example.Label;
+              if (L.Example.BaseIndex != R.Example.BaseIndex)
+                return L.Example.BaseIndex < R.Example.BaseIndex;
+              if (L.Copy != R.Copy)
+                return L.Copy < R.Copy;
+              return L.Example.T.name() < R.Example.T.name();
+            });
+
+  std::vector<LabeledTrace> Corpus;
+  Corpus.reserve(Parsed.size());
+  for (ParsedTrace &Entry : Parsed)
+    Corpus.push_back(std::move(Entry.Example));
   return Corpus;
 }
 
@@ -146,4 +177,174 @@ kast::loadCorpusProfileStore(const std::string &Path,
                          Cache->KernelName + "', expected '" + Kernel.name() +
                          "'");
   return Cache;
+}
+
+/// "<Dir>/shard-NNN.kpc" with at least three digits; writer, sweeper
+/// and loader agree through this formatter and parseShardNumber.
+static std::string shardCachePath(const std::string &Dir, size_t Shard) {
+  std::string Number = std::to_string(Shard);
+  while (Number.size() < 3)
+    Number.insert(Number.begin(), '0');
+  return Dir + "/shard-" + Number + ".kpc";
+}
+
+/// The inverse of shardCachePath's file-name half: the shard number of
+/// a "shard-NNN.kpc" name, nullopt for anything else — including the
+/// ".kpc.tmp" staging files of an in-flight save and non-canonical
+/// spellings like "shard-7.kpc", which would otherwise alias the
+/// writer's "shard-007.kpc" in sweep and contiguity decisions.
+static std::optional<uint64_t> parseShardNumber(const std::string &File) {
+  if (!File.starts_with("shard-") || !endsWith(File, ".kpc"))
+    return std::nullopt;
+  std::string_view Digits =
+      std::string_view(File).substr(6, File.size() - 6 - 4);
+  std::optional<uint64_t> Number = parseUnsigned(Digits);
+  if (!Number)
+    return std::nullopt;
+  std::string Canonical = std::to_string(*Number);
+  while (Canonical.size() < 3)
+    Canonical.insert(Canonical.begin(), '0');
+  return Digits == Canonical ? Number : std::nullopt;
+}
+
+Status
+kast::writeShardedProfileCaches(const std::vector<ProfileStoreCache> &Shards,
+                                const std::string &Dir) {
+  // An empty shard list would write nothing and then sweep *every*
+  // existing shard file as stale — a degenerate input silently erasing
+  // the previous generation. No real service produces it (a service
+  // always has at least one shard), so refuse loudly.
+  if (Shards.empty())
+    return Status::error("refusing to write an empty sharded profile cache "
+                         "to '" + Dir + "'");
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec)
+    return Status::error("cannot create directory '" + Dir +
+                         "': " + Ec.message());
+  // Three-phase save — write staging files, sweep stale files, rename
+  // into place — ordered so that *no* crash point leaves a directory
+  // that loads silently wrong: the loader refuses any directory with
+  // leftover ".kpc.tmp" staging files, and until the very last rename
+  // at least one staging file exists. A crash therefore yields either
+  // the intact previous generation plus a loud diagnostic, never a
+  // quietly loadable mix of generations.
+  //
+  // Phase 1: write every shard under its ".kpc.tmp" staging name (an
+  // ENOSPC here leaves the previous generation untouched).
+  for (size_t S = 0; S < Shards.size(); ++S)
+    if (Status W = writeProfileStoreCacheFile(
+            Shards[S], shardCachePath(Dir, S) + ".tmp");
+        !W)
+      return W;
+  // Phase 2: sweep files of the previous generation the new one will
+  // not overwrite — higher-numbered "shard-NNN.kpc" (their numbering
+  // would stay contiguous and silently restore the old corpus
+  // alongside the new) and staging leftovers of older interrupted
+  // saves. A file the sweep cannot delete fails the save loudly for
+  // the same reason.
+  std::filesystem::directory_iterator It(Dir, Ec);
+  if (Ec)
+    return Status::error("cannot re-read directory '" + Dir +
+                         "': " + Ec.message());
+  for (const std::filesystem::directory_entry &Entry : It) {
+    if (!Entry.is_regular_file())
+      continue;
+    std::string File = Entry.path().filename().string();
+    bool Stale = false;
+    if (File.starts_with("shard-") && endsWith(File, ".kpc.tmp")) {
+      // Our own phase-1 files are "shard-<canonical 0..N-1>.kpc.tmp";
+      // anything else tmp-shaped is a leftover.
+      std::optional<uint64_t> Number =
+          parseShardNumber(File.substr(0, File.size() - 4));
+      Stale = !Number || *Number >= Shards.size();
+    } else if (std::optional<uint64_t> Number = parseShardNumber(File)) {
+      Stale = *Number >= Shards.size();
+    }
+    if (!Stale)
+      continue;
+    std::filesystem::remove(Entry.path(), Ec);
+    if (Ec)
+      return Status::error("cannot remove stale shard cache '" +
+                           Entry.path().string() + "': " + Ec.message());
+  }
+  // Phase 3: rename the staging files into place (atomic per file;
+  // each rename overwrites the same-numbered previous-generation
+  // file, so partial progress only ever mixes with a loud staging
+  // leftover, which the loader rejects).
+  for (size_t S = 0; S < Shards.size(); ++S) {
+    std::string Path = shardCachePath(Dir, S);
+    std::filesystem::rename(Path + ".tmp", Path, Ec);
+    if (Ec)
+      return Status::error("cannot rename '" + Path + ".tmp' into place: " +
+                           Ec.message());
+  }
+  return Status();
+}
+
+Expected<std::vector<ProfileStoreCache>>
+kast::loadShardedProfileCaches(const std::string &Dir,
+                               const std::string &ExpectedKernelName) {
+  using Result = Expected<std::vector<ProfileStoreCache>>;
+  std::error_code Ec;
+  std::filesystem::directory_iterator It(Dir, Ec);
+  if (Ec)
+    return Result::error("cannot read directory '" + Dir +
+                         "': " + Ec.message());
+
+  // Collect the shard numbers actually present, then demand the
+  // contiguous range 0..N-1: a hole means the corpus on disk is
+  // partial, and serving a partial corpus silently would skew every
+  // query that restart answers.
+  std::vector<uint64_t> Numbers;
+  for (const std::filesystem::directory_entry &Entry : It) {
+    if (!Entry.is_regular_file())
+      continue;
+    std::string File = Entry.path().filename().string();
+    // A ".kpc.tmp" staging file means a save is in flight or died
+    // mid-way; the .kpc files beside it may mix generations, so
+    // refuse the whole directory rather than restore them silently
+    // (a completed re-save sweeps the leftovers and unblocks).
+    if (File.starts_with("shard-") && endsWith(File, ".kpc.tmp"))
+      return Result::error("interrupted save: staging file '" + File +
+                           "' present in '" + Dir +
+                           "'; re-save the shards or remove it");
+    if (!File.starts_with("shard-") || !endsWith(File, ".kpc"))
+      continue;
+    std::optional<uint64_t> Number = parseShardNumber(File);
+    if (!Number)
+      return Result::error("unparseable shard cache name '" + File +
+                           "' in '" + Dir + "'");
+    Numbers.push_back(*Number);
+  }
+  if (Numbers.empty())
+    return Result::error("no shard-*.kpc caches in '" + Dir + "'");
+  std::sort(Numbers.begin(), Numbers.end());
+  for (size_t S = 0; S < Numbers.size(); ++S)
+    if (Numbers[S] != S)
+      return Result::error("shard caches in '" + Dir +
+                           "' are not contiguous: missing shard " +
+                           std::to_string(S));
+
+  std::vector<ProfileStoreCache> Shards;
+  Shards.reserve(Numbers.size());
+  for (size_t S = 0; S < Numbers.size(); ++S) {
+    std::string Path = shardCachePath(Dir, S);
+    Expected<ProfileStoreCache> Cache = readProfileStoreCacheFile(Path);
+    if (!Cache)
+      return Result::error(Cache.message());
+    if (!ExpectedKernelName.empty() &&
+        Cache->KernelName != ExpectedKernelName)
+      return Result::error("shard cache '" + Path +
+                           "' was built by kernel '" + Cache->KernelName +
+                           "', expected '" + ExpectedKernelName + "'");
+    Shards.push_back(Cache.take());
+  }
+  return Shards;
+}
+
+Expected<std::vector<ProfileStoreCache>>
+kast::loadShardedProfileCaches(const std::string &Dir,
+                               const ProfiledStringKernel &Kernel) {
+  return loadShardedProfileCaches(Dir, Kernel.name());
 }

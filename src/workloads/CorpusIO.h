@@ -38,11 +38,14 @@ namespace kast {
 Status writeCorpusDirectory(const std::vector<LabeledTrace> &Corpus,
                             const std::string &Dir);
 
-/// Loads every "*.trace" file of \p Dir (sorted by file name for
-/// determinism). Labels and lineage are recovered from the
-/// "<label><base>.<copy>" file-name convention; a name with no
-/// alphabetic label prefix, no base index, or no ".<copy>" suffix is
-/// a hard error naming the offending file.
+/// Loads every "*.trace" file of \p Dir. Labels and lineage are
+/// recovered from the "<label><base>.<copy>" file-name convention; a
+/// name with no alphabetic label prefix, no base index, or no
+/// ".<copy>" suffix is a hard error naming the offending file. The
+/// result is in numeric lineage order — (label, base index, copy
+/// index) — not lexicographic file-name order, so "A2.0" precedes
+/// "A10.0" and corpus order matches generation order at any corpus
+/// size.
 Expected<std::vector<LabeledTrace>>
 loadCorpusDirectory(const std::string &Dir);
 
@@ -70,6 +73,29 @@ loadCorpusProfileCache(const std::string &Path,
 Expected<ProfileStoreCache>
 loadCorpusProfileStore(const std::string &Path,
                        const ProfiledStringKernel &Kernel);
+
+/// Writes one v2 block-cache file per shard — "<Dir>/shard-NNN.kpc",
+/// zero-padded, one per element of \p Shards — creating \p Dir if
+/// missing. This is the persistence format of index/IndexService's
+/// toShardCaches(): a service restart loads the files back with
+/// loadShardedProfileCaches and adopts each shard's arena wholesale.
+Status writeShardedProfileCaches(const std::vector<ProfileStoreCache> &Shards,
+                                 const std::string &Dir);
+
+/// Loads every "<Dir>/shard-NNN.kpc" written by
+/// writeShardedProfileCaches, in shard order. The numbering must be
+/// contiguous from 0 (a missing middle shard is a hard error — serving
+/// a partial corpus silently would skew every query). A non-empty
+/// \p ExpectedKernelName is verified against every shard's cache;
+/// pass "" to skip verification and check KernelName yourself.
+Expected<std::vector<ProfileStoreCache>>
+loadShardedProfileCaches(const std::string &Dir,
+                         const std::string &ExpectedKernelName = "");
+
+/// loadShardedProfileCaches verified against \p Kernel's name.
+Expected<std::vector<ProfileStoreCache>>
+loadShardedProfileCaches(const std::string &Dir,
+                         const ProfiledStringKernel &Kernel);
 
 } // namespace kast
 

@@ -1,0 +1,445 @@
+//===- tests/IndexServiceTest.cpp - concurrent serving layer ---------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving contract of index/IndexService: adds and removes publish
+// atomically and agree with ProfileIndex ground truth, snapshots are
+// immutable (they answer identically forever, through concurrent
+// writes and compactions), sharded caches restart a service bit-exactly,
+// and the whole thing holds up under ASan/UBSan with writers and
+// readers interleaving freely.
+//
+//===----------------------------------------------------------------------===//
+
+#include "index/IndexService.h"
+#include "index/ProfileIndex.h"
+#include "kernels/SpectrumKernels.h"
+#include "util/Rng.h"
+#include "workloads/CorpusIO.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+using namespace kast;
+
+namespace {
+
+WeightedString randomString(const std::shared_ptr<TokenTable> &Table,
+                            Rng &R, size_t Length, uint32_t Alphabet) {
+  WeightedString S(Table);
+  for (size_t I = 0; I < Length; ++I)
+    S.append("t" + std::to_string(R.uniformInt(0, Alphabet - 1)),
+             R.uniformInt(1, 16));
+  return S;
+}
+
+/// N profiles with unique names "<prefix><i>" and labels cycling
+/// through "a"/"b"/"c".
+struct NamedProfiles {
+  std::vector<std::string> Names;
+  std::vector<std::string> Labels;
+  std::vector<KernelProfile> Profiles;
+};
+
+NamedProfiles makeProfiles(const ProfiledStringKernel &Kernel, size_t N,
+                           const std::string &Prefix, uint64_t Seed) {
+  Rng R(Seed);
+  auto Table = TokenTable::create();
+  NamedProfiles Out;
+  const char *Cycle[] = {"a", "b", "c"};
+  for (size_t I = 0; I < N; ++I) {
+    Out.Names.push_back(Prefix + std::to_string(I));
+    Out.Labels.push_back(Cycle[I % 3]);
+    Out.Profiles.push_back(
+        Kernel.profile(randomString(Table, R, R.uniformInt(4, 24), 6)));
+  }
+  return Out;
+}
+
+BlendedSpectrumKernel &kernel() {
+  static BlendedSpectrumKernel K(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+  return K;
+}
+
+/// (name, similarity) pairs of service hits, for ground-truth compares.
+std::vector<std::pair<std::string, double>>
+flatten(const std::vector<ServiceHit> &Hits) {
+  std::vector<std::pair<std::string, double>> Out;
+  for (const ServiceHit &H : Hits)
+    Out.push_back({H.Name, H.Similarity});
+  return Out;
+}
+
+std::vector<std::pair<std::string, double>>
+flatten(const ProfileIndex &Index, const std::vector<Neighbor> &Hits) {
+  std::vector<std::pair<std::string, double>> Out;
+  for (const Neighbor &H : Hits)
+    Out.push_back({Index.name(H.Index), H.Similarity});
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Single-threaded correctness against ProfileIndex ground truth
+//===----------------------------------------------------------------------===//
+
+TEST(IndexServiceTest, AddsPublishImmediatelyAndMatchProfileIndex) {
+  // Small shards and a tiny seal threshold so the test crosses every
+  // structural boundary: staging tails, sealed segments, multi-shard
+  // merges.
+  IndexServiceOptions Options;
+  Options.Shards = 3;
+  Options.SealThreshold = 4;
+  IndexService Service(kernel().name(), Options);
+  ProfileIndex Truth(kernel().name());
+
+  NamedProfiles P = makeProfiles(kernel(), 30, "s", 11);
+  for (size_t I = 0; I < P.Profiles.size(); ++I) {
+    Service.add(P.Names[I], P.Labels[I], P.Profiles[I]);
+    Truth.add(P.Names[I], P.Labels[I], P.Profiles[I]);
+    EXPECT_EQ(Service.size(), I + 1); // Visible as soon as add returns.
+  }
+  EXPECT_EQ(Service.kernelName(), kernel().name());
+  EXPECT_EQ(Service.shardCount(), 3u);
+
+  // Similarities are computed by the same merge-join over the same
+  // bit patterns, so service hits must match the index hit-for-hit
+  // (random profiles make cross-shard ties vanishingly unlikely).
+  NamedProfiles Q = makeProfiles(kernel(), 8, "q", 12);
+  for (bool Normalize : {true, false})
+    for (const KernelProfile &Query : Q.Profiles)
+      EXPECT_EQ(flatten(Service.query(Query, 5, Normalize, 1)),
+                flatten(Truth, Truth.query(Query, 5, Normalize)));
+
+  // Batched equals single, through one snapshot.
+  std::vector<std::vector<ServiceHit>> Batch =
+      Service.queryBatch(Q.Profiles, 4, true, 2);
+  IndexSnapshot Snap = Service.snapshot();
+  ASSERT_EQ(Batch.size(), Q.Profiles.size());
+  for (size_t I = 0; I < Q.Profiles.size(); ++I)
+    EXPECT_EQ(Batch[I], Snap.query(Q.Profiles[I], 4, true, 1));
+}
+
+TEST(IndexServiceTest, EdgeCasesReturnCleanly) {
+  IndexService Service("k", {.Shards = 2, .SealThreshold = 2});
+  KernelProfile P;
+  P.add(3, 1.0);
+  P.finalize();
+
+  EXPECT_TRUE(Service.empty());
+  EXPECT_TRUE(Service.query(P, 5).empty());
+  EXPECT_EQ(Service.remove("missing"), 0u);
+  Service.compact(1); // Compacting empty shards is a no-op, not a crash.
+  EXPECT_TRUE(Service.snapshot().empty());
+
+  Service.add("only", "l", P);
+  EXPECT_TRUE(Service.query(P, 0).empty());          // K == 0.
+  EXPECT_EQ(Service.query(P, 100).size(), 1u);       // K clamps to live.
+  std::vector<std::vector<ServiceHit>> Batch =
+      Service.queryBatch({P, KernelProfile()}, 3, true, 1);
+  ASSERT_EQ(Batch.size(), 2u);
+  EXPECT_EQ(Batch[0].size(), 1u);
+  // An empty query has vanishing norm; cosine scores zero but the
+  // entry is still returned.
+  ASSERT_EQ(Batch[1].size(), 1u);
+  EXPECT_EQ(Batch[1][0].Similarity, 0.0);
+
+  EXPECT_EQ(IndexSnapshot::majorityLabel({}), "");
+}
+
+TEST(IndexServiceTest, MajorityLabelMatchesIndexContract) {
+  // Same single-pass vote as ProfileIndex::majorityLabel: totals win,
+  // count ties go to the nearer hit's label.
+  std::vector<ServiceHit> Hits = {{"n0", "y", 0.9},
+                                  {"n1", "x", 0.8},
+                                  {"n2", "x", 0.7},
+                                  {"n3", "y", 0.6}};
+  EXPECT_EQ(IndexSnapshot::majorityLabel(Hits), "y");
+  Hits.push_back({"n4", "x", 0.5});
+  EXPECT_EQ(IndexSnapshot::majorityLabel(Hits), "x");
+}
+
+//===----------------------------------------------------------------------===//
+// Removal, compaction, snapshot isolation
+//===----------------------------------------------------------------------===//
+
+TEST(IndexServiceTest, RemoveTombstonesAndSnapshotsStayIsolated) {
+  IndexServiceOptions Options;
+  Options.Shards = 2;
+  Options.SealThreshold = 4;
+  IndexService Service(kernel().name(), Options);
+  NamedProfiles P = makeProfiles(kernel(), 16, "s", 21);
+  for (size_t I = 0; I < P.Profiles.size(); ++I)
+    Service.add(P.Names[I], P.Labels[I], P.Profiles[I]);
+
+  const KernelProfile &Query = P.Profiles[5];
+  IndexSnapshot Before = Service.snapshot();
+  std::vector<ServiceHit> BeforeHits = Before.query(Query, 16, true, 1);
+  ASSERT_EQ(BeforeHits.size(), 16u);
+  // The query profile's own entry is the (cosine 1) top hit.
+  EXPECT_EQ(BeforeHits[0].Name, "s5");
+
+  EXPECT_EQ(Service.remove("s5"), 1u);
+  EXPECT_EQ(Service.remove("s5"), 0u); // Already tombstoned.
+  EXPECT_EQ(Service.size(), 15u);
+
+  // Live queries no longer see the entry, at any K.
+  for (const ServiceHit &H : Service.query(Query, 16, true, 1))
+    EXPECT_NE(H.Name, "s5");
+  // The pre-removal snapshot still answers exactly as before.
+  EXPECT_EQ(Before.query(Query, 16, true, 1), BeforeHits);
+  EXPECT_EQ(Before.size(), 16u);
+
+  // Compaction drops tombstones without changing any answer...
+  std::vector<ServiceHit> PreCompact = Service.query(Query, 15, true, 1);
+  Service.compact(1);
+  EXPECT_EQ(Service.size(), 15u);
+  EXPECT_EQ(Service.query(Query, 15, true, 1), PreCompact);
+  // ...and pre-compaction snapshots keep the old segments alive.
+  EXPECT_EQ(Before.query(Query, 16, true, 1), BeforeHits);
+
+  // Re-adding a removed name serves it again (a fresh entry, not a
+  // resurrection of the tombstoned one).
+  Service.add("s5", P.Labels[5], P.Profiles[5]);
+  EXPECT_EQ(Service.size(), 16u);
+  EXPECT_EQ(Service.query(Query, 1, true, 1)[0].Name, "s5");
+}
+
+//===----------------------------------------------------------------------===//
+// Bulk import/export and the sharded-cache restart path
+//===----------------------------------------------------------------------===//
+
+TEST(IndexServiceTest, FromIndexServesTheWholeIndex) {
+  NamedProfiles P = makeProfiles(kernel(), 20, "s", 31);
+  ProfileIndex Index(kernel().name());
+  for (size_t I = 0; I < P.Profiles.size(); ++I)
+    Index.add(P.Names[I], P.Labels[I], P.Profiles[I]);
+
+  IndexService Service =
+      IndexService::fromIndex(Index, {.Shards = 4, .SealThreshold = 8});
+  EXPECT_EQ(Service.size(), Index.size());
+  EXPECT_EQ(Service.kernelName(), Index.kernelName());
+  NamedProfiles Q = makeProfiles(kernel(), 6, "q", 32);
+  for (const KernelProfile &Query : Q.Profiles)
+    EXPECT_EQ(flatten(Service.query(Query, 5, true, 1)),
+              flatten(Index, Index.query(Query, 5)));
+}
+
+TEST(IndexServiceTest, ShardCachesRestartTheServiceBitExactly) {
+  IndexServiceOptions Options;
+  Options.Shards = 3;
+  Options.SealThreshold = 4;
+  IndexService Service(kernel().name(), Options);
+  NamedProfiles P = makeProfiles(kernel(), 18, "s", 41);
+  for (size_t I = 0; I < P.Profiles.size(); ++I)
+    Service.add(P.Names[I], P.Labels[I], P.Profiles[I]);
+  // Mix a removal in so the export path must drop tombstones.
+  ASSERT_EQ(Service.remove("s7"), 1u);
+
+  std::string Dir = testing::TempDir() + "/kast_service_restart";
+  std::filesystem::remove_all(Dir);
+  ASSERT_TRUE(
+      writeShardedProfileCaches(Service.toShardCaches(), Dir).ok());
+
+  Expected<std::vector<ProfileStoreCache>> Caches =
+      loadShardedProfileCaches(Dir, kernel().name());
+  ASSERT_TRUE(Caches.hasValue()) << Caches.message();
+  Expected<IndexService> Restored =
+      IndexService::fromShardCaches(Caches.take());
+  ASSERT_TRUE(Restored.hasValue()) << Restored.message();
+
+  EXPECT_EQ(Restored->size(), Service.size());
+  EXPECT_EQ(Restored->shardCount(), Service.shardCount());
+  EXPECT_EQ(Restored->kernelName(), Service.kernelName());
+  NamedProfiles Q = makeProfiles(kernel(), 6, "q", 42);
+  for (const KernelProfile &Query : Q.Profiles)
+    EXPECT_EQ(Restored->query(Query, 6, true, 1),
+              Service.query(Query, 6, true, 1));
+  // Name-hash routing survived the round trip: remove still lands.
+  EXPECT_EQ(Restored->remove("s3"), 1u);
+  EXPECT_EQ(Restored->size(), Service.size() - 1);
+
+  // Kernel-name mismatches fail at restore, not as wrong similarity.
+  std::vector<ProfileStoreCache> Bad(2);
+  Bad[0].KernelName = "one";
+  Bad[1].KernelName = "two";
+  EXPECT_FALSE(IndexService::fromShardCaches(std::move(Bad)).hasValue());
+  EXPECT_FALSE(IndexService::fromShardCaches({}).hasValue());
+}
+
+TEST(IndexServiceTest, ForeignCacheLayoutsSweepAllShardsOnRemove) {
+  // A hand-assembled layout can hold the same name in several shards,
+  // off its hash route. Restore must detect that and remove() must
+  // sweep every shard instead of trusting the home-shard invariant.
+  KernelProfile P;
+  P.add(3, 1.0);
+  P.finalize();
+  std::vector<ProfileStoreCache> Caches(2);
+  for (size_t S = 0; S < 2; ++S) {
+    Caches[S].KernelName = "k";
+    Caches[S].Store.append(P);
+    Caches[S].Names.push_back("dup"); // In both shards: one is off-route.
+    Caches[S].Labels.push_back("l");
+  }
+  Expected<IndexService> Service =
+      IndexService::fromShardCaches(std::move(Caches));
+  ASSERT_TRUE(Service.hasValue()) << Service.message();
+  EXPECT_EQ(Service->size(), 2u);
+  EXPECT_EQ(Service->remove("dup"), 2u); // Both copies, both shards.
+  EXPECT_EQ(Service->size(), 0u);
+  // entryCount keeps counting the tombstoned entries until compact.
+  EXPECT_EQ(Service->entryCount(), 2u);
+  Service->compact(1);
+  EXPECT_EQ(Service->entryCount(), 0u);
+}
+
+TEST(IndexServiceTest, ResavingFewerShardsSweepsStaleCacheFiles) {
+  // Saving a 2-shard service into a directory that previously held 3
+  // shards must not leave the old shard-002 behind, or the next
+  // restart would serve the stale corpus alongside the new one.
+  KernelProfile P;
+  P.add(5, 2.0);
+  P.finalize();
+  auto MakeService = [&](size_t Shards, size_t Entries) {
+    IndexService Service("k", {.Shards = Shards});
+    for (size_t I = 0; I < Entries; ++I)
+      Service.add("n" + std::to_string(I), "l", P);
+    return Service;
+  };
+  std::string Dir = testing::TempDir() + "/kast_shard_resave";
+  std::filesystem::remove_all(Dir);
+  IndexService Wide = MakeService(3, 6);
+  ASSERT_TRUE(writeShardedProfileCaches(Wide.toShardCaches(), Dir).ok());
+  IndexService Narrow = MakeService(2, 4);
+  ASSERT_TRUE(writeShardedProfileCaches(Narrow.toShardCaches(), Dir).ok());
+
+  EXPECT_FALSE(std::filesystem::exists(Dir + "/shard-002.kpc"));
+  Expected<std::vector<ProfileStoreCache>> Caches =
+      loadShardedProfileCaches(Dir, "k");
+  ASSERT_TRUE(Caches.hasValue()) << Caches.message();
+  ASSERT_EQ(Caches->size(), 2u);
+  Expected<IndexService> Restored =
+      IndexService::fromShardCaches(Caches.take());
+  ASSERT_TRUE(Restored.hasValue()) << Restored.message();
+  EXPECT_EQ(Restored->size(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency stress: snapshot consistency under add/remove/query
+//===----------------------------------------------------------------------===//
+
+TEST(IndexServiceStressTest, SnapshotsStayConsistentUnderConcurrentWrites) {
+  // Writers interleave adds and removes while readers continuously
+  // snapshot and query. The contract under test: a snapshot answers
+  // identically no matter when it is re-queried — mid-churn, from
+  // another thread, or after the system quiesces. Runs under the
+  // KAST_SANITIZE ASan/UBSan CI job like every other test, which is
+  // where a torn publish or use-after-invalidate would surface.
+  constexpr size_t Writers = 2;
+  constexpr size_t Readers = 2;
+  constexpr size_t PerWriter = 60;
+
+  IndexServiceOptions Options;
+  Options.Shards = 4;
+  Options.SealThreshold = 8;
+  IndexService Service(kernel().name(), Options);
+
+  std::vector<NamedProfiles> WriterWork;
+  for (size_t W = 0; W < Writers; ++W)
+    WriterWork.push_back(
+        makeProfiles(kernel(), PerWriter, "w" + std::to_string(W) + "-",
+                     100 + W));
+  NamedProfiles Q = makeProfiles(kernel(), 4, "q", 200);
+
+  std::atomic<size_t> WritersDone{0};
+  std::vector<std::thread> Threads;
+  for (size_t W = 0; W < Writers; ++W) {
+    Threads.emplace_back([&, W] {
+      const NamedProfiles &Work = WriterWork[W];
+      for (size_t I = 0; I < Work.Profiles.size(); ++I) {
+        Service.add(Work.Names[I], Work.Labels[I], Work.Profiles[I]);
+        // Every 7th entry is removed again a few adds later; every
+        // 25th add triggers a compaction, so the readers race against
+        // tombstoning and arena rebuilds too, not just appends.
+        if (I % 7 == 6) {
+          EXPECT_EQ(Service.remove(Work.Names[I - 3]), 1u);
+        }
+        if (I % 25 == 24)
+          Service.compact(1);
+      }
+      WritersDone.fetch_add(1);
+    });
+  }
+
+  struct Observation {
+    IndexSnapshot Snap;
+    size_t Size = 0;
+    std::vector<std::vector<ServiceHit>> Results;
+  };
+  std::vector<std::vector<Observation>> Retained(Readers);
+  for (size_t R = 0; R < Readers; ++R) {
+    Threads.emplace_back([&, R] {
+      size_t Iteration = 0;
+      // At least one iteration even if the writers win the race to
+      // finish, so every reader retains at least one observation.
+      do {
+        IndexSnapshot Snap = Service.snapshot();
+        const size_t Size = Snap.size();
+        std::vector<std::vector<ServiceHit>> First =
+            Snap.queryBatch(Q.Profiles, 5, true, 1);
+        // Immediate re-query of the same snapshot: identical top-k,
+        // identical size, whatever the writers are doing meanwhile.
+        EXPECT_EQ(Snap.queryBatch(Q.Profiles, 5, true, 1), First);
+        EXPECT_EQ(Snap.size(), Size);
+        for (const std::vector<ServiceHit> &Hits : First) {
+          EXPECT_LE(Hits.size(), std::min<size_t>(5, Size));
+          for (size_t H = 1; H < Hits.size(); ++H)
+            EXPECT_GE(Hits[H - 1].Similarity, Hits[H].Similarity);
+        }
+        if (Iteration++ % 8 == 0)
+          Retained[R].push_back({std::move(Snap), Size, std::move(First)});
+      } while (WritersDone.load() < Writers);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Quiesced re-query of every retained snapshot: the acceptance
+  // criterion — what a reader observed mid-churn is exactly what the
+  // snapshot still answers now that all writers are gone.
+  size_t Checked = 0;
+  for (const std::vector<Observation> &PerReader : Retained)
+    for (const Observation &O : PerReader) {
+      EXPECT_EQ(O.Snap.size(), O.Size);
+      EXPECT_EQ(O.Snap.queryBatch(Q.Profiles, 5, true, 1), O.Results);
+      ++Checked;
+    }
+  EXPECT_GT(Checked, 0u);
+
+  // Final ground truth: after the dust settles the service serves
+  // exactly the survivors, bit-identically to a fresh ProfileIndex.
+  ProfileIndex Truth(kernel().name());
+  for (size_t W = 0; W < Writers; ++W) {
+    const NamedProfiles &Work = WriterWork[W];
+    for (size_t I = 0; I < Work.Profiles.size(); ++I) {
+      const bool Removed = I % 7 == 3 && I + 3 < Work.Profiles.size() &&
+                           (I + 3) % 7 == 6;
+      if (!Removed)
+        Truth.add(Work.Names[I], Work.Labels[I], Work.Profiles[I]);
+    }
+  }
+  EXPECT_EQ(Service.size(), Truth.size());
+  for (const KernelProfile &Query : Q.Profiles) {
+    std::vector<std::pair<std::string, double>> Got =
+        flatten(Service.query(Query, 5, true, 1));
+    std::vector<std::pair<std::string, double>> Want =
+        flatten(Truth, Truth.query(Query, 5));
+    EXPECT_EQ(Got, Want);
+  }
+}
+
+} // namespace

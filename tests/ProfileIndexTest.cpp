@@ -214,6 +214,35 @@ TEST(ProfileIndexTest, TopKOrderingAndTieBreaks) {
   EXPECT_DOUBLE_EQ(Hits[0].Similarity, 0.0);
 }
 
+TEST(ProfileIndexTest, MajorityLabelCountsAndTieBreaks) {
+  // Regression for the O(k²) rescan-per-neighbor counting: the single
+  // pass must keep both halves of the documented contract — highest
+  // total count wins, and a count *tie* goes to the label whose first
+  // occurrence is nearest.
+  ProfileIndex Index("test");
+  KernelProfile P;
+  P.add(1, 1.0);
+  P.finalize();
+  // Entry i gets label Labels[i]; similarities are irrelevant to the
+  // vote, so synthetic Neighbor lists stand in for query results.
+  for (const char *Label : {"y", "x", "x", "y", "z"})
+    Index.add("e", Label, P);
+
+  // Adversarial tie: y and x both total 2, y's first occurrence is
+  // the nearest neighbor → y wins even though x reaches count 2 first
+  // during an incremental scan.
+  EXPECT_EQ(Index.majorityLabel({{0, 0.9}, {1, 0.8}, {2, 0.7}, {3, 0.6}}),
+            "y");
+  // Strict majority displaces a nearer singleton: x twice beats y once.
+  EXPECT_EQ(Index.majorityLabel({{3, 0.9}, {1, 0.8}, {2, 0.7}}), "x");
+  // Duplicate labels scattered among others still aggregate.
+  EXPECT_EQ(Index.majorityLabel({{4, 0.9}, {0, 0.8}, {1, 0.7}, {3, 0.6}}),
+            "y");
+  // Single neighbor and empty list edge cases.
+  EXPECT_EQ(Index.majorityLabel({{2, 0.5}}), "x");
+  EXPECT_EQ(Index.majorityLabel({}), "");
+}
+
 TEST(ProfileIndexTest, EdgeCasesReturnCleanly) {
   KernelProfile P;
   P.add(3, 1.0);

@@ -114,6 +114,41 @@ TEST(ProfileStoreTest, ViewsAndDotsMatchStagingProfilesBitExactly) {
     }
 }
 
+TEST(ProfileStoreTest, AppendFromCopiesArenaToArenaBitExactly) {
+  Rng R(20220);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 12);
+  BlendedSpectrumKernel Kernel(3, 0.9, /*Weighted=*/true, /*CutWeight=*/2);
+
+  ProfileStore Source;
+  for (const WeightedString &S : Corpus)
+    Source.append(Kernel.profile(S));
+
+  // Copy every other profile, out of order, into a fresh arena — the
+  // shape of a tombstone-dropping compaction — and check bit patterns
+  // plus the carried-over self-dot/norm caches.
+  ProfileStore Rebuilt;
+  std::vector<size_t> Picks = {9, 1, 5, 3, 7};
+  for (size_t P = 0; P < Picks.size(); ++P)
+    EXPECT_EQ(Rebuilt.appendFrom(Source, Picks[P]), P);
+  ASSERT_EQ(Rebuilt.size(), Picks.size());
+  EXPECT_TRUE(Rebuilt.isFinalized());
+  for (size_t P = 0; P < Picks.size(); ++P) {
+    const ProfileView From = Source.view(Picks[P]);
+    const ProfileView To = Rebuilt.view(P);
+    ASSERT_EQ(To.Size, From.Size);
+    for (size_t E = 0; E < To.Size; ++E) {
+      EXPECT_EQ(To.Hashes[E], From.Hashes[E]);
+      EXPECT_EQ(std::bit_cast<uint64_t>(To.Values[E]),
+                std::bit_cast<uint64_t>(From.Values[E]));
+    }
+    EXPECT_EQ(std::bit_cast<uint64_t>(To.SelfDot),
+              std::bit_cast<uint64_t>(From.SelfDot));
+    EXPECT_EQ(std::bit_cast<uint64_t>(To.Norm),
+              std::bit_cast<uint64_t>(From.Norm));
+  }
+}
+
 TEST(ProfileStoreTest, EmptyProfilesTakeZeroArenaSpace) {
   ProfileStore Store;
   KernelProfile NonEmpty;

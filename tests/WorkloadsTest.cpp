@@ -293,6 +293,137 @@ TEST(CorpusIOTest, IgnoresForeignFiles) {
   EXPECT_FALSE((*Loaded)[0].IsMutant);
 }
 
+TEST(CorpusIOTest, LoadsInNumericLineageOrderNotLexicographic) {
+  // With ten or more bases, lexicographic file-name order interleaves
+  // lineages ("A10.0" < "A2.0"); the loader must order by numeric
+  // (label, base, copy) so corpus order matches generation order.
+  std::string Dir = testing::TempDir() + "/kast_corpus_order";
+  std::filesystem::create_directories(Dir);
+  std::vector<std::string> Names;
+  for (size_t Base = 0; Base < 12; ++Base)
+    for (size_t Copy = 0; Copy < 2; ++Copy)
+      Names.push_back("A" + std::to_string(Base) + "." +
+                      std::to_string(Copy));
+  Names.push_back("B2.0");
+  Names.push_back("B10.0"); // After B2.0 despite "B10" < "B2" lexically.
+  for (const std::string &Name : Names) {
+    std::ofstream T(Dir + "/" + Name + ".trace");
+    T << "read 1 bytes=8\n";
+  }
+
+  Expected<std::vector<LabeledTrace>> Loaded = loadCorpusDirectory(Dir);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  ASSERT_EQ(Loaded->size(), Names.size());
+  // Names was built in lineage order already.
+  for (size_t I = 0; I < Names.size(); ++I)
+    EXPECT_EQ((*Loaded)[I].T.name(), Names[I]) << "position " << I;
+  // The adversarial pairs, spelled out: base 2 precedes base 10.
+  auto Position = [&](const std::string &Name) {
+    for (size_t I = 0; I < Loaded->size(); ++I)
+      if ((*Loaded)[I].T.name() == Name)
+        return I;
+    return Loaded->size();
+  };
+  EXPECT_LT(Position("A2.0"), Position("A10.0"));
+  EXPECT_LT(Position("B2.0"), Position("B10.0"));
+}
+
+TEST(CorpusIOTest, ShardedProfileCachesRoundTrip) {
+  // Three uneven shards of hand-built profiles round-trip through
+  // "<dir>/shard-NNN.kpc" files with order, provenance and bit
+  // patterns intact; kernel-name verification and hole detection are
+  // hard errors.
+  auto MakeCache = [](const std::string &Prefix, size_t Count) {
+    ProfileStoreCache Cache;
+    Cache.KernelName = "sharded-kernel";
+    for (size_t I = 0; I < Count; ++I) {
+      KernelProfile P;
+      P.add(I * 17 + 3, 1.25 * static_cast<double>(I + 1));
+      P.add(I * 17 + 9, -0.5);
+      P.finalize();
+      Cache.Store.append(P);
+      Cache.Names.push_back(Prefix + std::to_string(I));
+      Cache.Labels.push_back(Prefix);
+    }
+    return Cache;
+  };
+  std::vector<ProfileStoreCache> Shards;
+  Shards.push_back(MakeCache("a", 3));
+  Shards.push_back(MakeCache("b", 1));
+  Shards.push_back(MakeCache("c", 5));
+
+  std::string Dir = testing::TempDir() + "/kast_sharded_caches";
+  std::filesystem::remove_all(Dir);
+  Status W = writeShardedProfileCaches(Shards, Dir);
+  ASSERT_TRUE(W.ok()) << W.message();
+
+  Expected<std::vector<ProfileStoreCache>> Loaded =
+      loadShardedProfileCaches(Dir, "sharded-kernel");
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  ASSERT_EQ(Loaded->size(), Shards.size());
+  for (size_t S = 0; S < Shards.size(); ++S) {
+    ASSERT_EQ((*Loaded)[S].Store.size(), Shards[S].Store.size());
+    EXPECT_EQ((*Loaded)[S].Names, Shards[S].Names);
+    EXPECT_EQ((*Loaded)[S].Labels, Shards[S].Labels);
+    EXPECT_EQ((*Loaded)[S].Store.hashes(), Shards[S].Store.hashes());
+    EXPECT_EQ((*Loaded)[S].Store.values(), Shards[S].Store.values());
+    EXPECT_EQ((*Loaded)[S].Store.offsets(), Shards[S].Store.offsets());
+  }
+
+  // Wrong kernel name: load-time error naming the culprit.
+  Expected<std::vector<ProfileStoreCache>> Bad =
+      loadShardedProfileCaches(Dir, "other-kernel");
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_NE(Bad.message().find("sharded-kernel"), std::string::npos)
+      << Bad.message();
+
+  // A hole in the shard numbering (partial corpus) is a hard error.
+  std::filesystem::remove(Dir + "/shard-001.kpc");
+  Expected<std::vector<ProfileStoreCache>> Holey =
+      loadShardedProfileCaches(Dir, "sharded-kernel");
+  ASSERT_FALSE(Holey.hasValue());
+  EXPECT_NE(Holey.message().find("missing shard 1"), std::string::npos)
+      << Holey.message();
+
+  // An empty directory is "nothing to restore", not an empty service.
+  std::string Empty = testing::TempDir() + "/kast_sharded_empty";
+  std::filesystem::create_directories(Empty);
+  EXPECT_FALSE(loadShardedProfileCaches(Empty).hasValue());
+
+  // An empty shard list is refused outright — writing it would sweep
+  // every existing shard file as stale and erase the previous
+  // generation while reporting success.
+  EXPECT_FALSE(writeShardedProfileCaches({}, Dir).ok());
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/shard-000.kpc"));
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/shard-002.kpc"));
+
+  // A leftover ".kpc.tmp" staging file marks an interrupted save whose
+  // .kpc neighbors may mix generations: the loader refuses the whole
+  // directory, and a completed re-save sweeps the leftover and
+  // unblocks it.
+  { std::ofstream Tmp(Dir + "/shard-000.kpc.tmp"); Tmp << "partial"; }
+  Expected<std::vector<ProfileStoreCache>> Interrupted =
+      loadShardedProfileCaches(Dir, "sharded-kernel");
+  ASSERT_FALSE(Interrupted.hasValue());
+  EXPECT_NE(Interrupted.message().find("interrupted"), std::string::npos)
+      << Interrupted.message();
+  ASSERT_TRUE(writeShardedProfileCaches({MakeCache("z", 2)}, Dir).ok());
+  EXPECT_FALSE(std::filesystem::exists(Dir + "/shard-000.kpc.tmp"));
+  Expected<std::vector<ProfileStoreCache>> Swept =
+      loadShardedProfileCaches(Dir, "sharded-kernel");
+  ASSERT_TRUE(Swept.hasValue()) << Swept.message();
+  EXPECT_EQ(Swept->size(), 1u);
+
+  // Non-canonical spellings ("shard-7.kpc") never alias the writer's
+  // padded names: the loader reports them instead of miscounting.
+  { std::ofstream Alias(Dir + "/shard-7.kpc"); Alias << "alias"; }
+  Expected<std::vector<ProfileStoreCache>> Aliased =
+      loadShardedProfileCaches(Dir, "sharded-kernel");
+  ASSERT_FALSE(Aliased.hasValue());
+  EXPECT_NE(Aliased.message().find("shard-7.kpc"), std::string::npos)
+      << Aliased.message();
+}
+
 TEST(CorpusIOTest, MalformedNamesAreDiagnosedErrors) {
   // Each offending file goes in its own directory because loading
   // stops at the first error.
