@@ -23,10 +23,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <map>
 #include <thread>
+#include <utility>
 
 using namespace kast;
 
@@ -134,6 +136,191 @@ BENCHMARK(BM_IndexQueryBatchTop5)
     ->Args({1024, 64})
     ->Args({8192, 64})
     ->Unit(benchmark::kMillisecond);
+
+/// Clustered corpus for the routed benchmarks: a handful of base
+/// strings, each entry a point mutation of its base (~25% of
+/// positions resampled). Cosine neighborhoods are the sibling groups
+/// — the structure a cluster router exists to exploit; uniform-random
+/// strings have no neighborhoods to route to. Same length, alphabet
+/// and weight range as randomCorpus, so per-profile scan cost (and
+/// hence the exact-scan baseline) is unchanged.
+const std::vector<WeightedString> &clusteredCorpus(size_t N) {
+  static auto Table = TokenTable::create();
+  static std::map<size_t, std::vector<WeightedString>> Cache;
+  auto [It, Inserted] = Cache.try_emplace(N);
+  if (Inserted) {
+    Rng R(N * 104729 + 7);
+    const size_t NumBases =
+        std::max<size_t>(8, std::min<size_t>(64, N / 16));
+    constexpr size_t Length = 64;
+    constexpr uint32_t Alphabet = 12;
+    using TokenSeq = std::vector<std::pair<std::string, uint32_t>>;
+    std::vector<TokenSeq> Bases(NumBases);
+    for (TokenSeq &Base : Bases)
+      for (size_t I = 0; I < Length; ++I)
+        Base.emplace_back("t" + std::to_string(R.uniformInt(0, Alphabet - 1)),
+                          R.uniformInt(1, 16));
+    for (size_t I = 0; I < N; ++I) {
+      TokenSeq Seq = Bases[I % NumBases];
+      for (auto &[Token, Weight] : Seq)
+        if (R.uniformInt(0, 99) < 25) {
+          Token = "t" + std::to_string(R.uniformInt(0, Alphabet - 1));
+          Weight = R.uniformInt(1, 16);
+        }
+      WeightedString S(Table);
+      for (const auto &[Token, Weight] : Seq)
+        S.append(Token, Weight);
+      It->second.push_back(std::move(S));
+    }
+  }
+  return It->second;
+}
+
+/// Held-out queries per corpus size for the routed benchmarks: the
+/// routed index covers Corpus[0, N) and these are Corpus[N, N+16) —
+/// fresh mutations of the same bases, so every query has true near
+/// neighbors to find.
+constexpr size_t RoutedQueryCount = 16;
+
+std::vector<KernelProfile> heldOutQueries(size_t N) {
+  const std::vector<WeightedString> &Corpus =
+      clusteredCorpus(N + RoutedQueryCount);
+  std::vector<KernelProfile> Queries;
+  for (size_t I = N; I < N + RoutedQueryCount; ++I)
+    Queries.push_back(kernel().profile(Corpus[I]));
+  return Queries;
+}
+
+/// Sweep/serving routing knobs. DfPct is MaxDocFrequency in percent;
+/// the sentinel -1 requests pure defaults, i.e. exhaustive mode
+/// (all centroids, no df-pruning, no re-rank budget), which is
+/// bit-identical to the exact scan.
+RoutingOptions sweepRouting(int DfPct) {
+  RoutingOptions Options;
+  if (DfPct < 0)
+    return Options;
+  Options.Cluster.TrainingSample = 2048;
+  Options.Cluster.MaxIterations = 6;
+  Options.MaxDocFrequency = static_cast<double>(DfPct) / 100.0;
+  Options.RerankBudget = 96;
+  Options.DefaultNProbe = 8;
+  return Options;
+}
+
+/// One routed index per (N, DfPct); the k-means fit dominates setup,
+/// so fitted indexes are cached across benchmark registrations.
+const ProfileIndex &routedIndex(size_t N, int DfPct) {
+  static std::map<std::pair<size_t, int>, ProfileIndex> Cache;
+  auto [It, Inserted] = Cache.try_emplace(std::make_pair(N, DfPct));
+  if (Inserted) {
+    const std::vector<WeightedString> &Corpus =
+        clusteredCorpus(N + RoutedQueryCount);
+    It->second = ProfileIndex::build(kernel(),
+                                     {Corpus.begin(), Corpus.begin() + N});
+    It->second.buildRouting(sweepRouting(DfPct));
+  }
+  return It->second;
+}
+
+/// Mean recall@5 of the routed path against the exact scan on the
+/// same index, over the held-out query set.
+double meanRecall5(const ProfileIndex &Routed,
+                   const std::vector<KernelProfile> &Queries, size_t NProbe) {
+  double Sum = 0.0;
+  for (const KernelProfile &Q : Queries) {
+    const std::vector<Neighbor> Exact = Routed.query(Q, 5);
+    const std::vector<Neighbor> Approx = Routed.queryApprox(Q, 5, true, NProbe);
+    size_t Hits = 0;
+    for (const Neighbor &A : Approx)
+      for (const Neighbor &E : Exact)
+        Hits += A.Index == E.Index;
+    Sum += Exact.empty() ? 1.0
+                         : static_cast<double>(Hits) /
+                               static_cast<double>(Exact.size());
+  }
+  return Queries.empty() ? 1.0 : Sum / static_cast<double>(Queries.size());
+}
+
+/// The exact O(N · dot) scan on the clustered corpus — the in-corpus
+/// baseline for BM_InvertedQueryTop5 (same index, same query). Exact
+/// scan cost only depends on profile sizes, not corpus shape, so this
+/// tracks BM_IndexQueryTop5 closely; it pins the speedup comparison
+/// to identical data anyway.
+void BM_ClusteredExactQueryTop5(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const ProfileIndex &Routed = routedIndex(N, /*DfPct=*/100);
+  const KernelProfile Query = heldOutQueries(N).front();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Routed.query(Query, 5));
+}
+BENCHMARK(BM_ClusteredExactQueryTop5)->Arg(128)->Arg(1024)->Arg(8192);
+
+/// One top-5 query through the candidate-generation tier (cluster
+/// routing + df-pruned inverted index + exact re-rank) — the routed
+/// counterpart of BM_IndexQueryTop5. Counters carry the measured
+/// recall@5 against the exact scan at the serving knobs, and at
+/// nprobe = numCentroids on a pure-defaults routing where bit-identity
+/// guarantees exactly 1.0 — the CI canary greps for that counter.
+void BM_InvertedQueryTop5(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const ProfileIndex &Routed = routedIndex(N, /*DfPct=*/100);
+  const ProfileIndex &Exhaustive = routedIndex(N, /*DfPct=*/-1);
+  const std::vector<KernelProfile> Queries = heldOutQueries(N);
+  const double Recall = meanRecall5(Routed, Queries, /*NProbe=*/0);
+  const double ExhaustiveRecall = meanRecall5(
+      Exhaustive, Queries, Exhaustive.router()->numCentroids());
+  const KernelProfile &Query = Queries.front();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Routed.queryApprox(Query, 5));
+  State.counters["recall5"] = benchmark::Counter(Recall);
+  State.counters["recall5_exhaustive"] = benchmark::Counter(ExhaustiveRecall);
+  State.counters["centroids"] =
+      benchmark::Counter(static_cast<double>(Routed.router()->numCentroids()));
+}
+BENCHMARK(BM_InvertedQueryTop5)->Arg(128)->Arg(1024)->Arg(8192);
+
+/// Recall@5-vs-latency sweep across the two pruning knobs at N=8192:
+/// Args are {nprobe, df-percent}; nprobe 0 means all centroids. Each
+/// row's recall5 counter is measured against the exact scan over the
+/// held-out queries, so BENCH_index.json carries the accuracy/speed
+/// frontier next to the timings.
+void BM_InvertedRecallSweep(benchmark::State &State) {
+  const size_t N = 8192;
+  const int DfPct = static_cast<int>(State.range(1));
+  const ProfileIndex &Routed = routedIndex(N, DfPct);
+  const size_t NProbe = State.range(0) != 0
+                            ? static_cast<size_t>(State.range(0))
+                            : Routed.router()->numCentroids();
+  const std::vector<KernelProfile> Queries = heldOutQueries(N);
+  const double Recall = meanRecall5(Routed, Queries, NProbe);
+  const KernelProfile &Query = Queries.front();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Routed.queryApprox(Query, 5, true, NProbe));
+  State.counters["recall5"] = benchmark::Counter(Recall);
+  State.counters["nprobe"] =
+      benchmark::Counter(static_cast<double>(NProbe));
+  State.counters["df_pct"] = benchmark::Counter(static_cast<double>(DfPct));
+}
+BENCHMARK(BM_InvertedRecallSweep)
+    ->ArgNames({"nprobe", "dfpct"})
+    ->Args({1, 100})
+    ->Args({2, 100})
+    ->Args({4, 100})
+    ->Args({8, 100})
+    ->Args({16, 100})
+    ->Args({0, 100})
+    ->Args({1, 50})
+    ->Args({2, 50})
+    ->Args({4, 50})
+    ->Args({8, 50})
+    ->Args({16, 50})
+    ->Args({0, 50})
+    ->Args({1, 10})
+    ->Args({2, 10})
+    ->Args({4, 10})
+    ->Args({8, 10})
+    ->Args({16, 10})
+    ->Args({0, 10});
 
 /// Building the index itself (N profiles + norms, parallel).
 void BM_IndexBuild(benchmark::State &State) {

@@ -17,6 +17,12 @@
 //   $ ./query_similar
 //   $ ./query_similar --cache /tmp/kast.kpc --k 5
 //   $ ./query_similar --no-bytes --cut 8
+//   $ ./query_similar --approx --nprobe 2
+//
+// With --approx the queries go through the candidate-generation tier
+// (cluster router + df-pruned inverted index, exact re-rank) instead
+// of the exhaustive scan, and every row reports its recall against
+// the exact answer; --nprobe bounds how many centroids are probed.
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +33,7 @@
 #include "workloads/CorpusIO.h"
 #include "workloads/DatasetBuilder.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -38,11 +45,19 @@ int main(int ArgC, char **ArgV) {
   uint64_t CutWeight = 2;
   size_t TopK = 3;
   bool IgnoreBytes = false;
+  bool Approx = false;
+  size_t NProbe = 0;
   std::string CachePath;
   for (int I = 1; I < ArgC; ++I) {
     std::string Arg = ArgV[I];
     if (Arg == "--no-bytes") {
       IgnoreBytes = true;
+    } else if (Arg == "--approx") {
+      Approx = true;
+    } else if (Arg == "--nprobe" && I + 1 < ArgC) {
+      if (std::optional<uint64_t> N = parseUnsigned(ArgV[++I]))
+        NProbe = static_cast<size_t>(*N);
+      Approx = true;
     } else if (Arg == "--cut" && I + 1 < ArgC) {
       if (std::optional<uint64_t> N = parseUnsigned(ArgV[++I]))
         CutWeight = *N;
@@ -53,7 +68,8 @@ int main(int ArgC, char **ArgV) {
       CachePath = ArgV[++I];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--cache FILE] [--k N] [--no-bytes] [--cut N]\n",
+                   "usage: %s [--cache FILE] [--k N] [--no-bytes] [--cut N] "
+                   "[--approx] [--nprobe N]\n",
                    ArgV[0]);
       return 2;
     }
@@ -129,17 +145,39 @@ int main(int ArgC, char **ArgV) {
               Store.values().size() * sizeof(double),
               Store.offsets().size() * sizeof(uint64_t));
 
+  // The approximate path needs the routing tier; modest pruning so the
+  // two paths can actually diverge on this small corpus.
+  if (Approx) {
+    RoutingOptions Routing;
+    Routing.MaxDocFrequency = 0.5;
+    Routing.RerankBudget = std::max<size_t>(4 * TopK, 16);
+    Routing.DefaultNProbe = NProbe;
+    Index.buildRouting(Routing);
+    const std::string ProbeDesc =
+        NProbe == 0
+            ? "all"
+            : std::to_string(std::min(NProbe, Index.router()->numCentroids()));
+    std::printf("routing: %zu centroids, probing %s per query\n",
+                Index.router()->numCentroids(), ProbeDesc.c_str());
+  }
+
   std::vector<KernelProfile> Queries;
   Queries.reserve(QueryStrings.size());
   for (const WeightedString &Q : QueryStrings)
     Queries.push_back(Kernel.profile(Q));
-  std::vector<std::vector<Neighbor>> Hits =
+  std::vector<std::vector<Neighbor>> Exact =
       Index.queryBatch(Queries, TopK);
+  std::vector<std::vector<Neighbor>> Hits =
+      Approx ? Index.queryBatchApprox(Queries, TopK, true, NProbe) : Exact;
 
   TextTable Table;
-  Table.setHeader({"query", "label", "nearest", "cosine", "predicted",
-                   "ok"});
+  std::vector<std::string> Header = {"query",  "label",     "nearest",
+                                     "cosine", "predicted", "ok"};
+  if (Approx)
+    Header.push_back("recall");
+  Table.setHeader(Header);
   size_t Correct = 0;
+  double RecallSum = 0.0;
   for (size_t Q = 0; Q < Queries.size(); ++Q) {
     std::string Nearest, Sim;
     if (!Hits[Q].empty()) {
@@ -149,12 +187,31 @@ int main(int ArgC, char **ArgV) {
     std::string Predicted = Index.majorityLabel(Hits[Q]);
     bool Ok = Predicted == QueryLabels[Q];
     Correct += Ok;
-    Table.addRow({QueryStrings[Q].name(), QueryLabels[Q], Nearest, Sim,
-                  Predicted, Ok ? "yes" : "NO"});
+    std::vector<std::string> Row = {QueryStrings[Q].name(), QueryLabels[Q],
+                                    Nearest, Sim, Predicted,
+                                    Ok ? "yes" : "NO"};
+    if (Approx) {
+      size_t Overlap = 0;
+      for (const Neighbor &A : Hits[Q])
+        for (const Neighbor &E : Exact[Q])
+          Overlap += A.Index == E.Index;
+      double Recall = Exact[Q].empty()
+                          ? 1.0
+                          : static_cast<double>(Overlap) /
+                                static_cast<double>(Exact[Q].size());
+      RecallSum += Recall;
+      Row.push_back(formatDouble(Recall, 2));
+    }
+    Table.addRow(Row);
   }
   std::printf("%s", Table.render().c_str());
   std::printf("\n%zu/%zu held-out traces matched their category via "
               "top-%zu majority vote\n",
               Correct, Queries.size(), TopK);
+  if (Approx && !Queries.empty())
+    std::printf("mean recall@%zu vs exact scan: %s\n", TopK,
+                formatDouble(RecallSum / static_cast<double>(Queries.size()),
+                             3)
+                    .c_str());
   return 0;
 }

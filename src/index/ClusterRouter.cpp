@@ -1,0 +1,364 @@
+//===- index/ClusterRouter.cpp - Coarse k-means query routing --------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "index/ClusterRouter.h"
+#include "core/KernelProfile.h"
+#include "util/Rng.h"
+#include "util/ThreadPool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <unordered_map>
+
+using namespace kast;
+
+//===----------------------------------------------------------------------===//
+// Fitting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr char RouterMagic[8] = {'K', 'A', 'S', 'T', 'R', 'O', 'U', 'T'};
+constexpr uint32_t RouterVersion = 1;
+
+/// argmax over centroids of dot(view, centroid); centroids are unit
+/// norm, so for a fixed profile the cosine argmax reduces to the raw
+/// dot argmax. Ties break toward the lower centroid id (the strict >
+/// keeps the incumbent).
+uint32_t nearestCentroid(const ProfileStore &Centroids,
+                         const ProfileView &V) {
+  uint32_t Best = 0;
+  double BestSim = dot(Centroids.view(0), V);
+  for (size_t C = 1; C < Centroids.size(); ++C) {
+    double Sim = dot(Centroids.view(C), V);
+    if (Sim > BestSim) {
+      BestSim = Sim;
+      Best = static_cast<uint32_t>(C);
+    }
+  }
+  return Best;
+}
+
+/// Rebuilds the centroid store from the current assignment over the
+/// training ids: each centroid is the sum of its members'
+/// unit-normalized vectors, re-normalized to unit length. A cluster
+/// that lost all its members keeps its previous centroid, so the
+/// centroid count never shrinks mid-fit and reseeding stays
+/// deterministic. Accumulation iterates members in ascending id order
+/// into a per-feature bucket, so the floating-point sums are
+/// reproducible.
+ProfileStore updateCentroids(const ProfileStore &Store,
+                             const std::vector<size_t> &TrainIds,
+                             const std::vector<uint32_t> &Assign,
+                             const ProfileStore &Previous,
+                             size_t NumCentroids) {
+  std::vector<std::unordered_map<uint64_t, double>> Sums(NumCentroids);
+  std::vector<size_t> Members(NumCentroids, 0);
+  for (size_t T = 0; T < TrainIds.size(); ++T) {
+    const ProfileView V = Store.view(TrainIds[T]);
+    if (V.Norm <= 0.0)
+      continue; // An empty profile pulls no centroid anywhere.
+    std::unordered_map<uint64_t, double> &Sum = Sums[Assign[T]];
+    ++Members[Assign[T]];
+    const double Scale = 1.0 / V.Norm;
+    for (size_t E = 0; E < V.Size; ++E)
+      Sum[V.Hashes[E]] += V.Values[E] * Scale;
+  }
+
+  std::vector<KernelProfile> Centroids(NumCentroids);
+  for (size_t C = 0; C < NumCentroids; ++C) {
+    if (Members[C] == 0) {
+      Centroids[C] = Previous.materialize(C);
+      continue;
+    }
+    KernelProfile P;
+    P.reserve(Sums[C].size());
+    std::vector<std::pair<uint64_t, double>> Entries(Sums[C].begin(),
+                                                     Sums[C].end());
+    std::sort(Entries.begin(), Entries.end());
+    double SelfDot = 0.0;
+    for (const auto &[Hash, Value] : Entries)
+      SelfDot += Value * Value;
+    const double Norm = std::sqrt(SelfDot);
+    for (const auto &[Hash, Value] : Entries)
+      P.add(Hash, Norm > 0.0 ? Value / Norm : Value);
+    Centroids[C] = std::move(P); // Already sorted and coalesced.
+  }
+  ProfileStore Result;
+  Result.appendAll(Centroids);
+  return Result;
+}
+
+} // namespace
+
+ClusterRouter ClusterRouter::build(const ProfileStore &Store,
+                                   ClusterRouterOptions Options,
+                                   size_t Threads) {
+  ClusterRouter Router;
+  const size_t N = Store.size();
+  if (N == 0)
+    return Router;
+
+  size_t C = Options.NumCentroids;
+  if (C == 0)
+    C = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(N))));
+  C = std::min(std::max<size_t>(1, std::min(C, N)), size_t(4096));
+
+  // Deterministic training set and seeds: one shuffle yields both the
+  // bounded sample (prefix) and the seed order (first C non-empty
+  // profiles of that prefix).
+  Rng R(Options.Seed);
+  std::vector<size_t> Shuffled(N);
+  for (size_t I = 0; I < N; ++I)
+    Shuffled[I] = I;
+  R.shuffle(Shuffled);
+  size_t TrainCount = Options.TrainingSample == 0
+                          ? N
+                          : std::min(N, Options.TrainingSample);
+  TrainCount = std::max(TrainCount, C);
+  std::vector<size_t> TrainIds(Shuffled.begin(),
+                               Shuffled.begin() + TrainCount);
+
+  std::vector<KernelProfile> Seeds;
+  for (size_t I = 0; I < TrainIds.size() && Seeds.size() < C; ++I)
+    if (Store.view(TrainIds[I]).Norm > 0.0)
+      Seeds.push_back(Store.materialize(TrainIds[I]));
+  if (Seeds.empty())
+    Seeds.push_back(KernelProfile()); // All-empty corpus: one centroid.
+  for (KernelProfile &Seed : Seeds) {
+    // Seeds are corpus profiles scaled to unit norm, matching the
+    // normalization updateCentroids maintains.
+    KernelProfile Unit;
+    double SelfDot = 0.0;
+    for (const ProfileEntry &E : Seed.entries())
+      SelfDot += E.Value * E.Value;
+    const double Norm = std::sqrt(SelfDot);
+    Unit.reserve(Seed.size());
+    for (const ProfileEntry &E : Seed.entries())
+      Unit.add(E.Hash, Norm > 0.0 ? E.Value / Norm : E.Value);
+    Seed = std::move(Unit);
+  }
+  C = Seeds.size();
+  ProfileStore Centroids;
+  Centroids.appendAll(Seeds);
+
+  // Lloyd iterations over the training set; the assignment step is a
+  // pure function per profile, so parallelFor cannot perturb it.
+  std::vector<uint32_t> TrainAssign(TrainIds.size(), 0);
+  for (size_t Iter = 0; Iter < Options.MaxIterations; ++Iter) {
+    std::vector<uint32_t> Next(TrainIds.size(), 0);
+    parallelFor(
+        TrainIds.size(),
+        [&](size_t T) {
+          Next[T] = nearestCentroid(Centroids, Store.view(TrainIds[T]));
+        },
+        Threads);
+    const bool Stable = Iter > 0 && Next == TrainAssign;
+    TrainAssign = std::move(Next);
+    if (Stable)
+      break;
+    Centroids =
+        updateCentroids(Store, TrainIds, TrainAssign, Centroids, C);
+  }
+
+  // Final assignment covers every profile, sampled or not.
+  Router.Assignments.assign(N, 0);
+  parallelFor(
+      N,
+      [&](size_t I) {
+        Router.Assignments[I] = nearestCentroid(Centroids, Store.view(I));
+      },
+      Threads);
+  Router.Centroids = std::move(Centroids);
+  return Router;
+}
+
+std::vector<uint32_t> ClusterRouter::route(const KernelProfile &Query,
+                                           size_t NProbe) const {
+  const size_t C = Centroids.size();
+  if (C == 0)
+    return {};
+  const size_t Take = NProbe == 0 ? C : std::min(NProbe, C);
+  std::vector<std::pair<double, uint32_t>> Scored;
+  Scored.reserve(C);
+  for (size_t I = 0; I < C; ++I)
+    Scored.push_back({dot(Centroids.view(I), Query),
+                      static_cast<uint32_t>(I)});
+  std::partial_sort(Scored.begin(), Scored.begin() + Take, Scored.end(),
+                    [](const auto &L, const auto &R) {
+                      if (L.first != R.first)
+                        return L.first > R.first;
+                      return L.second < R.second;
+                    });
+  std::vector<uint32_t> Probes;
+  Probes.reserve(Take);
+  for (size_t I = 0; I < Take; ++I)
+    Probes.push_back(Scored[I].second);
+  return Probes;
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeU32(std::ostream &Out, uint32_t V) {
+  char Bytes[4];
+  for (int I = 0; I < 4; ++I)
+    Bytes[I] = static_cast<char>((V >> (8 * I)) & 0xFF);
+  Out.write(Bytes, sizeof(Bytes));
+}
+
+void writeU64(std::ostream &Out, uint64_t V) {
+  char Bytes[8];
+  for (int I = 0; I < 8; ++I)
+    Bytes[I] = static_cast<char>((V >> (8 * I)) & 0xFF);
+  Out.write(Bytes, sizeof(Bytes));
+}
+
+std::optional<uint32_t> readU32(std::istream &In) {
+  unsigned char Bytes[4];
+  if (!In.read(reinterpret_cast<char *>(Bytes), sizeof(Bytes)))
+    return std::nullopt;
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(Bytes[I]) << (8 * I);
+  return V;
+}
+
+std::optional<uint64_t> readU64(std::istream &In) {
+  unsigned char Bytes[8];
+  if (!In.read(reinterpret_cast<char *>(Bytes), sizeof(Bytes)))
+    return std::nullopt;
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(Bytes[I]) << (8 * I);
+  return V;
+}
+
+/// Bounded pre-reserve against corrupt count fields: an honest larger
+/// count still loads (push_back growth), a hostile 2^60 surfaces as a
+/// truncation error instead of std::bad_alloc.
+constexpr uint64_t MaxReserve = 1u << 20;
+
+} // namespace
+
+Status ClusterRouter::write(std::ostream &Out) const {
+  Out.write(RouterMagic, sizeof(RouterMagic));
+  writeU32(Out, RouterVersion);
+  writeU64(Out, Centroids.size());
+  writeU64(Out, Assignments.size());
+  for (uint32_t A : Assignments)
+    writeU32(Out, A);
+  for (uint64_t Offset : Centroids.offsets())
+    writeU64(Out, Offset);
+  for (uint64_t Hash : Centroids.hashes())
+    writeU64(Out, Hash);
+  for (double Value : Centroids.values()) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &Value, sizeof(Bits));
+    writeU64(Out, Bits);
+  }
+  if (!Out)
+    return Status::error("failed to write cluster routing data");
+  return Status();
+}
+
+Expected<ClusterRouter> ClusterRouter::read(std::istream &In) {
+  using Result = Expected<ClusterRouter>;
+  char Magic[8];
+  if (!In.read(Magic, sizeof(Magic)) ||
+      std::memcmp(Magic, RouterMagic, sizeof(Magic)) != 0)
+    return Result::error("not a KAST routing file (bad magic)");
+  std::optional<uint32_t> Version = readU32(In);
+  if (!Version)
+    return Result::error("truncated routing header");
+  if (*Version != RouterVersion)
+    return Result::error("unsupported routing version " +
+                         std::to_string(*Version));
+  std::optional<uint64_t> NumCentroids = readU64(In);
+  std::optional<uint64_t> NumProfiles = readU64(In);
+  if (!NumCentroids || !NumProfiles)
+    return Result::error("truncated routing header");
+
+  ClusterRouter Router;
+  Router.Assignments.reserve(
+      static_cast<size_t>(std::min(*NumProfiles, MaxReserve)));
+  for (uint64_t I = 0; I < *NumProfiles; ++I) {
+    std::optional<uint32_t> A = readU32(In);
+    if (!A)
+      return Result::error("truncated routing assignments at entry " +
+                           std::to_string(I));
+    if (*A >= *NumCentroids)
+      return Result::error("routing assignment " + std::to_string(I) +
+                           " names centroid " + std::to_string(*A) +
+                           " of " + std::to_string(*NumCentroids));
+    Router.Assignments.push_back(*A);
+  }
+
+  std::vector<uint64_t> Offsets;
+  Offsets.reserve(
+      static_cast<size_t>(std::min(*NumCentroids + 1, MaxReserve)));
+  for (uint64_t I = 0; I <= *NumCentroids; ++I) {
+    std::optional<uint64_t> O = readU64(In);
+    if (!O)
+      return Result::error("truncated centroid offsets");
+    if ((I == 0 && *O != 0) || (I > 0 && *O < Offsets.back()))
+      return Result::error("malformed centroid offsets");
+    Offsets.push_back(*O);
+  }
+  if (*NumCentroids == 0) {
+    if (*NumProfiles != 0)
+      return Result::error("routing names profiles but no centroids");
+    return Result(std::move(Router));
+  }
+  const uint64_t Total = Offsets.back();
+  std::vector<uint64_t> Hashes;
+  std::vector<double> Values;
+  Hashes.reserve(static_cast<size_t>(std::min(Total, MaxReserve)));
+  Values.reserve(static_cast<size_t>(std::min(Total, MaxReserve)));
+  for (uint64_t I = 0; I < Total; ++I) {
+    std::optional<uint64_t> H = readU64(In);
+    if (!H)
+      return Result::error("truncated centroid hashes");
+    Hashes.push_back(*H);
+  }
+  for (uint64_t I = 0; I < Total; ++I) {
+    std::optional<uint64_t> Bits = readU64(In);
+    if (!Bits)
+      return Result::error("truncated centroid values");
+    double Value;
+    std::memcpy(&Value, &*Bits, sizeof(Value));
+    Values.push_back(Value);
+  }
+  ProfileStore Centroids =
+      ProfileStore::adopt(std::move(Hashes), std::move(Values),
+                          std::move(Offsets));
+  if (!Centroids.isFinalized())
+    return Result::error("centroid features are not sorted/coalesced");
+  Router.Centroids = std::move(Centroids);
+  return Result(std::move(Router));
+}
+
+Status ClusterRouter::saveFile(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return Status::error("cannot open '" + Path + "' for writing");
+  return write(Out);
+}
+
+Expected<ClusterRouter> ClusterRouter::loadFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Expected<ClusterRouter>::error("cannot open '" + Path +
+                                          "' for reading");
+  return read(In);
+}

@@ -8,7 +8,9 @@
 #include "util/ThreadPool.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <filesystem>
 #include <functional>
 #include <thread>
 
@@ -83,6 +85,123 @@ void scoreShard(const detail::IndexShard &Shard, const KernelProfile &Query,
                       return L.Pos < R.Pos;
                     });
   TopK.assign(Scratch.begin(), Scratch.begin() + Take);
+}
+
+/// scoreShard through the shard's candidate-generation tier. The
+/// routed first segment contributes only posting-list candidates
+/// (exact re-ranked, so a survivor's similarity is bit-identical to
+/// the exact scan's); every later segment — sealed after the fit, or
+/// the staging tail — is scanned exactly. When fewer than K hits
+/// score above zero, live unmarked entries of the routed segment pad
+/// the tail at similarity exactly +0.0 in position order, which is
+/// what the exact scan computes for a profile sharing no feature with
+/// the query — the bit-identity argument of ProfileIndex's
+/// approxQueryInto, with Pos as the tie-break. Shards without
+/// applicable routing (never routed, or compacted since) fall back to
+/// scoreShard.
+void scoreShardApprox(const detail::IndexShard &Shard,
+                      const KernelProfile &Query, size_t K, bool Normalize,
+                      double QNorm, size_t NProbe, InvertedScratch &IS,
+                      std::vector<ShardHit> &Scratch,
+                      std::vector<ShardHit> &TopK) {
+  const bool Routed = Shard.Routing && !Shard.Segments.empty() &&
+                      Shard.Segments[0] == Shard.RoutedSegment;
+  if (!Routed) {
+    scoreShard(Shard, Query, K, Normalize, QNorm, Scratch, TopK);
+    return;
+  }
+  TopK.clear();
+  if (K == 0 || Shard.LiveCount == 0)
+    return;
+  const detail::IndexRouting &R = *Shard.Routing;
+  const detail::IndexSegment &Seg0 = *Shard.Segments[0];
+  const std::vector<uint8_t> *Tombs0 = Shard.Tombstones[0].get();
+  const size_t Covered = R.covered();
+  assert(Covered == Seg0.size() && "routing must cover the first segment");
+
+  const size_t Probe = NProbe != 0 ? NProbe : R.Options.DefaultNProbe;
+  const std::vector<uint32_t> Probes = R.Router.route(Query, Probe);
+  IS.begin(Covered);
+  R.Inverted.collectCandidates(Query, Probes, IS);
+  const size_t Budget = R.Options.RerankBudget;
+  if (Budget > 0 && IS.Candidates.size() > Budget) {
+    std::partial_sort(IS.Candidates.begin(), IS.Candidates.begin() + Budget,
+                      IS.Candidates.end(), [&](uint32_t L, uint32_t R2) {
+                        if (IS.Acc[L] != IS.Acc[R2])
+                          return IS.Acc[L] > IS.Acc[R2];
+                        return L < R2;
+                      });
+    IS.Candidates.resize(Budget);
+  }
+
+  const auto Score = [&](const ProfileView &V) {
+    double Sim = dot(V, Query);
+    if (Normalize) {
+      double Denominator = QNorm * V.Norm;
+      Sim = Denominator > 0.0 ? Sim / Denominator : 0.0;
+    }
+    return Sim;
+  };
+  Scratch.clear();
+  for (uint32_t Id : IS.Candidates) {
+    if (Tombs0 && (*Tombs0)[Id])
+      continue;
+    Scratch.push_back({Score(Seg0.Store.view(Id)), Id, 0, Id});
+  }
+  size_t Pos = Seg0.size();
+  for (size_t S = 1; S < Shard.Segments.size(); ++S) {
+    const detail::IndexSegment &Seg = *Shard.Segments[S];
+    const std::vector<uint8_t> *Tombs = Shard.Tombstones[S].get();
+    for (size_t I = 0; I < Seg.size(); ++I, ++Pos) {
+      if (Tombs && (*Tombs)[I])
+        continue;
+      Scratch.push_back({Score(Seg.Store.view(I)), Pos, S, I});
+    }
+  }
+  const size_t Take = std::min(K, Scratch.size());
+  std::partial_sort(Scratch.begin(), Scratch.begin() + Take, Scratch.end(),
+                    [](const ShardHit &L, const ShardHit &R2) {
+                      if (L.Sim != R2.Sim)
+                        return L.Sim > R2.Sim;
+                      return L.Pos < R2.Pos;
+                    });
+  if (Take == K && Scratch[K - 1].Sim > 0.0) {
+    TopK.assign(Scratch.begin(), Scratch.begin() + Take);
+    return;
+  }
+
+  // Merge the ranked survivors with the zero stream: live, unmarked
+  // entries of the routed segment, ascending position, exactly +0.0.
+  size_t Zero = 0;
+  const auto AdvanceZero = [&] {
+    while (Zero < Covered &&
+           (IS.marked(Zero) || (Tombs0 && (*Tombs0)[Zero])))
+      ++Zero;
+  };
+  AdvanceZero();
+  size_t Next = 0;
+  while (TopK.size() < K) {
+    const bool HaveScored = Next < Take;
+    const bool HaveZero = Zero < Covered;
+    if (!HaveScored && !HaveZero)
+      break;
+    bool TakeScored;
+    if (!HaveZero) {
+      TakeScored = true;
+    } else if (!HaveScored) {
+      TakeScored = false;
+    } else {
+      const ShardHit &H = Scratch[Next];
+      TakeScored = H.Sim > 0.0 || (H.Sim == 0.0 && H.Pos < Zero);
+    }
+    if (TakeScored) {
+      TopK.push_back(Scratch[Next++]);
+    } else {
+      TopK.push_back({0.0, Zero, 0, Zero});
+      ++Zero;
+      AdvanceZero();
+    }
+  }
 }
 
 /// K-way merge of per-shard top-k lists into the global top-K. Lists
@@ -177,6 +296,35 @@ IndexSnapshot::queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
   return Results;
 }
 
+std::vector<ServiceHit> IndexSnapshot::queryApprox(const KernelProfile &Query,
+                                                   size_t K, bool Normalize,
+                                                   size_t NProbe,
+                                                   size_t Threads) const {
+  if (K == 0 || Shards.empty())
+    return {};
+  const double QNorm = Normalize ? Query.norm() : 1.0;
+  std::vector<std::vector<ShardHit>> PerShard(Shards.size());
+  parallelFor(
+      Shards.size(),
+      [&](size_t S) {
+        InvertedScratch IS;
+        std::vector<ShardHit> Scratch;
+        scoreShardApprox(*Shards[S], Query, K, Normalize, QNorm, NProbe, IS,
+                         Scratch, PerShard[S]);
+      },
+      Threads);
+  return mergeTopK(Shards, PerShard, K);
+}
+
+size_t IndexSnapshot::routedShardCount() const {
+  size_t Count = 0;
+  for (const std::shared_ptr<const detail::IndexShard> &S : Shards)
+    if (S->Routing && !S->Segments.empty() &&
+        S->Segments[0] == S->RoutedSegment)
+      ++Count;
+  return Count;
+}
+
 std::string IndexSnapshot::majorityLabel(const std::vector<ServiceHit> &Hits) {
   return detail::majorityVote(
       Hits.size(), [&](size_t I) -> const std::string & { return Hits[I].Label; });
@@ -235,6 +383,10 @@ void IndexService::publishLocked(ShardState &Shard, size_t SealThreshold) {
   }
   Published->EntryCount = W.EntryCount;
   Published->LiveCount = W.LiveCount;
+  // Routing rides copy-on-write: publishes share the fitted
+  // structures; readers decide applicability by segment identity.
+  Published->Routing = W.Routing;
+  Published->RoutedSegment = W.RoutedSegment;
   Shard.Published.store(
       std::shared_ptr<const detail::IndexShard>(std::move(Published)));
 }
@@ -321,45 +473,143 @@ size_t IndexService::remove(const std::string &Name) {
   return Removed;
 }
 
+void IndexService::compactShardLocked(ShardWriter &W) {
+  const auto forEachLive = [&](auto Fn) {
+    forEachLiveEntry(W.Sealed, W.SealedTombs, Fn);
+    for (size_t I = 0; I < W.Staging.size(); ++I)
+      if (!W.StagingTombs[I])
+        Fn(W.Staging, I);
+  };
+  size_t LiveEntries = 0;
+  forEachLive([&](const detail::IndexSegment &Seg, size_t I) {
+    LiveEntries += Seg.Store.view(I).Size;
+  });
+  detail::IndexSegment Merged;
+  Merged.Store.reserve(W.LiveCount, LiveEntries);
+  Merged.Names.reserve(W.LiveCount);
+  Merged.Labels.reserve(W.LiveCount);
+  forEachLive([&](const detail::IndexSegment &Seg, size_t I) {
+    Merged.Store.appendFrom(Seg.Store, I);
+    Merged.Names.push_back(Seg.Names[I]);
+    Merged.Labels.push_back(Seg.Labels[I]);
+  });
+  W.Sealed.clear();
+  W.SealedTombs.clear();
+  W.EntryCount = W.LiveCount = Merged.size();
+  if (Merged.size() > 0) {
+    W.Sealed.push_back(
+        std::make_shared<const detail::IndexSegment>(std::move(Merged)));
+    W.SealedTombs.push_back(nullptr);
+  }
+  W.Staging = {};
+  W.StagingTombs.clear();
+  // The fit covered the pre-compaction arena; drop it rather than
+  // serve a router whose ids no longer mean anything.
+  W.Routing.reset();
+  W.RoutedSegment.reset();
+}
+
 void IndexService::compact(size_t Threads) {
   parallelFor(
       Shards.size(),
       [&](size_t ShardIdx) {
         ShardState &Shard = *Shards[ShardIdx];
         std::lock_guard<std::mutex> Lock(Shard.WriterMutex);
-        ShardWriter &W = Shard.Writer;
-        const auto forEachLive = [&](auto Fn) {
-          forEachLiveEntry(W.Sealed, W.SealedTombs, Fn);
-          for (size_t I = 0; I < W.Staging.size(); ++I)
-            if (!W.StagingTombs[I])
-              Fn(W.Staging, I);
-        };
-        size_t LiveEntries = 0;
-        forEachLive([&](const detail::IndexSegment &Seg, size_t I) {
-          LiveEntries += Seg.Store.view(I).Size;
-        });
-        detail::IndexSegment Merged;
-        Merged.Store.reserve(W.LiveCount, LiveEntries);
-        Merged.Names.reserve(W.LiveCount);
-        Merged.Labels.reserve(W.LiveCount);
-        forEachLive([&](const detail::IndexSegment &Seg, size_t I) {
-          Merged.Store.appendFrom(Seg.Store, I);
-          Merged.Names.push_back(Seg.Names[I]);
-          Merged.Labels.push_back(Seg.Labels[I]);
-        });
-        W.Sealed.clear();
-        W.SealedTombs.clear();
-        W.EntryCount = W.LiveCount = Merged.size();
-        if (Merged.size() > 0) {
-          W.Sealed.push_back(
-              std::make_shared<const detail::IndexSegment>(std::move(Merged)));
-          W.SealedTombs.push_back(nullptr);
-        }
-        W.Staging = {};
-        W.StagingTombs.clear();
+        compactShardLocked(Shard.Writer);
         publishLocked(Shard, Options.SealThreshold);
       },
       Threads);
+}
+
+void IndexService::rebuildRouting(const RoutingOptions &RoutingOpts,
+                                  size_t Threads) {
+  // Shards are processed sequentially so the k-means fit inside each
+  // can use the thread budget without nesting parallel loops.
+  for (const std::unique_ptr<ShardState> &ShardPtr : Shards) {
+    ShardState &Shard = *ShardPtr;
+    std::lock_guard<std::mutex> Lock(Shard.WriterMutex);
+    ShardWriter &W = Shard.Writer;
+    compactShardLocked(W);
+    if (!W.Sealed.empty()) {
+      auto R = std::make_shared<detail::IndexRouting>();
+      R->Options = RoutingOpts;
+      const ProfileStore &Store = W.Sealed[0]->Store;
+      R->Router = ClusterRouter::build(Store, RoutingOpts.Cluster, Threads);
+      R->Inverted =
+          InvertedIndex::build(Store, R->Router.assignments(),
+                               R->Router.numCentroids(),
+                               RoutingOpts.MaxDocFrequency);
+      W.Routing = std::move(R);
+      W.RoutedSegment = W.Sealed[0];
+    }
+    publishLocked(Shard, Options.SealThreshold);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Service: routing persistence
+//===----------------------------------------------------------------------===//
+
+/// "<Dir>/shard-NNN.route", numbered like workloads/CorpusIO's
+/// "shard-NNN.kpc" so a routed shard's sidecar sits beside its cache.
+static std::string shardRoutePath(const std::string &Dir, size_t Shard) {
+  std::string Number = std::to_string(Shard);
+  while (Number.size() < 3)
+    Number.insert(Number.begin(), '0');
+  return Dir + "/shard-" + Number + ".route";
+}
+
+Status IndexService::saveShardRouting(const std::string &Dir) const {
+  IndexSnapshot Snap = snapshot();
+  for (size_t S = 0; S < Snap.Shards.size(); ++S) {
+    const detail::IndexShard &Shard = *Snap.Shards[S];
+    const std::string Path = shardRoutePath(Dir, S);
+    const bool Routed = Shard.Routing && !Shard.Segments.empty() &&
+                        Shard.Segments[0] == Shard.RoutedSegment;
+    if (Routed) {
+      if (Status W = writeRoutingFile(Shard.Routing->Router,
+                                      Shard.Routing->Options, Path);
+          !W.ok())
+        return W;
+      continue;
+    }
+    // Unrouted shard: sweep a stale sidecar so a later restore cannot
+    // pair it with contents it was not fitted on.
+    std::error_code Ec;
+    std::filesystem::remove(Path, Ec);
+  }
+  return Status();
+}
+
+Status IndexService::loadShardRouting(const std::string &Dir) {
+  for (size_t S = 0; S < Shards.size(); ++S) {
+    const std::string Path = shardRoutePath(Dir, S);
+    std::error_code Ec;
+    if (!std::filesystem::exists(Path, Ec))
+      continue;
+    Expected<RoutingCache> Route = readRoutingFile(Path);
+    if (!Route)
+      return Status::error(Route.message());
+    RoutingCache Loaded = Route.take();
+    ShardState &Shard = *Shards[S];
+    std::lock_guard<std::mutex> Lock(Shard.WriterMutex);
+    ShardWriter &W = Shard.Writer;
+    if (W.Sealed.empty() || Loaded.Router.numProfiles() != W.Sealed[0]->size())
+      return Status::error("routing sidecar '" + Path +
+                           "' does not match shard " + std::to_string(S) +
+                           "'s first segment");
+    auto R = std::make_shared<detail::IndexRouting>();
+    R->Options = Loaded.Options;
+    R->Router = std::move(Loaded.Router);
+    R->Inverted = InvertedIndex::build(W.Sealed[0]->Store,
+                                       R->Router.assignments(),
+                                       R->Router.numCentroids(),
+                                       R->Options.MaxDocFrequency);
+    W.Routing = std::move(R);
+    W.RoutedSegment = W.Sealed[0];
+    publishLocked(Shard, Options.SealThreshold);
+  }
+  return Status();
 }
 
 //===----------------------------------------------------------------------===//

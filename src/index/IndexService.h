@@ -77,6 +77,18 @@ struct IndexShard {
   std::vector<std::shared_ptr<const std::vector<uint8_t>>> Tombstones;
   size_t EntryCount = 0; ///< Entries across segments, tombstoned or not.
   size_t LiveCount = 0;  ///< Entries not tombstoned.
+
+  /// The two-tier retrieval structures fitted over RoutedSegment
+  /// (always the shard's first segment when valid), carried
+  /// copy-on-write: publishes share the pointers, so a snapshot keeps
+  /// the routing it was taken with. Null when the shard was never
+  /// routed. Routing applies iff RoutedSegment == Segments[0] — after
+  /// a compact() rebuilt the arena the identity no longer holds and
+  /// approximate queries fall back to the exact scan for this shard.
+  /// Segments after the routed one are the unrouted tail, always
+  /// scanned exactly.
+  std::shared_ptr<const IndexRouting> Routing;
+  std::shared_ptr<const IndexSegment> RoutedSegment;
 };
 
 } // namespace detail
@@ -137,6 +149,23 @@ public:
   std::vector<std::vector<ServiceHit>>
   queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
              bool Normalize = true, size_t Threads = 0) const;
+
+  /// query() through each routed shard's candidate-generation tier
+  /// (see IndexService::rebuildRouting): the routed segment is probed
+  /// via posting lists over the \p NProbe nearest centroids (0 defers
+  /// to the shard's RoutingOptions::DefaultNProbe, itself 0 = all),
+  /// candidates are exact re-ranked, and unrouted segments — later
+  /// seals, the staging tail, and every segment of never-routed or
+  /// post-compaction shards — are scanned exactly. Run exhaustively
+  /// (all centroids, no df-pruning, no re-rank budget) the result is
+  /// bit-identical to query(), tie-break order included.
+  std::vector<ServiceHit> queryApprox(const KernelProfile &Query, size_t K,
+                                      bool Normalize = true,
+                                      size_t NProbe = 0,
+                                      size_t Threads = 0) const;
+
+  /// Shards whose published routing still covers their first segment.
+  size_t routedShardCount() const;
 
   /// Majority label among \p Hits; ties break toward the nearer hit's
   /// label (same contract as ProfileIndex::majorityLabel). Empty for
@@ -209,8 +238,35 @@ public:
   /// fresh segment per shard, tombstones and staging are dropped, and
   /// the result is published. Old snapshots keep the pre-compaction
   /// segments alive and keep answering identically. Shards compact in
-  /// parallel (\p Threads as in parallelFor).
+  /// parallel (\p Threads as in parallelFor). Routing is dropped (it
+  /// was fitted on the replaced arenas); rebuildRouting() re-fits it.
   void compact(size_t Threads = 0);
+
+  /// Compacts each shard and fits the two-tier retrieval structures
+  /// (index/ClusterRouter + index/InvertedIndex) over its fresh
+  /// arena, then publishes. Entries added afterwards land in the
+  /// unrouted tail and are scanned exactly until the next rebuild;
+  /// remove() keeps working through tombstones without disturbing the
+  /// routing. Outstanding snapshots are untouched (copy-on-write).
+  void rebuildRouting(const RoutingOptions &RoutingOpts = {},
+                      size_t Threads = 0);
+
+  /// True if any published shard currently carries applicable routing.
+  bool routed() const { return snapshot().routedShardCount() > 0; }
+
+  /// Persists each routed shard's router as "<Dir>/shard-NNN.route"
+  /// beside the v2 caches toShardCaches/CorpusIO write there, and
+  /// removes stale .route files of unrouted shards. Load order at
+  /// restart: fromShardCaches(loadShardedProfileCaches(Dir)), then
+  /// loadShardRouting(Dir).
+  Status saveShardRouting(const std::string &Dir) const;
+
+  /// Restores per-shard routing written by saveShardRouting: posting
+  /// lists are rebuilt deterministically from the persisted
+  /// assignments. Shards without a .route file stay unrouted; a
+  /// sidecar that does not match the shard's published first segment
+  /// (wrong entry count) fails loudly.
+  Status loadShardRouting(const std::string &Dir);
 
   /// The current published state; never blocks on writers.
   IndexSnapshot snapshot() const;
@@ -229,6 +285,14 @@ public:
     return snapshot().queryBatch(Queries, K, Normalize, Threads);
   }
 
+  /// snapshot().queryApprox(...) — the candidate-generation tier.
+  std::vector<ServiceHit> queryApprox(const KernelProfile &Query, size_t K,
+                                      bool Normalize = true,
+                                      size_t NProbe = 0,
+                                      size_t Threads = 0) const {
+    return snapshot().queryApprox(Query, K, Normalize, NProbe, Threads);
+  }
+
   /// Exports the published state as one compacted ProfileStoreCache
   /// per shard (tombstoned entries dropped), ready for
   /// workloads/CorpusIO's writeShardedProfileCaches.
@@ -245,6 +309,10 @@ private:
     std::vector<uint8_t> StagingTombs;
     size_t LiveCount = 0;
     size_t EntryCount = 0;
+    /// Routing fitted over RoutedSegment (must be Sealed[0] to apply);
+    /// copied into every publish. See detail::IndexShard.
+    std::shared_ptr<const detail::IndexRouting> Routing;
+    std::shared_ptr<const detail::IndexSegment> RoutedSegment;
   };
 
   /// One shard: atomically published snapshot + mutex-guarded writer
@@ -260,6 +328,10 @@ private:
   /// publishes a new IndexShard from the writer state. Caller holds
   /// the shard's WriterMutex.
   static void publishLocked(ShardState &Shard, size_t SealThreshold);
+  /// Merges a shard's live entries into one fresh sealed segment and
+  /// drops tombstones, staging, and (stale by construction) routing.
+  /// Caller holds the shard's WriterMutex and publishes afterwards.
+  static void compactShardLocked(ShardWriter &W);
   /// Tombstones live entries named \p Name in one shard; returns the
   /// count. Caller holds nothing; takes the writer mutex itself.
   static size_t removeFromShard(ShardState &Shard, const std::string &Name,

@@ -1,0 +1,250 @@
+//===- index/InvertedIndex.cpp - Posting-list candidate generation --------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "index/InvertedIndex.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+namespace kast {
+
+namespace {
+
+struct Posting {
+  uint64_t Hash;
+  double Value;
+  uint32_t Id;
+};
+
+} // namespace
+
+InvertedIndex InvertedIndex::build(const ProfileStore &Store,
+                                   const std::vector<uint32_t> &Assignments,
+                                   size_t NumClusters, double MaxDocFrequency) {
+  assert(Assignments.size() <= Store.size() &&
+         "assignments must cover a prefix of the store");
+  InvertedIndex Index;
+  const size_t N = Assignments.size();
+  Index.NumProfiles = N;
+  Index.ClusterBegin.assign(NumClusters + 1, 0);
+  Index.PostingBegin.assign(1, 0);
+  if (N == 0 || NumClusters == 0)
+    return Index;
+
+  // Document frequency per feature. Profiles are finalized (hashes
+  // strictly ascending within a profile), so every occurrence is a
+  // distinct document.
+  std::unordered_map<uint64_t, uint32_t> Df;
+  Df.reserve(std::min(Store.entryCount(), size_t(1) << 22));
+  for (size_t I = 0; I < N; ++I) {
+    const ProfileView V = Store.view(I);
+    for (size_t E = 0; E < V.Size; ++E)
+      ++Df[V.Hashes[E]];
+  }
+  // A feature survives iff its df stays within the threshold; a df of
+  // 1 always survives (a feature unique to one profile is the most
+  // selective evidence there is).
+  const size_t DfLimit =
+      MaxDocFrequency >= 1.0
+          ? N
+          : std::max<size_t>(
+                1, static_cast<size_t>(std::floor(MaxDocFrequency *
+                                                  static_cast<double>(N))));
+  for (const auto &[Hash, Count] : Df)
+    if (Count > DfLimit)
+      ++Index.PrunedFeatures;
+
+  // Group member profiles by cluster, preserving id order.
+  std::vector<std::vector<uint32_t>> Members(NumClusters);
+  for (size_t I = 0; I < N; ++I) {
+    assert(Assignments[I] < NumClusters && "assignment out of range");
+    Members[Assignments[I]].push_back(static_cast<uint32_t>(I));
+  }
+
+  std::vector<Posting> Postings;
+  for (size_t C = 0; C < NumClusters; ++C) {
+    Postings.clear();
+    for (uint32_t Id : Members[C]) {
+      const ProfileView V = Store.view(Id);
+      for (size_t E = 0; E < V.Size; ++E)
+        if (Df[V.Hashes[E]] <= DfLimit)
+          Postings.push_back({V.Hashes[E], V.Values[E], Id});
+    }
+    // Feature-major; within a feature impact-ordered (value
+    // descending, then lower id) so heavy contributors come first.
+    std::sort(Postings.begin(), Postings.end(),
+              [](const Posting &L, const Posting &R) {
+                if (L.Hash != R.Hash)
+                  return L.Hash < R.Hash;
+                if (L.Value != R.Value)
+                  return L.Value > R.Value;
+                return L.Id < R.Id;
+              });
+    for (size_t P = 0; P < Postings.size(); ++P) {
+      if (P == 0 || Postings[P].Hash != Postings[P - 1].Hash) {
+        Index.FeatureHashes.push_back(Postings[P].Hash);
+        Index.PostingBegin.push_back(Index.PostingIds.size());
+      }
+      Index.PostingIds.push_back(Postings[P].Id);
+      Index.PostingValues.push_back(Postings[P].Value);
+      Index.PostingBegin.back() = Index.PostingIds.size();
+    }
+    Index.ClusterBegin[C + 1] = Index.FeatureHashes.size();
+  }
+  return Index;
+}
+
+void InvertedIndex::collectCandidates(const KernelProfile &Query,
+                                      const std::vector<uint32_t> &Probes,
+                                      InvertedScratch &S) const {
+  assert(S.Epoch.size() == NumProfiles && "call S.begin(numProfiles()) first");
+  const auto &Entries = Query.entries();
+  if (Entries.empty())
+    return;
+  for (uint32_t C : Probes) {
+    if (C + 1 >= ClusterBegin.size())
+      continue;
+    size_t F = ClusterBegin[C];
+    const size_t FEnd = ClusterBegin[C + 1];
+    size_t Q = 0;
+    // Merge-join the query's (sorted) feature hashes against this
+    // cluster's (sorted) surviving features.
+    while (Q < Entries.size() && F < FEnd) {
+      const uint64_t QHash = Entries[Q].Hash;
+      const uint64_t FHash = FeatureHashes[F];
+      if (QHash < FHash) {
+        ++Q;
+      } else if (FHash < QHash) {
+        ++F;
+      } else {
+        const double QValue = Entries[Q].Value;
+        for (size_t P = PostingBegin[F]; P < PostingBegin[F + 1]; ++P) {
+          const uint32_t Id = PostingIds[P];
+          if (!S.marked(Id)) {
+            S.Epoch[Id] = S.Current;
+            S.Acc[Id] = 0.0;
+            S.Candidates.push_back(Id);
+          }
+          S.Acc[Id] += QValue * PostingValues[P];
+        }
+        ++Q;
+        ++F;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Routing cache persistence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr char RoutingMagic[8] = {'K', 'A', 'S', 'T', 'R', 'T', 'N', 'G'};
+constexpr uint32_t RoutingVersion = 1;
+
+void writeU32(std::ostream &Out, uint32_t V) {
+  unsigned char Buf[4];
+  for (int I = 0; I < 4; ++I)
+    Buf[I] = static_cast<unsigned char>((V >> (8 * I)) & 0xFF);
+  Out.write(reinterpret_cast<const char *>(Buf), sizeof(Buf));
+}
+
+void writeU64(std::ostream &Out, uint64_t V) {
+  unsigned char Buf[8];
+  for (int I = 0; I < 8; ++I)
+    Buf[I] = static_cast<unsigned char>((V >> (8 * I)) & 0xFF);
+  Out.write(reinterpret_cast<const char *>(Buf), sizeof(Buf));
+}
+
+bool readU32(std::istream &In, uint32_t &V) {
+  unsigned char Buf[4];
+  if (!In.read(reinterpret_cast<char *>(Buf), sizeof(Buf)))
+    return false;
+  V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(Buf[I]) << (8 * I);
+  return true;
+}
+
+bool readU64(std::istream &In, uint64_t &V) {
+  unsigned char Buf[8];
+  if (!In.read(reinterpret_cast<char *>(Buf), sizeof(Buf)))
+    return false;
+  V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(Buf[I]) << (8 * I);
+  return true;
+}
+
+} // namespace
+
+Status writeRoutingFile(const ClusterRouter &Router,
+                        const RoutingOptions &Options,
+                        const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return Status::error("cannot open routing file for writing: " + Path);
+  Out.write(RoutingMagic, sizeof(RoutingMagic));
+  writeU32(Out, RoutingVersion);
+  writeU64(Out, std::bit_cast<uint64_t>(Options.MaxDocFrequency));
+  writeU64(Out, Options.RerankBudget);
+  writeU64(Out, Options.DefaultNProbe);
+  writeU64(Out, Options.Cluster.NumCentroids);
+  writeU64(Out, Options.Cluster.MaxIterations);
+  writeU64(Out, Options.Cluster.TrainingSample);
+  writeU64(Out, Options.Cluster.Seed);
+  if (Status S = Router.write(Out); !S.ok())
+    return S;
+  Out.flush();
+  if (!Out)
+    return Status::error("failed writing routing file: " + Path);
+  return Status();
+}
+
+Expected<RoutingCache> readRoutingFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Expected<RoutingCache>::error("cannot open routing file: " + Path);
+  char Magic[8];
+  if (!In.read(Magic, sizeof(Magic)) ||
+      std::memcmp(Magic, RoutingMagic, sizeof(Magic)) != 0)
+    return Expected<RoutingCache>::error("not a routing file: " + Path);
+  uint32_t Version = 0;
+  if (!readU32(In, Version) || Version != RoutingVersion)
+    return Expected<RoutingCache>::error("unsupported routing version in " +
+                                         Path);
+  RoutingCache Cache;
+  uint64_t MaxDfBits = 0, RerankBudget = 0, DefaultNProbe = 0;
+  uint64_t NumCentroids = 0, MaxIterations = 0, TrainingSample = 0, Seed = 0;
+  if (!readU64(In, MaxDfBits) || !readU64(In, RerankBudget) ||
+      !readU64(In, DefaultNProbe) || !readU64(In, NumCentroids) ||
+      !readU64(In, MaxIterations) || !readU64(In, TrainingSample) ||
+      !readU64(In, Seed))
+    return Expected<RoutingCache>::error("truncated routing file: " + Path);
+  Cache.Options.MaxDocFrequency = std::bit_cast<double>(MaxDfBits);
+  if (!(Cache.Options.MaxDocFrequency >= 0.0) ||
+      Cache.Options.MaxDocFrequency > 1.0)
+    return Expected<RoutingCache>::error("corrupt df threshold in " + Path);
+  Cache.Options.RerankBudget = RerankBudget;
+  Cache.Options.DefaultNProbe = DefaultNProbe;
+  Cache.Options.Cluster.NumCentroids = NumCentroids;
+  Cache.Options.Cluster.MaxIterations = MaxIterations;
+  Cache.Options.Cluster.TrainingSample = TrainingSample;
+  Cache.Options.Cluster.Seed = Seed;
+  Expected<ClusterRouter> Router = ClusterRouter::read(In);
+  if (!Router.hasValue())
+    return Expected<RoutingCache>::error(Router.message());
+  Cache.Router = Router.take();
+  return Cache;
+}
+
+} // namespace kast

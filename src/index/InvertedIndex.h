@@ -1,0 +1,172 @@
+//===- index/InvertedIndex.h - Posting-list candidate generation -*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fine tier of sublinear retrieval: per-cluster posting lists
+/// keyed by feature hash over a ProfileStore. Profiles are sparse
+/// hashed-feature vectors, so a query need only touch profiles that
+/// share at least one (surviving) feature with it — the classic
+/// inverted-file answer to the O(N) scan.
+///
+///   - Postings are grouped by the owning profile's cluster
+///     (index/ClusterRouter assignment), so a routed query probes only
+///     the nearest nprobe centroids' segments.
+///   - Features whose document frequency exceeds a threshold fraction
+///     of the corpus are not indexed at all (df-pruning): a feature
+///     shared by most profiles distinguishes nothing and its posting
+///     list costs almost a full scan.
+///   - Within one feature's posting run, postings are impact-ordered
+///     (value descending), so heavy contributors accumulate first and
+///     any posting budget keeps the candidates that matter.
+///
+/// Candidate generation only *finds and pre-scores* survivors; final
+/// scores always come from the exact merge-join dot over the full
+/// profiles (the re-rank step in ProfileIndex / IndexService), so the
+/// approximate tier can be bit-identical to the exact scan when run
+/// exhaustively (all centroids probed, no df-pruning, no re-rank
+/// budget) — the contract the differential tests pin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_INDEX_INVERTEDINDEX_H
+#define KAST_INDEX_INVERTEDINDEX_H
+
+#include "core/KernelProfile.h"
+#include "core/ProfileStore.h"
+#include "index/ClusterRouter.h"
+#include "util/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// Knobs of the approximate retrieval tier: how the router is fitted,
+/// how aggressively postings are pruned, and how queries probe.
+struct RoutingOptions {
+  /// k-means shape for the coarse router.
+  ClusterRouterOptions Cluster;
+  /// Features present in more than this fraction of the covered
+  /// profiles are not indexed (their posting lists are dropped). 1.0
+  /// disables pruning; candidates then cover every profile sharing
+  /// any feature with the query.
+  double MaxDocFrequency = 1.0;
+  /// Cap on candidates surviving to the exact re-rank, selected by
+  /// accumulated partial score (impact-ordered posting accumulation).
+  /// 0 re-ranks every candidate — required for bit-identity with the
+  /// exact scan.
+  size_t RerankBudget = 0;
+  /// Centroids probed when the query does not say: 0 probes all.
+  size_t DefaultNProbe = 0;
+};
+
+/// Reusable per-thread query scratch: an epoch-versioned candidate
+/// mark plus the partial-score accumulator. Versioning (instead of a
+/// clear per query) makes reuse across a batch O(candidates), and —
+/// the determinism contract — leaves no state behind that could leak
+/// into the next query on the same worker: an id is a candidate iff
+/// its epoch equals the current one, and Acc[id] is written before it
+/// is ever read within one epoch.
+struct InvertedScratch {
+  /// Starts a new query over \p N profiles.
+  void begin(size_t N) {
+    if (Epoch.size() != N) {
+      Epoch.assign(N, 0);
+      Acc.assign(N, 0.0);
+      Current = 0;
+    }
+    ++Current;
+    if (Current == 0) { // Epoch wrap: invalidate everything once.
+      std::fill(Epoch.begin(), Epoch.end(), 0u);
+      Current = 1;
+    }
+    Candidates.clear();
+  }
+
+  bool marked(size_t Id) const { return Epoch[Id] == Current; }
+
+  std::vector<uint32_t> Epoch;
+  uint32_t Current = 0;
+  /// Candidate ids in first-touch order; valid for the current epoch.
+  std::vector<uint32_t> Candidates;
+  /// Accumulated partial score per candidate id (query value × posting
+  /// value over matched, surviving features).
+  std::vector<double> Acc;
+};
+
+/// Cluster-segmented, df-pruned, impact-ordered posting lists over one
+/// ProfileStore.
+class InvertedIndex {
+public:
+  InvertedIndex() = default;
+
+  /// Builds posting lists over the prefix of \p Store covered by
+  /// \p Assignments (one cluster id per profile, values <
+  /// \p NumClusters; the assignment array may be shorter than the
+  /// store when routing predates appended entries). Features with
+  /// document frequency above MaxDocFrequency × covered are pruned;
+  /// pruning never drops a feature held by a single profile. The
+  /// build is a pure function of its arguments, so an index rebuilt
+  /// from persisted assignments reproduces the original exactly.
+  static InvertedIndex build(const ProfileStore &Store,
+                             const std::vector<uint32_t> &Assignments,
+                             size_t NumClusters,
+                             double MaxDocFrequency = 1.0);
+
+  size_t numProfiles() const { return NumProfiles; }
+  size_t numClusters() const {
+    return ClusterBegin.empty() ? 0 : ClusterBegin.size() - 1;
+  }
+  /// Total postings stored (after pruning).
+  size_t postingCount() const { return PostingIds.size(); }
+  /// Distinct features dropped by the df threshold.
+  size_t prunedFeatureCount() const { return PrunedFeatures; }
+
+  /// Marks every profile of the probed clusters sharing a surviving
+  /// feature with \p Query into \p S (first-touch order) and
+  /// accumulates its partial score. \p Probes are cluster ids (from
+  /// ClusterRouter::route); out-of-range ids are ignored. The caller
+  /// must have called S.begin(numProfiles()).
+  void collectCandidates(const KernelProfile &Query,
+                         const std::vector<uint32_t> &Probes,
+                         InvertedScratch &S) const;
+
+private:
+  size_t NumProfiles = 0;
+  size_t PrunedFeatures = 0;
+  /// Distinct surviving feature hashes, cluster-major, sorted within
+  /// each cluster (merge-joinable against a finalized query).
+  std::vector<uint64_t> FeatureHashes;
+  /// CSR: cluster C's features span FeatureHashes[ClusterBegin[C],
+  /// ClusterBegin[C+1]).
+  std::vector<uint64_t> ClusterBegin;
+  /// CSR: feature F's postings span [PostingBegin[F],
+  /// PostingBegin[F+1]) of PostingIds/PostingValues.
+  std::vector<uint64_t> PostingBegin;
+  std::vector<uint32_t> PostingIds;
+  std::vector<double> PostingValues;
+};
+
+/// On-disk routing cache: the fitted router plus the options needed to
+/// rebuild the posting lists deterministically. Persisted alongside
+/// the v2 profile caches (ProfileIndex writes "<cache>.route",
+/// IndexService one "shard-NNN.route" per routed shard); the inverted
+/// index itself is never serialized — it is a pure function of
+/// (store, assignments, MaxDocFrequency) and rebuilds on load.
+struct RoutingCache {
+  ClusterRouter Router;
+  RoutingOptions Options;
+};
+
+Status writeRoutingFile(const ClusterRouter &Router,
+                        const RoutingOptions &Options,
+                        const std::string &Path);
+Expected<RoutingCache> readRoutingFile(const std::string &Path);
+
+} // namespace kast
+
+#endif // KAST_INDEX_INVERTEDINDEX_H

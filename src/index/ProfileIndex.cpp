@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <filesystem>
 #include <thread>
 
 using namespace kast;
@@ -117,6 +118,166 @@ ProfileIndex::queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
   return Results;
 }
 
+/// The shared approximate-query kernel. Candidate generation probes
+/// the routed posting segments; the unrouted tail [covered, N) always
+/// joins the candidate set. Survivors get *exact* merge-join scores —
+/// the same arithmetic queryInto runs — so a candidate's similarity
+/// is bit-identical to its exact-scan similarity. Non-candidates
+/// share no surviving feature with the query inside the probed
+/// clusters; exhaustively (all clusters, no df-pruning) their exact
+/// similarity is exactly +0.0, so padding the top-k with unmarked ids
+/// at 0.0 in ascending-id order reproduces the exact scan's result
+/// bit-for-bit, tie-break order included: the (K+1)-th ranked
+/// candidate is strictly dominated by K candidates under the (sim
+/// desc, id asc) total order, so merging only the top-K candidates
+/// with the zero stream loses nothing.
+static std::vector<Neighbor>
+approxQueryInto(const ProfileStore &Store, const detail::IndexRouting &Routing,
+                const KernelProfile &Query, size_t K, bool Normalize,
+                size_t NProbe, InvertedScratch &Scratch) {
+  const size_t N = Store.size();
+  if (K == 0 || N == 0)
+    return {};
+  const size_t Covered = Routing.covered();
+  const size_t Probe = NProbe != 0 ? NProbe : Routing.Options.DefaultNProbe;
+  const std::vector<uint32_t> Probes = Routing.Router.route(Query, Probe);
+  Scratch.begin(Covered);
+  Routing.Inverted.collectCandidates(Query, Probes, Scratch);
+
+  // Budget-prune by accumulated partial score before paying for exact
+  // dots. Dropped candidates stay marked, so they neither re-rank nor
+  // reappear in the zero pad — they are simply not returned.
+  const size_t Budget = Routing.Options.RerankBudget;
+  if (Budget > 0 && Scratch.Candidates.size() > Budget) {
+    std::partial_sort(Scratch.Candidates.begin(),
+                      Scratch.Candidates.begin() + Budget,
+                      Scratch.Candidates.end(),
+                      [&](uint32_t L, uint32_t R) {
+                        if (Scratch.Acc[L] != Scratch.Acc[R])
+                          return Scratch.Acc[L] > Scratch.Acc[R];
+                        return L < R;
+                      });
+    Scratch.Candidates.resize(Budget);
+  }
+
+  const double QueryNorm = Normalize ? Query.norm() : 1.0;
+  const auto Score = [&](size_t I) {
+    const ProfileView V = Store.view(I);
+    double Sim = dot(V, Query);
+    if (Normalize) {
+      double Denominator = QueryNorm * V.Norm;
+      Sim = Denominator > 0.0 ? Sim / Denominator : 0.0;
+    }
+    return Sim;
+  };
+
+  std::vector<Neighbor> Scored;
+  Scored.reserve(Scratch.Candidates.size() + (N - Covered));
+  for (uint32_t Id : Scratch.Candidates)
+    Scored.push_back({Id, Score(Id)});
+  for (size_t I = Covered; I < N; ++I)
+    Scored.push_back({I, Score(I)});
+  const size_t Take = std::min(K, Scored.size());
+  std::partial_sort(Scored.begin(), Scored.begin() + Take, Scored.end(),
+                    [](const Neighbor &L, const Neighbor &R) {
+                      if (L.Similarity != R.Similarity)
+                        return L.Similarity > R.Similarity;
+                      return L.Index < R.Index;
+                    });
+  Scored.resize(Take);
+
+  // Fast path: K scored entries all strictly above zero — no unmarked
+  // id can displace or interleave with them.
+  if (Scored.size() == K && Scored.back().Similarity > 0.0)
+    return Scored;
+
+  // Merge the ranked survivors with the zero stream (unmarked covered
+  // ids, ascending, similarity exactly +0.0 — what the exact scan
+  // computes for a profile sharing no feature with the query).
+  std::vector<Neighbor> Out;
+  Out.reserve(std::min(K, N));
+  size_t Zero = 0;
+  const auto AdvanceZero = [&] {
+    while (Zero < Covered && Scratch.marked(Zero))
+      ++Zero;
+  };
+  AdvanceZero();
+  size_t Next = 0;
+  while (Out.size() < K) {
+    const bool HaveScored = Next < Scored.size();
+    const bool HaveZero = Zero < Covered;
+    if (!HaveScored && !HaveZero)
+      break;
+    bool TakeScored;
+    if (!HaveZero) {
+      TakeScored = true;
+    } else if (!HaveScored) {
+      TakeScored = false;
+    } else {
+      const Neighbor &C = Scored[Next];
+      TakeScored =
+          C.Similarity > 0.0 || (C.Similarity == 0.0 && C.Index < Zero);
+    }
+    if (TakeScored) {
+      Out.push_back(Scored[Next++]);
+    } else {
+      Out.push_back({Zero, 0.0});
+      ++Zero;
+      AdvanceZero();
+    }
+  }
+  return Out;
+}
+
+void ProfileIndex::buildRouting(const RoutingOptions &Options, size_t Threads) {
+  auto R = std::make_shared<detail::IndexRouting>();
+  R->Options = Options;
+  R->Router = ClusterRouter::build(Store, Options.Cluster, Threads);
+  R->Inverted =
+      InvertedIndex::build(Store, R->Router.assignments(),
+                           R->Router.numCentroids(), Options.MaxDocFrequency);
+  Routing = std::move(R);
+}
+
+void ProfileIndex::clearRouting() { Routing.reset(); }
+
+std::vector<Neighbor> ProfileIndex::queryApprox(const KernelProfile &Query,
+                                                size_t K, bool Normalize,
+                                                size_t NProbe) const {
+  if (!Routing)
+    return query(Query, K, Normalize);
+  InvertedScratch Scratch;
+  return approxQueryInto(Store, *Routing, Query, K, Normalize, NProbe,
+                         Scratch);
+}
+
+std::vector<std::vector<Neighbor>>
+ProfileIndex::queryBatchApprox(const std::vector<KernelProfile> &Queries,
+                               size_t K, bool Normalize, size_t NProbe,
+                               size_t Threads) const {
+  if (!Routing)
+    return queryBatch(Queries, K, Normalize, Threads);
+  std::vector<std::vector<Neighbor>> Results(Queries.size());
+  // Same strided chunking as queryBatch: one epoch-versioned scratch
+  // per chunk, reused across that chunk's queries. Each query fully
+  // re-initializes its view of the scratch (epoch bump), so results
+  // are independent of chunk count and thread count.
+  const size_t Workers = Threads != 0 ? Threads
+                         : std::max<size_t>(
+                               1, std::thread::hardware_concurrency());
+  const size_t Chunks = std::min(Queries.size(), Workers);
+  parallelFor(
+      Chunks,
+      [&](size_t Chunk) {
+        InvertedScratch Scratch;
+        for (size_t I = Chunk; I < Queries.size(); I += Chunks)
+          Results[I] = approxQueryInto(Store, *Routing, Queries[I], K,
+                                       Normalize, NProbe, Scratch);
+      },
+      Threads);
+  return Results;
+}
+
 std::string
 ProfileIndex::majorityLabel(const std::vector<Neighbor> &Neighbors) const {
   // Neighbors arrive most-similar first; majorityVote's first-seen
@@ -138,12 +299,45 @@ ProfileCache ProfileIndex::toCache() const {
 Status ProfileIndex::save(const std::string &Path) const {
   // v2 block layout straight from the arena: the three arrays go out
   // as contiguous blobs, no per-profile materialization or copy.
-  return writeProfileStoreCacheFile(KernelName, Names, Labels, Store, Path);
+  Status S = writeProfileStoreCacheFile(KernelName, Names, Labels, Store, Path);
+  if (!S.ok())
+    return S;
+  const std::string RoutePath = Path + ".route";
+  if (Routing)
+    return writeRoutingFile(Routing->Router, Routing->Options, RoutePath);
+  // No routing: drop any stale sidecar so a later load cannot pair it
+  // with contents it was not fitted on.
+  std::error_code Ec;
+  std::filesystem::remove(RoutePath, Ec);
+  return Status();
 }
 
 Expected<ProfileIndex> ProfileIndex::load(const std::string &Path) {
   Expected<ProfileStoreCache> Cache = readProfileStoreCacheFile(Path);
   if (!Cache)
     return Expected<ProfileIndex>::error(Cache.message());
-  return fromStoreCache(Cache.take());
+  ProfileIndex Index = fromStoreCache(Cache.take());
+  const std::string RoutePath = Path + ".route";
+  std::error_code Ec;
+  if (!std::filesystem::exists(RoutePath, Ec))
+    return Index;
+  Expected<RoutingCache> Route = readRoutingFile(RoutePath);
+  if (!Route)
+    return Expected<ProfileIndex>::error(Route.message());
+  RoutingCache Loaded = Route.take();
+  if (Loaded.Router.numProfiles() > Index.size())
+    return Expected<ProfileIndex>::error(
+        "routing sidecar covers more profiles than the cache: " + RoutePath);
+  auto R = std::make_shared<detail::IndexRouting>();
+  R->Options = Loaded.Options;
+  R->Router = std::move(Loaded.Router);
+  // The posting lists are a pure function of (arena prefix,
+  // assignments, df threshold); rebuilding reproduces the saved
+  // index's tier exactly, so only the router is ever serialized.
+  R->Inverted =
+      InvertedIndex::build(Index.Store, R->Router.assignments(),
+                           R->Router.numCentroids(),
+                           R->Options.MaxDocFrequency);
+  Index.Routing = std::move(R);
+  return Index;
 }

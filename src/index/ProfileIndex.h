@@ -31,8 +31,10 @@
 #include "core/ProfileSerializer.h"
 #include "core/ProfileStore.h"
 #include "core/StringKernel.h"
+#include "index/InvertedIndex.h"
 #include "util/Error.h"
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -40,6 +42,24 @@
 #include <vector>
 
 namespace kast {
+
+namespace detail {
+
+/// The immutable routing tier over a prefix of an index's arena: the
+/// fitted coarse router, the posting lists rebuilt from its
+/// assignments, and the options both were built with. Shared by
+/// pointer so copied indexes (and service snapshots) alias one fitted
+/// structure; entries appended after the fit form the unrouted tail
+/// (ids >= covered()) and are always scanned exactly.
+struct IndexRouting {
+  ClusterRouter Router;
+  InvertedIndex Inverted;
+  RoutingOptions Options;
+
+  size_t covered() const { return Router.numProfiles(); }
+};
+
+} // namespace detail
 
 namespace detail {
 
@@ -147,6 +167,52 @@ public:
   queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
              bool Normalize = true, size_t Threads = 0) const;
 
+  /// Fits the two-tier retrieval structures (index/ClusterRouter +
+  /// index/InvertedIndex) over the current contents. Entries added
+  /// later form an unrouted tail that queryApprox always scans
+  /// exactly; rebuild to fold them in. Deterministic for fixed
+  /// options regardless of \p Threads.
+  void buildRouting(const RoutingOptions &Options = {}, size_t Threads = 0);
+
+  /// Drops the routing tier; queryApprox falls back to the exact scan.
+  void clearRouting();
+
+  bool routed() const { return Routing != nullptr; }
+
+  /// Entries covered by the routing fit (the prefix [0, routedCount());
+  /// everything at or beyond it is the unrouted tail). 0 when unrouted.
+  size_t routedCount() const { return Routing ? Routing->covered() : 0; }
+
+  /// The fitted coarse router, or nullptr when unrouted.
+  const ClusterRouter *router() const {
+    return Routing ? &Routing->Router : nullptr;
+  }
+
+  /// The routing options the tier was built with, or nullptr.
+  const RoutingOptions *routingOptions() const {
+    return Routing ? &Routing->Options : nullptr;
+  }
+
+  /// query() through the candidate-generation tier: probes the
+  /// \p NProbe nearest centroids' posting segments (0 defers to
+  /// RoutingOptions::DefaultNProbe, itself 0 = all centroids), exact
+  /// re-ranks the candidates with the merge-join dot, and pads with
+  /// non-candidates at similarity exactly 0.0 in id order when fewer
+  /// than K candidates score above zero. Run exhaustively (all
+  /// centroids, MaxDocFrequency 1.0, RerankBudget 0) the result is
+  /// bit-identical to query(), including tie-break order. Falls back
+  /// to query() when unrouted.
+  std::vector<Neighbor> queryApprox(const KernelProfile &Query, size_t K,
+                                    bool Normalize = true,
+                                    size_t NProbe = 0) const;
+
+  /// queryApprox() for a batch; mirrors queryBatch's chunked
+  /// parallelism with one InvertedScratch per worker chunk.
+  std::vector<std::vector<Neighbor>>
+  queryBatchApprox(const std::vector<KernelProfile> &Queries, size_t K,
+                   bool Normalize = true, size_t NProbe = 0,
+                   size_t Threads = 0) const;
+
   /// Majority label among \p Neighbors; ties break toward the label of
   /// the nearer neighbor. Empty for an empty neighbor list.
   std::string majorityLabel(const std::vector<Neighbor> &Neighbors) const;
@@ -156,7 +222,11 @@ public:
 
   /// Round-trip through core/ProfileSerializer's binary format: save
   /// writes the v2 block layout straight from the arena; load accepts
-  /// v1 and v2 files.
+  /// v1 and v2 files. A routed index also writes a "<path>.route"
+  /// sidecar (and removes a stale one when unrouted); load restores
+  /// routing from the sidecar when present — the posting lists are
+  /// rebuilt deterministically from the persisted assignments — and
+  /// fails loudly on a corrupt or mismatched sidecar.
   Status save(const std::string &Path) const;
   static Expected<ProfileIndex> load(const std::string &Path);
 
@@ -165,6 +235,7 @@ private:
   std::vector<std::string> Names;
   std::vector<std::string> Labels;
   ProfileStore Store;
+  std::shared_ptr<const detail::IndexRouting> Routing;
 };
 
 } // namespace kast

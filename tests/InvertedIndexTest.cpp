@@ -1,0 +1,555 @@
+//===- tests/InvertedIndexTest.cpp - differential recall harness -----------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The correctness harness of the two-tier (cluster router + inverted
+// posting lists) retrieval path, pinned against the exact O(N) scan as
+// ground truth. The central contract: run *exhaustively* — every
+// centroid probed, no df-pruning, no re-rank budget (the
+// RoutingOptions defaults) — the approximate path must be
+// bit-identical to the exact scan: same ids, same similarity bit
+// patterns, same tie-break order. Under aggressive pruning the
+// results may differ, but only within a measured recall envelope, and
+// structural invariants (unrouted tail always found, tombstoned
+// entries never resurface, snapshots immune to later routing
+// rebuilds) must hold unconditionally.
+//
+//===----------------------------------------------------------------------===//
+
+#include "index/IndexService.h"
+#include "index/ProfileIndex.h"
+#include "kernels/SpectrumKernels.h"
+#include "util/Rng.h"
+#include "workloads/CorpusIO.h"
+#include "workloads/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <filesystem>
+#include <set>
+
+using namespace kast;
+
+namespace {
+
+WeightedString randomString(const std::shared_ptr<TokenTable> &Table, Rng &R,
+                            size_t Length, uint32_t Alphabet) {
+  WeightedString S(Table);
+  for (size_t I = 0; I < Length; ++I)
+    S.append("t" + std::to_string(R.uniformInt(0, Alphabet - 1)),
+             R.uniformInt(1, 16));
+  return S;
+}
+
+std::vector<WeightedString>
+randomCorpus(const std::shared_ptr<TokenTable> &Table, Rng &R, size_t N,
+             const std::string &Prefix) {
+  std::vector<WeightedString> Corpus;
+  for (size_t I = 0; I < N; ++I) {
+    WeightedString S = randomString(Table, R, R.uniformInt(4, 32), 6);
+    S.setName(Prefix + std::to_string(I));
+    Corpus.push_back(std::move(S));
+  }
+  return Corpus;
+}
+
+BlendedSpectrumKernel testKernel() {
+  return BlendedSpectrumKernel(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+}
+
+/// Bit-identical, not just ==: similarity must carry the exact scan's
+/// bit pattern (a double == would let -0.0 pass for +0.0).
+void expectBitIdentical(const std::vector<Neighbor> &Approx,
+                        const std::vector<Neighbor> &Exact,
+                        const std::string &What) {
+  ASSERT_EQ(Approx.size(), Exact.size()) << What;
+  for (size_t I = 0; I < Exact.size(); ++I) {
+    EXPECT_EQ(Approx[I].Index, Exact[I].Index) << What << " rank " << I;
+    EXPECT_EQ(std::bit_cast<uint64_t>(Approx[I].Similarity),
+              std::bit_cast<uint64_t>(Exact[I].Similarity))
+        << What << " rank " << I;
+  }
+}
+
+void expectHitsBitIdentical(const std::vector<ServiceHit> &Approx,
+                            const std::vector<ServiceHit> &Exact,
+                            const std::string &What) {
+  ASSERT_EQ(Approx.size(), Exact.size()) << What;
+  for (size_t I = 0; I < Exact.size(); ++I) {
+    EXPECT_EQ(Approx[I].Name, Exact[I].Name) << What << " rank " << I;
+    EXPECT_EQ(Approx[I].Label, Exact[I].Label) << What << " rank " << I;
+    EXPECT_EQ(std::bit_cast<uint64_t>(Approx[I].Similarity),
+              std::bit_cast<uint64_t>(Exact[I].Similarity))
+        << What << " rank " << I;
+  }
+}
+
+double recallAgainst(const std::vector<Neighbor> &Exact,
+                     const std::vector<Neighbor> &Approx) {
+  if (Exact.empty())
+    return 1.0;
+  std::set<size_t> Truth;
+  for (const Neighbor &N : Exact)
+    Truth.insert(N.Index);
+  size_t Found = 0;
+  for (const Neighbor &N : Approx)
+    Found += Truth.count(N.Index);
+  return static_cast<double>(Found) / static_cast<double>(Truth.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: exhaustive mode is the exact scan, bit for bit
+//===----------------------------------------------------------------------===//
+
+TEST(InvertedIndexTest, ExhaustiveModeIsBitIdenticalToExactScan) {
+  Rng R(1107);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 48, "c");
+  BlendedSpectrumKernel Kernel = testKernel();
+  ProfileIndex Index = ProfileIndex::build(Kernel, Corpus, {}, 1);
+  // Duplicate a third of the corpus under fresh names: exact ties are
+  // now abundant and the (sim desc, id asc) order must survive the
+  // candidate-generation detour.
+  for (size_t I = 0; I < Corpus.size(); I += 3)
+    Index.add("dup" + std::to_string(I), "", Kernel.profile(Corpus[I]));
+
+  // RoutingOptions defaults *are* exhaustive mode: every centroid
+  // probed, no df-pruning, no re-rank budget.
+  RoutingOptions Exhaustive;
+  Exhaustive.Cluster.NumCentroids = 7;
+  Index.buildRouting(Exhaustive, /*Threads=*/1);
+  ASSERT_TRUE(Index.routed());
+  ASSERT_EQ(Index.routedCount(), Index.size());
+
+  std::vector<KernelProfile> Queries;
+  for (const WeightedString &Q : randomCorpus(Table, R, 12, "q"))
+    Queries.push_back(Kernel.profile(Q));
+  for (size_t I = 0; I < Index.size(); I += 7) // Self queries: exact ties.
+    Queries.push_back(Index.profile(I));
+  Queries.push_back(KernelProfile()); // Empty query: everything scores 0.
+  {
+    // A query over a disjoint alphabet shares no feature with anyone:
+    // every similarity is +0.0 and the result must be the pure
+    // zero-fill order (ids ascending).
+    WeightedString Alien(Table);
+    for (size_t I = 0; I < 8; ++I)
+      Alien.append("z" + std::to_string(I), 3);
+    Queries.push_back(Kernel.profile(Alien));
+  }
+
+  for (size_t Q = 0; Q < Queries.size(); ++Q) {
+    for (size_t K : {size_t(1), size_t(5), Index.size(), Index.size() + 10}) {
+      for (bool Normalize : {true, false}) {
+        const std::string What = "query " + std::to_string(Q) + " k " +
+                                 std::to_string(K) +
+                                 (Normalize ? " cos" : " raw");
+        expectBitIdentical(Index.queryApprox(Queries[Q], K, Normalize),
+                           Index.query(Queries[Q], K, Normalize), What);
+      }
+    }
+  }
+}
+
+TEST(InvertedIndexTest, SingleCentroidExhaustiveStillBitIdentical) {
+  Rng R(2214);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 30, "c");
+  BlendedSpectrumKernel Kernel = testKernel();
+  ProfileIndex Index = ProfileIndex::build(Kernel, Corpus, {}, 1);
+
+  RoutingOptions Opts;
+  Opts.Cluster.NumCentroids = 1;
+  Index.buildRouting(Opts, 1);
+  ASSERT_EQ(Index.router()->numCentroids(), 1u);
+
+  for (size_t I = 0; I < Index.size(); I += 5)
+    expectBitIdentical(Index.queryApprox(Index.profile(I), 6),
+                       Index.query(Index.profile(I), 6),
+                       "self " + std::to_string(I));
+  KernelProfile Held = Kernel.profile(randomCorpus(Table, R, 1, "h")[0]);
+  expectBitIdentical(Index.queryApprox(Held, 9), Index.query(Held, 9),
+                     "held-out");
+}
+
+TEST(InvertedIndexTest, EdgeCasesReturnCleanly) {
+  BlendedSpectrumKernel Kernel = testKernel();
+  KernelProfile P;
+  P.add(3, 1.0);
+  P.finalize();
+
+  // Routing an empty index is a no-op tier: queries fall through.
+  ProfileIndex Empty("k");
+  Empty.buildRouting({}, 1);
+  EXPECT_TRUE(Empty.routed());
+  EXPECT_EQ(Empty.routedCount(), 0u);
+  EXPECT_TRUE(Empty.queryApprox(P, 3).empty());
+  EXPECT_TRUE(Empty.queryApprox(P, 0).empty());
+  EXPECT_TRUE(Empty.queryApprox(KernelProfile(), 4).empty());
+
+  // An unrouted index answers queryApprox through the exact scan.
+  ProfileIndex Unrouted("k");
+  Unrouted.add("a", "", P);
+  EXPECT_FALSE(Unrouted.routed());
+  expectBitIdentical(Unrouted.queryApprox(P, 2), Unrouted.query(P, 2),
+                     "unrouted fallback");
+
+  // k == 0 and k > N on a routed index.
+  Rng R(5150);
+  auto Table = TokenTable::create();
+  ProfileIndex Index =
+      ProfileIndex::build(Kernel, randomCorpus(Table, R, 9, "c"), {}, 1);
+  RoutingOptions Opts;
+  Opts.Cluster.NumCentroids = 3;
+  Index.buildRouting(Opts, 1);
+  KernelProfile Q = Index.profile(4);
+  EXPECT_TRUE(Index.queryApprox(Q, 0).empty());
+  expectBitIdentical(Index.queryApprox(Q, 100), Index.query(Q, 100),
+                     "k beyond size");
+  EXPECT_EQ(Index.queryApprox(Q, 100).size(), Index.size());
+
+  // clearRouting really clears.
+  Index.clearRouting();
+  EXPECT_FALSE(Index.routed());
+  EXPECT_EQ(Index.routedCount(), 0u);
+}
+
+TEST(InvertedIndexTest, UnroutedTailIsAlwaysScannedExactly) {
+  Rng R(3321);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 40, "c");
+  BlendedSpectrumKernel Kernel = testKernel();
+  ProfileIndex Index = ProfileIndex::build(Kernel, Corpus, {}, 1);
+  RoutingOptions Opts;
+  Opts.Cluster.NumCentroids = 5;
+  Index.buildRouting(Opts, 1);
+  const size_t Covered = Index.routedCount();
+
+  std::vector<WeightedString> Tail = randomCorpus(Table, R, 10, "tail");
+  for (const WeightedString &S : Tail)
+    Index.add(S.name(), "", Kernel.profile(S));
+  ASSERT_EQ(Index.routedCount(), Covered);
+  ASSERT_GT(Index.size(), Covered);
+
+  // Exhaustive: still bit-identical with a tail present.
+  for (size_t I = 0; I < Index.size(); I += 11)
+    expectBitIdentical(Index.queryApprox(Index.profile(I), 7),
+                       Index.query(Index.profile(I), 7),
+                       "tail self " + std::to_string(I));
+
+  // Aggressive pruning: a tail entry queried with itself must still be
+  // rank 1 at cosine 1 — the tail bypasses every pruning knob.
+  RoutingOptions Aggressive;
+  Aggressive.Cluster.NumCentroids = 5;
+  Aggressive.MaxDocFrequency = 0.2;
+  Aggressive.RerankBudget = 4;
+  Aggressive.DefaultNProbe = 1;
+  Index.clearRouting();
+  Index.buildRouting(Aggressive, 1);
+  std::vector<WeightedString> Tail2 = randomCorpus(Table, R, 6, "tail2");
+  for (const WeightedString &S : Tail2)
+    Index.add(S.name(), "", Kernel.profile(S));
+  for (size_t I = Index.routedCount(); I < Index.size(); ++I) {
+    std::vector<Neighbor> Hits = Index.queryApprox(Index.profile(I), 1);
+    ASSERT_EQ(Hits.size(), 1u);
+    EXPECT_EQ(Hits[0].Index, I);
+    EXPECT_NEAR(Hits[0].Similarity, 1.0, 1e-12);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: aggressive pruning stays inside a recall envelope
+//===----------------------------------------------------------------------===//
+
+TEST(InvertedIndexTest, AggressivePruningKeepsRecall) {
+  // A structured corpus (generator categories + mutated copies) is
+  // what the router is for: near-duplicates land in the same cluster.
+  CorpusOptions Shape;
+  Shape.BaseA = 6;
+  Shape.BaseB = 6;
+  Shape.BaseC = 6;
+  Shape.BaseD = 6;
+  Shape.CopiesPerBase = 6;
+  LabeledDataset Data = convertCorpus(Pipeline::withBytes(), generateCorpus(Shape));
+  ASSERT_GE(Data.size(), 100u);
+  BlendedSpectrumKernel Kernel = testKernel();
+
+  std::vector<WeightedString> Strings;
+  std::vector<std::string> Labels;
+  for (size_t I = 0; I < Data.size(); ++I) {
+    Strings.push_back(Data.string(I));
+    Labels.push_back(Data.label(I));
+  }
+  ProfileIndex Index = ProfileIndex::build(Kernel, Strings, Labels, 1);
+
+  RoutingOptions Aggressive;
+  Aggressive.Cluster.NumCentroids = 8;
+  Aggressive.MaxDocFrequency = 0.25;
+  Aggressive.RerankBudget = 48;
+  Aggressive.DefaultNProbe = 2;
+  Index.buildRouting(Aggressive, 1);
+
+  double RecallSum = 0.0;
+  size_t QueryCount = 0;
+  for (size_t I = 0; I < Index.size(); I += 3) {
+    KernelProfile Q = Index.profile(I);
+    RecallSum += recallAgainst(Index.query(Q, 5), Index.queryApprox(Q, 5));
+    ++QueryCount;
+  }
+  const double Recall = RecallSum / static_cast<double>(QueryCount);
+  // Deterministic corpus + deterministic fit: this is a fixed number,
+  // asserted with slack so kernel-side tweaks don't thrash the test.
+  EXPECT_GE(Recall, 0.85) << "mean recall@5 " << Recall << " over "
+                          << QueryCount << " queries";
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence: the sidecar restores the tier bit-for-bit
+//===----------------------------------------------------------------------===//
+
+TEST(InvertedIndexTest, SaveLoadRoundTripsRoutingSidecar) {
+  Rng R(7788);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 36, "c");
+  BlendedSpectrumKernel Kernel = testKernel();
+  ProfileIndex Index = ProfileIndex::build(Kernel, Corpus, {}, 1);
+  RoutingOptions Opts;
+  Opts.Cluster.NumCentroids = 6;
+  Opts.MaxDocFrequency = 0.5;
+  Opts.RerankBudget = 16;
+  Opts.DefaultNProbe = 3;
+  Index.buildRouting(Opts, 1);
+
+  const std::string Path = testing::TempDir() + "/kast_routed_index.kpc";
+  ASSERT_TRUE(Index.save(Path).ok());
+  ASSERT_TRUE(std::filesystem::exists(Path + ".route"));
+
+  Expected<ProfileIndex> Loaded = ProfileIndex::load(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  ASSERT_TRUE(Loaded->routed());
+  EXPECT_EQ(Loaded->routedCount(), Index.routedCount());
+  EXPECT_EQ(Loaded->router()->numCentroids(), Index.router()->numCentroids());
+  EXPECT_EQ(Loaded->router()->assignments(), Index.router()->assignments());
+  EXPECT_EQ(Loaded->routingOptions()->MaxDocFrequency, Opts.MaxDocFrequency);
+  EXPECT_EQ(Loaded->routingOptions()->RerankBudget, Opts.RerankBudget);
+  EXPECT_EQ(Loaded->routingOptions()->DefaultNProbe, Opts.DefaultNProbe);
+
+  // Same pruned-path answers (bitwise), same exhaustive answers.
+  for (size_t I = 0; I < Index.size(); I += 5) {
+    KernelProfile Q = Index.profile(I);
+    expectBitIdentical(Loaded->queryApprox(Q, 5), Index.queryApprox(Q, 5),
+                       "pruned reload " + std::to_string(I));
+    expectBitIdentical(Loaded->queryApprox(Q, 5, true, /*NProbe=*/
+                                           Loaded->router()->numCentroids()),
+                       Index.queryApprox(Q, 5, true,
+                                         Index.router()->numCentroids()),
+                       "exhaustive reload " + std::to_string(I));
+  }
+
+  // Saving the index unrouted sweeps the stale sidecar.
+  Index.clearRouting();
+  ASSERT_TRUE(Index.save(Path).ok());
+  EXPECT_FALSE(std::filesystem::exists(Path + ".route"));
+  Expected<ProfileIndex> Unrouted = ProfileIndex::load(Path);
+  ASSERT_TRUE(Unrouted.hasValue()) << Unrouted.message();
+  EXPECT_FALSE(Unrouted->routed());
+}
+
+//===----------------------------------------------------------------------===//
+// Service: routing under snapshot isolation
+//===----------------------------------------------------------------------===//
+
+TEST(InvertedIndexTest, ServiceExhaustiveApproxMatchesExact) {
+  Rng R(9090);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 50, "c");
+  BlendedSpectrumKernel Kernel = testKernel();
+  ProfileIndex Index = ProfileIndex::build(Kernel, Corpus, {}, 1);
+
+  IndexServiceOptions SvcOpts;
+  SvcOpts.Shards = 3;
+  IndexService Service = IndexService::fromIndex(Index, SvcOpts);
+  RoutingOptions Exhaustive;
+  Exhaustive.Cluster.NumCentroids = 4;
+  Service.rebuildRouting(Exhaustive, 1);
+  ASSERT_TRUE(Service.routed());
+
+  // Post-routing writes land in the unrouted tail; removals tombstone
+  // inside the routed segment. Both paths must agree after that.
+  std::vector<WeightedString> Extra = randomCorpus(Table, R, 8, "x");
+  for (const WeightedString &S : Extra)
+    Service.add(S.name(), "", Kernel.profile(S));
+  ASSERT_EQ(Service.remove(Corpus[7].name()), 1u);
+  ASSERT_EQ(Service.remove(Corpus[20].name()), 1u);
+
+  std::vector<KernelProfile> Queries;
+  for (const WeightedString &Q : randomCorpus(Table, R, 8, "q"))
+    Queries.push_back(Kernel.profile(Q));
+  Queries.push_back(Kernel.profile(Corpus[7]));  // Removed: must be absent.
+  Queries.push_back(KernelProfile());
+  for (size_t Q = 0; Q < Queries.size(); ++Q) {
+    for (size_t K : {size_t(1), size_t(6), size_t(200)}) {
+      expectHitsBitIdentical(
+          Service.queryApprox(Queries[Q], K, true, /*NProbe=*/0, 1),
+          Service.query(Queries[Q], K, true, 1),
+          "query " + std::to_string(Q) + " k " + std::to_string(K));
+    }
+  }
+  // The tombstoned name never resurfaces, not even via zero-fill.
+  for (const ServiceHit &H :
+       Service.queryApprox(Kernel.profile(Corpus[7]), 200, true, 0, 1))
+    EXPECT_NE(H.Name, Corpus[7].name());
+}
+
+TEST(InvertedIndexTest, SnapshotTakenMidIngestIsImmuneToRoutingRebuild) {
+  Rng R(4242);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 40, "c");
+  BlendedSpectrumKernel Kernel = testKernel();
+  IndexServiceOptions SvcOpts;
+  SvcOpts.Shards = 2;
+  SvcOpts.SealThreshold = 8;
+  IndexService Service(Kernel.name(), SvcOpts);
+  for (size_t I = 0; I < 25; ++I)
+    Service.add(Corpus[I].name(), "", Kernel.profile(Corpus[I]));
+  Service.rebuildRouting({}, 1);
+  for (size_t I = 25; I < 32; ++I) // Mid-ingest: tail behind the routing.
+    Service.add(Corpus[I].name(), "", Kernel.profile(Corpus[I]));
+
+  IndexSnapshot Snap = Service.snapshot();
+  KernelProfile Probe = Kernel.profile(Corpus[3]);
+  std::vector<ServiceHit> ExactBefore = Snap.query(Probe, 10, true, 1);
+  std::vector<ServiceHit> ApproxBefore = Snap.queryApprox(Probe, 10, true, 0, 1);
+  // Exhaustive defaults: the snapshot's two paths already agree.
+  expectHitsBitIdentical(ApproxBefore, ExactBefore, "snapshot pre-mutation");
+
+  // Mutate the service hard: grow, remove, re-route, compact.
+  for (size_t I = 32; I < Corpus.size(); ++I)
+    Service.add(Corpus[I].name(), "", Kernel.profile(Corpus[I]));
+  Service.remove(Corpus[3].name());
+  RoutingOptions Aggressive;
+  Aggressive.Cluster.NumCentroids = 3;
+  Aggressive.MaxDocFrequency = 0.3;
+  Aggressive.DefaultNProbe = 1;
+  Service.rebuildRouting(Aggressive, 1);
+  Service.compact(1);
+
+  // The snapshot re-answers identically, both paths, bit for bit.
+  expectHitsBitIdentical(Snap.query(Probe, 10, true, 1), ExactBefore,
+                         "snapshot exact post-mutation");
+  expectHitsBitIdentical(Snap.queryApprox(Probe, 10, true, 0, 1), ApproxBefore,
+                         "snapshot approx post-mutation");
+
+  // And the live service reflects the mutations: a compact() drops the
+  // routing (fitted on replaced arenas), so approx falls back to exact
+  // and the removed entry is gone.
+  EXPECT_EQ(Service.snapshot().routedShardCount(), 0u);
+  for (const ServiceHit &H : Service.queryApprox(Probe, 100, true, 0, 1))
+    EXPECT_NE(H.Name, Corpus[3].name());
+  expectHitsBitIdentical(Service.queryApprox(Probe, 10, true, 0, 1),
+                         Service.query(Probe, 10, true, 1),
+                         "post-compact fallback");
+}
+
+TEST(InvertedIndexTest, ServiceRoutingPersistsAcrossRestart) {
+  Rng R(6161);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 44, "c");
+  BlendedSpectrumKernel Kernel = testKernel();
+  ProfileIndex Index = ProfileIndex::build(Kernel, Corpus, {}, 1);
+  IndexServiceOptions SvcOpts;
+  SvcOpts.Shards = 3;
+  IndexService Service = IndexService::fromIndex(Index, SvcOpts);
+  RoutingOptions Opts;
+  Opts.Cluster.NumCentroids = 4;
+  Opts.MaxDocFrequency = 0.5;
+  Opts.DefaultNProbe = 2;
+  Service.rebuildRouting(Opts, 1);
+
+  const std::string Dir = testing::TempDir() + "/kast_svc_routing";
+  std::filesystem::create_directories(Dir);
+  ASSERT_TRUE(writeShardedProfileCaches(Service.toShardCaches(), Dir).ok());
+  ASSERT_TRUE(Service.saveShardRouting(Dir).ok());
+
+  Expected<std::vector<ProfileStoreCache>> Caches =
+      loadShardedProfileCaches(Dir);
+  ASSERT_TRUE(Caches.hasValue()) << Caches.message();
+  Expected<IndexService> Restored =
+      IndexService::fromShardCaches(Caches.take(), SvcOpts);
+  ASSERT_TRUE(Restored.hasValue()) << Restored.message();
+  Status L = Restored->loadShardRouting(Dir);
+  ASSERT_TRUE(L.ok()) << L.message();
+  EXPECT_EQ(Restored->snapshot().routedShardCount(), SvcOpts.Shards);
+
+  for (size_t I = 0; I < Corpus.size(); I += 6) {
+    KernelProfile Q = Kernel.profile(Corpus[I]);
+    expectHitsBitIdentical(Restored->queryApprox(Q, 5, true, 0, 1),
+                           Service.queryApprox(Q, 5, true, 0, 1),
+                           "restored pruned " + std::to_string(I));
+  }
+
+  // A sidecar paired with the wrong contents fails loudly: drop one
+  // entry and re-save the caches but not the routing.
+  ASSERT_GT(Restored->remove(Corpus[1].name()), 0u);
+  Restored->compact(1);
+  ASSERT_TRUE(
+      writeShardedProfileCaches(Restored->toShardCaches(), Dir).ok());
+  Expected<std::vector<ProfileStoreCache>> Stale =
+      loadShardedProfileCaches(Dir);
+  ASSERT_TRUE(Stale.hasValue()) << Stale.message();
+  Expected<IndexService> Mismatch =
+      IndexService::fromShardCaches(Stale.take(), SvcOpts);
+  ASSERT_TRUE(Mismatch.hasValue()) << Mismatch.message();
+  Status Bad = Mismatch->loadShardRouting(Dir);
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_NE(Bad.message().find("does not match"), std::string::npos)
+      << Bad.message();
+}
+
+//===----------------------------------------------------------------------===//
+// Router unit behavior
+//===----------------------------------------------------------------------===//
+
+TEST(InvertedIndexTest, RouterFitIsThreadCountInvariant) {
+  Rng R(8181);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 64, "c");
+  BlendedSpectrumKernel Kernel = testKernel();
+  ProfileIndex Index = ProfileIndex::build(Kernel, Corpus, {}, 1);
+
+  ClusterRouterOptions Opts;
+  Opts.NumCentroids = 6;
+  ClusterRouter Serial = ClusterRouter::build(Index.store(), Opts, 1);
+  ClusterRouter Parallel = ClusterRouter::build(Index.store(), Opts, 4);
+  EXPECT_EQ(Serial.assignments(), Parallel.assignments());
+  ASSERT_EQ(Serial.numCentroids(), Parallel.numCentroids());
+  for (size_t C = 0; C < Serial.numCentroids(); ++C) {
+    const ProfileView A = Serial.centroids().view(C);
+    const ProfileView B = Parallel.centroids().view(C);
+    ASSERT_EQ(A.Size, B.Size) << "centroid " << C;
+    for (size_t E = 0; E < A.Size; ++E) {
+      EXPECT_EQ(A.Hashes[E], B.Hashes[E]) << "centroid " << C;
+      EXPECT_EQ(std::bit_cast<uint64_t>(A.Values[E]),
+                std::bit_cast<uint64_t>(B.Values[E]))
+          << "centroid " << C;
+    }
+  }
+
+  // Assignments are in range, and each profile's assigned centroid is
+  // the one route() ranks first.
+  for (size_t I = 0; I < Index.size(); ++I) {
+    ASSERT_LT(Serial.assignments()[I], Serial.numCentroids());
+    std::vector<uint32_t> Top = Serial.route(Index.profile(I), 1);
+    ASSERT_EQ(Top.size(), 1u);
+    EXPECT_EQ(Top[0], Serial.assignments()[I]) << "profile " << I;
+  }
+
+  // route() clamps NProbe and returns every centroid for NProbe == 0.
+  EXPECT_EQ(Serial.route(Index.profile(0), 0).size(), Serial.numCentroids());
+  EXPECT_EQ(Serial.route(Index.profile(0), 100).size(),
+            Serial.numCentroids());
+}
+
+} // namespace

@@ -359,6 +359,69 @@ TEST(ProfileIndexTest, BatchedQueriesMatchSingleQueries) {
     EXPECT_EQ(Batched[I], Index.query(QueryProfiles[I], 3));
 }
 
+TEST(ProfileIndexTest, QueryBatchIsThreadCountInvariant) {
+  // Regression guard for the scratch-reuse scheme: queryBatch hands
+  // each worker chunk one reusable scratch buffer, and a query's
+  // result must never depend on what the previous query on the same
+  // chunk left behind, nor on how queries map to chunks. Identical
+  // batches across thread counts (and therefore chunk counts and
+  // reuse patterns) must come back bit-identical.
+  Rng R(987654);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 24, "c");
+  BlendedSpectrumKernel Kernel(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+  ProfileIndex Index = ProfileIndex::build(Kernel, Corpus, {}, 1);
+
+  std::vector<KernelProfile> Queries;
+  for (const WeightedString &Q : randomCorpus(Table, R, 13, "q"))
+    Queries.push_back(Kernel.profile(Q));
+  Queries.push_back(KernelProfile());     // Degenerate query mid-batch.
+  Queries.push_back(Queries[0]);          // Duplicate: same chunk or not.
+
+  const auto ExpectBitIdentical =
+      [](const std::vector<std::vector<Neighbor>> &A,
+         const std::vector<std::vector<Neighbor>> &B, const char *What) {
+        ASSERT_EQ(A.size(), B.size()) << What;
+        for (size_t Q = 0; Q < A.size(); ++Q) {
+          ASSERT_EQ(A[Q].size(), B[Q].size()) << What << " query " << Q;
+          for (size_t I = 0; I < A[Q].size(); ++I) {
+            EXPECT_EQ(A[Q][I].Index, B[Q][I].Index)
+                << What << " query " << Q << " rank " << I;
+            EXPECT_EQ(std::bit_cast<uint64_t>(A[Q][I].Similarity),
+                      std::bit_cast<uint64_t>(B[Q][I].Similarity))
+                << What << " query " << Q << " rank " << I;
+          }
+        }
+      };
+
+  std::vector<std::vector<Neighbor>> Reference =
+      Index.queryBatch(Queries, 4, true, /*Threads=*/1);
+  for (size_t Threads : {size_t(2), size_t(3), size_t(8)})
+    ExpectBitIdentical(Index.queryBatch(Queries, 4, true, Threads), Reference,
+                       "exact");
+  // Per-query results agree with the batch, so scratch reuse is
+  // invisible entirely.
+  for (size_t Q = 0; Q < Queries.size(); ++Q)
+    EXPECT_EQ(Index.query(Queries[Q], 4), Reference[Q]) << "query " << Q;
+
+  // The approximate tier reuses an epoch-versioned candidate scratch
+  // across each chunk's queries — same invariant, same sweep.
+  RoutingOptions Opts;
+  Opts.Cluster.NumCentroids = 4;
+  Opts.MaxDocFrequency = 0.5;
+  Opts.RerankBudget = 8;
+  Opts.DefaultNProbe = 2;
+  Index.buildRouting(Opts, 1);
+  std::vector<std::vector<Neighbor>> ApproxRef =
+      Index.queryBatchApprox(Queries, 4, true, /*NProbe=*/0, /*Threads=*/1);
+  for (size_t Threads : {size_t(2), size_t(3), size_t(8)})
+    ExpectBitIdentical(Index.queryBatchApprox(Queries, 4, true, 0, Threads),
+                       ApproxRef, "approx");
+  for (size_t Q = 0; Q < Queries.size(); ++Q)
+    EXPECT_EQ(Index.queryApprox(Queries[Q], 4), ApproxRef[Q])
+        << "approx query " << Q;
+}
+
 TEST(ProfileIndexTest, SaveLoadPreservesQueries) {
   Rng R(777);
   auto Table = TokenTable::create();

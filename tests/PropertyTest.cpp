@@ -16,6 +16,8 @@
 #include "core/Pipeline.h"
 #include "core/StringSerializer.h"
 #include "core/TreeFlattener.h"
+#include "index/ProfileIndex.h"
+#include "kernels/SpectrumKernels.h"
 #include "linalg/Eigen.h"
 #include "trace/TraceParser.h"
 #include "trace/TraceWriter.h"
@@ -254,6 +256,51 @@ TEST_P(MatrixSweep, MutantsCloserThanCrossCategory) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MatrixSweep,
                          ::testing::Values(101, 202, 303, 404));
+
+//===----------------------------------------------------------------------===//
+// Retrieval invariants: exact scan vs the candidate-generation tier
+//===----------------------------------------------------------------------===//
+
+class RetrievalSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RetrievalSweep, SelfQueryRanksSelfFirstUnderBothPaths) {
+  LabeledDataset Data = smallCorpus(GetParam() ^ 0x5E1F);
+  BlendedSpectrumKernel Kernel(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+  ProfileIndex Index =
+      ProfileIndex::build(Kernel, Data.strings(), Data.labels(), 1);
+  ASSERT_GT(Index.size(), 0u);
+  // Cluster-pruned but not feature-pruned: with MaxDocFrequency at 1.0
+  // a self-query always shares features with itself, and its own
+  // cluster is by construction the router's first probe, so even
+  // NProbe == 1 must keep the self hit.
+  RoutingOptions Opts;
+  Opts.Cluster.NumCentroids = 4;
+  Opts.DefaultNProbe = 1;
+  Index.buildRouting(Opts, 1);
+
+  for (size_t I = 0; I < Index.size(); ++I) {
+    KernelProfile Self = Index.profile(I);
+    std::vector<Neighbor> Exact = Index.query(Self, 1);
+    std::vector<Neighbor> Approx = Index.queryApprox(Self, 1);
+    ASSERT_EQ(Exact.size(), 1u) << I;
+    ASSERT_EQ(Approx.size(), 1u) << I;
+    // Rank 1 is the entry itself at cosine 1 — or an exact duplicate
+    // with a lower id, which both paths must agree on (a duplicate has
+    // the same features, hence the same cluster, hence is probed).
+    EXPECT_NEAR(Exact[0].Similarity, 1.0, 1e-12) << I;
+    EXPECT_NEAR(Approx[0].Similarity, 1.0, 1e-12) << I;
+    EXPECT_EQ(Approx[0].Index, Exact[0].Index) << I;
+    EXPECT_LE(Exact[0].Index, I) << I;
+    // Raw (unnormalized): the self dot is the cached self-norm².
+    std::vector<Neighbor> Raw =
+        Index.queryApprox(Self, 1, /*Normalize=*/false);
+    ASSERT_EQ(Raw.size(), 1u) << I;
+    EXPECT_GE(Raw[0].Similarity, Index.norm(I) * Index.norm(I) - 1e-9) << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetrievalSweep,
+                         ::testing::Values(11, 22, 33, 44));
 
 //===----------------------------------------------------------------------===//
 // Fuzz-style robustness: parsers must reject or accept, never crash
