@@ -13,13 +13,16 @@
 #include "core/KastKernel.h"
 #include "core/KernelMatrix.h"
 #include "core/Pipeline.h"
+#include "core/ProfileStore.h"
 #include "kernels/GapWeightedKernel.h"
 #include "kernels/SpectrumKernels.h"
 #include "util/Rng.h"
+#include "util/SimdDot.h"
 #include "workloads/DatasetBuilder.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
 
 using namespace kast;
@@ -111,6 +114,125 @@ void BM_KastKernelCorpusPair(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_KastKernelCorpusPair);
+
+/// One synthetic sparse-dot operand pair with a controlled overlap:
+/// both sides sample their hash sets from a shared sorted universe of
+/// |A| + |B| slots, so the expected intersection is |A|·|B| / (|A|+|B|)
+/// — dense when balanced, sparse when skewed, like real profiles from
+/// one corpus. The stored (B) side also carries its int8 quantization.
+struct DotOperands {
+  std::vector<uint64_t> AHashes, BHashes;
+  std::vector<double> AValues, BValues;
+  std::vector<int8_t> BQuant;
+  double Scale = 0.0;
+};
+
+DotOperands makeDotOperands(size_t ASize, size_t BSize) {
+  Rng R(ASize * 1000003 + BSize);
+  const size_t Slots = ASize + BSize;
+  std::vector<uint64_t> Universe(Slots);
+  uint64_t H = 0;
+  for (size_t I = 0; I < Slots; ++I) {
+    H += 1 + R.uniformInt(0, 1u << 20);
+    Universe[I] = H;
+  }
+  auto Sample = [&](size_t N) {
+    std::vector<uint32_t> Idx(Slots);
+    for (size_t I = 0; I < Slots; ++I)
+      Idx[I] = static_cast<uint32_t>(I);
+    R.shuffle(Idx);
+    Idx.resize(N);
+    std::sort(Idx.begin(), Idx.end());
+    std::vector<uint64_t> Hashes(N);
+    for (size_t I = 0; I < N; ++I)
+      Hashes[I] = Universe[Idx[I]];
+    return Hashes;
+  };
+  DotOperands Ops;
+  Ops.AHashes = Sample(ASize);
+  Ops.BHashes = Sample(BSize);
+  auto Values = [&](size_t N) {
+    std::vector<double> V(N);
+    for (double &X : V)
+      X = R.uniformReal() * 2.0 - 1.0;
+    return V;
+  };
+  Ops.AValues = Values(ASize);
+  Ops.BValues = Values(BSize);
+  double MaxAbs = 0.0;
+  for (double V : Ops.BValues)
+    MaxAbs = std::max(MaxAbs, std::abs(V));
+  Ops.Scale = MaxAbs > 0.0 ? MaxAbs / 127.0 : 0.0;
+  Ops.BQuant.resize(BSize);
+  for (size_t I = 0; I < BSize; ++I)
+    Ops.BQuant[I] = static_cast<int8_t>(std::lround(Ops.BValues[I] / Ops.Scale));
+  return Ops;
+}
+
+/// Dot products per second for one kernel at one size/skew shape.
+/// Args are {SmallSize, SkewRatio, Kind}: the small side has SmallSize
+/// entries, the large side SmallSize * SkewRatio; Kind 0 is the scalar
+/// reference merge, 1 the dispatched exact kernel (gallop + SIMD
+/// block; label says which ISA won dispatch), 2 the quantized scan
+/// kernel. Skew 1 is the Gram/exhaustive-scan shape; skew 16-64 is the
+/// query-vs-centroid / query-vs-posting routing shape. Each iteration
+/// rotates through a pool of operand pairs: dotting one fixed pair
+/// lets the branch predictor memorize the scalar merge's exact
+/// branch sequence, overstating it by ~4x versus real scans where
+/// every candidate's interleaving is fresh.
+void BM_DotThroughput(benchmark::State &State) {
+  const size_t Small = static_cast<size_t>(State.range(0));
+  const size_t Large = Small * static_cast<size_t>(State.range(1));
+  const int Kind = static_cast<int>(State.range(2));
+  constexpr size_t PoolSize = 32;
+  static std::map<std::pair<size_t, size_t>, std::vector<DotOperands>> Cache;
+  std::vector<DotOperands> &Pool = Cache[{Small, Large}];
+  if (Pool.empty())
+    for (size_t I = 0; I < PoolSize; ++I)
+      Pool.push_back(makeDotOperands(Small + I, Large + I));
+  size_t P = 0;
+  for (auto _ : State) {
+    const DotOperands &Ops = Pool[P];
+    P = (P + 1) % PoolSize;
+    double D = 0.0;
+    switch (Kind) {
+    case 0:
+      D = simd::dotScalar(Ops.AHashes.data(), Ops.AValues.data(),
+                          Ops.AHashes.size(), Ops.BHashes.data(),
+                          Ops.BValues.data(), Ops.BHashes.size());
+      break;
+    case 1:
+      D = simd::dotExact(Ops.AHashes.data(), Ops.AValues.data(),
+                         Ops.AHashes.size(), Ops.BHashes.data(),
+                         Ops.BValues.data(), Ops.BHashes.size());
+      break;
+    default:
+      D = simd::dotQuantized(Ops.AHashes.data(), Ops.AValues.data(),
+                             Ops.AHashes.size(), Ops.BHashes.data(),
+                             Ops.BQuant.data(), Ops.BHashes.size(), Ops.Scale);
+      break;
+    }
+    benchmark::DoNotOptimize(D);
+  }
+  State.SetItemsProcessed(State.iterations());
+  State.SetLabel(Kind == 0 ? "scalar"
+                           : simd::kernelName(simd::activeKernel()));
+}
+BENCHMARK(BM_DotThroughput)
+    // Balanced (Gram / exhaustive scan shape).
+    ->Args({128, 1, 0})
+    ->Args({128, 1, 1})
+    ->Args({128, 1, 2})
+    ->Args({1024, 1, 0})
+    ->Args({1024, 1, 1})
+    ->Args({1024, 1, 2})
+    // Skewed (query vs centroid / posting segment shape).
+    ->Args({64, 16, 0})
+    ->Args({64, 16, 1})
+    ->Args({64, 16, 2})
+    ->Args({16, 64, 0})
+    ->Args({16, 64, 1})
+    ->Args({16, 64, 2});
 
 void BM_GramMatrixBuild(benchmark::State &State) {
   static std::vector<LabeledTrace> Corpus = generateCorpus();

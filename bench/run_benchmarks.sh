@@ -12,12 +12,21 @@
 #   bench/run_benchmarks.sh [output-dir]
 #
 # Environment:
-#   BUILD_DIR      build tree containing bench/perf_* (default: build)
-#   BENCH_FILTER   --benchmark_filter regex (default: all benchmarks)
-#   BENCH_ARGS     extra flags, e.g. --benchmark_repetitions=3
+#   BUILD_DIR          build tree containing bench/perf_* (default: build)
+#   BENCH_FILTER       --benchmark_filter regex (default: all benchmarks)
+#   BENCH_ARGS         extra flags, e.g. --benchmark_repetitions=3
+#   BENCH_ALLOW_DEBUG  set to 1 to record from a non-Release build anyway
 #
 # The build must have been configured with system Google Benchmark
-# available (the perf_* targets are skipped without it).
+# available (the perf_* targets are skipped without it), and it must be
+# a Release build: numbers from an unoptimized tree are meaningless as a
+# perf trajectory, and committing them silently poisons every later
+# comparison. The guard reads CMAKE_BUILD_TYPE out of the build tree's
+# CMakeCache.txt — the JSON's "library_build_type" field is no help, as
+# it records how the *benchmark library* was compiled (the distro
+# package reports "debug" regardless of how our code was built).
+# Non-Release trees are an error unless BENCH_ALLOW_DEBUG=1 is set
+# explicitly.
 #
 #===------------------------------------------------------------------------===#
 
@@ -29,6 +38,27 @@ OUT_DIR="${1:-"$REPO_ROOT"}"
 mkdir -p "$OUT_DIR"
 BENCH_FILTER="${BENCH_FILTER:-}"
 BENCH_ARGS="${BENCH_ARGS:-}"
+BENCH_ALLOW_DEBUG="${BENCH_ALLOW_DEBUG:-}"
+
+# Refuse to record numbers from an unoptimized tree.
+CACHE="$BUILD_DIR/CMakeCache.txt"
+if [[ ! -f "$CACHE" ]]; then
+  echo "error: $CACHE not found ($BUILD_DIR is not a configured build tree)" >&2
+  exit 1
+fi
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE")"
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  if [[ "$BENCH_ALLOW_DEBUG" == "1" ]]; then
+    echo "WARNING: recording benchmarks from a '${BUILD_TYPE:-<unset>}' build" >&2
+    echo "WARNING: these numbers are NOT comparable to Release baselines" >&2
+  else
+    echo "error: $BUILD_DIR is a '${BUILD_TYPE:-<unset>}' build, not Release." >&2
+    echo "error: benchmark numbers from unoptimized builds are meaningless;" >&2
+    echo "error: reconfigure with -DCMAKE_BUILD_TYPE=Release, or set" >&2
+    echo "error: BENCH_ALLOW_DEBUG=1 to record them anyway." >&2
+    exit 1
+  fi
+fi
 
 run_bench() {
   local name="$1" out="$2"

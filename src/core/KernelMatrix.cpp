@@ -6,6 +6,7 @@
 
 #include "core/KernelMatrix.h"
 #include "linalg/Eigen.h"
+#include "util/SimdDot.h"
 #include "util/ThreadPool.h"
 
 #include <algorithm>
@@ -86,10 +87,17 @@ void KernelMatrix::fillTiled(size_t OldN, size_t N) {
         const size_t JEnd = std::min(N, JBegin + GramTileRows);
         if (IBegin + 1 >= JEnd)
           return; // Entirely on or below the diagonal.
+        // Row I plays the one-vs-many query: its probe table is built
+        // once and amortized over the tile's column dots. Bit-identical
+        // to the pairwise merge-join dot (simd::ExactScan's contract),
+        // so the Gram's reproducibility guarantee is untouched.
+        simd::ExactScan Scan;
         for (size_t I = IBegin; I < IEnd; ++I) {
           const ProfileView Vi = Store.view(I);
+          Scan.assign(Vi.Hashes, Vi.Values, Vi.Size);
           for (size_t J = std::max(JBegin, I + 1); J < JEnd; ++J) {
-            double V = dot(Vi, Store.view(J));
+            const ProfileView Vj = Store.view(J);
+            double V = Scan.dot(Vj.Hashes, Vj.Values, Vj.Size);
             Raw.at(I, J) = V;
             Raw.at(J, I) = V;
           }

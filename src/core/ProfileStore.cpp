@@ -6,17 +6,26 @@
 
 #include "core/ProfileStore.h"
 
+#include "util/SimdDot.h"
+
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 using namespace kast;
 
 double kast::dot(const ProfileView &A, const ProfileView &B) {
-  return detail::mergeJoinDot(
-      A.Size, [&](size_t I) { return A.Hashes[I]; },
-      [&](size_t I) { return A.Values[I]; }, B.Size,
-      [&](size_t J) { return B.Hashes[J]; },
-      [&](size_t J) { return B.Values[J]; });
+  // Dense contiguous spans on both sides: this is the shape the
+  // vectorized kernels exist for. simd::dotExact is bit-identical to
+  // the scalar mergeJoinDot (pinned by tests/SimdDotTest.cpp), so the
+  // Gram/retrieval bit-exactness contracts are unaffected.
+  return simd::dotExact(A.Hashes, A.Values, A.Size, B.Hashes, B.Values,
+                        B.Size);
+}
+
+double kast::dot(const ProfileView &A, const FlatProfile &B) {
+  return simd::dotExact(A.Hashes, A.Values, A.Size, B.Hashes.data(),
+                        B.Values.data(), B.Hashes.size());
 }
 
 double kast::dot(const ProfileView &A, const KernelProfile &B) {
@@ -26,6 +35,57 @@ double kast::dot(const ProfileView &A, const KernelProfile &B) {
       [&](size_t I) { return A.Values[I]; }, Rhs.size(),
       [&](size_t J) { return Rhs[J].Hash; },
       [&](size_t J) { return Rhs[J].Value; });
+}
+
+void FlatProfile::assign(const KernelProfile &P) {
+  const std::vector<ProfileEntry> &Entries = P.entries();
+  Hashes.resize(Entries.size());
+  Values.resize(Entries.size());
+  double SelfDot = 0.0;
+  double AbsSum = 0.0;
+  // Entry order, like KernelProfile::norm(), so Norm is bit-identical
+  // to the staged profile's — both retrieval layers divide by it.
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    Hashes[I] = Entries[I].Hash;
+    Values[I] = Entries[I].Value;
+    SelfDot += Entries[I].Value * Entries[I].Value;
+    AbsSum += std::abs(Entries[I].Value);
+  }
+  Norm = std::sqrt(SelfDot);
+  L1 = AbsSum;
+}
+
+QuantizedStore QuantizedStore::build(const ProfileStore &Store) {
+  QuantizedStore Q;
+  const std::vector<double> &Values = Store.values();
+  const std::vector<uint64_t> &Offsets = Store.offsets();
+  const size_t N = Store.size();
+  Q.Values.resize(Values.size());
+  Q.Offsets = Offsets;
+  Q.Scales.resize(N);
+  for (size_t I = 0; I < N; ++I) {
+    const size_t Begin = static_cast<size_t>(Offsets[I]);
+    const size_t End = static_cast<size_t>(Offsets[I + 1]);
+    double MaxAbs = 0.0;
+    for (size_t E = Begin; E < End; ++E)
+      MaxAbs = std::max(MaxAbs, std::abs(Values[E]));
+    // All-zero (or empty) profile: scale 0, all codes 0 — the
+    // quantized dot is exactly 0, matching the exact dot.
+    const double Scale = MaxAbs > 0.0 ? MaxAbs / 127.0 : 0.0;
+    Q.Scales[I] = Scale;
+    const double Inv = Scale > 0.0 ? 1.0 / Scale : 0.0;
+    for (size_t E = Begin; E < End; ++E) {
+      // |v| <= MaxAbs, so v/Scale rounds into [-127, 127] — no clamp
+      // needed.
+      Q.Values[E] = static_cast<int8_t>(std::lround(Values[E] * Inv));
+    }
+  }
+  return Q;
+}
+
+void ProfileStore::buildQuantized() {
+  if (!Quant)
+    Quant = std::make_shared<const QuantizedStore>(QuantizedStore::build(*this));
 }
 
 size_t ProfileStore::append(const KernelProfile &Profile) {
@@ -44,6 +104,7 @@ size_t ProfileStore::append(const KernelProfile &Profile) {
   Offsets.push_back(Hashes.size());
   SelfDots.push_back(SelfDot);
   Norms.push_back(std::sqrt(SelfDot));
+  Quant.reset(); // sidecar mirrors the CSR layout; stale after append
   return size() - 1;
 }
 
@@ -71,6 +132,7 @@ size_t ProfileStore::appendFrom(const ProfileStore &Other, size_t I) {
   Offsets.push_back(Hashes.size());
   SelfDots.push_back(Other.SelfDots[I]);
   Norms.push_back(Other.Norms[I]);
+  Quant.reset();
   return size() - 1;
 }
 

@@ -42,6 +42,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace kast {
@@ -70,6 +71,89 @@ double dot(const ProfileView &A, const ProfileView &B);
 /// KernelProfile — the one-off query side of index retrieval, where
 /// the query never enters the arena.
 double dot(const ProfileView &A, const KernelProfile &B);
+
+/// A finalized KernelProfile flattened into dense parallel hash/value
+/// arrays — the vectorizable shape of a one-off query. The staged type
+/// is an array-of-structs (interleaved ProfileEntry pairs), which no
+/// SIMD hash-compare can stream; retrieval layers flatten the query
+/// once per query and dot it against thousands of candidate views.
+struct FlatProfile {
+  std::vector<uint64_t> Hashes;
+  std::vector<double> Values;
+  /// sqrt(selfDot), summed in entry order — bit-identical to
+  /// KernelProfile::norm() on the source profile.
+  double Norm = 0.0;
+  /// Sum of |value|, accumulated in entry order. The quantized scan's
+  /// error bound is Scale/2 * L1 (see QuantizedStore), so the bound is
+  /// one multiply away wherever a flattened query travels.
+  double L1 = 0.0;
+
+  FlatProfile() = default;
+  explicit FlatProfile(const KernelProfile &P) { assign(P); }
+
+  /// Re-flattens \p P into this object, reusing capacity (scratch
+  /// reuse across a query batch).
+  void assign(const KernelProfile &P);
+
+  size_t size() const { return Hashes.size(); }
+  bool empty() const { return Hashes.empty(); }
+};
+
+/// Merge-join inner product of a stored view against a flattened
+/// query. Bit-identical to dot(A, KernelProfile) over the same
+/// features — flattening only changes the layout.
+double dot(const ProfileView &A, const FlatProfile &B);
+
+class ProfileStore;
+
+/// Optional int8 sidecar for a ProfileStore: the cheap scan tier.
+///
+/// Each profile's values are quantized independently with a symmetric
+/// per-profile scale (Scale = maxAbs / 127, Q = round(V / Scale), so
+/// |V - Scale*Q| <= Scale/2). The hashes are NOT copied — a quantized
+/// view shares the parent store's hash span, and the sidecar mirrors
+/// the parent's CSR layout at build time, so it must be rebuilt (not
+/// patched) after any append. Scales and the exact f64 self-dots stay
+/// in the parent store; the sidecar only adds the 8x-smaller value
+/// arrays the approximate scan streams.
+///
+/// Error bound: for a query q and stored profile p,
+///     |dot(q, p) - dotQuantized(q, p)| <= Scale/2 * sum_matches |q_i|
+///                                      <= Scale/2 * L1(q),
+/// since each matched stored value is off by at most Scale/2. The
+/// bound is tested in SimdDotTest and justifies the shortlist margin
+/// in the retrieval layers, which always re-rank survivors with the
+/// exact f64 kernel before anything becomes user-visible.
+class QuantizedStore {
+public:
+  /// One profile's quantized values; pair with the parent store's
+  /// ProfileView::Hashes (same indices, same CSR layout).
+  struct View {
+    const int8_t *Values = nullptr;
+    size_t Size = 0;
+    double Scale = 0.0;
+  };
+
+  /// Quantizes every profile of \p Store. Deterministic: the sidecar
+  /// is a pure function of the store's contents, so it can always be
+  /// rebuilt instead of persisted.
+  static QuantizedStore build(const ProfileStore &Store);
+
+  size_t size() const { return Scales.size(); }
+
+  View view(size_t I) const {
+    const size_t Begin = static_cast<size_t>(Offsets[I]);
+    return {Values.data() + Begin,
+            static_cast<size_t>(Offsets[I + 1]) - Begin, Scales[I]};
+  }
+
+  double scale(size_t I) const { return Scales[I]; }
+
+private:
+  std::vector<int8_t> Values;
+  std::vector<uint64_t> Offsets = {0};
+  std::vector<double> Scales;
+};
 
 /// Arena of N profiles as structure-of-arrays with CSR offsets.
 class ProfileStore {
@@ -138,6 +222,22 @@ public:
   /// every profile — the validation gate for adopt() on file input.
   bool isFinalized() const;
 
+  /// Builds (or rebuilds) the int8 quantized sidecar from the current
+  /// contents. Like views, the sidecar is invalidated — dropped — by
+  /// the next append; call again once the store is settled. No-op if a
+  /// sidecar for the current contents already exists.
+  void buildQuantized();
+
+  /// The quantized sidecar, or nullptr if none has been built (or an
+  /// append invalidated it).
+  const QuantizedStore *quantized() const { return Quant.get(); }
+
+  /// Shared ownership of the sidecar, so snapshot/routing structures
+  /// can outlive this store's next mutation.
+  std::shared_ptr<const QuantizedStore> quantizedShared() const {
+    return Quant;
+  }
+
   // Raw arena access for block serialization; Offsets has size()+1
   // elements with Offsets[0] == 0. Offsets are kept as u64 — the v2
   // wire width — so save/load move the blob wholesale with no
@@ -152,6 +252,9 @@ private:
   std::vector<uint64_t> Offsets = {0};
   std::vector<double> SelfDots;
   std::vector<double> Norms;
+  /// Lazily built by buildQuantized(); reset by any append (the
+  /// sidecar mirrors the CSR layout, which appends change).
+  std::shared_ptr<const QuantizedStore> Quant;
 };
 
 } // namespace kast

@@ -182,11 +182,25 @@ ClusterRouter ClusterRouter::build(const ProfileStore &Store,
 
 std::vector<uint32_t> ClusterRouter::route(const KernelProfile &Query,
                                            size_t NProbe) const {
+  // One-off convenience shape: flatten and delegate, so both entry
+  // points share one sweep (and its vectorized dot). Batch callers use
+  // the scratch overload directly and skip the per-call allocations.
+  const FlatProfile Flat(Query);
+  std::vector<std::pair<double, uint32_t>> Scored;
+  std::vector<uint32_t> Probes;
+  route(Flat, NProbe, Scored, Probes);
+  return Probes;
+}
+
+void ClusterRouter::route(const FlatProfile &Query, size_t NProbe,
+                          std::vector<std::pair<double, uint32_t>> &Scored,
+                          std::vector<uint32_t> &Probes) const {
+  Probes.clear();
   const size_t C = Centroids.size();
   if (C == 0)
-    return {};
+    return;
   const size_t Take = NProbe == 0 ? C : std::min(NProbe, C);
-  std::vector<std::pair<double, uint32_t>> Scored;
+  Scored.clear();
   Scored.reserve(C);
   for (size_t I = 0; I < C; ++I)
     Scored.push_back({dot(Centroids.view(I), Query),
@@ -197,11 +211,9 @@ std::vector<uint32_t> ClusterRouter::route(const KernelProfile &Query,
                         return L.first > R.first;
                       return L.second < R.second;
                     });
-  std::vector<uint32_t> Probes;
   Probes.reserve(Take);
   for (size_t I = 0; I < Take; ++I)
     Probes.push_back(Scored[I].second);
-  return Probes;
 }
 
 //===----------------------------------------------------------------------===//

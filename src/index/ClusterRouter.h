@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace kast {
@@ -91,6 +92,16 @@ public:
   /// the exact scan.
   std::vector<uint32_t> route(const KernelProfile &Query,
                               size_t NProbe) const;
+
+  /// route() for a flattened query with caller-owned scratch: the
+  /// centroid sweep scores through \p Scored (reused across a batch,
+  /// so a warm query allocates nothing) and the vectorized exact dot
+  /// (util/SimdDot) instead of N separate merge joins over interleaved
+  /// entries. Probe ids land in \p Probes, most similar first —
+  /// identical to route()'s, since the flattened dot is bit-identical.
+  void route(const FlatProfile &Query, size_t NProbe,
+             std::vector<std::pair<double, uint32_t>> &Scored,
+             std::vector<uint32_t> &Probes) const;
 
   /// Binary round-trip (magic "KASTROUT", little-endian, doubles as
   /// IEEE-754 bit patterns): centroid blobs + the assignment array.

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "index/IndexService.h"
+#include "util/SimdDot.h"
 #include "util/ThreadPool.h"
 
 #include <algorithm>
@@ -51,15 +52,19 @@ void forEachLiveEntry(
   }
 }
 
-/// Scores every live entry of \p Shard against \p Query into
-/// \p Scratch (caller-owned so batches reuse the allocation) and
-/// leaves the shard's top-K, best first, in \p TopK.
-void scoreShard(const detail::IndexShard &Shard, const KernelProfile &Query,
+/// Scores every live entry of \p Shard against the flattened \p Query
+/// into \p Scratch (caller-owned so batches reuse the allocation) and
+/// leaves the shard's top-K, best first, in \p TopK. Callers flatten
+/// each query once (IndexSnapshot::query / queryBatch) so every
+/// shard's scan streams the dense arrays through the vectorized dot.
+void scoreShard(const detail::IndexShard &Shard, const FlatProfile &Query,
                 size_t K, bool Normalize, double QNorm,
-                std::vector<ShardHit> &Scratch, std::vector<ShardHit> &TopK) {
+                simd::ExactScan &Scan, std::vector<ShardHit> &Scratch,
+                std::vector<ShardHit> &TopK) {
   TopK.clear();
   if (K == 0 || Shard.LiveCount == 0)
     return;
+  Scan.assign(Query.Hashes.data(), Query.Values.data(), Query.size());
   Scratch.clear();
   size_t Pos = 0;
   for (size_t S = 0; S < Shard.Segments.size(); ++S) {
@@ -69,7 +74,7 @@ void scoreShard(const detail::IndexShard &Shard, const KernelProfile &Query,
       if (Tombs && (*Tombs)[I])
         continue;
       const ProfileView V = Seg.Store.view(I);
-      double Sim = dot(V, Query);
+      double Sim = Scan.dot(V.Hashes, V.Values, V.Size);
       if (Normalize) {
         double Denominator = QNorm * V.Norm;
         Sim = Denominator > 0.0 ? Sim / Denominator : 0.0;
@@ -100,14 +105,14 @@ void scoreShard(const detail::IndexShard &Shard, const KernelProfile &Query,
 /// applicable routing (never routed, or compacted since) fall back to
 /// scoreShard.
 void scoreShardApprox(const detail::IndexShard &Shard,
-                      const KernelProfile &Query, size_t K, bool Normalize,
+                      const FlatProfile &Query, size_t K, bool Normalize,
                       double QNorm, size_t NProbe, InvertedScratch &IS,
-                      std::vector<ShardHit> &Scratch,
+                      simd::ExactScan &Scan, std::vector<ShardHit> &Scratch,
                       std::vector<ShardHit> &TopK) {
   const bool Routed = Shard.Routing && !Shard.Segments.empty() &&
                       Shard.Segments[0] == Shard.RoutedSegment;
   if (!Routed) {
-    scoreShard(Shard, Query, K, Normalize, QNorm, Scratch, TopK);
+    scoreShard(Shard, Query, K, Normalize, QNorm, Scan, Scratch, TopK);
     return;
   }
   TopK.clear();
@@ -120,11 +125,29 @@ void scoreShardApprox(const detail::IndexShard &Shard,
   assert(Covered == Seg0.size() && "routing must cover the first segment");
 
   const size_t Probe = NProbe != 0 ? NProbe : R.Options.DefaultNProbe;
-  const std::vector<uint32_t> Probes = R.Router.route(Query, Probe);
+  R.Router.route(Query, Probe, IS.RouteScored, IS.Probes);
   IS.begin(Covered);
-  R.Inverted.collectCandidates(Query, Probes, IS);
+  R.Inverted.collectCandidates(Query, IS.Probes, IS);
+  // Shortlist selection mirrors ProfileIndex's approxQueryInto: the
+  // quantized dot over the full candidate profile when the sidecar
+  // exists, the accumulated partial score otherwise. Tombstoned
+  // candidates are filtered below either way, so scoring them here
+  // only costs a few wasted int8 dots.
   const size_t Budget = R.Options.RerankBudget;
   if (Budget > 0 && IS.Candidates.size() > Budget) {
+    if (const QuantizedStore *Quant = R.Quant.get()) {
+      for (uint32_t Id : IS.Candidates) {
+        const ProfileView V = Seg0.Store.view(Id);
+        const QuantizedStore::View QV = Quant->view(Id);
+        double Sim =
+            simd::dotQuantized(Query.Hashes.data(), Query.Values.data(),
+                               Query.size(), V.Hashes, QV.Values, QV.Size,
+                               QV.Scale);
+        if (Normalize)
+          Sim = V.Norm > 0.0 ? Sim / V.Norm : 0.0;
+        IS.Acc[Id] = Sim;
+      }
+    }
     std::partial_sort(IS.Candidates.begin(), IS.Candidates.begin() + Budget,
                       IS.Candidates.end(), [&](uint32_t L, uint32_t R2) {
                         if (IS.Acc[L] != IS.Acc[R2])
@@ -134,8 +157,9 @@ void scoreShardApprox(const detail::IndexShard &Shard,
     IS.Candidates.resize(Budget);
   }
 
+  Scan.assign(Query.Hashes.data(), Query.Values.data(), Query.size());
   const auto Score = [&](const ProfileView &V) {
-    double Sim = dot(V, Query);
+    double Sim = Scan.dot(V.Hashes, V.Values, V.Size);
     if (Normalize) {
       double Denominator = QNorm * V.Norm;
       Sim = Denominator > 0.0 ? Sim / Denominator : 0.0;
@@ -253,13 +277,16 @@ std::vector<ServiceHit> IndexSnapshot::query(const KernelProfile &Query,
                                              size_t Threads) const {
   if (K == 0 || Shards.empty())
     return {};
-  const double QNorm = Normalize ? Query.norm() : 1.0;
+  // Flattened once; the per-shard workers share it read-only.
+  const FlatProfile Flat(Query);
+  const double QNorm = Normalize ? Flat.Norm : 1.0;
   std::vector<std::vector<ShardHit>> PerShard(Shards.size());
   parallelFor(
       Shards.size(),
       [&](size_t S) {
+        simd::ExactScan Scan;
         std::vector<ShardHit> Scratch;
-        scoreShard(*Shards[S], Query, K, Normalize, QNorm, Scratch,
+        scoreShard(*Shards[S], Flat, K, Normalize, QNorm, Scan, Scratch,
                    PerShard[S]);
       },
       Threads);
@@ -282,12 +309,15 @@ IndexSnapshot::queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
   parallelFor(
       Chunks,
       [&](size_t Chunk) {
+        FlatProfile Flat;
+        simd::ExactScan Scan;
         std::vector<ShardHit> Scratch;
         std::vector<std::vector<ShardHit>> PerShard(Shards.size());
         for (size_t I = Chunk; I < Queries.size(); I += Chunks) {
-          const double QNorm = Normalize ? Queries[I].norm() : 1.0;
+          Flat.assign(Queries[I]);
+          const double QNorm = Normalize ? Flat.Norm : 1.0;
           for (size_t S = 0; S < Shards.size(); ++S)
-            scoreShard(*Shards[S], Queries[I], K, Normalize, QNorm, Scratch,
+            scoreShard(*Shards[S], Flat, K, Normalize, QNorm, Scan, Scratch,
                        PerShard[S]);
           Results[I] = mergeTopK(Shards, PerShard, K);
         }
@@ -302,15 +332,17 @@ std::vector<ServiceHit> IndexSnapshot::queryApprox(const KernelProfile &Query,
                                                    size_t Threads) const {
   if (K == 0 || Shards.empty())
     return {};
-  const double QNorm = Normalize ? Query.norm() : 1.0;
+  const FlatProfile Flat(Query);
+  const double QNorm = Normalize ? Flat.Norm : 1.0;
   std::vector<std::vector<ShardHit>> PerShard(Shards.size());
   parallelFor(
       Shards.size(),
       [&](size_t S) {
         InvertedScratch IS;
+        simd::ExactScan Scan;
         std::vector<ShardHit> Scratch;
-        scoreShardApprox(*Shards[S], Query, K, Normalize, QNorm, NProbe, IS,
-                         Scratch, PerShard[S]);
+        scoreShardApprox(*Shards[S], Flat, K, Normalize, QNorm, NProbe, IS,
+                         Scan, Scratch, PerShard[S]);
       },
       Threads);
   return mergeTopK(Shards, PerShard, K);
@@ -539,6 +571,11 @@ void IndexService::rebuildRouting(const RoutingOptions &RoutingOpts,
           InvertedIndex::build(Store, R->Router.assignments(),
                                R->Router.numCentroids(),
                                RoutingOpts.MaxDocFrequency);
+      // Segment stores are shared-const, so the sidecar is built
+      // standalone and owned by the routing structure.
+      if (RoutingOpts.RerankBudget > 0 && RoutingOpts.QuantizedShortlist)
+        R->Quant =
+            std::make_shared<const QuantizedStore>(QuantizedStore::build(Store));
       W.Routing = std::move(R);
       W.RoutedSegment = W.Sealed[0];
     }
@@ -605,6 +642,9 @@ Status IndexService::loadShardRouting(const std::string &Dir) {
                                        R->Router.assignments(),
                                        R->Router.numCentroids(),
                                        R->Options.MaxDocFrequency);
+    if (R->Options.RerankBudget > 0 && R->Options.QuantizedShortlist)
+      R->Quant = std::make_shared<const QuantizedStore>(
+          QuantizedStore::build(W.Sealed[0]->Store));
     W.Routing = std::move(R);
     W.RoutedSegment = W.Sealed[0];
     publishLocked(Shard, Options.SealThreshold);

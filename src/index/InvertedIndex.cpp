@@ -105,9 +105,27 @@ InvertedIndex InvertedIndex::build(const ProfileStore &Store,
 void InvertedIndex::collectCandidates(const KernelProfile &Query,
                                       const std::vector<uint32_t> &Probes,
                                       InvertedScratch &S) const {
-  assert(S.Epoch.size() == NumProfiles && "call S.begin(numProfiles()) first");
   const auto &Entries = Query.entries();
-  if (Entries.empty())
+  collectImpl(
+      Entries.size(), [&](size_t Q) { return Entries[Q].Hash; },
+      [&](size_t Q) { return Entries[Q].Value; }, Probes, S);
+}
+
+void InvertedIndex::collectCandidates(const FlatProfile &Query,
+                                      const std::vector<uint32_t> &Probes,
+                                      InvertedScratch &S) const {
+  collectImpl(
+      Query.size(), [&](size_t Q) { return Query.Hashes[Q]; },
+      [&](size_t Q) { return Query.Values[Q]; }, Probes, S);
+}
+
+template <typename HashAt, typename ValueAt>
+void InvertedIndex::collectImpl(size_t QuerySize, HashAt QueryHash,
+                                ValueAt QueryValue,
+                                const std::vector<uint32_t> &Probes,
+                                InvertedScratch &S) const {
+  assert(S.Epoch.size() == NumProfiles && "call S.begin(numProfiles()) first");
+  if (QuerySize == 0)
     return;
   for (uint32_t C : Probes) {
     if (C + 1 >= ClusterBegin.size())
@@ -117,15 +135,15 @@ void InvertedIndex::collectCandidates(const KernelProfile &Query,
     size_t Q = 0;
     // Merge-join the query's (sorted) feature hashes against this
     // cluster's (sorted) surviving features.
-    while (Q < Entries.size() && F < FEnd) {
-      const uint64_t QHash = Entries[Q].Hash;
+    while (Q < QuerySize && F < FEnd) {
+      const uint64_t QHash = QueryHash(Q);
       const uint64_t FHash = FeatureHashes[F];
       if (QHash < FHash) {
         ++Q;
       } else if (FHash < QHash) {
         ++F;
       } else {
-        const double QValue = Entries[Q].Value;
+        const double QValue = QueryValue(Q);
         for (size_t P = PostingBegin[F]; P < PostingBegin[F + 1]; ++P) {
           const uint32_t Id = PostingIds[P];
           if (!S.marked(Id)) {
@@ -149,7 +167,11 @@ void InvertedIndex::collectCandidates(const KernelProfile &Query,
 namespace {
 
 constexpr char RoutingMagic[8] = {'K', 'A', 'S', 'T', 'R', 'T', 'N', 'G'};
-constexpr uint32_t RoutingVersion = 1;
+/// v1: options + router. v2 appends a flags word after the fixed
+/// option fields (bit 0: QuantizedShortlist); v1 files still load with
+/// the flag at its default.
+constexpr uint32_t RoutingVersion = 2;
+constexpr uint64_t RoutingFlagQuantizedShortlist = 1u << 0;
 
 void writeU32(std::ostream &Out, uint32_t V) {
   unsigned char Buf[4];
@@ -202,6 +224,7 @@ Status writeRoutingFile(const ClusterRouter &Router,
   writeU64(Out, Options.Cluster.MaxIterations);
   writeU64(Out, Options.Cluster.TrainingSample);
   writeU64(Out, Options.Cluster.Seed);
+  writeU64(Out, Options.QuantizedShortlist ? RoutingFlagQuantizedShortlist : 0);
   if (Status S = Router.write(Out); !S.ok())
     return S;
   Out.flush();
@@ -219,7 +242,7 @@ Expected<RoutingCache> readRoutingFile(const std::string &Path) {
       std::memcmp(Magic, RoutingMagic, sizeof(Magic)) != 0)
     return Expected<RoutingCache>::error("not a routing file: " + Path);
   uint32_t Version = 0;
-  if (!readU32(In, Version) || Version != RoutingVersion)
+  if (!readU32(In, Version) || Version < 1 || Version > RoutingVersion)
     return Expected<RoutingCache>::error("unsupported routing version in " +
                                          Path);
   RoutingCache Cache;
@@ -240,6 +263,13 @@ Expected<RoutingCache> readRoutingFile(const std::string &Path) {
   Cache.Options.Cluster.MaxIterations = MaxIterations;
   Cache.Options.Cluster.TrainingSample = TrainingSample;
   Cache.Options.Cluster.Seed = Seed;
+  if (Version >= 2) {
+    uint64_t Flags = 0;
+    if (!readU64(In, Flags))
+      return Expected<RoutingCache>::error("truncated routing file: " + Path);
+    Cache.Options.QuantizedShortlist =
+        (Flags & RoutingFlagQuantizedShortlist) != 0;
+  }
   Expected<ClusterRouter> Router = ClusterRouter::read(In);
   if (!Router.hasValue())
     return Expected<RoutingCache>::error(Router.message());

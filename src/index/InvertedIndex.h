@@ -38,9 +38,11 @@
 #include "core/ProfileStore.h"
 #include "index/ClusterRouter.h"
 #include "util/Error.h"
+#include "util/SimdDot.h"
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace kast {
@@ -62,6 +64,17 @@ struct RoutingOptions {
   size_t RerankBudget = 0;
   /// Centroids probed when the query does not say: 0 probes all.
   size_t DefaultNProbe = 0;
+  /// When a RerankBudget is set, select the shortlist by scoring every
+  /// candidate with the int8 quantized dot (core/ProfileStore's
+  /// QuantizedStore sidecar) instead of the accumulated partial score.
+  /// The quantized score sees *all* of a candidate's features — the
+  /// partial accumulator only sees features surviving df-pruning in
+  /// probed clusters — so the shortlist ranks closer to the exact
+  /// order at a fraction of the exact dot's cost. Survivors are still
+  /// re-ranked with the exact f64 kernel; this knob only changes which
+  /// candidates make the shortlist. Ignored when RerankBudget == 0
+  /// (nothing is pruned, so there is nothing to select).
+  bool QuantizedShortlist = true;
 };
 
 /// Reusable per-thread query scratch: an epoch-versioned candidate
@@ -96,6 +109,20 @@ struct InvertedScratch {
   /// Accumulated partial score per candidate id (query value × posting
   /// value over matched, surviving features).
   std::vector<double> Acc;
+  /// The query flattened to dense hash/value arrays — the shape the
+  /// vectorized kernels (util/SimdDot) stream. Assigned once per query
+  /// by the retrieval layers and reused for routing, candidate
+  /// generation, shortlist scoring, and the exact re-rank.
+  FlatProfile Query;
+  /// Probe-table scan over the flattened query for the exact re-rank
+  /// (one table build per query, one branchless probe pass per
+  /// candidate); bit-identical to the merge-join dot.
+  simd::ExactScan Scan;
+  /// Centroid-scoring scratch for ClusterRouter::route, reused across
+  /// a batch so the per-query sweep allocates nothing once warm.
+  std::vector<std::pair<double, uint32_t>> RouteScored;
+  /// Probed centroid ids from the last route() call.
+  std::vector<uint32_t> Probes;
 };
 
 /// Cluster-segmented, df-pruned, impact-ordered posting lists over one
@@ -135,7 +162,23 @@ public:
                          const std::vector<uint32_t> &Probes,
                          InvertedScratch &S) const;
 
+  /// collectCandidates for a flattened query: merge-joins the dense
+  /// hash array instead of striding interleaved entries. Same marks,
+  /// same accumulation order, same results.
+  void collectCandidates(const FlatProfile &Query,
+                         const std::vector<uint32_t> &Probes,
+                         InvertedScratch &S) const;
+
 private:
+  /// The shared merge-join behind both collectCandidates overloads,
+  /// parameterized over the query's element accessors (AoS entries or
+  /// dense flattened arrays). Defined in the .cpp — only instantiated
+  /// there.
+  template <typename HashAt, typename ValueAt>
+  void collectImpl(size_t QuerySize, HashAt QueryHash, ValueAt QueryValue,
+                   const std::vector<uint32_t> &Probes,
+                   InvertedScratch &S) const;
+
   size_t NumProfiles = 0;
   size_t PrunedFeatures = 0;
   /// Distinct surviving feature hashes, cluster-major, sorted within

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "index/ProfileIndex.h"
+#include "util/SimdDot.h"
 #include "util/ThreadPool.h"
 
 #include <algorithm>
@@ -57,21 +58,28 @@ void ProfileIndex::add(std::string Name, std::string Label,
   Labels.push_back(std::move(Label));
 }
 
-/// The shared single-query kernel: scores every entry into \p All
+/// The shared single-query kernel: flattens the query once (the dense
+/// shape util/SimdDot streams), scores every entry into \p All
 /// (resized, never reallocated once warm), then partial-sorts the top
-/// K out. Callers own the scratch so batched queries can reuse it.
+/// K out. Callers own both scratches so batched queries can reuse
+/// them. Flat.Norm is bit-identical to Query.norm(), and the
+/// vectorized dot is bit-identical to the entry merge join, so
+/// flattening changes nothing but the layout.
 static std::vector<Neighbor> queryInto(const ProfileStore &Store,
                                        const KernelProfile &Query, size_t K,
-                                       bool Normalize,
+                                       bool Normalize, FlatProfile &Flat,
+                                       simd::ExactScan &Scan,
                                        std::vector<Neighbor> &All) {
   if (K == 0 || Store.empty())
     return {};
   const size_t N = Store.size();
   All.resize(N);
-  const double QueryNorm = Normalize ? Query.norm() : 1.0;
+  Flat.assign(Query);
+  Scan.assign(Flat.Hashes.data(), Flat.Values.data(), Flat.size());
+  const double QueryNorm = Normalize ? Flat.Norm : 1.0;
   for (size_t I = 0; I < N; ++I) {
     const ProfileView V = Store.view(I);
-    double Sim = dot(V, Query);
+    double Sim = Scan.dot(V.Hashes, V.Values, V.Size);
     if (Normalize) {
       double Denominator = QueryNorm * V.Norm;
       Sim = Denominator > 0.0 ? Sim / Denominator : 0.0;
@@ -90,8 +98,10 @@ static std::vector<Neighbor> queryInto(const ProfileStore &Store,
 
 std::vector<Neighbor> ProfileIndex::query(const KernelProfile &Query,
                                           size_t K, bool Normalize) const {
+  FlatProfile Flat;
+  simd::ExactScan Scan;
   std::vector<Neighbor> Scratch;
-  return queryInto(Store, Query, K, Normalize, Scratch);
+  return queryInto(Store, Query, K, Normalize, Flat, Scan, Scratch);
 }
 
 std::vector<std::vector<Neighbor>>
@@ -110,9 +120,12 @@ ProfileIndex::queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
   parallelFor(
       Chunks,
       [&](size_t Chunk) {
+        FlatProfile Flat;
+        simd::ExactScan Scan;
         std::vector<Neighbor> Scratch;
         for (size_t I = Chunk; I < Queries.size(); I += Chunks)
-          Results[I] = queryInto(Store, Queries[I], K, Normalize, Scratch);
+          Results[I] =
+              queryInto(Store, Queries[I], K, Normalize, Flat, Scan, Scratch);
       },
       Threads);
   return Results;
@@ -140,15 +153,36 @@ approxQueryInto(const ProfileStore &Store, const detail::IndexRouting &Routing,
     return {};
   const size_t Covered = Routing.covered();
   const size_t Probe = NProbe != 0 ? NProbe : Routing.Options.DefaultNProbe;
-  const std::vector<uint32_t> Probes = Routing.Router.route(Query, Probe);
+  FlatProfile &Flat = Scratch.Query;
+  Flat.assign(Query);
+  Routing.Router.route(Flat, Probe, Scratch.RouteScored, Scratch.Probes);
   Scratch.begin(Covered);
-  Routing.Inverted.collectCandidates(Query, Probes, Scratch);
+  Routing.Inverted.collectCandidates(Flat, Scratch.Probes, Scratch);
 
-  // Budget-prune by accumulated partial score before paying for exact
-  // dots. Dropped candidates stay marked, so they neither re-rank nor
+  // Budget-prune before paying for exact dots. With a quantized
+  // sidecar the shortlist is selected by the int8 approximate dot over
+  // each candidate's *full* profile (off by at most Scale/2 · L1(q),
+  // see QuantizedStore); otherwise by the accumulated partial score,
+  // which only saw features surviving df-pruning in probed clusters.
+  // Dropped candidates stay marked, so they neither re-rank nor
   // reappear in the zero pad — they are simply not returned.
   const size_t Budget = Routing.Options.RerankBudget;
   if (Budget > 0 && Scratch.Candidates.size() > Budget) {
+    if (const QuantizedStore *Quant = Routing.Quant.get()) {
+      for (uint32_t Id : Scratch.Candidates) {
+        const ProfileView V = Store.view(Id);
+        const QuantizedStore::View QV = Quant->view(Id);
+        double Sim =
+            simd::dotQuantized(Flat.Hashes.data(), Flat.Values.data(),
+                               Flat.size(), V.Hashes, QV.Values, QV.Size,
+                               QV.Scale);
+        // The query norm is a common positive factor; dividing by the
+        // candidate norm alone already ranks by cosine.
+        if (Normalize)
+          Sim = V.Norm > 0.0 ? Sim / V.Norm : 0.0;
+        Scratch.Acc[Id] = Sim;
+      }
+    }
     std::partial_sort(Scratch.Candidates.begin(),
                       Scratch.Candidates.begin() + Budget,
                       Scratch.Candidates.end(),
@@ -160,10 +194,11 @@ approxQueryInto(const ProfileStore &Store, const detail::IndexRouting &Routing,
     Scratch.Candidates.resize(Budget);
   }
 
-  const double QueryNorm = Normalize ? Query.norm() : 1.0;
+  const double QueryNorm = Normalize ? Flat.Norm : 1.0;
+  Scratch.Scan.assign(Flat.Hashes.data(), Flat.Values.data(), Flat.size());
   const auto Score = [&](size_t I) {
     const ProfileView V = Store.view(I);
-    double Sim = dot(V, Query);
+    double Sim = Scratch.Scan.dot(V.Hashes, V.Values, V.Size);
     if (Normalize) {
       double Denominator = QueryNorm * V.Norm;
       Sim = Denominator > 0.0 ? Sim / Denominator : 0.0;
@@ -236,6 +271,12 @@ void ProfileIndex::buildRouting(const RoutingOptions &Options, size_t Threads) {
   R->Inverted =
       InvertedIndex::build(Store, R->Router.assignments(),
                            R->Router.numCentroids(), Options.MaxDocFrequency);
+  // The int8 scan tier only matters when a budget will prune: without
+  // one every candidate gets the exact dot anyway.
+  if (Options.RerankBudget > 0 && Options.QuantizedShortlist) {
+    Store.buildQuantized();
+    R->Quant = Store.quantizedShared();
+  }
   Routing = std::move(R);
 }
 
@@ -338,6 +379,12 @@ Expected<ProfileIndex> ProfileIndex::load(const std::string &Path) {
       InvertedIndex::build(Index.Store, R->Router.assignments(),
                            R->Router.numCentroids(),
                            R->Options.MaxDocFrequency);
+  // Like the posting lists, the quantized sidecar is a pure function
+  // of the arena — rebuilt, never persisted.
+  if (R->Options.RerankBudget > 0 && R->Options.QuantizedShortlist) {
+    Index.Store.buildQuantized();
+    R->Quant = Index.Store.quantizedShared();
+  }
   Index.Routing = std::move(R);
   return Index;
 }

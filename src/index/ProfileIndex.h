@@ -55,6 +55,12 @@ struct IndexRouting {
   ClusterRouter Router;
   InvertedIndex Inverted;
   RoutingOptions Options;
+  /// The int8 scan tier over the routed arena, built when the options
+  /// ask for a quantized shortlist (RerankBudget > 0 &&
+  /// QuantizedShortlist); null otherwise. Self-contained (values and
+  /// CSR copied at build), so it stays valid for ids < covered() even
+  /// after the owning store appends an unrouted tail.
+  std::shared_ptr<const QuantizedStore> Quant;
 
   size_t covered() const { return Router.numProfiles(); }
 };
