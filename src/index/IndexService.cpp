@@ -296,6 +296,15 @@ std::vector<ServiceHit> IndexSnapshot::query(const KernelProfile &Query,
 std::vector<std::vector<ServiceHit>>
 IndexSnapshot::queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
                           bool Normalize, size_t Threads) const {
+  std::vector<const KernelProfile *> Borrowed(Queries.size());
+  for (size_t I = 0; I < Queries.size(); ++I)
+    Borrowed[I] = &Queries[I];
+  return queryBatch(Borrowed, K, Normalize, Threads);
+}
+
+std::vector<std::vector<ServiceHit>>
+IndexSnapshot::queryBatch(const std::vector<const KernelProfile *> &Queries,
+                          size_t K, bool Normalize, size_t Threads) const {
   std::vector<std::vector<ServiceHit>> Results(Queries.size());
   if (Shards.empty())
     return Results;
@@ -314,11 +323,58 @@ IndexSnapshot::queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
         std::vector<ShardHit> Scratch;
         std::vector<std::vector<ShardHit>> PerShard(Shards.size());
         for (size_t I = Chunk; I < Queries.size(); I += Chunks) {
-          Flat.assign(Queries[I]);
+          Flat.assign(*Queries[I]);
           const double QNorm = Normalize ? Flat.Norm : 1.0;
           for (size_t S = 0; S < Shards.size(); ++S)
             scoreShard(*Shards[S], Flat, K, Normalize, QNorm, Scan, Scratch,
                        PerShard[S]);
+          Results[I] = mergeTopK(Shards, PerShard, K);
+        }
+      },
+      Threads);
+  return Results;
+}
+
+std::vector<std::vector<ServiceHit>> IndexSnapshot::queryBatchApprox(
+    const std::vector<KernelProfile> &Queries, size_t K, bool Normalize,
+    size_t NProbe, size_t Threads) const {
+  std::vector<const KernelProfile *> Borrowed(Queries.size());
+  for (size_t I = 0; I < Queries.size(); ++I)
+    Borrowed[I] = &Queries[I];
+  return queryBatchApprox(Borrowed, K, Normalize, NProbe, Threads);
+}
+
+std::vector<std::vector<ServiceHit>> IndexSnapshot::queryBatchApprox(
+    const std::vector<const KernelProfile *> &Queries, size_t K,
+    bool Normalize, size_t NProbe, size_t Threads) const {
+  std::vector<std::vector<ServiceHit>> Results(Queries.size());
+  if (Shards.empty())
+    return Results;
+  const size_t Workers =
+      Threads != 0 ? Threads
+                   : std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t Chunks = std::min(Queries.size(), Workers);
+  parallelFor(
+      Chunks,
+      [&](size_t Chunk) {
+        FlatProfile Flat;
+        simd::ExactScan Scan;
+        std::vector<ShardHit> Scratch;
+        std::vector<std::vector<ShardHit>> PerShard(Shards.size());
+        // One InvertedScratch per shard, kept across the whole chunk:
+        // InvertedScratch::begin() only reallocates when the covered
+        // size changes, and a shard's routed segment size is fixed
+        // within a snapshot, so queries after the first pay an epoch
+        // bump instead of allocating and zeroing ~N doubles per shard.
+        // This amortization is what makes batched admission beat
+        // call-per-query serving.
+        std::vector<InvertedScratch> IS(Shards.size());
+        for (size_t I = Chunk; I < Queries.size(); I += Chunks) {
+          Flat.assign(*Queries[I]);
+          const double QNorm = Normalize ? Flat.Norm : 1.0;
+          for (size_t S = 0; S < Shards.size(); ++S)
+            scoreShardApprox(*Shards[S], Flat, K, Normalize, QNorm, NProbe,
+                             IS[S], Scan, Scratch, PerShard[S]);
           Results[I] = mergeTopK(Shards, PerShard, K);
         }
       },

@@ -150,6 +150,32 @@ public:
   queryBatch(const std::vector<KernelProfile> &Queries, size_t K,
              bool Normalize = true, size_t Threads = 0) const;
 
+  /// queryBatch over borrowed profiles — the admission seam the
+  /// serving runtime executes through, so a batch gathered from many
+  /// producers is scored without copying any profile. Null entries are
+  /// not allowed. Results[I] is bit-identical to query(*Queries[I],
+  /// ...) on this snapshot.
+  std::vector<std::vector<ServiceHit>>
+  queryBatch(const std::vector<const KernelProfile *> &Queries, size_t K,
+             bool Normalize = true, size_t Threads = 0) const;
+
+  /// queryApprox() for a batch of borrowed profiles: same chunk
+  /// striding as queryBatch, but each chunk additionally keeps one
+  /// InvertedScratch per shard alive across all its queries — the
+  /// per-query allocation that dominates routed serving cost is paid
+  /// once per chunk instead of once per query. Results[I] is
+  /// bit-identical to queryApprox(*Queries[I], ...) on this snapshot.
+  std::vector<std::vector<ServiceHit>>
+  queryBatchApprox(const std::vector<const KernelProfile *> &Queries,
+                   size_t K, bool Normalize = true, size_t NProbe = 0,
+                   size_t Threads = 0) const;
+
+  /// queryBatchApprox over owned profiles.
+  std::vector<std::vector<ServiceHit>>
+  queryBatchApprox(const std::vector<KernelProfile> &Queries, size_t K,
+                   bool Normalize = true, size_t NProbe = 0,
+                   size_t Threads = 0) const;
+
   /// query() through each routed shard's candidate-generation tier
   /// (see IndexService::rebuildRouting): the routed segment is probed
   /// via posting lists over the \p NProbe nearest centroids (0 defers
@@ -291,6 +317,14 @@ public:
                                       size_t NProbe = 0,
                                       size_t Threads = 0) const {
     return snapshot().queryApprox(Query, K, Normalize, NProbe, Threads);
+  }
+
+  /// snapshot().queryBatchApprox(...): one snapshot, amortized scratch.
+  std::vector<std::vector<ServiceHit>>
+  queryBatchApprox(const std::vector<KernelProfile> &Queries, size_t K,
+                   bool Normalize = true, size_t NProbe = 0,
+                   size_t Threads = 0) const {
+    return snapshot().queryBatchApprox(Queries, K, Normalize, NProbe, Threads);
   }
 
   /// Exports the published state as one compacted ProfileStoreCache

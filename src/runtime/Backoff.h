@@ -1,0 +1,68 @@
+//===- runtime/Backoff.h - Exponential contention backoff ------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard escalation ladder for spin-retry loops around the
+/// lock-free structures: a few busy spins (cheap when the conflicting
+/// writer is mid-flight on another core), then exponentially more CPU
+/// relax hints, then yields to the scheduler (essential on machines
+/// with fewer cores than contending threads, where spinning would
+/// starve the very thread being waited on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_RUNTIME_BACKOFF_H
+#define KAST_RUNTIME_BACKOFF_H
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace kast {
+
+/// One contention episode: construct (or reset()) fresh, call pause()
+/// each failed attempt.
+class Backoff {
+public:
+  void pause() {
+    if (Round < SpinRounds) {
+      for (uint32_t I = 0; I < (1u << Round); ++I)
+        cpuRelax();
+      ++Round;
+      return;
+    }
+    std::this_thread::yield();
+  }
+
+  /// True once the episode escalated past pure spinning — callers use
+  /// this to decide when to park on a condition variable instead.
+  bool yielding() const { return Round >= SpinRounds; }
+
+  void reset() { Round = 0; }
+
+private:
+  static void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("isb" ::: "memory");
+#else
+    // No relax hint on this target; the loop itself is the pause.
+#endif
+  }
+
+  /// 2^0 + ... + 2^5 = 63 relax hints (~a few hundred cycles) before
+  /// the first yield.
+  static constexpr uint32_t SpinRounds = 6;
+  uint32_t Round = 0;
+};
+
+} // namespace kast
+
+#endif // KAST_RUNTIME_BACKOFF_H

@@ -17,6 +17,8 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 using namespace kast;
 
@@ -343,4 +345,95 @@ TEST(ThreadPoolTest, ZeroCount) {
   bool Called = false;
   parallelFor(0, [&](size_t) { Called = true; });
   EXPECT_FALSE(Called);
+}
+
+// More workers than indices: the worker count clamps to Count, every
+// index still runs exactly once, and nothing hangs waiting for the
+// excess workers.
+TEST(ThreadPoolTest, MoreThreadsThanCount) {
+  std::vector<std::atomic<int>> Visits(3);
+  parallelFor(
+      3, [&](size_t I) { Visits[I].fetch_add(1); },
+      /*NumThreads=*/64);
+  for (const auto &V : Visits)
+    EXPECT_EQ(V.load(), 1);
+}
+
+// An exception thrown by the body propagates to the caller (the first
+// one thrown wins) instead of terminating the process, and the loop
+// stops claiming further work.
+TEST(ThreadPoolTest, BodyExceptionPropagates) {
+  EXPECT_THROW(
+      parallelFor(100,
+                  [&](size_t I) {
+                    if (I == 7)
+                      throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, BodyExceptionPropagatesInline) {
+  EXPECT_THROW(parallelFor(
+                   10,
+                   [&](size_t I) {
+                     if (I == 3)
+                       throw std::runtime_error("boom");
+                   },
+                   /*NumThreads=*/1),
+               std::runtime_error);
+}
+
+// A body may itself call parallelFor on the shared pool. The caller
+// participates in its own loop and helps drain the queue while
+// waiting, so nesting completes instead of deadlocking even when every
+// pool worker is occupied by the outer loop.
+TEST(ThreadPoolTest, NestedParallelFor) {
+  constexpr size_t Outer = 8, Inner = 64;
+  std::vector<std::atomic<int>> Visits(Outer * Inner);
+  parallelFor(Outer, [&](size_t O) {
+    parallelFor(Inner, [&](size_t I) { Visits[O * Inner + I].fetch_add(1); });
+  });
+  for (const auto &V : Visits)
+    EXPECT_EQ(V.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitWaitRunsEverything) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&] { Ran.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 100);
+  // wait() with nothing pending returns immediately.
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 100);
+}
+
+// Tasks submitted from inside a task still run; the destructor drains
+// the queue before joining.
+TEST(ThreadPoolTest, SubmitFromTaskAndDrainOnDestruction) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(1);
+    Pool.submit([&] {
+      Ran.fetch_add(1);
+      Pool.submit([&] { Ran.fetch_add(1); });
+    });
+    Pool.wait();
+    EXPECT_EQ(Ran.load(), 2);
+    Pool.submit([&] { Ran.fetch_add(1); });
+    // No wait: destruction must run the straggler.
+  }
+  EXPECT_EQ(Ran.load(), 3);
+}
+
+// Explicit MaxWorkers on a pool instance distributes across exactly
+// the requested participants (pool workers + caller) without touching
+// the shared pool.
+TEST(ThreadPoolTest, InstanceParallelFor) {
+  ThreadPool Pool(3);
+  std::vector<std::atomic<int>> Visits(500);
+  Pool.parallelFor(500, [&](size_t I) { Visits[I].fetch_add(1); });
+  for (const auto &V : Visits)
+    EXPECT_EQ(V.load(), 1);
 }
