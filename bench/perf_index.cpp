@@ -18,15 +18,22 @@
 #include "index/ProfileIndex.h"
 #include "kernels/SpectrumKernels.h"
 #include "util/Rng.h"
+#include "workloads/CorpusIO.h"
 
 #include <benchmark/benchmark.h>
 
 #include <unistd.h>
+#ifdef __linux__
+#include <sys/wait.h>
+#endif
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -440,6 +447,237 @@ void BM_IndexLoadV1(benchmark::State &State) {
 }
 BENCHMARK(BM_IndexLoadV1)->Arg(1024)->Arg(8192)
     ->Unit(benchmark::kMillisecond);
+
+/// Per-process restart scratch directories, written once per (N,
+/// format) and removed at process exit. The write happens outside the
+/// timed region; the benchmark measures the *reader's* path.
+struct RestartDirs {
+  std::map<std::string, bool> Ready;
+  ~RestartDirs() {
+    std::error_code Ec;
+    for (const auto &[Dir, Ok] : Ready)
+      std::filesystem::remove_all(Dir, Ec);
+  }
+};
+
+/// Restart-to-first-answer: everything a serving process does between
+/// exec and its first top-5 response — open the persisted shards,
+/// restore an IndexService, answer one query. The v2 leg pays the
+/// O(entries) block copy on every restart; the v3 flat-image leg
+/// validates headers and O(N) metadata, mmaps the entry arrays, and
+/// faults in only the pages the first query touches — so it stays
+/// roughly flat as N grows. Args are {N, v3}.
+void BM_RestartToFirstQuery(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const bool V3 = State.range(1) != 0;
+  const std::vector<WeightedString> &Corpus = randomCorpus(N + 1);
+  const std::string Dir = "/tmp/kast_perf_index_restart." +
+                          std::to_string(static_cast<long>(::getpid())) + "." +
+                          std::to_string(N) + (V3 ? ".v3" : ".v2");
+  static RestartDirs Dirs;
+  if (!Dirs.Ready.count(Dir)) {
+    IndexService Service = IndexService::fromIndex(
+        ProfileIndex::build(kernel(), {Corpus.begin(), Corpus.begin() + N}));
+    std::vector<ProfileStoreCache> Caches = Service.toShardCaches();
+    Status S = V3 ? writeShardedProfileImages(Caches, Dir)
+                  : writeShardedProfileCaches(Caches, Dir);
+    if (!S) {
+      State.SkipWithError(S.message().c_str());
+      return;
+    }
+    Dirs.Ready[Dir] = true;
+  }
+  const KernelProfile Query = kernel().profile(Corpus[N]);
+  // The timed total is the whole restart-to-first-answer path; the
+  // open/query split rides along as counters because the first top-5
+  // answer is an O(N) exact scan both formats pay identically — the
+  // format gap lives in open_ms.
+  double OpenMs = 0.0, QueryMs = 0.0;
+  using Clock = std::chrono::steady_clock;
+  for (auto _ : State) {
+    const Clock::time_point T0 = Clock::now();
+    Expected<std::vector<ProfileStoreCache>> Caches =
+        V3 ? loadShardedProfileImages(Dir) : loadShardedProfileCaches(Dir);
+    if (!Caches) {
+      State.SkipWithError(Caches.message().c_str());
+      return;
+    }
+    Expected<IndexService> Service =
+        IndexService::fromShardCaches(Caches.take());
+    if (!Service) {
+      State.SkipWithError(Service.message().c_str());
+      return;
+    }
+    const Clock::time_point T1 = Clock::now();
+    benchmark::DoNotOptimize(Service->query(Query, 5, true, 1));
+    const Clock::time_point T2 = Clock::now();
+    OpenMs += std::chrono::duration<double, std::milli>(T1 - T0).count();
+    QueryMs += std::chrono::duration<double, std::milli>(T2 - T1).count();
+  }
+  State.counters["open_ms"] =
+      benchmark::Counter(OpenMs, benchmark::Counter::kAvgIterations);
+  State.counters["first_query_ms"] =
+      benchmark::Counter(QueryMs, benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_RestartToFirstQuery)
+    ->ArgNames({"n", "v3"})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({8192, 0})
+    ->Args({8192, 1})
+    ->Args({32768, 0})
+    ->Args({32768, 1})
+    ->Unit(benchmark::kMillisecond);
+
+#ifdef __linux__
+/// Rss and Pss (in KiB) that /proc/self/smaps attributes to mappings
+/// of \p PathSuffix. Pss divides each shared page by its mapper count,
+/// so (sum of Rss) / (sum of Pss) across processes is the page-cache
+/// sharing factor.
+std::pair<uint64_t, uint64_t> smapsRssPss(const std::string &PathSuffix) {
+  std::FILE *F = std::fopen("/proc/self/smaps", "r");
+  if (!F)
+    return {0, 0};
+  uint64_t Rss = 0, Pss = 0;
+  bool InMapping = false;
+  char Line[512];
+  while (std::fgets(Line, sizeof(Line), F)) {
+    std::string L(Line);
+    if (!L.empty() && L.back() == '\n')
+      L.pop_back();
+    // Mapping headers lead with the "start-end" address range;
+    // attribute lines lead with a "Key:" keyword. Every header resets
+    // the in-mapping flag, so anonymous regions between matches never
+    // leak into the totals.
+    const size_t FirstSpace = L.find(' ');
+    const bool Header = FirstSpace != std::string::npos &&
+                        L.find('-') != std::string::npos &&
+                        L.find('-') < FirstSpace;
+    if (Header) {
+      InMapping = L.size() >= PathSuffix.size() &&
+                  L.compare(L.size() - PathSuffix.size(), PathSuffix.size(),
+                            PathSuffix) == 0;
+    } else if (InMapping &&
+               (L.rfind("Rss:", 0) == 0 || L.rfind("Pss:", 0) == 0)) {
+      unsigned long long KiB = 0;
+      std::sscanf(L.c_str(), "%*[^0-9]%llu", &KiB);
+      (L[0] == 'R' ? Rss : Pss) += KiB;
+    }
+  }
+  std::fclose(F);
+  return {Rss, Pss};
+}
+
+/// The multi-process memory claim measured directly: several processes
+/// map the same flat image and touch every byte; MAP_SHARED read-only
+/// mappings of one file are the same physical page-cache pages, so
+/// the per-process *proportional* set (Pss) collapses while each
+/// process's Rss reports the full arena. Counters: summed Rss and Pss
+/// over the children in MiB, and the sharing factor between them. A
+/// v2 restart has no shared mode — every process owns a private copy,
+/// i.e. the rss_mb number per process, with no collapse.
+void BM_MappedImageSharedRss(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  constexpr int Procs = 4;
+  const std::vector<WeightedString> &Corpus = randomCorpus(N);
+  const std::string Path =
+      "/tmp/kast_perf_index_shared." +
+      std::to_string(static_cast<long>(::getpid())) + ".kfi";
+  {
+    ProfileIndex Index = ProfileIndex::build(kernel(), Corpus);
+    IndexService Service = IndexService::fromIndex(Index, {.Shards = 1});
+    std::vector<ProfileStoreCache> Caches = Service.toShardCaches();
+    if (Status S = writeProfileStoreImageFile(Caches[0], Path); !S) {
+      State.SkipWithError(S.message().c_str());
+      return;
+    }
+  }
+
+  uint64_t SumRss = 0, SumPss = 0;
+  bool Failed = false;
+  for (auto _ : State) {
+    State.PauseTiming();
+    SumRss = SumPss = 0;
+    int Pipes[Procs][2];
+    pid_t Pids[Procs];
+    // Children all map the image and hold it resident while each
+    // samples its own smaps — sampling must overlap, or the pages are
+    // not shared at sample time. A barrier pipe releases them
+    // together after the last one signals readiness.
+    int Barrier[2], ReadyPipe[2];
+    if (::pipe(Barrier) != 0 || ::pipe(ReadyPipe) != 0) {
+      State.SkipWithError("pipe failed");
+      return;
+    }
+    State.ResumeTiming();
+    for (int P = 0; P < Procs; ++P) {
+      if (::pipe(Pipes[P]) != 0) {
+        State.SkipWithError("pipe failed");
+        return;
+      }
+      Pids[P] = ::fork();
+      if (Pids[P] == 0) {
+        Expected<ProfileStoreCache> Cache = readProfileStoreImageFile(Path);
+        uint64_t Touched = 0;
+        if (Cache) {
+          // Fault in every entry page.
+          for (uint64_t H : Cache->Store.hashes())
+            Touched += H;
+          for (double V : Cache->Store.values())
+            Touched += static_cast<uint64_t>(V);
+        }
+        benchmark::DoNotOptimize(Touched);
+        char Token = 'r';
+        (void)!::write(ReadyPipe[1], &Token, 1);
+        (void)!::read(Barrier[0], &Token, 1); // Wait for all siblings.
+        auto [Rss, Pss] = smapsRssPss(".kfi");
+        uint64_t Out[2] = {Rss, Pss};
+        (void)!::write(Pipes[P][1], Out, sizeof(Out));
+        ::_exit(Cache ? 0 : 1);
+      }
+    }
+    for (int P = 0; P < Procs; ++P) {
+      char Token;
+      if (::read(ReadyPipe[0], &Token, 1) != 1)
+        Failed = true;
+    }
+    for (int P = 0; P < Procs; ++P) {
+      char Token = 'g';
+      (void)!::write(Barrier[1], &Token, 1);
+    }
+    for (int P = 0; P < Procs; ++P) {
+      uint64_t In[2] = {0, 0};
+      if (::read(Pipes[P][0], In, sizeof(In)) != sizeof(In))
+        Failed = true;
+      SumRss += In[0];
+      SumPss += In[1];
+      ::close(Pipes[P][0]);
+      ::close(Pipes[P][1]);
+      int WaitStatus = 0;
+      ::waitpid(Pids[P], &WaitStatus, 0);
+      Failed = Failed || WaitStatus != 0;
+    }
+    ::close(Barrier[0]);
+    ::close(Barrier[1]);
+    ::close(ReadyPipe[0]);
+    ::close(ReadyPipe[1]);
+  }
+  std::remove(Path.c_str());
+  if (Failed) {
+    State.SkipWithError("child process failed");
+    return;
+  }
+  State.counters["procs"] = benchmark::Counter(Procs);
+  State.counters["sum_rss_mb"] =
+      benchmark::Counter(static_cast<double>(SumRss) / 1024.0);
+  State.counters["sum_pss_mb"] =
+      benchmark::Counter(static_cast<double>(SumPss) / 1024.0);
+  State.counters["share_factor"] = benchmark::Counter(
+      SumPss ? static_cast<double>(SumRss) / static_cast<double>(SumPss)
+             : 0.0);
+}
+BENCHMARK(BM_MappedImageSharedRss)->Arg(8192)->Unit(benchmark::kMillisecond);
+#endif // __linux__
 
 } // namespace
 

@@ -21,6 +21,9 @@
 #   BENCH_FILTER       --benchmark_filter regex (default: all benchmarks)
 #   BENCH_ARGS         extra flags, e.g. --benchmark_repetitions=3
 #   BENCH_ALLOW_DEBUG  set to 1 to record from a non-Release build anyway
+#   PAGE_CACHE_STATE   "warm" (default) or "cold"; recorded in the JSON
+#                      context — set "cold" only if caches were actually
+#                      dropped before the run (see note below)
 #
 # The build must have been configured with system Google Benchmark
 # available (the perf_* targets are skipped without it), and it must be
@@ -77,9 +80,21 @@ if [[ "$GIT_SHA" != unknown ]] \
 fi
 RUN_DATE_UTC="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
+# Page-cache state matters for the restart/mmap benchmarks
+# (BM_RestartToFirstQuery, BM_MappedImageSharedRss): their setup writes
+# the shard files immediately before the timed region, so mapped pages
+# are served from a warm page cache and the numbers measure restart
+# *software* cost, not disk latency. A truly cold restart (after
+# `echo 3 > /proc/sys/vm/drop_caches`, which needs root) would add
+# device read time on first fault for the v3 leg while the v2 leg pays
+# the same read inside its full-file copy. The context records which
+# regime produced the artifact so committed numbers are comparable.
+PAGE_CACHE_STATE="${PAGE_CACHE_STATE:-warm}"
+
 stamp_json() {
   local out="$1"
-  GIT_SHA="$GIT_SHA" RUN_DATE_UTC="$RUN_DATE_UTC" python3 - "$out" <<'EOF'
+  GIT_SHA="$GIT_SHA" RUN_DATE_UTC="$RUN_DATE_UTC" \
+  PAGE_CACHE_STATE="$PAGE_CACHE_STATE" python3 - "$out" <<'EOF'
 import json, os, sys
 path = sys.argv[1]
 with open(path) as f:
@@ -87,6 +102,11 @@ with open(path) as f:
 doc.setdefault("context", {})
 doc["context"]["git_sha"] = os.environ["GIT_SHA"]
 doc["context"]["run_date_utc"] = os.environ["RUN_DATE_UTC"]
+doc["context"]["page_cache_state"] = os.environ["PAGE_CACHE_STATE"]
+doc["context"]["page_cache_note"] = (
+    "restart/mmap benchmarks write their files in setup, so 'warm' means "
+    "mapped pages come from the page cache; cold-cache restarts add device "
+    "read latency to first-fault (v3) or to the full-file copy (v2)")
 with open(path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")

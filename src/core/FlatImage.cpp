@@ -1,0 +1,508 @@
+//===- core/FlatImage.cpp - v3 flat-image profile cache --------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FlatImage.h"
+
+#include "util/Hashing.h"
+#include "util/MappedImage.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+using namespace kast;
+
+namespace {
+
+constexpr uint64_t HeaderBytes = 64;
+constexpr uint64_t TableEntryBytes = 32;
+/// The checksummed prefix of the header: everything up to the
+/// headerSum field itself.
+constexpr uint64_t HeaderSumPrefix = 48;
+constexpr uint32_t MaxSections = 64;
+/// Counts past this are structurally impossible for a real corpus and
+/// only arise from corruption; rejecting early keeps the (N+1)*8 size
+/// arithmetic below overflow-free.
+constexpr uint64_t MaxCount = uint64_t(1) << 48;
+
+const char *sectionName(FlatSectionId Id) {
+  switch (Id) {
+  case FlatSectionId::KernelName:
+    return "kernel-name";
+  case FlatSectionId::Offsets:
+    return "offsets";
+  case FlatSectionId::Hashes:
+    return "hashes";
+  case FlatSectionId::Values:
+    return "values";
+  case FlatSectionId::SelfDots:
+    return "self-dots";
+  case FlatSectionId::Norms:
+    return "norms";
+  case FlatSectionId::Names:
+    return "names";
+  case FlatSectionId::Labels:
+    return "labels";
+  case FlatSectionId::QuantValues:
+    return "quantized-values";
+  case FlatSectionId::QuantScales:
+    return "quantized-scales";
+  case FlatSectionId::Route:
+    return "route";
+  }
+  return "unknown";
+}
+
+void appendU32(std::vector<unsigned char> &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<unsigned char>((V >> (8 * I)) & 0xFF));
+}
+
+void appendU64(std::vector<unsigned char> &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<unsigned char>((V >> (8 * I)) & 0xFF));
+}
+
+uint64_t readU64At(const unsigned char *Data, uint64_t Offset) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(Data[Offset + I]) << (8 * I);
+  return V;
+}
+
+uint32_t readU32At(const unsigned char *Data, uint64_t Offset) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(Data[Offset + I]) << (8 * I);
+  return V;
+}
+
+uint64_t alignUp(uint64_t V, uint64_t A) { return (V + A - 1) / A * A; }
+
+/// One section staged for writing: id plus either a borrowed pointer
+/// into live store memory (the zero-copy common case) or an owned
+/// buffer built for the occasion (names/labels tables).
+struct SectionOut {
+  FlatSectionId Id;
+  const unsigned char *Data = nullptr;
+  uint64_t Size = 0;
+  std::vector<unsigned char> Owned;
+  uint64_t Offset = 0;
+
+  static SectionOut borrowed(FlatSectionId Id, const void *Data,
+                             uint64_t Size) {
+    SectionOut S;
+    S.Id = Id;
+    S.Data = static_cast<const unsigned char *>(Data);
+    S.Size = Size;
+    return S;
+  }
+
+  static SectionOut owned(FlatSectionId Id, std::vector<unsigned char> Bytes) {
+    SectionOut S;
+    S.Id = Id;
+    S.Owned = std::move(Bytes);
+    S.Data = S.Owned.data();
+    S.Size = S.Owned.size();
+    return S;
+  }
+};
+
+/// A string list as a self-contained section: (N+1) u64 offsets into
+/// the byte blob that follows — the same CSR idea as the profile
+/// arrays, so restore is a bounds-checked view, not a length-prefixed
+/// parse.
+std::vector<unsigned char>
+buildStringTable(const std::vector<std::string> &Strings) {
+  std::vector<unsigned char> Out;
+  uint64_t Total = 0;
+  for (const std::string &S : Strings)
+    Total += S.size();
+  Out.reserve((Strings.size() + 1) * 8 + Total);
+  uint64_t Offset = 0;
+  appendU64(Out, 0);
+  for (const std::string &S : Strings) {
+    Offset += S.size();
+    appendU64(Out, Offset);
+  }
+  for (const std::string &S : Strings)
+    Out.insert(Out.end(), S.begin(), S.end());
+  return Out;
+}
+
+/// Parsed table entry on the read side.
+struct SectionIn {
+  uint64_t Offset = 0;
+  uint64_t Size = 0;
+  uint64_t Sum = 0;
+  bool Present = false;
+};
+
+Expected<std::vector<std::string>>
+parseStringTable(const unsigned char *Data, uint64_t Size, uint64_t Count,
+                 const char *What) {
+  using Result = Expected<std::vector<std::string>>;
+  const uint64_t TableBytes = (Count + 1) * 8;
+  if (Size < TableBytes)
+    return Result::error(std::string("flat image ") + What +
+                         " section too small for its offset table");
+  const uint64_t BlobBytes = Size - TableBytes;
+  uint64_t Prev = readU64At(Data, 0);
+  if (Prev != 0)
+    return Result::error(std::string("flat image ") + What +
+                         " offsets must start at 0");
+  std::vector<std::string> Strings;
+  Strings.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I < Count; ++I) {
+    const uint64_t Next = readU64At(Data, (I + 1) * 8);
+    if (Next < Prev || Next > BlobBytes)
+      return Result::error(std::string("flat image ") + What +
+                           " offsets not monotonic or out of bounds");
+    Strings.emplace_back(reinterpret_cast<const char *>(Data) + TableBytes +
+                             Prev,
+                         static_cast<size_t>(Next - Prev));
+    Prev = Next;
+  }
+  if (Prev != BlobBytes)
+    return Result::error(std::string("flat image ") + What +
+                         " offsets disagree with blob size");
+  return Strings;
+}
+
+} // namespace
+
+Status kast::writeProfileStoreImageFile(const std::string &KernelName,
+                                        const std::vector<std::string> &Names,
+                                        const std::vector<std::string> &Labels,
+                                        const ProfileStore &Store,
+                                        const std::string &Path,
+                                        const std::string &RouteBlob) {
+  if constexpr (std::endian::native != std::endian::little)
+    return Status::error("flat image writer requires a little-endian host; "
+                         "use the v2 cache format");
+  if (Names.size() != Store.size() || Labels.size() != Store.size())
+    return Status::error("flat image has " + std::to_string(Store.size()) +
+                         " profiles but " + std::to_string(Names.size()) +
+                         " names / " + std::to_string(Labels.size()) +
+                         " labels");
+
+  const uint64_t N = Store.size();
+  const uint64_t Total = Store.entryCount();
+
+  // On a little-endian host the in-memory arrays *are* the wire bytes,
+  // so every array section is borrowed straight from the store — the
+  // writer's only copies are the string tables.
+  std::vector<SectionOut> Sections;
+  Sections.push_back(SectionOut::borrowed(FlatSectionId::KernelName,
+                                          KernelName.data(),
+                                          KernelName.size()));
+  Sections.push_back(SectionOut::borrowed(
+      FlatSectionId::Offsets, Store.offsets().data(), (N + 1) * 8));
+  Sections.push_back(SectionOut::borrowed(FlatSectionId::Hashes,
+                                          Store.hashes().data(), Total * 8));
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  Sections.push_back(SectionOut::borrowed(FlatSectionId::Values,
+                                          Store.values().data(), Total * 8));
+  Sections.push_back(SectionOut::borrowed(FlatSectionId::SelfDots,
+                                          Store.selfDots().data(), N * 8));
+  Sections.push_back(
+      SectionOut::borrowed(FlatSectionId::Norms, Store.norms().data(), N * 8));
+  Sections.push_back(
+      SectionOut::owned(FlatSectionId::Names, buildStringTable(Names)));
+  Sections.push_back(
+      SectionOut::owned(FlatSectionId::Labels, buildStringTable(Labels)));
+  if (const QuantizedStore *Quant = Store.quantized()) {
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::QuantValues,
+                                            Quant->values().data(), Total));
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::QuantScales,
+                                            Quant->scales().data(), N * 8));
+  }
+  if (!RouteBlob.empty())
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::Route,
+                                            RouteBlob.data(),
+                                            RouteBlob.size()));
+
+  // Lay the sections out page-aligned after the header + table.
+  uint64_t Cursor =
+      HeaderBytes + Sections.size() * TableEntryBytes;
+  for (SectionOut &S : Sections) {
+    S.Offset = alignUp(Cursor, FlatImageAlignment);
+    Cursor = S.Offset + S.Size;
+  }
+
+  // Header prefix [0, 48) and the table, checksummed together.
+  std::vector<unsigned char> Prelude;
+  Prelude.reserve(HeaderSumPrefix + Sections.size() * TableEntryBytes);
+  Prelude.insert(Prelude.end(), FlatImageMagic,
+                 FlatImageMagic + sizeof(FlatImageMagic));
+  appendU32(Prelude, FlatImageVersion);
+  appendU32(Prelude, static_cast<uint32_t>(Sections.size()));
+  appendU64(Prelude, checksumBytes(KernelName.data(), KernelName.size()));
+  appendU64(Prelude, N);
+  appendU64(Prelude, Total);
+  appendU64(Prelude, HeaderBytes); // tableOffset
+  for (const SectionOut &S : Sections) {
+    appendU32(Prelude, static_cast<uint32_t>(S.Id));
+    appendU32(Prelude, 0);
+    appendU64(Prelude, S.Offset);
+    appendU64(Prelude, S.Size);
+    appendU64(Prelude, checksumBytes(S.Data, S.Size));
+  }
+  const uint64_t HeaderSum = checksumBytes(Prelude.data(), Prelude.size());
+
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return Status::error("cannot open '" + Path + "' for writing");
+  Out.write(reinterpret_cast<const char *>(Prelude.data()),
+            static_cast<std::streamsize>(HeaderSumPrefix));
+  char Tail[16] = {};
+  std::memcpy(Tail, &HeaderSum, 8); // LE host: memory order is wire order
+  Out.write(Tail, sizeof(Tail));    // headerSum + reserved
+  Out.write(reinterpret_cast<const char *>(Prelude.data()) + HeaderSumPrefix,
+            static_cast<std::streamsize>(Prelude.size() - HeaderSumPrefix));
+
+  uint64_t Written = HeaderBytes + Sections.size() * TableEntryBytes;
+  static const char Zeros[4096] = {};
+  for (const SectionOut &S : Sections) {
+    for (uint64_t Pad = S.Offset - Written; Pad > 0;) {
+      const uint64_t Chunk = Pad < sizeof(Zeros) ? Pad : sizeof(Zeros);
+      Out.write(Zeros, static_cast<std::streamsize>(Chunk));
+      Pad -= Chunk;
+    }
+    if (S.Size > 0)
+      Out.write(reinterpret_cast<const char *>(S.Data),
+                static_cast<std::streamsize>(S.Size));
+    Written = S.Offset + S.Size;
+  }
+  Out.close();
+  if (!Out)
+    return Status::error("cannot flush '" + Path + "'");
+  return Status();
+}
+
+Status kast::writeProfileStoreImageFile(const ProfileStoreCache &Cache,
+                                        const std::string &Path) {
+  return writeProfileStoreImageFile(Cache.KernelName, Cache.Names,
+                                    Cache.Labels, Cache.Store, Path,
+                                    Cache.RouteBlob);
+}
+
+Expected<ProfileStoreCache>
+kast::readProfileStoreImageFile(const std::string &Path,
+                                const FlatImageReadOptions &Options) {
+  using Result = Expected<ProfileStoreCache>;
+  if constexpr (std::endian::native != std::endian::little)
+    return Result::error("flat image reader requires a little-endian host; "
+                         "use the v2 cache format");
+
+  Expected<std::shared_ptr<const MappedImage>> Opened =
+      MappedImage::open(Path, Options.ForceBuffered);
+  if (!Opened)
+    return Result::error(Opened.message());
+  std::shared_ptr<const MappedImage> Image = Opened.take();
+  const unsigned char *Data = Image->data();
+  const uint64_t Size = Image->size();
+  // The buffered fallback has already read every byte, so full
+  // checksum coverage is free of extra faults; take it.
+  const bool Deep = Options.DeepValidate || !Image->isMapped();
+
+  auto fail = [&](const std::string &Message) {
+    return Result::error("'" + Path + "': " + Message);
+  };
+
+  if (Size >= 8 && std::memcmp(Data, ProfileCacheMagic, 8) == 0)
+    return fail("this is a v1/v2 profile cache; read it with "
+                "readProfileStoreCacheFile (core/ProfileSerializer)");
+  if (Size < HeaderBytes)
+    return fail("truncated flat image: missing header");
+  if (std::memcmp(Data, FlatImageMagic, 8) != 0)
+    return fail("not a flat image (bad magic)");
+  const uint32_t Version = readU32At(Data, 8);
+  if (Version != FlatImageVersion)
+    return fail("unsupported flat image version " + std::to_string(Version) +
+                " (expected " + std::to_string(FlatImageVersion) + ")");
+  const uint32_t SectionCount = readU32At(Data, 12);
+  const uint64_t KernelHash = readU64At(Data, 16);
+  const uint64_t N = readU64At(Data, 24);
+  const uint64_t Total = readU64At(Data, 32);
+  const uint64_t TableOffset = readU64At(Data, 40);
+  const uint64_t HeaderSum = readU64At(Data, 48);
+  if (SectionCount == 0 || SectionCount > MaxSections)
+    return fail("corrupt flat image: implausible section count " +
+                std::to_string(SectionCount));
+  if (N >= MaxCount || Total >= MaxCount)
+    return fail("corrupt flat image: implausible profile/entry count");
+  if (TableOffset != HeaderBytes)
+    return fail("corrupt flat image: misaligned section table (offset " +
+                std::to_string(TableOffset) + ", expected " +
+                std::to_string(HeaderBytes) + ")");
+  const uint64_t TableBytes = uint64_t(SectionCount) * TableEntryBytes;
+  if (Size < HeaderBytes + TableBytes)
+    return fail("truncated flat image: section table past end of file");
+
+  // The header checksum covers the prefix and the whole table, so one
+  // comparison validates every offset/size/sum we are about to trust.
+  std::vector<unsigned char> Checked;
+  Checked.reserve(HeaderSumPrefix + TableBytes);
+  Checked.insert(Checked.end(), Data, Data + HeaderSumPrefix);
+  Checked.insert(Checked.end(), Data + HeaderBytes,
+                 Data + HeaderBytes + TableBytes);
+  if (checksumBytes(Checked.data(), Checked.size()) != HeaderSum)
+    return fail("corrupt flat image: header checksum mismatch");
+
+  SectionIn Sections[MaxSections + 1] = {};
+  for (uint32_t I = 0; I < SectionCount; ++I) {
+    const uint64_t Entry = HeaderBytes + uint64_t(I) * TableEntryBytes;
+    const uint32_t Id = readU32At(Data, Entry);
+    SectionIn S;
+    S.Offset = readU64At(Data, Entry + 8);
+    S.Size = readU64At(Data, Entry + 16);
+    S.Sum = readU64At(Data, Entry + 24);
+    S.Present = true;
+    if (Id == 0 || Id > static_cast<uint32_t>(FlatSectionId::Route))
+      return fail("corrupt flat image: unknown section id " +
+                  std::to_string(Id));
+    const char *Name = sectionName(static_cast<FlatSectionId>(Id));
+    if (S.Offset % FlatImageAlignment != 0)
+      return fail(std::string("corrupt flat image: ") + Name +
+                  " section not " + std::to_string(FlatImageAlignment) +
+                  "-byte aligned");
+    if (S.Offset > Size || S.Size > Size - S.Offset)
+      return fail(std::string("truncated flat image: ") + Name +
+                  " section past end of file");
+    if (Sections[Id].Present)
+      return fail(std::string("corrupt flat image: duplicate ") + Name +
+                  " section");
+    Sections[Id] = S;
+  }
+
+  auto section = [&](FlatSectionId Id) -> const SectionIn & {
+    return Sections[static_cast<uint32_t>(Id)];
+  };
+  auto sectionData = [&](FlatSectionId Id) {
+    return Data + section(Id).Offset;
+  };
+
+  // Presence and exact sizes of the mandatory sections. The
+  // entry-array sizes anchor every later pointer view, so they are
+  // hard requirements, not checksummed suggestions.
+  const struct {
+    FlatSectionId Id;
+    uint64_t WantSize;
+    bool Exact;
+  } Shape[] = {
+      {FlatSectionId::KernelName, 0, false},
+      {FlatSectionId::Offsets, (N + 1) * 8, true},
+      {FlatSectionId::Hashes, Total * 8, true},
+      {FlatSectionId::Values, Total * 8, true},
+      {FlatSectionId::SelfDots, N * 8, true},
+      {FlatSectionId::Norms, N * 8, true},
+      {FlatSectionId::Names, (N + 1) * 8, false},
+      {FlatSectionId::Labels, (N + 1) * 8, false},
+  };
+  for (const auto &Want : Shape) {
+    const SectionIn &S = section(Want.Id);
+    const char *Name = sectionName(Want.Id);
+    if (!S.Present)
+      return fail(std::string("corrupt flat image: missing ") + Name +
+                  " section");
+    if (Want.Exact ? S.Size != Want.WantSize : S.Size < Want.WantSize)
+      return fail(std::string("corrupt flat image: ") + Name +
+                  " section size disagrees with header counts");
+  }
+
+  // Verify checksums: always for the O(N)-sized metadata sections,
+  // entry-sized arrays only under deep validation (see header).
+  auto verify = [&](FlatSectionId Id) -> Status {
+    const SectionIn &S = section(Id);
+    if (S.Present &&
+        checksumBytes(Data + S.Offset, static_cast<size_t>(S.Size)) != S.Sum)
+      return Status::error(std::string("corrupt flat image: ") +
+                           sectionName(Id) + " section checksum mismatch");
+    return Status();
+  };
+  for (FlatSectionId Id :
+       {FlatSectionId::KernelName, FlatSectionId::Offsets,
+        FlatSectionId::SelfDots, FlatSectionId::Norms, FlatSectionId::Names,
+        FlatSectionId::Labels, FlatSectionId::QuantScales,
+        FlatSectionId::Route})
+    if (Status S = verify(Id); !S)
+      return fail(S.message());
+  if (Deep)
+    for (FlatSectionId Id : {FlatSectionId::Hashes, FlatSectionId::Values,
+                             FlatSectionId::QuantValues})
+      if (Status S = verify(Id); !S)
+        return fail(S.message());
+
+  std::string KernelName(
+      reinterpret_cast<const char *>(sectionData(FlatSectionId::KernelName)),
+      static_cast<size_t>(section(FlatSectionId::KernelName).Size));
+  if (checksumBytes(KernelName.data(), KernelName.size()) != KernelHash)
+    return fail("corrupt flat image: kernel-name hash mismatch");
+
+  const uint64_t *Offsets =
+      reinterpret_cast<const uint64_t *>(sectionData(FlatSectionId::Offsets));
+  if (Status S = validateCsrOffsets(Offsets, static_cast<size_t>(N + 1), Total);
+      !S)
+    return fail(S.message());
+
+  Expected<std::vector<std::string>> Names =
+      parseStringTable(sectionData(FlatSectionId::Names),
+                       section(FlatSectionId::Names).Size, N, "names");
+  if (!Names)
+    return fail(Names.message());
+  Expected<std::vector<std::string>> Labels =
+      parseStringTable(sectionData(FlatSectionId::Labels),
+                       section(FlatSectionId::Labels).Size, N, "labels");
+  if (!Labels)
+    return fail(Labels.message());
+
+  ProfileStoreCache Cache;
+  Cache.KernelName = std::move(KernelName);
+  Cache.Names = Names.take();
+  Cache.Labels = Labels.take();
+  std::shared_ptr<const void> Backing = Image;
+  Cache.Store = ProfileStore::fromMapped(
+      Offsets,
+      reinterpret_cast<const uint64_t *>(sectionData(FlatSectionId::Hashes)),
+      reinterpret_cast<const double *>(sectionData(FlatSectionId::Values)),
+      reinterpret_cast<const double *>(sectionData(FlatSectionId::SelfDots)),
+      reinterpret_cast<const double *>(sectionData(FlatSectionId::Norms)),
+      static_cast<size_t>(N), static_cast<size_t>(Total), Backing);
+  if (Deep && !Cache.Store.isFinalized())
+    return fail("corrupt flat image: profile entries not sorted by hash");
+
+  // Optional quantized sidecar: both sections or neither.
+  const SectionIn &QValues = section(FlatSectionId::QuantValues);
+  const SectionIn &QScales = section(FlatSectionId::QuantScales);
+  if (QValues.Present != QScales.Present)
+    return fail("corrupt flat image: quantized sidecar needs both the "
+                "quantized-values and quantized-scales sections");
+  if (QValues.Present) {
+    if (QValues.Size != Total || QScales.Size != N * 8)
+      return fail("corrupt flat image: quantized sidecar size disagrees "
+                  "with header counts");
+    Cache.Store.adoptQuantized(
+        std::make_shared<const QuantizedStore>(QuantizedStore::fromMapped(
+            reinterpret_cast<const int8_t *>(
+                sectionData(FlatSectionId::QuantValues)),
+            Offsets,
+            reinterpret_cast<const double *>(
+                sectionData(FlatSectionId::QuantScales)),
+            static_cast<size_t>(N), static_cast<size_t>(Total), Backing)));
+  }
+
+  const SectionIn &Route = section(FlatSectionId::Route);
+  if (Route.Present)
+    Cache.RouteBlob.assign(
+        reinterpret_cast<const char *>(sectionData(FlatSectionId::Route)),
+        static_cast<size_t>(Route.Size));
+
+  // Serving faults pages in query order, which is as random as the
+  // query stream; tell the kernel not to read ahead aggressively.
+  Image->adviseRandom();
+  return Cache;
+}

@@ -1,0 +1,148 @@
+//===- core/FlatImage.h - v3 flat-image profile cache ----------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The v3 "flat image" cache format: a ProfileStore serialized so that
+/// the on-disk layout *is* the in-memory layout. Where the v2 block
+/// format (core/ProfileSerializer) is read-then-own — three bulk reads
+/// into freshly allocated arenas, O(entries) load time and a private
+/// resident copy per process — a flat image is mmap-then-view: the
+/// reader maps the file read-only, validates the header and metadata
+/// sections, and hands back a ProfileStore whose arrays alias the
+/// mapping (ProfileStore::fromMapped). Restart cost is validation plus
+/// first-page faults, independent of entry count; every process
+/// serving the same image shares one set of clean page-cache pages;
+/// and corpora larger than RAM are served by letting the kernel page.
+///
+/// Wire layout (all integers little-endian; doubles as IEEE-754 bit
+/// patterns; byte offsets from the start of the file):
+///
+///   0    magic          8 bytes  "KASTFLAT"
+///   8    version        u32      3
+///   12   sectionCount   u32
+///   16   kernelHash     u64      checksumBytes(kernel name bytes)
+///   24   profileCount   u64      N
+///   32   entryCount     u64      total entries across all profiles
+///   40   tableOffset    u64      64
+///   48   headerSum      u64      checksumBytes(bytes [0,48) ++ table)
+///   56   reserved       u64      0
+///   64   section table  sectionCount x 32 bytes:
+///          id u32, reserved u32, offset u64, byteSize u64, checksum u64
+///   ...  sections, each aligned to FlatImageAlignment, zero-padded
+///        between — aligned so u64/f64 views into the mapping are
+///        well-aligned and each section starts on its own page.
+///
+/// Sections (ids in FlatSectionId; M* = mandatory):
+///
+///   M KERNELNAME  raw bytes of the producing kernel's name()
+///   M OFFSETS     (N+1) x u64   CSR offsets (leading 0, last == total)
+///   M HASHES      total x u64   feature hashes, one blob
+///   M VALUES      total x f64   feature values
+///   M SELFDOTS    N x f64       cached self-dots (dot(p, p))
+///   M NORMS       N x f64       cached norms (sqrt of self-dot)
+///   M NAMES       (N+1) x u64 string offsets, then the byte blob
+///   M LABELS      same shape as NAMES
+///     QVALUES     total x i8    QuantizedStore codes (sidecar)
+///     QSCALES     N x f64       QuantizedStore per-profile scales
+///     ROUTE       opaque "KASTRTNG" routing-sidecar bytes
+///
+/// SELFDOTS and NORMS ride in the image because recomputing them is
+/// the O(entries) pass that makes the v2 load linear; QVALUES/QSCALES
+/// (present iff the store had a built sidecar at write time) and ROUTE
+/// let a routed, quantized index restore with no rebuild at all.
+///
+/// Validation. Opening always verifies the header checksum (which
+/// covers the section table), section bounds and alignment, the
+/// kernel-name hash, the CSR offset invariants (the shared
+/// validateCsrOffsets seam with the v2 reader), and the checksums of
+/// every metadata-sized section (everything O(N): offsets, self-dots,
+/// norms, names, labels, scales, route). The entry-sized sections
+/// (HASHES/VALUES/QVALUES) are checksummed only under
+/// FlatImageReadOptions::DeepValidate — verifying them eagerly would
+/// fault every page and reintroduce the O(entries) open the format
+/// exists to avoid. The buffered fallback (no mmap, or
+/// KAST_FORCE_BUFFERED=1) always deep-validates: it has already paid
+/// for every byte.
+///
+/// Lifetime. The returned cache's Store holds the MappedImage via
+/// shared_ptr; whoever ends up owning the store (e.g. an IndexService
+/// sealed segment) keeps the mapping alive, and the mapping survives
+/// unlink/rename of the path. The first mutation of the store promotes
+/// it to owned arrays and drops the image reference (see
+/// core/ProfileStore.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_CORE_FLATIMAGE_H
+#define KAST_CORE_FLATIMAGE_H
+
+#include "core/ProfileSerializer.h"
+#include "util/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace kast {
+
+/// Section alignment (and the x86-64/aarch64 page size): sections
+/// start page-aligned so each is independently mappable/advisable and
+/// any 8-byte element view into it is well-aligned.
+inline constexpr uint64_t FlatImageAlignment = 4096;
+
+/// Section identifiers of the v3 format. Values are wire constants.
+enum class FlatSectionId : uint32_t {
+  KernelName = 1,
+  Offsets = 2,
+  Hashes = 3,
+  Values = 4,
+  SelfDots = 5,
+  Norms = 6,
+  Names = 7,
+  Labels = 8,
+  QuantValues = 9,
+  QuantScales = 10,
+  Route = 11,
+};
+
+struct FlatImageReadOptions {
+  /// Also verify the checksums of the entry-sized sections (hashes,
+  /// values, quantized codes) — an O(entries) sweep that faults every
+  /// page. Tests and integrity audits want it; serving restarts do
+  /// not. Implied on the buffered fallback path.
+  bool DeepValidate = false;
+  /// Skip mmap and read the file into an owned buffer (equivalent to
+  /// KAST_FORCE_BUFFERED=1 for this one call).
+  bool ForceBuffered = false;
+};
+
+/// Writes \p Store (with its names/labels, its quantized sidecar if
+/// one is built, and \p RouteBlob if non-empty) as a v3 flat image at
+/// \p Path. The writer emits little-endian bytes on any host; the
+/// zero-copy *reader* additionally requires a little-endian host.
+Status writeProfileStoreImageFile(const std::string &KernelName,
+                                  const std::vector<std::string> &Names,
+                                  const std::vector<std::string> &Labels,
+                                  const ProfileStore &Store,
+                                  const std::string &Path,
+                                  const std::string &RouteBlob = {});
+
+/// Struct form: uses Cache.RouteBlob and Cache.Store's sidecar.
+Status writeProfileStoreImageFile(const ProfileStoreCache &Cache,
+                                  const std::string &Path);
+
+/// Opens, validates, and views a v3 flat image. On success the
+/// returned cache's Store (and quantized sidecar, when the image
+/// carries one) alias the mapping; Names/Labels/RouteBlob are owned
+/// copies. Rejects v1/v2 caches with a pointer at the right reader,
+/// and any structural or checksum violation with a diagnostic naming
+/// the section.
+Expected<ProfileStoreCache>
+readProfileStoreImageFile(const std::string &Path,
+                          const FlatImageReadOptions &Options = {});
+
+} // namespace kast
+
+#endif // KAST_CORE_FLATIMAGE_H

@@ -159,8 +159,12 @@ Expected<CacheHeader> readCacheHeader(std::istream &In) {
   using Result = Expected<CacheHeader>;
   char Magic[sizeof(ProfileCacheMagic)];
   if (!In.read(Magic, sizeof(Magic)) ||
-      std::memcmp(Magic, ProfileCacheMagic, sizeof(Magic)) != 0)
+      std::memcmp(Magic, ProfileCacheMagic, sizeof(Magic)) != 0) {
+    if (In && std::memcmp(Magic, FlatImageMagic, sizeof(Magic)) == 0)
+      return Result::error("this is a v3 flat-image cache; read it with "
+                           "readProfileStoreImageFile (core/FlatImage)");
     return Result::error("not a profile cache (bad magic)");
+  }
   std::optional<uint32_t> Version = readU32(In);
   if (!Version)
     return Result::error("truncated profile cache: missing version");
@@ -236,6 +240,13 @@ Expected<ProfileStoreCache> readStoreBody(std::istream &In,
       readBlob<uint64_t>(In, *Count + 1);
   if (!Offsets)
     return Result::error("truncated profile cache: offset array");
+  // Pre-validate the CSR shape before touching (or sizing) the entry
+  // blobs: adopt() asserts this invariant, and the shared seam keeps
+  // the v2 and v3 readers rejecting the same corruptions with the same
+  // diagnostics.
+  if (Status S = validateCsrOffsets(Offsets->data(), Offsets->size(), *Total);
+      !S)
+    return Result::error(S.message());
   std::optional<std::vector<uint64_t>> Hashes = readBlob<uint64_t>(In, *Total);
   if (!Hashes)
     return Result::error("truncated profile cache: hash array");
@@ -244,13 +255,6 @@ Expected<ProfileStoreCache> readStoreBody(std::istream &In,
   std::optional<std::vector<double>> Values = readBlob<double>(In, *Total);
   if (!Values)
     return Result::error("truncated profile cache: value array");
-
-  for (size_t I = 1; I < Offsets->size(); ++I)
-    if ((*Offsets)[I] < (*Offsets)[I - 1])
-      return Result::error("corrupt profile cache: offsets not monotonic");
-  if (Offsets->front() != 0 || Offsets->back() != *Total)
-    return Result::error("corrupt profile cache: offsets disagree with "
-                         "entry total");
 
   Cache.Store = ProfileStore::adopt(std::move(*Hashes), std::move(*Values),
                                     std::move(*Offsets));
@@ -317,6 +321,21 @@ Expected<T> readCacheFile(const std::string &Path, ReadFn Read) {
 }
 
 } // namespace
+
+Status kast::validateCsrOffsets(const uint64_t *Offsets, size_t Count,
+                                uint64_t Total) {
+  if (Count == 0)
+    return Status::error("corrupt profile cache: empty offset array");
+  if (Offsets[0] != 0)
+    return Status::error("corrupt profile cache: offsets must start at 0");
+  for (size_t I = 1; I < Count; ++I)
+    if (Offsets[I] < Offsets[I - 1])
+      return Status::error("corrupt profile cache: offsets not monotonic");
+  if (Offsets[Count - 1] != Total)
+    return Status::error("corrupt profile cache: offsets disagree with "
+                         "entry total");
+  return Status();
+}
 
 void kast::writeProfile(const KernelProfile &P, std::ostream &Out) {
   writeU64(Out, static_cast<uint64_t>(P.size()));

@@ -66,6 +66,23 @@ inline constexpr char ProfileCacheMagic[8] = {'K', 'A', 'S', 'T',
 inline constexpr uint32_t ProfileCacheVersion = 1;
 inline constexpr uint32_t ProfileCacheVersionV2 = 2;
 
+/// The v3 flat-image format (core/FlatImage) has its own magic so the
+/// two readers can tell each other's files apart and point the caller
+/// at the right entry point instead of reporting generic corruption.
+inline constexpr char FlatImageMagic[8] = {'K', 'A', 'S', 'T',
+                                           'F', 'L', 'A', 'T'};
+inline constexpr uint32_t FlatImageVersion = 3;
+
+/// Shared CSR validation seam for the v2 and v3 readers: \p Offsets
+/// must hold \p Count elements (profile count + 1) with a leading 0,
+/// non-decreasing values, and a final element equal to \p Total (the
+/// entry count the header promised). Runs *before* any entry blob is
+/// adopted or aliased, so a corrupt offset array can never become an
+/// out-of-bounds profile view. Returns a corruption diagnostic naming
+/// the first violation.
+Status validateCsrOffsets(const uint64_t *Offsets, size_t Count,
+                          uint64_t Total);
+
 /// One cached profile with its provenance.
 struct ProfileRecord {
   std::string Name;      ///< String/trace name ("A3.2").
@@ -88,6 +105,13 @@ struct ProfileStoreCache {
   std::vector<std::string> Names;  ///< size() == Store.size()
   std::vector<std::string> Labels; ///< size() == Store.size()
   ProfileStore Store;
+  /// Opaque routing-sidecar bytes (the "KASTRTNG" wire format of
+  /// index/InvertedIndex) carried through the v3 flat image so a
+  /// routed shard restores without a rebuild. core treats this as
+  /// payload only — IndexService::fromShardCaches interprets it.
+  /// Empty when the shard has no routing (always empty from the v1/v2
+  /// readers, which predate the field).
+  std::string RouteBlob;
 };
 
 /// Writes one finalized profile (nnz + entries) to \p Out.

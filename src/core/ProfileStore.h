@@ -26,9 +26,25 @@
 /// cached self-norm) triple — and the merge-join dot over two views
 /// streams the dense hash arrays, touching values only on a hash
 /// match. This is the storage behind the Gram fast path
-/// (core/KernelMatrix), retrieval (index/ProfileIndex), and the v2
-/// block cache format (core/ProfileSerializer), which writes the three
-/// arrays as single contiguous blobs.
+/// (core/KernelMatrix), retrieval (index/ProfileIndex), and the cache
+/// formats (core/ProfileSerializer, core/FlatImage).
+///
+/// Backing modes. Internally every array is addressed through a span
+/// (pointer + count), and the spans aim at one of two places:
+///
+///  - *owned*: the store's own vectors — the result of append/adopt,
+///    mutable, exactly the pre-v3 behavior;
+///  - *mapped*: an externally owned byte image (fromMapped), typically
+///    a v3 flat-image file mapped read-only by core/FlatImage. The
+///    store holds a `shared_ptr<const void>` keep-alive to the backing,
+///    so the mapping lives as long as any store (or copy of it) views
+///    into it. Restore is O(1): no arena allocation, no entry copies.
+///
+/// The first mutation of a mapped store (append/appendFrom/reserve)
+/// promotes it: the mapped spans are copied into owned vectors, the
+/// backing reference is dropped, and the mutation proceeds against the
+/// private copy — copy-on-write at store granularity. The mapping
+/// itself is never written through (it is PROT_READ anyway).
 ///
 /// Views are invalidated by append (the arena may reallocate); indices
 /// are stable forever.
@@ -46,6 +62,41 @@
 #include <vector>
 
 namespace kast {
+
+/// Minimal read-only array view: the return type of the store's raw
+/// accessors, pointing either into the store's own vectors or into a
+/// mapped image. Iterable and element-comparable like the vector it
+/// replaced; does not own and does not outlive its store's next
+/// mutation.
+template <typename T> class ArrayView {
+public:
+  ArrayView() = default;
+  ArrayView(const T *Data, size_t Size) : Ptr(Data), Count(Size) {}
+  /*implicit*/ ArrayView(const std::vector<T> &V)
+      : Ptr(V.data()), Count(V.size()) {}
+
+  const T *data() const { return Ptr; }
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  const T *begin() const { return Ptr; }
+  const T *end() const { return Ptr + Count; }
+  const T &operator[](size_t I) const { return Ptr[I]; }
+  const T &front() const { return Ptr[0]; }
+  const T &back() const { return Ptr[Count - 1]; }
+
+  friend bool operator==(const ArrayView &A, const ArrayView &B) {
+    if (A.Count != B.Count)
+      return false;
+    for (size_t I = 0; I < A.Count; ++I)
+      if (!(A.Ptr[I] == B.Ptr[I]))
+        return false;
+    return true;
+  }
+
+private:
+  const T *Ptr = nullptr;
+  size_t Count = 0;
+};
 
 /// Non-owning window onto one profile in a ProfileStore: parallel
 /// hash/value spans plus the cached self-dot and norm. Cheap to copy;
@@ -117,6 +168,12 @@ class ProfileStore;
 /// in the parent store; the sidecar only adds the 8x-smaller value
 /// arrays the approximate scan streams.
 ///
+/// Like the parent store, a sidecar is either owned (build) or a view
+/// over a mapped image (fromMapped — the v3 format persists the codes
+/// and scales so a quantized index restores without the O(entries)
+/// rebuild). A sidecar is immutable after construction, so it needs no
+/// promotion machinery; the parent drops it on append either way.
+///
 /// Error bound: for a query q and stored profile p,
 ///     |dot(q, p) - dotQuantized(q, p)| <= Scale/2 * sum_matches |q_i|
 ///                                      <= Scale/2 * L1(q),
@@ -134,30 +191,69 @@ public:
     double Scale = 0.0;
   };
 
+  QuantizedStore() { syncOwned(); }
+  QuantizedStore(const QuantizedStore &Other);
+  QuantizedStore &operator=(const QuantizedStore &Other);
+  QuantizedStore(QuantizedStore &&Other) noexcept;
+  QuantizedStore &operator=(QuantizedStore &&Other) noexcept;
+
   /// Quantizes every profile of \p Store. Deterministic: the sidecar
   /// is a pure function of the store's contents, so it can always be
   /// rebuilt instead of persisted.
   static QuantizedStore build(const ProfileStore &Store);
 
-  size_t size() const { return Scales.size(); }
+  /// Non-owning construction over externally owned arrays (a mapped v3
+  /// image); \p Backing keeps the bytes alive. The arrays must mirror
+  /// the parent store's CSR layout — the flat-image reader validates
+  /// this before calling in.
+  static QuantizedStore fromMapped(const int8_t *Values,
+                                   const uint64_t *Offsets,
+                                   const double *Scales, size_t Profiles,
+                                   size_t Entries,
+                                   std::shared_ptr<const void> Backing);
+
+  size_t size() const { return NumProfiles; }
+
+  /// Total quantized entries (== the parent store's entryCount()).
+  size_t entryCount() const { return NumEntries; }
 
   View view(size_t I) const {
-    const size_t Begin = static_cast<size_t>(Offsets[I]);
-    return {Values.data() + Begin,
-            static_cast<size_t>(Offsets[I + 1]) - Begin, Scales[I]};
+    const size_t Begin = static_cast<size_t>(OffsetsP[I]);
+    return {ValuesP + Begin, static_cast<size_t>(OffsetsP[I + 1]) - Begin,
+            ScalesP[I]};
   }
 
-  double scale(size_t I) const { return Scales[I]; }
+  double scale(size_t I) const { return ScalesP[I]; }
+
+  // Raw access for image serialization (core/FlatImage).
+  ArrayView<int8_t> values() const { return {ValuesP, NumEntries}; }
+  ArrayView<double> scales() const { return {ScalesP, NumProfiles}; }
 
 private:
-  std::vector<int8_t> Values;
-  std::vector<uint64_t> Offsets = {0};
-  std::vector<double> Scales;
+  void syncOwned();
+
+  std::vector<int8_t> ValuesOwned;
+  std::vector<uint64_t> OffsetsOwned = {0};
+  std::vector<double> ScalesOwned;
+  const int8_t *ValuesP = nullptr;
+  const uint64_t *OffsetsP = nullptr;
+  const double *ScalesP = nullptr;
+  size_t NumProfiles = 0;
+  size_t NumEntries = 0;
+  /// Non-null iff the spans view an external mapping.
+  std::shared_ptr<const void> Backing;
 };
 
-/// Arena of N profiles as structure-of-arrays with CSR offsets.
+/// Arena of N profiles as structure-of-arrays with CSR offsets, either
+/// owning its arrays or viewing a mapped image (see file comment).
 class ProfileStore {
 public:
+  ProfileStore() { syncOwned(); }
+  ProfileStore(const ProfileStore &Other);
+  ProfileStore &operator=(const ProfileStore &Other);
+  ProfileStore(ProfileStore &&Other) noexcept;
+  ProfileStore &operator=(ProfileStore &&Other) noexcept;
+
   /// Copies a finalized profile into the arena and caches its
   /// self-dot/norm. \returns the new profile's index.
   size_t append(const KernelProfile &Profile);
@@ -189,29 +285,49 @@ public:
                             std::vector<double> Values,
                             std::vector<uint64_t> Offsets);
 
+  /// Non-owning construction over externally owned arrays — the v3
+  /// flat-image restore path (core/FlatImage). All five arrays view
+  /// \p Backing, which stays alive as long as this store or any copy
+  /// of it does. The caller has already validated the CSR shape and
+  /// section checksums; self-dots and norms come from the image, not
+  /// from an O(entries) recompute. The first mutation promotes to
+  /// owned arrays (see isMapped()).
+  static ProfileStore fromMapped(const uint64_t *Offsets,
+                                 const uint64_t *Hashes,
+                                 const double *Values, const double *SelfDots,
+                                 const double *Norms, size_t Profiles,
+                                 size_t Entries,
+                                 std::shared_ptr<const void> Backing);
+
+  /// True while the arrays view an external mapping; false once owned
+  /// (initially, or after the copy-on-write promotion a mutation
+  /// triggers).
+  bool isMapped() const { return Backing != nullptr; }
+
   /// Number of profiles stored.
-  size_t size() const { return Offsets.size() - 1; }
+  size_t size() const { return NumProfiles; }
   bool empty() const { return size() == 0; }
 
   /// Total (hash, value) entries across all profiles.
-  size_t entryCount() const { return Hashes.size(); }
+  size_t entryCount() const { return NumEntries; }
 
   /// The view of profile \p I; invalidated by the next append.
   ProfileView view(size_t I) const {
-    const size_t Begin = static_cast<size_t>(Offsets[I]);
-    return {Hashes.data() + Begin, Values.data() + Begin,
-            static_cast<size_t>(Offsets[I + 1]) - Begin, SelfDots[I],
-            Norms[I]};
+    const size_t Begin = static_cast<size_t>(OffsetsP[I]);
+    return {HashesP + Begin, ValuesP + Begin,
+            static_cast<size_t>(OffsetsP[I + 1]) - Begin, SelfDotsP[I],
+            NormsP[I]};
   }
 
   /// Raw self-kernel dot(p, p) of profile \p I.
-  double selfDot(size_t I) const { return SelfDots[I]; }
+  double selfDot(size_t I) const { return SelfDotsP[I]; }
 
   /// sqrt(selfDot(I)).
-  double norm(size_t I) const { return Norms[I]; }
+  double norm(size_t I) const { return NormsP[I]; }
 
   /// Pre-sizes the arena for \p Profiles profiles totaling \p Entries
-  /// features, so a bulk build appends without reallocation.
+  /// features, so a bulk build appends without reallocation. Counts as
+  /// a mutation: promotes a mapped store.
   void reserve(size_t Profiles, size_t Entries);
 
   /// Copies profile \p I back out as a staging-type KernelProfile
@@ -228,6 +344,12 @@ public:
   /// sidecar for the current contents already exists.
   void buildQuantized();
 
+  /// Installs an externally built sidecar — the v3 restore path, where
+  /// the image carries the int8 codes and scales and rebuilding them
+  /// would forfeit the O(1) open. \p Q must mirror this store's CSR
+  /// layout (asserted on the counts).
+  void adoptQuantized(std::shared_ptr<const QuantizedStore> Q);
+
   /// The quantized sidecar, or nullptr if none has been built (or an
   /// append invalidated it).
   const QuantizedStore *quantized() const { return Quant.get(); }
@@ -238,20 +360,48 @@ public:
     return Quant;
   }
 
-  // Raw arena access for block serialization; Offsets has size()+1
-  // elements with Offsets[0] == 0. Offsets are kept as u64 — the v2
-  // wire width — so save/load move the blob wholesale with no
-  // widen/narrow copy.
-  const std::vector<uint64_t> &hashes() const { return Hashes; }
-  const std::vector<double> &values() const { return Values; }
-  const std::vector<uint64_t> &offsets() const { return Offsets; }
+  // Raw arena access for block serialization; offsets() has size()+1
+  // elements with offsets()[0] == 0. Offsets are kept as u64 — the
+  // cache wire width — so save/load move the blob wholesale with no
+  // widen/narrow copy. The views follow the active backing (owned
+  // vectors or mapped image) and are invalidated like ProfileViews.
+  ArrayView<uint64_t> hashes() const { return {HashesP, NumEntries}; }
+  ArrayView<double> values() const { return {ValuesP, NumEntries}; }
+  ArrayView<uint64_t> offsets() const { return {OffsetsP, NumProfiles + 1}; }
+  ArrayView<double> selfDots() const { return {SelfDotsP, NumProfiles}; }
+  ArrayView<double> norms() const { return {NormsP, NumProfiles}; }
 
 private:
-  std::vector<uint64_t> Hashes;
-  std::vector<double> Values;
-  std::vector<uint64_t> Offsets = {0};
-  std::vector<double> SelfDots;
-  std::vector<double> Norms;
+  /// Re-aims the spans at the owned vectors and refreshes the counts
+  /// from them; called after every owned-mode mutation (push_back may
+  /// reallocate) and by construction/assignment.
+  void syncOwned();
+
+  /// Copy-on-write promotion: copies mapped spans into the owned
+  /// vectors and drops the backing. No-op when already owned.
+  void promote();
+
+  void moveFrom(ProfileStore &&Other) noexcept;
+
+  // Owned arenas; unused (kept empty/trivial) while Backing is set.
+  std::vector<uint64_t> HashesOwned;
+  std::vector<double> ValuesOwned;
+  std::vector<uint64_t> OffsetsOwned = {0};
+  std::vector<double> SelfDotsOwned;
+  std::vector<double> NormsOwned;
+
+  // Active spans: into the owned vectors, or into Backing.
+  const uint64_t *HashesP = nullptr;
+  const double *ValuesP = nullptr;
+  const uint64_t *OffsetsP = nullptr;
+  const double *SelfDotsP = nullptr;
+  const double *NormsP = nullptr;
+  size_t NumProfiles = 0;
+  size_t NumEntries = 0;
+
+  /// Keep-alive for the mapped image; non-null iff in mapped mode.
+  std::shared_ptr<const void> Backing;
+
   /// Lazily built by buildQuantized(); reset by any append (the
   /// sidecar mirrors the CSR layout, which appends change).
   std::shared_ptr<const QuantizedStore> Quant;

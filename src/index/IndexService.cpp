@@ -13,6 +13,7 @@
 #include <cmath>
 #include <filesystem>
 #include <functional>
+#include <sstream>
 #include <thread>
 
 using namespace kast;
@@ -766,8 +767,41 @@ IndexService::fromShardCaches(std::vector<ProfileStoreCache> Caches,
       if (Service.shardOf(Name) != S)
         Service.StrictRouting = false;
     W.EntryCount = W.LiveCount = Seg->size();
-    W.Sealed.push_back(std::move(Seg));
+    W.Sealed.push_back(Seg);
     W.SealedTombs.push_back(nullptr);
+    // A cache carrying an embedded routing sidecar (the ROUTE section
+    // of a v3 flat image) restores its routed tier here, exactly as
+    // loadShardRouting does from a "shard-NNN.route" file: the fitted
+    // router comes off the wire, the inverted index rebuilds
+    // deterministically, and the quantized shortlist store reuses the
+    // image's sidecar when the store carries one (zero-copy) instead
+    // of requantizing.
+    if (!Caches[S].RouteBlob.empty()) {
+      std::istringstream In(Caches[S].RouteBlob);
+      Expected<RoutingCache> Route = readRouting(In);
+      if (!Route)
+        return Result::error("shard cache " + std::to_string(S) +
+                             ": " + Route.message());
+      RoutingCache Loaded = Route.take();
+      if (Loaded.Router.numProfiles() != Seg->size())
+        return Result::error("shard cache " + std::to_string(S) +
+                             "'s embedded routing sidecar does not match its "
+                             "profile count");
+      auto R = std::make_shared<detail::IndexRouting>();
+      R->Options = Loaded.Options;
+      R->Router = std::move(Loaded.Router);
+      R->Inverted = InvertedIndex::build(Seg->Store, R->Router.assignments(),
+                                         R->Router.numCentroids(),
+                                         R->Options.MaxDocFrequency);
+      if (R->Options.RerankBudget > 0 && R->Options.QuantizedShortlist) {
+        R->Quant = Seg->Store.quantizedShared();
+        if (!R->Quant)
+          R->Quant = std::make_shared<const QuantizedStore>(
+              QuantizedStore::build(Seg->Store));
+      }
+      W.Routing = std::move(R);
+      W.RoutedSegment = Seg;
+    }
     std::lock_guard<std::mutex> Lock(Service.Shards[S]->WriterMutex);
     publishLocked(*Service.Shards[S], Service.Options.SealThreshold);
   }
@@ -797,6 +831,26 @@ std::vector<ProfileStoreCache> IndexService::toShardCaches() const {
                        Cache.Names.push_back(Seg.Names[I]);
                        Cache.Labels.push_back(Seg.Labels[I]);
                      });
+    // A shard whose whole published state is its one routed segment
+    // (no staging tail, no tombstones) exports bit-identically to that
+    // segment, so the fitted router and the quantized shortlist store
+    // stay valid for the exported arena: embed the routing sidecar
+    // bytes (the v3 flat image's ROUTE section) and hang the sidecar
+    // on the exported store so fromShardCaches restores the routed,
+    // quantized tier with no refit and no requantize. Any other shape
+    // leaves RouteBlob empty — the router's assignments would not line
+    // up with the exported profile numbering.
+    const bool ExactRoutedCopy =
+        Shard.Routing && Shard.Segments.size() == 1 &&
+        Shard.Segments[0] == Shard.RoutedSegment && !Shard.Tombstones[0];
+    if (ExactRoutedCopy) {
+      std::ostringstream Out;
+      if (writeRouting(Shard.Routing->Router, Shard.Routing->Options, Out)
+              .ok())
+        Cache.RouteBlob = Out.str();
+      if (Shard.Routing->Quant)
+        Cache.Store.adoptQuantized(Shard.Routing->Quant);
+    }
   }
   return Caches;
 }

@@ -209,12 +209,8 @@ bool readU64(std::istream &In, uint64_t &V) {
 
 } // namespace
 
-Status writeRoutingFile(const ClusterRouter &Router,
-                        const RoutingOptions &Options,
-                        const std::string &Path) {
-  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
-  if (!Out)
-    return Status::error("cannot open routing file for writing: " + Path);
+Status writeRouting(const ClusterRouter &Router, const RoutingOptions &Options,
+                    std::ostream &Out) {
   Out.write(RoutingMagic, sizeof(RoutingMagic));
   writeU32(Out, RoutingVersion);
   writeU64(Out, std::bit_cast<uint64_t>(Options.MaxDocFrequency));
@@ -229,22 +225,18 @@ Status writeRoutingFile(const ClusterRouter &Router,
     return S;
   Out.flush();
   if (!Out)
-    return Status::error("failed writing routing file: " + Path);
+    return Status::error("failed writing routing data");
   return Status();
 }
 
-Expected<RoutingCache> readRoutingFile(const std::string &Path) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return Expected<RoutingCache>::error("cannot open routing file: " + Path);
+Expected<RoutingCache> readRouting(std::istream &In) {
   char Magic[8];
   if (!In.read(Magic, sizeof(Magic)) ||
       std::memcmp(Magic, RoutingMagic, sizeof(Magic)) != 0)
-    return Expected<RoutingCache>::error("not a routing file: " + Path);
+    return Expected<RoutingCache>::error("not a routing sidecar (bad magic)");
   uint32_t Version = 0;
   if (!readU32(In, Version) || Version < 1 || Version > RoutingVersion)
-    return Expected<RoutingCache>::error("unsupported routing version in " +
-                                         Path);
+    return Expected<RoutingCache>::error("unsupported routing version");
   RoutingCache Cache;
   uint64_t MaxDfBits = 0, RerankBudget = 0, DefaultNProbe = 0;
   uint64_t NumCentroids = 0, MaxIterations = 0, TrainingSample = 0, Seed = 0;
@@ -252,11 +244,12 @@ Expected<RoutingCache> readRoutingFile(const std::string &Path) {
       !readU64(In, DefaultNProbe) || !readU64(In, NumCentroids) ||
       !readU64(In, MaxIterations) || !readU64(In, TrainingSample) ||
       !readU64(In, Seed))
-    return Expected<RoutingCache>::error("truncated routing file: " + Path);
+    return Expected<RoutingCache>::error("truncated routing sidecar");
   Cache.Options.MaxDocFrequency = std::bit_cast<double>(MaxDfBits);
   if (!(Cache.Options.MaxDocFrequency >= 0.0) ||
       Cache.Options.MaxDocFrequency > 1.0)
-    return Expected<RoutingCache>::error("corrupt df threshold in " + Path);
+    return Expected<RoutingCache>::error("corrupt df threshold in routing "
+                                         "sidecar");
   Cache.Options.RerankBudget = RerankBudget;
   Cache.Options.DefaultNProbe = DefaultNProbe;
   Cache.Options.Cluster.NumCentroids = NumCentroids;
@@ -266,7 +259,7 @@ Expected<RoutingCache> readRoutingFile(const std::string &Path) {
   if (Version >= 2) {
     uint64_t Flags = 0;
     if (!readU64(In, Flags))
-      return Expected<RoutingCache>::error("truncated routing file: " + Path);
+      return Expected<RoutingCache>::error("truncated routing sidecar");
     Cache.Options.QuantizedShortlist =
         (Flags & RoutingFlagQuantizedShortlist) != 0;
   }
@@ -274,6 +267,28 @@ Expected<RoutingCache> readRoutingFile(const std::string &Path) {
   if (!Router.hasValue())
     return Expected<RoutingCache>::error(Router.message());
   Cache.Router = Router.take();
+  return Cache;
+}
+
+Status writeRoutingFile(const ClusterRouter &Router,
+                        const RoutingOptions &Options,
+                        const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return Status::error("cannot open routing file for writing: " + Path);
+  if (Status S = writeRouting(Router, Options, Out); !S.ok())
+    return Status::error(S.message() + " ('" + Path + "')");
+  return Status();
+}
+
+Expected<RoutingCache> readRoutingFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Expected<RoutingCache>::error("cannot open routing file: " + Path);
+  Expected<RoutingCache> Cache = readRouting(In);
+  if (!Cache)
+    return Expected<RoutingCache>::error(Cache.message() + " ('" + Path +
+                                         "')");
   return Cache;
 }
 

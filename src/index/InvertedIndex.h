@@ -41,6 +41,7 @@
 #include "util/SimdDot.h"
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -204,6 +205,15 @@ struct RoutingCache {
   ClusterRouter Router;
   RoutingOptions Options;
 };
+
+/// Stream forms of the routing sidecar's "KASTRTNG" wire format. The
+/// file functions below are these over a file stream; the v3 flat
+/// image (core/FlatImage) embeds the identical bytes as its ROUTE
+/// section (ProfileStoreCache::RouteBlob), so a routed shard restores
+/// from either carrier with one parser.
+Status writeRouting(const ClusterRouter &Router, const RoutingOptions &Options,
+                    std::ostream &Out);
+Expected<RoutingCache> readRouting(std::istream &In);
 
 Status writeRoutingFile(const ClusterRouter &Router,
                         const RoutingOptions &Options,

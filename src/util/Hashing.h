@@ -23,7 +23,10 @@
 #ifndef KAST_UTIL_HASHING_H
 #define KAST_UTIL_HASHING_H
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 namespace kast {
 
@@ -34,6 +37,38 @@ inline uint64_t mixHash64(uint64_t X) {
   X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
   X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
   return X ^ (X >> 31);
+}
+
+/// 64-bit content checksum of a byte range: FNV-1a over 8-byte
+/// little-endian lanes (the tail zero-padded to a lane), length folded
+/// into the seed, SplitMix64-finalized. Defined over the *byte*
+/// sequence — the same bytes checksum identically on any host — which
+/// is what the flat-image cache format (core/FlatImage) stores per
+/// section: a fast corruption detector, not a cryptographic digest.
+inline uint64_t checksumBytes(const void *Data, size_t Size) {
+  constexpr uint64_t Prime = 0x100000001B3ULL;
+  const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+  uint64_t H = 0xCBF29CE484222325ULL ^
+               (static_cast<uint64_t>(Size) * 0x9E3779B97F4A7C15ULL);
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8) {
+    uint64_t Lane;
+    std::memcpy(&Lane, Bytes + I, 8);
+    if constexpr (std::endian::native != std::endian::little) {
+      uint64_t Swapped = 0;
+      for (int B = 0; B < 8; ++B)
+        Swapped |= ((Lane >> (8 * (7 - B))) & 0xFF) << (8 * B);
+      Lane = Swapped;
+    }
+    H = (H ^ Lane) * Prime;
+  }
+  if (I < Size) {
+    uint64_t Lane = 0;
+    for (size_t B = 0; I + B < Size; ++B)
+      Lane |= static_cast<uint64_t>(Bytes[I + B]) << (8 * B);
+    H = (H ^ Lane) * Prime;
+  }
+  return mixHash64(H);
 }
 
 /// Incremental polynomial hash over a symbol sequence. Appending symbol

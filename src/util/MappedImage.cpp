@@ -1,0 +1,119 @@
+//===- util/MappedImage.cpp - Read-only file mapping -----------------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/MappedImage.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define KAST_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+using namespace kast;
+
+namespace {
+
+bool forceBufferedEnv() {
+  const char *Env = std::getenv("KAST_FORCE_BUFFERED");
+  return Env && Env[0] == '1' && Env[1] == '\0';
+}
+
+} // namespace
+
+Expected<std::shared_ptr<const MappedImage>>
+MappedImage::open(const std::string &Path, bool ForceBuffered) {
+  using Result = Expected<std::shared_ptr<const MappedImage>>;
+  std::shared_ptr<MappedImage> Image(new MappedImage());
+
+  const bool Buffered = ForceBuffered || forceBufferedEnv();
+#ifdef KAST_HAVE_MMAP
+  if (!Buffered) {
+    const int Fd = ::open(Path.c_str(), O_RDONLY);
+    if (Fd < 0)
+      return Result::error("cannot open '" + Path + "'");
+    struct stat St;
+    if (::fstat(Fd, &St) != 0) {
+      ::close(Fd);
+      return Result::error("cannot stat '" + Path + "'");
+    }
+    const size_t Size = static_cast<size_t>(St.st_size);
+    if (Size == 0) {
+      // mmap of length 0 is an error; an empty file is a valid (if
+      // doomed-to-fail-validation) image, served as an empty buffer.
+      ::close(Fd);
+      Image->Data = nullptr;
+      Image->Size = 0;
+      Image->Mapped = false;
+      return std::shared_ptr<const MappedImage>(std::move(Image));
+    }
+    void *Addr = ::mmap(nullptr, Size, PROT_READ, MAP_SHARED, Fd, 0);
+    // The mapping holds its own reference to the file; the descriptor
+    // is not needed past mmap (and closing it keeps the fd table flat
+    // for servers mapping many shards).
+    ::close(Fd);
+    if (Addr != MAP_FAILED) {
+      Image->Data = static_cast<unsigned char *>(Addr);
+      Image->Size = Size;
+      Image->Mapped = true;
+      return std::shared_ptr<const MappedImage>(std::move(Image));
+    }
+    // mmap refused (e.g. a filesystem without mmap support): fall
+    // through to the buffered read rather than failing the load.
+  }
+#else
+  (void)Buffered;
+#endif
+
+  std::ifstream In(Path, std::ios::binary | std::ios::ate);
+  if (!In)
+    return Result::error("cannot open '" + Path + "'");
+  const std::streamoff End = In.tellg();
+  if (End < 0)
+    return Result::error("cannot size '" + Path + "'");
+  In.seekg(0);
+  const size_t Size = static_cast<size_t>(End);
+  unsigned char *Buffer = Size > 0 ? new unsigned char[Size] : nullptr;
+  if (Size > 0 &&
+      !In.read(reinterpret_cast<char *>(Buffer),
+               static_cast<std::streamsize>(Size))) {
+    delete[] Buffer;
+    return Result::error("cannot read '" + Path + "'");
+  }
+  Image->Data = Buffer;
+  Image->Size = Size;
+  Image->Mapped = false;
+  return std::shared_ptr<const MappedImage>(std::move(Image));
+}
+
+MappedImage::~MappedImage() {
+#ifdef KAST_HAVE_MMAP
+  if (Mapped) {
+    ::munmap(Data, Size);
+    return;
+  }
+#endif
+  delete[] Data;
+}
+
+void MappedImage::adviseRandom() const {
+#ifdef KAST_HAVE_MMAP
+  if (Mapped && Size > 0)
+    ::madvise(Data, Size, MADV_RANDOM);
+#endif
+}
+
+void MappedImage::adviseSequential() const {
+#ifdef KAST_HAVE_MMAP
+  if (Mapped && Size > 0)
+    ::madvise(Data, Size, MADV_SEQUENTIAL);
+#endif
+}

@@ -1,0 +1,79 @@
+//===- util/MappedImage.h - Read-only file mapping -------------*- C++ -*-===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII wrapper around a read-only file mapping — the zero-copy
+/// substrate of the v3 flat-image cache format (core/FlatImage). The
+/// file is mapped `PROT_READ, MAP_SHARED`, so every process mapping the
+/// same image shares one set of clean page-cache pages: N server
+/// processes over one corpus cost one resident copy, and pages the
+/// query stream never touches are never read at all.
+///
+/// The mapping survives unlink of the underlying path (POSIX mmap
+/// semantics), so the atomic rename/sweep dance of sharded saves never
+/// invalidates a live image. Consumers tie the image's lifetime to
+/// whatever aliases it — e.g. an IndexService sealed segment holds the
+/// `shared_ptr<const MappedImage>` as its backing, and the mapping is
+/// released with the last snapshot that references the segment.
+///
+/// Fallback: when mmap is unavailable (exotic filesystems, non-POSIX
+/// hosts) or disabled via `KAST_FORCE_BUFFERED=1`, open() reads the
+/// whole file into an owned heap buffer behind the same interface.
+/// isMapped() reports which path was taken; the buffered path trades
+/// the O(1) open and page sharing away but changes no observable bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KAST_UTIL_MAPPEDIMAGE_H
+#define KAST_UTIL_MAPPEDIMAGE_H
+
+#include "util/Error.h"
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace kast {
+
+class MappedImage {
+public:
+  /// Opens and maps \p Path read-only. With \p ForceBuffered (or the
+  /// KAST_FORCE_BUFFERED=1 environment variable, or when mmap itself
+  /// fails), falls back to reading the file into an owned buffer.
+  /// Returns shared ownership because images are designed to be
+  /// aliased: every structure viewing into the bytes keeps the pointer.
+  static Expected<std::shared_ptr<const MappedImage>>
+  open(const std::string &Path, bool ForceBuffered = false);
+
+  ~MappedImage();
+  MappedImage(const MappedImage &) = delete;
+  MappedImage &operator=(const MappedImage &) = delete;
+
+  const unsigned char *data() const { return Data; }
+  size_t size() const { return Size; }
+
+  /// True when the bytes are a kernel mapping (shared pages, lazy
+  /// faulting); false on the buffered fallback (private heap copy).
+  bool isMapped() const { return Mapped; }
+
+  /// Advises the kernel about the expected access pattern; no-ops on
+  /// the buffered fallback or where madvise is unavailable. Random is
+  /// the serving default (point queries fault arbitrary pages);
+  /// Sequential suits one-pass validation sweeps.
+  void adviseRandom() const;
+  void adviseSequential() const;
+
+private:
+  MappedImage() = default;
+
+  unsigned char *Data = nullptr;
+  size_t Size = 0;
+  bool Mapped = false;
+};
+
+} // namespace kast
+
+#endif // KAST_UTIL_MAPPEDIMAGE_H

@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
+#include <functional>
+#include <optional>
 
 using namespace kast;
 
@@ -179,25 +181,31 @@ kast::loadCorpusProfileStore(const std::string &Path,
   return Cache;
 }
 
-/// "<Dir>/shard-NNN.kpc" with at least three digits; writer, sweeper
-/// and loader agree through this formatter and parseShardNumber.
-static std::string shardCachePath(const std::string &Dir, size_t Shard) {
+/// "<Dir>/shard-NNN<Ext>" with at least three digits; writer, sweeper
+/// and loader agree through this formatter and parseShardNumber. Ext
+/// is ".kpc" (v2 block caches) or ".kfi" (v3 flat images) — the two
+/// sharded persistence formats share every naming, staging, sweeping
+/// and contiguity rule, differing only in extension and per-file
+/// codec.
+static std::string shardFilePath(const std::string &Dir, size_t Shard,
+                                 const std::string &Ext) {
   std::string Number = std::to_string(Shard);
   while (Number.size() < 3)
     Number.insert(Number.begin(), '0');
-  return Dir + "/shard-" + Number + ".kpc";
+  return Dir + "/shard-" + Number + Ext;
 }
 
-/// The inverse of shardCachePath's file-name half: the shard number of
-/// a "shard-NNN.kpc" name, nullopt for anything else — including the
-/// ".kpc.tmp" staging files of an in-flight save and non-canonical
+/// The inverse of shardFilePath's file-name half: the shard number of
+/// a "shard-NNN<Ext>" name, nullopt for anything else — including the
+/// "<Ext>.tmp" staging files of an in-flight save and non-canonical
 /// spellings like "shard-7.kpc", which would otherwise alias the
 /// writer's "shard-007.kpc" in sweep and contiguity decisions.
-static std::optional<uint64_t> parseShardNumber(const std::string &File) {
-  if (!File.starts_with("shard-") || !endsWith(File, ".kpc"))
+static std::optional<uint64_t> parseShardNumber(const std::string &File,
+                                                const std::string &Ext) {
+  if (!File.starts_with("shard-") || !endsWith(File, Ext))
     return std::nullopt;
   std::string_view Digits =
-      std::string_view(File).substr(6, File.size() - 6 - 4);
+      std::string_view(File).substr(6, File.size() - 6 - Ext.size());
   std::optional<uint64_t> Number = parseUnsigned(Digits);
   if (!Number)
     return std::nullopt;
@@ -207,14 +215,17 @@ static std::optional<uint64_t> parseShardNumber(const std::string &File) {
   return Digits == Canonical ? Number : std::nullopt;
 }
 
-Status
-kast::writeShardedProfileCaches(const std::vector<ProfileStoreCache> &Shards,
-                                const std::string &Dir) {
+/// The extension-generic three-phase sharded save behind both
+/// writeShardedProfileCaches (.kpc) and writeShardedProfileImages
+/// (.kfi). \p WriteShard writes shard S to a path.
+static Status writeShardedFiles(
+    size_t Count, const std::string &Dir, const std::string &Ext,
+    const std::function<Status(size_t, const std::string &)> &WriteShard) {
   // An empty shard list would write nothing and then sweep *every*
   // existing shard file as stale — a degenerate input silently erasing
   // the previous generation. No real service produces it (a service
   // always has at least one shard), so refuse loudly.
-  if (Shards.empty())
+  if (Count == 0)
     return Status::error("refusing to write an empty sharded profile cache "
                          "to '" + Dir + "'");
   std::error_code Ec;
@@ -225,20 +236,18 @@ kast::writeShardedProfileCaches(const std::vector<ProfileStoreCache> &Shards,
   // Three-phase save — write staging files, sweep stale files, rename
   // into place — ordered so that *no* crash point leaves a directory
   // that loads silently wrong: the loader refuses any directory with
-  // leftover ".kpc.tmp" staging files, and until the very last rename
+  // leftover "<Ext>.tmp" staging files, and until the very last rename
   // at least one staging file exists. A crash therefore yields either
   // the intact previous generation plus a loud diagnostic, never a
   // quietly loadable mix of generations.
   //
-  // Phase 1: write every shard under its ".kpc.tmp" staging name (an
+  // Phase 1: write every shard under its "<Ext>.tmp" staging name (an
   // ENOSPC here leaves the previous generation untouched).
-  for (size_t S = 0; S < Shards.size(); ++S)
-    if (Status W = writeProfileStoreCacheFile(
-            Shards[S], shardCachePath(Dir, S) + ".tmp");
-        !W)
+  for (size_t S = 0; S < Count; ++S)
+    if (Status W = WriteShard(S, shardFilePath(Dir, S, Ext) + ".tmp"); !W)
       return W;
   // Phase 2: sweep files of the previous generation the new one will
-  // not overwrite — higher-numbered "shard-NNN.kpc" (their numbering
+  // not overwrite — higher-numbered "shard-NNN<Ext>" (their numbering
   // would stay contiguous and silently restore the old corpus
   // alongside the new) and staging leftovers of older interrupted
   // saves. A file the sweep cannot delete fails the save loudly for
@@ -252,14 +261,14 @@ kast::writeShardedProfileCaches(const std::vector<ProfileStoreCache> &Shards,
       continue;
     std::string File = Entry.path().filename().string();
     bool Stale = false;
-    if (File.starts_with("shard-") && endsWith(File, ".kpc.tmp")) {
-      // Our own phase-1 files are "shard-<canonical 0..N-1>.kpc.tmp";
+    if (File.starts_with("shard-") && endsWith(File, Ext + ".tmp")) {
+      // Our own phase-1 files are "shard-<canonical 0..N-1><Ext>.tmp";
       // anything else tmp-shaped is a leftover.
       std::optional<uint64_t> Number =
-          parseShardNumber(File.substr(0, File.size() - 4));
-      Stale = !Number || *Number >= Shards.size();
-    } else if (std::optional<uint64_t> Number = parseShardNumber(File)) {
-      Stale = *Number >= Shards.size();
+          parseShardNumber(File.substr(0, File.size() - 4), Ext);
+      Stale = !Number || *Number >= Count;
+    } else if (std::optional<uint64_t> Number = parseShardNumber(File, Ext)) {
+      Stale = *Number >= Count;
     }
     if (!Stale)
       continue;
@@ -272,8 +281,8 @@ kast::writeShardedProfileCaches(const std::vector<ProfileStoreCache> &Shards,
   // each rename overwrites the same-numbered previous-generation
   // file, so partial progress only ever mixes with a loud staging
   // leftover, which the loader rejects).
-  for (size_t S = 0; S < Shards.size(); ++S) {
-    std::string Path = shardCachePath(Dir, S);
+  for (size_t S = 0; S < Count; ++S) {
+    std::string Path = shardFilePath(Dir, S, Ext);
     std::filesystem::rename(Path + ".tmp", Path, Ec);
     if (Ec)
       return Status::error("cannot rename '" + Path + ".tmp' into place: " +
@@ -282,9 +291,14 @@ kast::writeShardedProfileCaches(const std::vector<ProfileStoreCache> &Shards,
   return Status();
 }
 
-Expected<std::vector<ProfileStoreCache>>
-kast::loadShardedProfileCaches(const std::string &Dir,
-                               const std::string &ExpectedKernelName) {
+/// The extension-generic sharded loader behind both
+/// loadShardedProfileCaches (.kpc) and loadShardedProfileImages
+/// (.kfi). \p ReadShard reads one shard file into a cache.
+static Expected<std::vector<ProfileStoreCache>> loadShardedFiles(
+    const std::string &Dir, const std::string &Ext,
+    const std::string &ExpectedKernelName,
+    const std::function<Expected<ProfileStoreCache>(const std::string &)>
+        &ReadShard) {
   using Result = Expected<std::vector<ProfileStoreCache>>;
   std::error_code Ec;
   std::filesystem::directory_iterator It(Dir, Ec);
@@ -301,24 +315,24 @@ kast::loadShardedProfileCaches(const std::string &Dir,
     if (!Entry.is_regular_file())
       continue;
     std::string File = Entry.path().filename().string();
-    // A ".kpc.tmp" staging file means a save is in flight or died
-    // mid-way; the .kpc files beside it may mix generations, so
+    // A "<Ext>.tmp" staging file means a save is in flight or died
+    // mid-way; the shard files beside it may mix generations, so
     // refuse the whole directory rather than restore them silently
     // (a completed re-save sweeps the leftovers and unblocks).
-    if (File.starts_with("shard-") && endsWith(File, ".kpc.tmp"))
+    if (File.starts_with("shard-") && endsWith(File, Ext + ".tmp"))
       return Result::error("interrupted save: staging file '" + File +
                            "' present in '" + Dir +
                            "'; re-save the shards or remove it");
-    if (!File.starts_with("shard-") || !endsWith(File, ".kpc"))
+    if (!File.starts_with("shard-") || !endsWith(File, Ext))
       continue;
-    std::optional<uint64_t> Number = parseShardNumber(File);
+    std::optional<uint64_t> Number = parseShardNumber(File, Ext);
     if (!Number)
       return Result::error("unparseable shard cache name '" + File +
                            "' in '" + Dir + "'");
     Numbers.push_back(*Number);
   }
   if (Numbers.empty())
-    return Result::error("no shard-*.kpc caches in '" + Dir + "'");
+    return Result::error("no shard-*" + Ext + " caches in '" + Dir + "'");
   std::sort(Numbers.begin(), Numbers.end());
   for (size_t S = 0; S < Numbers.size(); ++S)
     if (Numbers[S] != S)
@@ -329,8 +343,8 @@ kast::loadShardedProfileCaches(const std::string &Dir,
   std::vector<ProfileStoreCache> Shards;
   Shards.reserve(Numbers.size());
   for (size_t S = 0; S < Numbers.size(); ++S) {
-    std::string Path = shardCachePath(Dir, S);
-    Expected<ProfileStoreCache> Cache = readProfileStoreCacheFile(Path);
+    std::string Path = shardFilePath(Dir, S, Ext);
+    Expected<ProfileStoreCache> Cache = ReadShard(Path);
     if (!Cache)
       return Result::error(Cache.message());
     if (!ExpectedKernelName.empty() &&
@@ -341,6 +355,43 @@ kast::loadShardedProfileCaches(const std::string &Dir,
     Shards.push_back(Cache.take());
   }
   return Shards;
+}
+
+Status
+kast::writeShardedProfileCaches(const std::vector<ProfileStoreCache> &Shards,
+                                const std::string &Dir) {
+  return writeShardedFiles(Shards.size(), Dir, ".kpc",
+                           [&](size_t S, const std::string &Path) {
+                             return writeProfileStoreCacheFile(Shards[S],
+                                                               Path);
+                           });
+}
+
+Expected<std::vector<ProfileStoreCache>>
+kast::loadShardedProfileCaches(const std::string &Dir,
+                               const std::string &ExpectedKernelName) {
+  return loadShardedFiles(Dir, ".kpc", ExpectedKernelName,
+                          readProfileStoreCacheFile);
+}
+
+Status
+kast::writeShardedProfileImages(const std::vector<ProfileStoreCache> &Shards,
+                                const std::string &Dir) {
+  return writeShardedFiles(Shards.size(), Dir, ".kfi",
+                           [&](size_t S, const std::string &Path) {
+                             return writeProfileStoreImageFile(Shards[S],
+                                                               Path);
+                           });
+}
+
+Expected<std::vector<ProfileStoreCache>>
+kast::loadShardedProfileImages(const std::string &Dir,
+                               const std::string &ExpectedKernelName,
+                               const FlatImageReadOptions &Options) {
+  return loadShardedFiles(Dir, ".kfi", ExpectedKernelName,
+                          [&](const std::string &Path) {
+                            return readProfileStoreImageFile(Path, Options);
+                          });
 }
 
 Expected<std::vector<ProfileStoreCache>>

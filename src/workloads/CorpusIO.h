@@ -23,6 +23,7 @@
 #ifndef KAST_WORKLOADS_CORPUSIO_H
 #define KAST_WORKLOADS_CORPUSIO_H
 
+#include "core/FlatImage.h"
 #include "core/ProfileSerializer.h"
 #include "core/StringKernel.h"
 #include "util/Error.h"
@@ -96,6 +97,25 @@ loadShardedProfileCaches(const std::string &Dir,
 Expected<std::vector<ProfileStoreCache>>
 loadShardedProfileCaches(const std::string &Dir,
                          const ProfiledStringKernel &Kernel);
+
+/// Writes one v3 flat image per shard — "<Dir>/shard-NNN.kfi" — with
+/// the same three-phase atomic save, staging-file and sweep rules as
+/// writeShardedProfileCaches. Each image carries the shard's
+/// quantized sidecar (when built) and routing sidecar (RouteBlob), so
+/// a routed service restores via loadShardedProfileImages +
+/// IndexService::fromShardCaches with zero-copy stores and no refit.
+Status writeShardedProfileImages(const std::vector<ProfileStoreCache> &Shards,
+                                 const std::string &Dir);
+
+/// Loads every "<Dir>/shard-NNN.kfi" written by
+/// writeShardedProfileImages, in shard order, with the same
+/// contiguity and staging-leftover rules as loadShardedProfileCaches.
+/// The returned stores alias their file mappings (see core/FlatImage)
+/// until first mutation.
+Expected<std::vector<ProfileStoreCache>>
+loadShardedProfileImages(const std::string &Dir,
+                         const std::string &ExpectedKernelName = "",
+                         const FlatImageReadOptions &Options = {});
 
 } // namespace kast
 

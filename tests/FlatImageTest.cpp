@@ -1,0 +1,463 @@
+//===- tests/FlatImageTest.cpp - v3 flat-image cache format ----------------===//
+//
+// Part of KAST, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The zero-copy persistence contract of core/FlatImage: a flat image
+// round-trips a ProfileStoreCache bit-exactly whether it is mmapped or
+// read through the buffered fallback, the mapping survives unlink and
+// writer mutation (copy-on-write promotion), the quantized and routing
+// sidecars ride along, and every corruption mode — truncation, flipped
+// section bytes, a tampered section table, a wrong kernel hash, a
+// misaligned section — fails loudly with a diagnostic naming the
+// problem instead of serving garbage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FlatImage.h"
+#include "core/ProfileSerializer.h"
+#include "core/ProfileStore.h"
+#include "kernels/SpectrumKernels.h"
+#include "util/Hashing.h"
+#include "util/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+using namespace kast;
+
+namespace {
+
+WeightedString randomString(const std::shared_ptr<TokenTable> &Table,
+                            Rng &R, size_t Length, uint32_t Alphabet) {
+  WeightedString S(Table);
+  for (size_t I = 0; I < Length; ++I)
+    S.append("t" + std::to_string(R.uniformInt(0, Alphabet - 1)),
+             R.uniformInt(1, 16));
+  return S;
+}
+
+ProfileStoreCache makeStoreCache(Rng &R, size_t N,
+                                 const std::string &KernelName) {
+  auto Table = TokenTable::create();
+  BlendedSpectrumKernel Kernel(3, 0.8, /*Weighted=*/true, /*CutWeight=*/2);
+  ProfileStoreCache Cache;
+  Cache.KernelName = KernelName;
+  for (size_t I = 0; I < N; ++I) {
+    WeightedString S = randomString(Table, R, R.uniformInt(1, 32), 6);
+    Cache.Names.push_back("s" + std::to_string(I));
+    Cache.Labels.push_back(I % 2 ? "odd" : "even");
+    Cache.Store.append(Kernel.profile(S));
+  }
+  return Cache;
+}
+
+std::string tempImagePath(const std::string &Stem) {
+  return testing::TempDir() + "/kast_" + Stem + ".kfi";
+}
+
+std::string readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  ASSERT_TRUE(Out.good()) << Path;
+}
+
+uint64_t readU64(const std::string &Bytes, size_t At) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(
+             static_cast<unsigned char>(Bytes[At + static_cast<size_t>(I)]))
+         << (8 * I);
+  return V;
+}
+
+void writeU64(std::string &Bytes, size_t At, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Bytes[At + static_cast<size_t>(I)] =
+        static_cast<char>((V >> (8 * I)) & 0xFF);
+}
+
+uint32_t readU32(const std::string &Bytes, size_t At) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(
+             static_cast<unsigned char>(Bytes[At + static_cast<size_t>(I)]))
+         << (8 * I);
+  return V;
+}
+
+/// Locates section \p Id in raw image bytes via the section table.
+/// Returns the index of its 32-byte table entry, or npos.
+size_t findTableEntry(const std::string &Bytes, FlatSectionId Id) {
+  const uint32_t SectionCount = readU32(Bytes, 12);
+  for (uint32_t I = 0; I < SectionCount; ++I) {
+    const size_t Entry = 64 + static_cast<size_t>(I) * 32;
+    if (readU32(Bytes, Entry) == static_cast<uint32_t>(Id))
+      return Entry;
+  }
+  return std::string::npos;
+}
+
+/// Recomputes the header checksum (over bytes [0,48) plus the section
+/// table) after a test deliberately patched a covered field — so the
+/// corruption under test is reached instead of masked by the header
+/// checksum check.
+void fixHeaderSum(std::string &Bytes) {
+  const uint32_t SectionCount = readU32(Bytes, 12);
+  std::string Checked = Bytes.substr(0, 48) +
+                        Bytes.substr(64, static_cast<size_t>(SectionCount) * 32);
+  writeU64(Bytes, 48, checksumBytes(Checked.data(), Checked.size()));
+}
+
+void expectStoresBitExact(const ProfileStore &A, const ProfileStore &B) {
+  ASSERT_EQ(A.size(), B.size());
+  ASSERT_EQ(A.entryCount(), B.entryCount());
+  EXPECT_EQ(A.hashes(), B.hashes());
+  EXPECT_EQ(A.offsets(), B.offsets());
+  for (size_t I = 0; I < A.entryCount(); ++I)
+    EXPECT_EQ(std::bit_cast<uint64_t>(A.values()[I]),
+              std::bit_cast<uint64_t>(B.values()[I]));
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(A.selfDot(I)),
+              std::bit_cast<uint64_t>(B.selfDot(I)));
+    EXPECT_EQ(std::bit_cast<uint64_t>(A.norm(I)),
+              std::bit_cast<uint64_t>(B.norm(I)));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips
+//===----------------------------------------------------------------------===//
+
+TEST(FlatImageTest, RoundTripsStoreBitExactly) {
+  Rng R(70707);
+  ProfileStoreCache Cache = makeStoreCache(R, 23, "blended");
+  const std::string Path = tempImagePath("rt");
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, Path).ok());
+
+  Expected<ProfileStoreCache> Loaded = readProfileStoreImageFile(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  EXPECT_EQ(Loaded->KernelName, "blended");
+  EXPECT_EQ(Loaded->Names, Cache.Names);
+  EXPECT_EQ(Loaded->Labels, Cache.Labels);
+  EXPECT_TRUE(Loaded->RouteBlob.empty());
+  expectStoresBitExact(Loaded->Store, Cache.Store);
+  EXPECT_TRUE(Loaded->Store.isFinalized());
+
+  // Deep validation (full entry-section checksums) passes on an
+  // intact file too.
+  FlatImageReadOptions Deep;
+  Deep.DeepValidate = true;
+  Expected<ProfileStoreCache> Audited = readProfileStoreImageFile(Path, Deep);
+  ASSERT_TRUE(Audited.hasValue()) << Audited.message();
+  expectStoresBitExact(Audited->Store, Cache.Store);
+}
+
+TEST(FlatImageTest, BufferedFallbackMatchesMappedRead) {
+  Rng R(80808);
+  ProfileStoreCache Cache = makeStoreCache(R, 11, "k");
+  const std::string Path = tempImagePath("buffered");
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, Path).ok());
+
+  Expected<ProfileStoreCache> Mapped = readProfileStoreImageFile(Path);
+  ASSERT_TRUE(Mapped.hasValue()) << Mapped.message();
+  FlatImageReadOptions Buffered;
+  Buffered.ForceBuffered = true;
+  Expected<ProfileStoreCache> Heap = readProfileStoreImageFile(Path, Buffered);
+  ASSERT_TRUE(Heap.hasValue()) << Heap.message();
+
+  EXPECT_EQ(Heap->KernelName, Mapped->KernelName);
+  EXPECT_EQ(Heap->Names, Mapped->Names);
+  EXPECT_EQ(Heap->Labels, Mapped->Labels);
+  expectStoresBitExact(Heap->Store, Mapped->Store);
+  // Both paths view their backing (mmap or heap) rather than copying
+  // into owned arenas.
+  EXPECT_TRUE(Mapped->Store.isMapped());
+  EXPECT_TRUE(Heap->Store.isMapped());
+}
+
+TEST(FlatImageTest, QuantizedAndRoutingSidecarsRideAlong) {
+  Rng R(90909);
+  ProfileStoreCache Cache = makeStoreCache(R, 15, "k");
+  Cache.Store.buildQuantized();
+  ASSERT_NE(Cache.Store.quantized(), nullptr);
+  Cache.RouteBlob = std::string("opaque\0route\xFF bytes", 19);
+  const std::string Path = tempImagePath("sidecars");
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, Path).ok());
+
+  FlatImageReadOptions Deep;
+  Deep.DeepValidate = true;
+  Expected<ProfileStoreCache> Loaded = readProfileStoreImageFile(Path, Deep);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  EXPECT_EQ(Loaded->RouteBlob, Cache.RouteBlob);
+  const QuantizedStore *Q = Loaded->Store.quantized();
+  ASSERT_NE(Q, nullptr);
+  const QuantizedStore *Truth = Cache.Store.quantized();
+  ASSERT_EQ(Q->size(), Truth->size());
+  ASSERT_EQ(Q->entryCount(), Truth->entryCount());
+  EXPECT_EQ(Q->values(), Truth->values());
+  for (size_t I = 0; I < Q->size(); ++I)
+    EXPECT_EQ(std::bit_cast<uint64_t>(Q->scale(I)),
+              std::bit_cast<uint64_t>(Truth->scale(I)));
+}
+
+TEST(FlatImageTest, EmptyStoreRoundTrips) {
+  ProfileStoreCache Cache;
+  Cache.KernelName = "k";
+  const std::string Path = tempImagePath("empty");
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, Path).ok());
+  Expected<ProfileStoreCache> Loaded = readProfileStoreImageFile(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  EXPECT_EQ(Loaded->KernelName, "k");
+  EXPECT_EQ(Loaded->Store.size(), 0u);
+  EXPECT_EQ(Loaded->Store.entryCount(), 0u);
+  EXPECT_TRUE(Loaded->Names.empty());
+  EXPECT_TRUE(Loaded->Labels.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Mapping lifetime
+//===----------------------------------------------------------------------===//
+
+TEST(FlatImageTest, MappingSurvivesUnlink) {
+  Rng R(111213);
+  ProfileStoreCache Cache = makeStoreCache(R, 9, "k");
+  const std::string Path = tempImagePath("unlink");
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, Path).ok());
+  Expected<ProfileStoreCache> Loaded = readProfileStoreImageFile(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+
+  ASSERT_TRUE(std::filesystem::remove(Path));
+  // Every byte remains readable through the (anonymous-after-unlink)
+  // mapping.
+  expectStoresBitExact(Loaded->Store, Cache.Store);
+}
+
+TEST(FlatImageTest, WriterPromotionLeavesTheImageUntouched) {
+  Rng R(141516);
+  ProfileStoreCache Cache = makeStoreCache(R, 12, "k");
+  const std::string Path = tempImagePath("promote");
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, Path).ok());
+  const std::string Before = readFileBytes(Path);
+
+  Expected<ProfileStoreCache> Loaded = readProfileStoreImageFile(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  ASSERT_TRUE(Loaded->Store.isMapped());
+
+  // First mutation promotes the store to owned arrays; the mapped
+  // bytes (and hence the file and every other process sharing its
+  // pages) stay untouched.
+  KernelProfile Extra;
+  Extra.add(42, 2.5);
+  Extra.finalize();
+  const size_t NewIndex = Loaded->Store.append(Extra);
+  EXPECT_EQ(NewIndex, Cache.Store.size());
+  EXPECT_FALSE(Loaded->Store.isMapped());
+  EXPECT_EQ(Loaded->Store.size(), Cache.Store.size() + 1);
+  EXPECT_EQ(Loaded->Store.view(NewIndex).Hashes[0], 42u);
+
+  // The pre-promotion prefix is still bit-exact...
+  for (size_t I = 0; I < Cache.Store.size(); ++I) {
+    const ProfileView A = Loaded->Store.view(I);
+    const ProfileView B = Cache.Store.view(I);
+    ASSERT_EQ(A.Size, B.Size);
+    for (size_t E = 0; E < A.Size; ++E) {
+      EXPECT_EQ(A.Hashes[E], B.Hashes[E]);
+      EXPECT_EQ(std::bit_cast<uint64_t>(A.Values[E]),
+                std::bit_cast<uint64_t>(B.Values[E]));
+    }
+  }
+  // ...and the file bytes never changed: a fresh open still sees the
+  // original store.
+  EXPECT_EQ(readFileBytes(Path), Before);
+  Expected<ProfileStoreCache> Again = readProfileStoreImageFile(Path);
+  ASSERT_TRUE(Again.hasValue()) << Again.message();
+  EXPECT_EQ(Again->Store.size(), Cache.Store.size());
+  expectStoresBitExact(Again->Store, Cache.Store);
+}
+
+//===----------------------------------------------------------------------===//
+// Failure modes
+//===----------------------------------------------------------------------===//
+
+TEST(FlatImageTest, RejectsTruncation) {
+  Rng R(171819);
+  ProfileStoreCache Cache = makeStoreCache(R, 7, "k");
+  const std::string Path = tempImagePath("truncate");
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, Path).ok());
+  const std::string Bytes = readFileBytes(Path);
+  ASSERT_GT(Bytes.size(), 4096u);
+
+  // Cuts inside the header, inside the section table, at a page
+  // boundary, and one byte short of the end.
+  for (size_t Cut : {size_t(10), size_t(80), size_t(4096), Bytes.size() - 1}) {
+    const std::string Cropped = tempImagePath("truncate_cut");
+    writeFileBytes(Cropped, Bytes.substr(0, Cut));
+    Expected<ProfileStoreCache> E = readProfileStoreImageFile(Cropped);
+    EXPECT_FALSE(E.hasValue()) << "cut at " << Cut;
+    if (!E.hasValue()) {
+      EXPECT_NE(E.message().find("truncated"), std::string::npos)
+          << "cut at " << Cut << ": " << E.message();
+    }
+  }
+}
+
+TEST(FlatImageTest, RejectsSectionChecksumMismatch) {
+  Rng R(202122);
+  ProfileStoreCache Cache = makeStoreCache(R, 8, "k");
+  const std::string Path = tempImagePath("badsum");
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, Path).ok());
+  const std::string Good = readFileBytes(Path);
+
+  // A flipped byte in an O(N) metadata section (self-dots) fails every
+  // open, shallow or deep.
+  {
+    const size_t Entry = findTableEntry(Good, FlatSectionId::SelfDots);
+    ASSERT_NE(Entry, std::string::npos);
+    std::string Bad = Good;
+    Bad[static_cast<size_t>(readU64(Good, Entry + 8))] ^= 0x01;
+    writeFileBytes(Path, Bad);
+    Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("checksum"), std::string::npos) << E.message();
+  }
+
+  // A flipped byte in an entry-sized section (hashes) is caught by
+  // deep validation; the default open skips the O(entries) sweep on
+  // the mapped path by design. (Under KAST_FORCE_BUFFERED the fallback
+  // always deep-validates, so only the deep half applies.)
+  {
+    const size_t Entry = findTableEntry(Good, FlatSectionId::Hashes);
+    ASSERT_NE(Entry, std::string::npos);
+    std::string Bad = Good;
+    // Flip a low bit of one hash value high enough up the lane to keep
+    // per-profile hash ordering plausible either way; the checksum
+    // check is what must fire.
+    Bad[static_cast<size_t>(readU64(Good, Entry + 8))] ^= 0x01;
+    writeFileBytes(Path, Bad);
+    FlatImageReadOptions Deep;
+    Deep.DeepValidate = true;
+    Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path, Deep);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("checksum"), std::string::npos) << E.message();
+    if (std::getenv("KAST_FORCE_BUFFERED") == nullptr) {
+      Expected<ProfileStoreCache> Shallow = readProfileStoreImageFile(Path);
+      EXPECT_TRUE(Shallow.hasValue()) << Shallow.message();
+    }
+  }
+}
+
+TEST(FlatImageTest, RejectsHeaderTamperAndWrongKernelHash) {
+  Rng R(232425);
+  ProfileStoreCache Cache = makeStoreCache(R, 6, "k");
+  const std::string Path = tempImagePath("header");
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, Path).ok());
+  const std::string Good = readFileBytes(Path);
+
+  // Tampering with the section table without fixing the header sum is
+  // caught by the header checksum...
+  {
+    std::string Bad = Good;
+    Bad[64 + 16] ^= 0x01; // Some section's byteSize field.
+    writeFileBytes(Path, Bad);
+    Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("header checksum"), std::string::npos)
+        << E.message();
+  }
+  // ...and a kernel hash that checks out against the header but not
+  // the kernel-name bytes is caught by the cross-check.
+  {
+    std::string Bad = Good;
+    writeU64(Bad, 16, readU64(Good, 16) ^ 0xDEADBEEFULL);
+    fixHeaderSum(Bad);
+    writeFileBytes(Path, Bad);
+    Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("kernel-name hash"), std::string::npos)
+        << E.message();
+  }
+}
+
+TEST(FlatImageTest, RejectsMisalignedSection) {
+  Rng R(262728);
+  ProfileStoreCache Cache = makeStoreCache(R, 5, "k");
+  const std::string Path = tempImagePath("misaligned");
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, Path).ok());
+  std::string Bad = readFileBytes(Path);
+
+  const size_t Entry = findTableEntry(Bad, FlatSectionId::Offsets);
+  ASSERT_NE(Entry, std::string::npos);
+  writeU64(Bad, Entry + 8, readU64(Bad, Entry + 8) + 4);
+  fixHeaderSum(Bad);
+  writeFileBytes(Path, Bad);
+  Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path);
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_NE(E.message().find("aligned"), std::string::npos) << E.message();
+}
+
+TEST(FlatImageTest, RejectsCorruptCsrOffsets) {
+  Rng R(293031);
+  ProfileStoreCache Cache = makeStoreCache(R, 5, "k");
+  const std::string Path = tempImagePath("csr");
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, Path).ok());
+  std::string Bad = readFileBytes(Path);
+
+  // Break monotonicity of the offsets array and re-checksum the
+  // section so validateCsrOffsets (not the checksum) fires — the
+  // shared seam with the v2 reader.
+  const size_t Entry = findTableEntry(Bad, FlatSectionId::Offsets);
+  ASSERT_NE(Entry, std::string::npos);
+  const size_t Offset = static_cast<size_t>(readU64(Bad, Entry + 8));
+  const size_t Size = static_cast<size_t>(readU64(Bad, Entry + 16));
+  writeU64(Bad, Offset + 8, readU64(Bad, Offset + 16) + 100);
+  writeU64(Bad, Entry + 24, checksumBytes(Bad.data() + Offset, Size));
+  fixHeaderSum(Bad);
+  writeFileBytes(Path, Bad);
+  Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path);
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_NE(E.message().find("offsets"), std::string::npos) << E.message();
+}
+
+TEST(FlatImageTest, FormatsRejectEachOtherWithPointers) {
+  Rng R(323334);
+  ProfileStoreCache Cache = makeStoreCache(R, 4, "k");
+  const std::string V2Path = testing::TempDir() + "/kast_cross.kpc";
+  const std::string V3Path = tempImagePath("cross");
+  ASSERT_TRUE(writeProfileStoreCacheFile(Cache, V2Path).ok());
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, V3Path).ok());
+
+  // The flat-image reader names the v2 entry point for v2 bytes...
+  Expected<ProfileStoreCache> V2AsImage = readProfileStoreImageFile(V2Path);
+  ASSERT_FALSE(V2AsImage.hasValue());
+  EXPECT_NE(V2AsImage.message().find("readProfileStoreCacheFile"),
+            std::string::npos)
+      << V2AsImage.message();
+  // ...and the v2 reader names the flat-image entry point for v3
+  // bytes.
+  Expected<ProfileStoreCache> V3AsCache = readProfileStoreCacheFile(V3Path);
+  ASSERT_FALSE(V3AsCache.hasValue());
+  EXPECT_NE(V3AsCache.message().find("readProfileStoreImageFile"),
+            std::string::npos)
+      << V3AsCache.message();
+}
+
+TEST(FlatImageTest, RejectsMissingFile) {
+  Expected<ProfileStoreCache> E =
+      readProfileStoreImageFile(testing::TempDir() + "/kast_no_such.kfi");
+  EXPECT_FALSE(E.hasValue());
+}
+
+} // namespace

@@ -329,6 +329,148 @@ TEST(IndexServiceTest, ResavingFewerShardsSweepsStaleCacheFiles) {
 }
 
 //===----------------------------------------------------------------------===//
+// v3 flat-image restart
+//===----------------------------------------------------------------------===//
+
+TEST(IndexServiceTest, V3ImagesRestartTheServiceBitExactly) {
+  IndexServiceOptions Options;
+  Options.Shards = 3;
+  Options.SealThreshold = 4;
+  IndexService Service(kernel().name(), Options);
+  NamedProfiles P = makeProfiles(kernel(), 18, "s", 61);
+  for (size_t I = 0; I < P.Profiles.size(); ++I)
+    Service.add(P.Names[I], P.Labels[I], P.Profiles[I]);
+  ASSERT_EQ(Service.remove("s5"), 1u);
+
+  // The same export, persisted through both formats.
+  std::string V2Dir = testing::TempDir() + "/kast_restart_v2";
+  std::string V3Dir = testing::TempDir() + "/kast_restart_v3";
+  std::filesystem::remove_all(V2Dir);
+  std::filesystem::remove_all(V3Dir);
+  std::vector<ProfileStoreCache> Exported = Service.toShardCaches();
+  ASSERT_TRUE(writeShardedProfileCaches(Exported, V2Dir).ok());
+  ASSERT_TRUE(writeShardedProfileImages(Exported, V3Dir).ok());
+
+  Expected<std::vector<ProfileStoreCache>> V2 =
+      loadShardedProfileCaches(V2Dir, kernel().name());
+  ASSERT_TRUE(V2.hasValue()) << V2.message();
+  Expected<std::vector<ProfileStoreCache>> V3 =
+      loadShardedProfileImages(V3Dir, kernel().name());
+  ASSERT_TRUE(V3.hasValue()) << V3.message();
+
+  Expected<IndexService> FromV2 = IndexService::fromShardCaches(V2.take());
+  ASSERT_TRUE(FromV2.hasValue()) << FromV2.message();
+  Expected<IndexService> FromV3 = IndexService::fromShardCaches(V3.take());
+  ASSERT_TRUE(FromV3.hasValue()) << FromV3.message();
+
+  // The mmap-restored service answers bit-identically to the v2
+  // restore and to the original.
+  EXPECT_EQ(FromV3->size(), Service.size());
+  NamedProfiles Q = makeProfiles(kernel(), 6, "q", 62);
+  for (const KernelProfile &Query : Q.Profiles) {
+    std::vector<ServiceHit> Truth = Service.query(Query, 6, true, 1);
+    EXPECT_EQ(FromV2->query(Query, 6, true, 1), Truth);
+    EXPECT_EQ(FromV3->query(Query, 6, true, 1), Truth);
+  }
+}
+
+TEST(IndexServiceTest, V3ImagesCarryRoutingAndSurviveWriters) {
+  IndexServiceOptions Options;
+  Options.Shards = 2;
+  Options.SealThreshold = 4;
+  IndexService Service(kernel().name(), Options);
+  NamedProfiles P = makeProfiles(kernel(), 40, "s", 71);
+  for (size_t I = 0; I < P.Profiles.size(); ++I)
+    Service.add(P.Names[I], P.Labels[I], P.Profiles[I]);
+  RoutingOptions Route;
+  Route.Cluster.NumCentroids = 4;
+  Route.MaxDocFrequency = 0.6;
+  Route.DefaultNProbe = 2;
+  Route.RerankBudget = 12;
+  Route.QuantizedShortlist = true;
+  Service.rebuildRouting(Route, 1);
+  ASSERT_EQ(Service.snapshot().routedShardCount(), Options.Shards);
+
+  // The export embeds the routing sidecar and the quantized store —
+  // no separate "shard-NNN.route" files needed.
+  std::vector<ProfileStoreCache> Exported = Service.toShardCaches();
+  for (const ProfileStoreCache &Cache : Exported) {
+    EXPECT_FALSE(Cache.RouteBlob.empty());
+    EXPECT_NE(Cache.Store.quantized(), nullptr);
+  }
+  std::string Dir = testing::TempDir() + "/kast_restart_routed_v3";
+  std::filesystem::remove_all(Dir);
+  ASSERT_TRUE(writeShardedProfileImages(Exported, Dir).ok());
+
+  Expected<std::vector<ProfileStoreCache>> Images =
+      loadShardedProfileImages(Dir, kernel().name());
+  ASSERT_TRUE(Images.hasValue()) << Images.message();
+  Expected<IndexService> Restored =
+      IndexService::fromShardCaches(Images.take(), Options);
+  ASSERT_TRUE(Restored.hasValue()) << Restored.message();
+  EXPECT_EQ(Restored->snapshot().routedShardCount(), Options.Shards);
+
+  // Routed (pruned, quantized-shortlist) answers match the original
+  // service bit for bit — router, postings, and int8 codes all came
+  // through the image.
+  NamedProfiles Q = makeProfiles(kernel(), 5, "q", 72);
+  for (const KernelProfile &Query : Q.Profiles)
+    EXPECT_EQ(Restored->queryApprox(Query, 5, true, 0, 1),
+              Service.queryApprox(Query, 5, true, 0, 1));
+
+  // Writers on the restored service must not disturb the mapped
+  // segments: adds stage beside them, removes tombstone them, and a
+  // pre-mutation snapshot keeps answering identically.
+  IndexSnapshot Before = Restored->snapshot();
+  std::vector<ServiceHit> Pinned = Before.query(Q.Profiles[0], 5, true, 1);
+  NamedProfiles Extra = makeProfiles(kernel(), 8, "x", 73);
+  for (size_t I = 0; I < Extra.Profiles.size(); ++I)
+    Restored->add(Extra.Names[I], Extra.Labels[I], Extra.Profiles[I]);
+  ASSERT_EQ(Restored->remove(P.Names[2]), 1u);
+  EXPECT_EQ(Before.query(Q.Profiles[0], 5, true, 1), Pinned);
+  EXPECT_EQ(Restored->size(), P.Profiles.size() + Extra.Profiles.size() - 1);
+
+  // Compaction rebuilds owned arenas (promoting away from the mapped
+  // image entirely) and the service still answers exactly.
+  Restored->compact(1);
+  for (const KernelProfile &Query : Q.Profiles) {
+    std::vector<ServiceHit> Exact = Restored->query(Query, 5, true, 1);
+    EXPECT_EQ(Restored->queryApprox(Query, 5, true, 0, 1), Exact);
+  }
+}
+
+TEST(IndexServiceTest, EmbeddedRoutingMismatchFailsRestore) {
+  // A route blob paired with contents it was not fitted on (here: a
+  // truncated copy of the shard) must fail loudly at restore.
+  IndexService Service("k", {.Shards = 1});
+  KernelProfile P;
+  P.add(3, 1.0);
+  P.finalize();
+  for (size_t I = 0; I < 6; ++I)
+    Service.add("n" + std::to_string(I), "l", P);
+  RoutingOptions Route;
+  Route.Cluster.NumCentroids = 2;
+  Service.rebuildRouting(Route, 1);
+  std::vector<ProfileStoreCache> Exported = Service.toShardCaches();
+  ASSERT_EQ(Exported.size(), 1u);
+  ASSERT_FALSE(Exported[0].RouteBlob.empty());
+
+  // Drop one profile but keep the blob.
+  ProfileStoreCache Stale;
+  Stale.KernelName = Exported[0].KernelName;
+  Stale.RouteBlob = Exported[0].RouteBlob;
+  for (size_t I = 0; I + 1 < Exported[0].Store.size(); ++I) {
+    Stale.Store.appendFrom(Exported[0].Store, I);
+    Stale.Names.push_back(Exported[0].Names[I]);
+    Stale.Labels.push_back(Exported[0].Labels[I]);
+  }
+  Expected<IndexService> Bad = IndexService::fromShardCaches({Stale});
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_NE(Bad.message().find("does not match"), std::string::npos)
+      << Bad.message();
+}
+
+//===----------------------------------------------------------------------===//
 // Concurrency stress: snapshot consistency under add/remove/query
 //===----------------------------------------------------------------------===//
 

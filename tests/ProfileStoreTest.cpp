@@ -368,6 +368,43 @@ TEST(ProfileStoreCacheTest, RejectsBadMagicTruncationAndCorruptOffsets) {
   }
 }
 
+TEST(ProfileStoreCacheTest, CorruptOffsetsDiagnoseBeforeEntryAdoption) {
+  // A tiny store with known arrays so the CSR offsets {0, 2, 3} have a
+  // unique 24-byte encoding in the v2 file (the hashes are huge, the
+  // value bit patterns unrelated).
+  ProfileStoreCache Cache;
+  Cache.KernelName = "k";
+  Cache.Names = {"a", "b"};
+  Cache.Labels = {"", ""};
+  Cache.Store = ProfileStore::adopt({0x1111111111111111ULL,
+                                     0x2222222222222222ULL,
+                                     0x3333333333333333ULL},
+                                    {3.0, 4.0, 1.0}, {0, 2, 3});
+  std::stringstream Good;
+  ASSERT_TRUE(writeProfileStoreCache(Cache, Good).ok());
+  std::string Bytes = Good.str();
+
+  // Locate the offsets blob by its unique byte pattern and break
+  // monotonicity: {0, 2, 3} -> {0, 7, 3}.
+  std::string Pattern(24, '\0');
+  Pattern[8] = 2;
+  Pattern[16] = 3;
+  const size_t At = Bytes.find(Pattern);
+  ASSERT_NE(At, std::string::npos);
+  ASSERT_EQ(Bytes.find(Pattern, At + 1), std::string::npos);
+  std::string Bad = Bytes;
+  Bad[At + 8] = 7;
+
+  // The pre-adoption CSR validation (validateCsrOffsets, shared with
+  // the v3 flat-image reader) rejects the file with a diagnostic
+  // naming the offsets, before any entry blob is served.
+  std::stringstream In(Bad);
+  Expected<ProfileStoreCache> E = readProfileStoreCache(In);
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_NE(E.message().find("offsets"), std::string::npos) << E.message();
+  EXPECT_NE(E.message().find("monotonic"), std::string::npos) << E.message();
+}
+
 TEST(ProfileStoreCacheTest, FileRoundTripAndWriterValidation) {
   Rng R(50505);
   ProfileStoreCache Cache = makeStoreCache(R, 6, "k");

@@ -424,6 +424,79 @@ TEST(CorpusIOTest, ShardedProfileCachesRoundTrip) {
       << Aliased.message();
 }
 
+TEST(CorpusIOTest, ShardedProfileImagesRoundTrip) {
+  // The v3 flat-image sharded save ("<dir>/shard-NNN.kfi") shares the
+  // .kpc writer's atomicity machinery: same numbering, same staging
+  // rules, same contiguity check — but the loaded stores view their
+  // file mappings.
+  auto MakeCache = [](const std::string &Prefix, size_t Count) {
+    ProfileStoreCache Cache;
+    Cache.KernelName = "image-kernel";
+    for (size_t I = 0; I < Count; ++I) {
+      KernelProfile P;
+      P.add(I * 17 + 3, 1.25 * static_cast<double>(I + 1));
+      P.add(I * 17 + 9, -0.5);
+      P.finalize();
+      Cache.Store.append(P);
+      Cache.Names.push_back(Prefix + std::to_string(I));
+      Cache.Labels.push_back(Prefix);
+    }
+    return Cache;
+  };
+  std::vector<ProfileStoreCache> Shards;
+  Shards.push_back(MakeCache("a", 4));
+  Shards.push_back(MakeCache("b", 2));
+
+  std::string Dir = testing::TempDir() + "/kast_sharded_images";
+  std::filesystem::remove_all(Dir);
+  Status W = writeShardedProfileImages(Shards, Dir);
+  ASSERT_TRUE(W.ok()) << W.message();
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/shard-000.kfi"));
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/shard-001.kfi"));
+
+  Expected<std::vector<ProfileStoreCache>> Loaded =
+      loadShardedProfileImages(Dir, "image-kernel");
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  ASSERT_EQ(Loaded->size(), Shards.size());
+  for (size_t S = 0; S < Shards.size(); ++S) {
+    EXPECT_TRUE((*Loaded)[S].Store.isMapped());
+    ASSERT_EQ((*Loaded)[S].Store.size(), Shards[S].Store.size());
+    EXPECT_EQ((*Loaded)[S].Names, Shards[S].Names);
+    EXPECT_EQ((*Loaded)[S].Labels, Shards[S].Labels);
+    EXPECT_EQ((*Loaded)[S].Store.hashes(), Shards[S].Store.hashes());
+    EXPECT_EQ((*Loaded)[S].Store.values(), Shards[S].Store.values());
+    EXPECT_EQ((*Loaded)[S].Store.offsets(), Shards[S].Store.offsets());
+  }
+
+  // Same hole detection as the .kpc loader...
+  std::filesystem::remove(Dir + "/shard-000.kfi");
+  Expected<std::vector<ProfileStoreCache>> Holey =
+      loadShardedProfileImages(Dir, "image-kernel");
+  ASSERT_FALSE(Holey.hasValue());
+  EXPECT_NE(Holey.message().find("missing shard 0"), std::string::npos)
+      << Holey.message();
+
+  // ...and the same staging-leftover refusal, on the .kfi extension.
+  ASSERT_TRUE(writeShardedProfileImages(Shards, Dir).ok());
+  { std::ofstream Tmp(Dir + "/shard-001.kfi.tmp"); Tmp << "partial"; }
+  Expected<std::vector<ProfileStoreCache>> Interrupted =
+      loadShardedProfileImages(Dir, "image-kernel");
+  ASSERT_FALSE(Interrupted.hasValue());
+  EXPECT_NE(Interrupted.message().find("interrupted"), std::string::npos)
+      << Interrupted.message();
+  ASSERT_TRUE(writeShardedProfileImages(Shards, Dir).ok());
+  EXPECT_FALSE(std::filesystem::exists(Dir + "/shard-001.kfi.tmp"));
+
+  // The two sharded formats live in separate namespaces: a .kpc save
+  // into the same directory does not disturb the images, and each
+  // loader sees only its own extension.
+  ASSERT_TRUE(writeShardedProfileCaches(Shards, Dir).ok());
+  Expected<std::vector<ProfileStoreCache>> StillThere =
+      loadShardedProfileImages(Dir, "image-kernel");
+  ASSERT_TRUE(StillThere.hasValue()) << StillThere.message();
+  EXPECT_EQ(StillThere->size(), Shards.size());
+}
+
 TEST(CorpusIOTest, MalformedNamesAreDiagnosedErrors) {
   // Each offending file goes in its own directory because loading
   // stops at the first error.
