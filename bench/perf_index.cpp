@@ -31,6 +31,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <string>
@@ -529,6 +530,91 @@ BENCHMARK(BM_RestartToFirstQuery)
     ->Args({32768, 1})
     ->Unit(benchmark::kMillisecond);
 
+/// Routed restart-to-first-routed-answer: Args are {n, mapped}. The
+/// sidecar leg (mapped=0) restores v2 caches, then replays the .route
+/// sidecars — the router state deserializes, but the posting lists are
+/// rebuilt O(N) on every restart. The mapped leg (mapped=1) opens flat
+/// images whose routing arenas are first-class sections: validate
+/// headers and O(centroids) metadata, mmap, alias — no k-means refit,
+/// no posting rebuild — so its open cost stays roughly flat in N.
+/// The fits / posting_rebuilds counters are per-iteration probe-counter
+/// deltas pinning that claim in BENCH_index.json.
+void BM_RoutedRestartToFirstQuery(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const bool Mapped = State.range(1) != 0;
+  const std::vector<WeightedString> &Corpus =
+      clusteredCorpus(N + RoutedQueryCount);
+  const std::string Dir = "/tmp/kast_perf_index_routed." +
+                          std::to_string(static_cast<long>(::getpid())) + "." +
+                          std::to_string(N) + (Mapped ? ".kfi" : ".kpc");
+  static RestartDirs Dirs;
+  if (!Dirs.Ready.count(Dir)) {
+    IndexService Service = IndexService::fromIndex(
+        ProfileIndex::build(kernel(), {Corpus.begin(), Corpus.begin() + N}));
+    Service.rebuildRouting(sweepRouting(/*DfPct=*/100));
+    std::vector<ProfileStoreCache> Caches = Service.toShardCaches();
+    Status S = Mapped ? writeShardedProfileImages(Caches, Dir)
+                      : writeShardedProfileCaches(Caches, Dir);
+    if (S && !Mapped)
+      S = Service.saveShardRouting(Dir);
+    if (!S) {
+      State.SkipWithError(S.message().c_str());
+      return;
+    }
+    Dirs.Ready[Dir] = true;
+  }
+  const KernelProfile Query = kernel().profile(Corpus[N]);
+  double OpenMs = 0.0, QueryMs = 0.0;
+  const uint64_t Fits0 = kmeansFitCount();
+  const uint64_t Rebuilds0 = postingRebuildCount();
+  using Clock = std::chrono::steady_clock;
+  for (auto _ : State) {
+    const Clock::time_point T0 = Clock::now();
+    Expected<std::vector<ProfileStoreCache>> Caches =
+        Mapped ? loadShardedProfileImages(Dir) : loadShardedProfileCaches(Dir);
+    if (!Caches) {
+      State.SkipWithError(Caches.message().c_str());
+      return;
+    }
+    Expected<IndexService> Service =
+        IndexService::fromShardCaches(Caches.take());
+    if (!Service) {
+      State.SkipWithError(Service.message().c_str());
+      return;
+    }
+    if (!Mapped) {
+      if (Status S = Service->loadShardRouting(Dir); !S) {
+        State.SkipWithError(S.message().c_str());
+        return;
+      }
+    }
+    const Clock::time_point T1 = Clock::now();
+    benchmark::DoNotOptimize(Service->queryApprox(Query, 5, true, 0, 1));
+    const Clock::time_point T2 = Clock::now();
+    OpenMs += std::chrono::duration<double, std::milli>(T1 - T0).count();
+    QueryMs += std::chrono::duration<double, std::milli>(T2 - T1).count();
+  }
+  State.counters["open_ms"] =
+      benchmark::Counter(OpenMs, benchmark::Counter::kAvgIterations);
+  State.counters["first_query_ms"] =
+      benchmark::Counter(QueryMs, benchmark::Counter::kAvgIterations);
+  State.counters["fits"] = benchmark::Counter(
+      static_cast<double>(kmeansFitCount() - Fits0),
+      benchmark::Counter::kAvgIterations);
+  State.counters["posting_rebuilds"] = benchmark::Counter(
+      static_cast<double>(postingRebuildCount() - Rebuilds0),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_RoutedRestartToFirstQuery)
+    ->ArgNames({"n", "mapped"})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({8192, 0})
+    ->Args({8192, 1})
+    ->Args({32768, 0})
+    ->Args({32768, 1})
+    ->Unit(benchmark::kMillisecond);
+
 #ifdef __linux__
 /// Rss and Pss (in KiB) that /proc/self/smaps attributes to mappings
 /// of \p PathSuffix. Pss divides each shared page by its mapper count,
@@ -681,4 +767,21 @@ BENCHMARK(BM_MappedImageSharedRss)->Arg(8192)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCH_LARGE=1 adds the million-profile routed restart legs — minutes
+// of one-time corpus/fit setup, so they are opt-in rather than part of
+// the default suite the nightly job and BENCH_index.json track.
+int main(int argc, char **argv) {
+  if (const char *Large = std::getenv("BENCH_LARGE"); Large && Large[0] == '1')
+    ::benchmark::RegisterBenchmark("BM_RoutedRestartToFirstQuery",
+                                   BM_RoutedRestartToFirstQuery)
+        ->ArgNames({"n", "mapped"})
+        ->Args({1000000, 0})
+        ->Args({1000000, 1})
+        ->Unit(benchmark::kMillisecond);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,8 @@
 #include <bit>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <string_view>
 
 using namespace kast;
 
@@ -52,9 +54,60 @@ const char *sectionName(FlatSectionId Id) {
     return "quantized-scales";
   case FlatSectionId::Route:
     return "route";
+  case FlatSectionId::RouteMeta:
+    return "routing-meta";
+  case FlatSectionId::RouteAssignments:
+    return "routing-assignments";
+  case FlatSectionId::CentroidOffsets:
+    return "centroid-offsets";
+  case FlatSectionId::CentroidHashes:
+    return "centroid-hashes";
+  case FlatSectionId::CentroidValues:
+    return "centroid-values";
+  case FlatSectionId::CentroidSelfDots:
+    return "centroid-self-dots";
+  case FlatSectionId::CentroidNorms:
+    return "centroid-norms";
+  case FlatSectionId::PostingClusterBegin:
+    return "posting-cluster-begin";
+  case FlatSectionId::PostingFeatures:
+    return "posting-features";
+  case FlatSectionId::PostingBegin:
+    return "posting-begin";
+  case FlatSectionId::PostingIds:
+    return "posting-ids";
+  case FlatSectionId::PostingValues:
+    return "posting-values";
   }
   return "unknown";
 }
+
+/// The "KASTIVIX" routing-meta section: a fixed 128-byte block holding
+/// the flattened RoutingOptions and the arena counts every other
+/// routing section's size is checked against. Layout (offsets in
+/// bytes, little-endian):
+///
+///   0   magic           8  "KASTIVIX"
+///   8   metaVersion     u32  1
+///   12  flags           u32  bit 0: QuantizedShortlist
+///   16  maxDocFrequency f64 bits
+///   24  rerankBudget    u64
+///   32  defaultNProbe   u64
+///   40  numCentroids    u64  (the *option*; 0 = auto)
+///   48  maxIterations   u64
+///   56  trainingSample  u64
+///   64  seed            u64
+///   72  covered         u64  profiles covered (assignment count)
+///   80  centroidCount   u64  fitted centroids C
+///   88  centroidEntries u64  total centroid features ce
+///   96  featureCount    u64  surviving posting features F
+///   104 postingCount    u64  total postings P
+///   112 prunedFeatures  u64
+///   120 reserved        u64  0
+constexpr char RouteMetaMagic[8] = {'K', 'A', 'S', 'T', 'I', 'V', 'I', 'X'};
+constexpr uint32_t RouteMetaVersion = 1;
+constexpr uint64_t RouteMetaBytes = 128;
+constexpr uint32_t RouteMetaFlagQuantizedShortlist = 1u << 0;
 
 void appendU32(std::vector<unsigned char> &Out, uint32_t V) {
   for (int I = 0; I < 4; ++I)
@@ -114,22 +167,50 @@ struct SectionOut {
 /// A string list as a self-contained section: (N+1) u64 offsets into
 /// the byte blob that follows — the same CSR idea as the profile
 /// arrays, so restore is a bounds-checked view, not a length-prefixed
-/// parse.
-std::vector<unsigned char>
-buildStringTable(const std::vector<std::string> &Strings) {
+/// parse. Works over vector<std::string> and StringColumn alike (both
+/// expose size() and a string_view-convertible operator[]).
+template <typename Column>
+std::vector<unsigned char> buildStringTable(const Column &Strings) {
   std::vector<unsigned char> Out;
   uint64_t Total = 0;
-  for (const std::string &S : Strings)
-    Total += S.size();
+  for (size_t I = 0; I < Strings.size(); ++I)
+    Total += std::string_view(Strings[I]).size();
   Out.reserve((Strings.size() + 1) * 8 + Total);
   uint64_t Offset = 0;
   appendU64(Out, 0);
-  for (const std::string &S : Strings) {
-    Offset += S.size();
+  for (size_t I = 0; I < Strings.size(); ++I) {
+    Offset += std::string_view(Strings[I]).size();
     appendU64(Out, Offset);
   }
-  for (const std::string &S : Strings)
+  for (size_t I = 0; I < Strings.size(); ++I) {
+    const std::string_view S = Strings[I];
     Out.insert(Out.end(), S.begin(), S.end());
+  }
+  return Out;
+}
+
+/// Encodes \p R's scalars and counts as the 128-byte routing-meta
+/// block (layout above).
+std::vector<unsigned char> buildRouteMeta(const RoutingArenas &R) {
+  std::vector<unsigned char> Out;
+  Out.reserve(RouteMetaBytes);
+  Out.insert(Out.end(), RouteMetaMagic, RouteMetaMagic + sizeof(RouteMetaMagic));
+  appendU32(Out, RouteMetaVersion);
+  appendU32(Out, R.QuantizedShortlist ? RouteMetaFlagQuantizedShortlist : 0);
+  appendU64(Out, std::bit_cast<uint64_t>(R.MaxDocFrequency));
+  appendU64(Out, R.RerankBudget);
+  appendU64(Out, R.DefaultNProbe);
+  appendU64(Out, R.ClusterNumCentroids);
+  appendU64(Out, R.ClusterMaxIterations);
+  appendU64(Out, R.ClusterTrainingSample);
+  appendU64(Out, R.ClusterSeed);
+  appendU64(Out, R.Covered);
+  appendU64(Out, R.Centroids.size());
+  appendU64(Out, R.Centroids.entryCount());
+  appendU64(Out, R.FeatureHashes.size());
+  appendU64(Out, R.PostingIds.size());
+  appendU64(Out, R.PrunedFeatures);
+  appendU64(Out, 0); // reserved
   return Out;
 }
 
@@ -141,45 +222,45 @@ struct SectionIn {
   bool Present = false;
 };
 
-Expected<std::vector<std::string>>
-parseStringTable(const unsigned char *Data, uint64_t Size, uint64_t Count,
-                 const char *What) {
-  using Result = Expected<std::vector<std::string>>;
+/// Validates a NAMES/LABELS section's offset table without
+/// materializing a single string: (Count+1) u64 offsets with a leading
+/// 0, non-decreasing, in bounds, final equal to the blob size. Once
+/// this passes, the section is safe to hand to
+/// StringColumn::fromMapped — every later operator[] is a view whose
+/// bounds these offsets pin, so strings decode lazily on first access
+/// instead of as O(N) allocations at open.
+Status validateStringTable(const unsigned char *Data, uint64_t Size,
+                           uint64_t Count, const char *What) {
   const uint64_t TableBytes = (Count + 1) * 8;
   if (Size < TableBytes)
-    return Result::error(std::string("flat image ") + What +
+    return Status::error(std::string("flat image ") + What +
                          " section too small for its offset table");
   const uint64_t BlobBytes = Size - TableBytes;
   uint64_t Prev = readU64At(Data, 0);
   if (Prev != 0)
-    return Result::error(std::string("flat image ") + What +
+    return Status::error(std::string("flat image ") + What +
                          " offsets must start at 0");
-  std::vector<std::string> Strings;
-  Strings.reserve(static_cast<size_t>(Count));
   for (uint64_t I = 0; I < Count; ++I) {
     const uint64_t Next = readU64At(Data, (I + 1) * 8);
     if (Next < Prev || Next > BlobBytes)
-      return Result::error(std::string("flat image ") + What +
+      return Status::error(std::string("flat image ") + What +
                            " offsets not monotonic or out of bounds");
-    Strings.emplace_back(reinterpret_cast<const char *>(Data) + TableBytes +
-                             Prev,
-                         static_cast<size_t>(Next - Prev));
     Prev = Next;
   }
   if (Prev != BlobBytes)
-    return Result::error(std::string("flat image ") + What +
+    return Status::error(std::string("flat image ") + What +
                          " offsets disagree with blob size");
-  return Strings;
+  return Status();
 }
 
-} // namespace
-
-Status kast::writeProfileStoreImageFile(const std::string &KernelName,
-                                        const std::vector<std::string> &Names,
-                                        const std::vector<std::string> &Labels,
-                                        const ProfileStore &Store,
-                                        const std::string &Path,
-                                        const std::string &RouteBlob) {
+/// The shared writer over either string-column shape
+/// (vector<std::string> or StringColumn), optionally embedding routing
+/// arenas — which is what flips the written version to 4.
+template <typename Column>
+Status writeImageImpl(const std::string &KernelName, const Column &Names,
+                      const Column &Labels, const ProfileStore &Store,
+                      const std::string &Path, const std::string &RouteBlob,
+                      const RoutingArenas *Routing) {
   if constexpr (std::endian::native != std::endian::little)
     return Status::error("flat image writer requires a little-endian host; "
                          "use the v2 cache format");
@@ -188,6 +269,21 @@ Status kast::writeProfileStoreImageFile(const std::string &KernelName,
                          " profiles but " + std::to_string(Names.size()) +
                          " names / " + std::to_string(Labels.size()) +
                          " labels");
+  // Empty routing (an unfitted or empty-corpus router) carries no
+  // information a restore could use; write a plain v3 image and let
+  // the restore path fall back.
+  if (Routing && (Routing->Covered == 0 || Routing->Centroids.size() == 0))
+    Routing = nullptr;
+  if (Routing) {
+    const RoutingArenas &R = *Routing;
+    const uint64_t C = R.Centroids.size();
+    const uint64_t F = R.FeatureHashes.size();
+    if (R.Assignments.size() != R.Covered || R.Covered > Store.size() ||
+        R.ClusterBegin.size() != C + 1 || R.PostingBegin.size() != F + 1 ||
+        R.PostingIds.size() != R.PostingValues.size())
+      return Status::error("flat image routing arenas are inconsistent with "
+                           "their counts");
+  }
 
   const uint64_t N = Store.size();
   const uint64_t Total = Store.entryCount();
@@ -220,10 +316,52 @@ Status kast::writeProfileStoreImageFile(const std::string &KernelName,
     Sections.push_back(SectionOut::borrowed(FlatSectionId::QuantScales,
                                             Quant->scales().data(), N * 8));
   }
-  if (!RouteBlob.empty())
+  // The legacy opaque blob and the arena sections are exclusive: the
+  // arenas carry strictly more (they restore without a rebuild), so a
+  // v4 image never wastes pages on the blob form.
+  if (!RouteBlob.empty() && !Routing)
     Sections.push_back(SectionOut::borrowed(FlatSectionId::Route,
                                             RouteBlob.data(),
                                             RouteBlob.size()));
+  if (Routing) {
+    const RoutingArenas &R = *Routing;
+    const uint64_t C = R.Centroids.size();
+    Sections.push_back(
+        SectionOut::owned(FlatSectionId::RouteMeta, buildRouteMeta(R)));
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::RouteAssignments,
+                                            R.Assignments.data(),
+                                            R.Assignments.size() * 4));
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::CentroidOffsets,
+                                            R.Centroids.offsets().data(),
+                                            (C + 1) * 8));
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::CentroidHashes,
+                                            R.Centroids.hashes().data(),
+                                            R.Centroids.entryCount() * 8));
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::CentroidValues,
+                                            R.Centroids.values().data(),
+                                            R.Centroids.entryCount() * 8));
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::CentroidSelfDots,
+                                            R.Centroids.selfDots().data(),
+                                            C * 8));
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::CentroidNorms,
+                                            R.Centroids.norms().data(),
+                                            C * 8));
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::PostingClusterBegin,
+                                            R.ClusterBegin.data(),
+                                            R.ClusterBegin.size() * 8));
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::PostingFeatures,
+                                            R.FeatureHashes.data(),
+                                            R.FeatureHashes.size() * 8));
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::PostingBegin,
+                                            R.PostingBegin.data(),
+                                            R.PostingBegin.size() * 8));
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::PostingIds,
+                                            R.PostingIds.data(),
+                                            R.PostingIds.size() * 4));
+    Sections.push_back(SectionOut::borrowed(FlatSectionId::PostingValues,
+                                            R.PostingValues.data(),
+                                            R.PostingValues.size() * 8));
+  }
 
   // Lay the sections out page-aligned after the header + table.
   uint64_t Cursor =
@@ -238,7 +376,7 @@ Status kast::writeProfileStoreImageFile(const std::string &KernelName,
   Prelude.reserve(HeaderSumPrefix + Sections.size() * TableEntryBytes);
   Prelude.insert(Prelude.end(), FlatImageMagic,
                  FlatImageMagic + sizeof(FlatImageMagic));
-  appendU32(Prelude, FlatImageVersion);
+  appendU32(Prelude, Routing ? FlatImageVersionRouted : FlatImageVersion);
   appendU32(Prelude, static_cast<uint32_t>(Sections.size()));
   appendU64(Prelude, checksumBytes(KernelName.data(), KernelName.size()));
   appendU64(Prelude, N);
@@ -283,11 +421,23 @@ Status kast::writeProfileStoreImageFile(const std::string &KernelName,
   return Status();
 }
 
+} // namespace
+
+Status kast::writeProfileStoreImageFile(const std::string &KernelName,
+                                        const std::vector<std::string> &Names,
+                                        const std::vector<std::string> &Labels,
+                                        const ProfileStore &Store,
+                                        const std::string &Path,
+                                        const std::string &RouteBlob) {
+  return writeImageImpl(KernelName, Names, Labels, Store, Path, RouteBlob,
+                        nullptr);
+}
+
 Status kast::writeProfileStoreImageFile(const ProfileStoreCache &Cache,
                                         const std::string &Path) {
-  return writeProfileStoreImageFile(Cache.KernelName, Cache.Names,
-                                    Cache.Labels, Cache.Store, Path,
-                                    Cache.RouteBlob);
+  return writeImageImpl(Cache.KernelName, Cache.Names, Cache.Labels,
+                        Cache.Store, Path, Cache.RouteBlob,
+                        Cache.Routing.get());
 }
 
 Expected<ProfileStoreCache>
@@ -321,9 +471,10 @@ kast::readProfileStoreImageFile(const std::string &Path,
   if (std::memcmp(Data, FlatImageMagic, 8) != 0)
     return fail("not a flat image (bad magic)");
   const uint32_t Version = readU32At(Data, 8);
-  if (Version != FlatImageVersion)
+  if (Version != FlatImageVersion && Version != FlatImageVersionRouted)
     return fail("unsupported flat image version " + std::to_string(Version) +
-                " (expected " + std::to_string(FlatImageVersion) + ")");
+                " (expected " + std::to_string(FlatImageVersion) + " or " +
+                std::to_string(FlatImageVersionRouted) + ")");
   const uint32_t SectionCount = readU32At(Data, 12);
   const uint64_t KernelHash = readU64At(Data, 16);
   const uint64_t N = readU64At(Data, 24);
@@ -362,9 +513,17 @@ kast::readProfileStoreImageFile(const std::string &Path,
     S.Size = readU64At(Data, Entry + 16);
     S.Sum = readU64At(Data, Entry + 24);
     S.Present = true;
-    if (Id == 0 || Id > static_cast<uint32_t>(FlatSectionId::Route))
+    // The routing-arena ids only exist from version 4 on; seeing one
+    // under version 3 is skew (a patched header or a mixed-up writer),
+    // not a format this reader can trust.
+    const uint32_t MaxId = Version >= FlatImageVersionRouted
+                               ? static_cast<uint32_t>(
+                                     FlatSectionId::PostingValues)
+                               : static_cast<uint32_t>(FlatSectionId::Route);
+    if (Id == 0 || Id > MaxId)
       return fail("corrupt flat image: unknown section id " +
-                  std::to_string(Id));
+                  std::to_string(Id) + " for version " +
+                  std::to_string(Version));
     const char *Name = sectionName(static_cast<FlatSectionId>(Id));
     if (S.Offset % FlatImageAlignment != 0)
       return fail(std::string("corrupt flat image: ") + Name +
@@ -428,12 +587,18 @@ kast::readProfileStoreImageFile(const std::string &Path,
        {FlatSectionId::KernelName, FlatSectionId::Offsets,
         FlatSectionId::SelfDots, FlatSectionId::Norms, FlatSectionId::Names,
         FlatSectionId::Labels, FlatSectionId::QuantScales,
-        FlatSectionId::Route})
+        FlatSectionId::Route, FlatSectionId::RouteMeta,
+        FlatSectionId::RouteAssignments, FlatSectionId::CentroidOffsets,
+        FlatSectionId::CentroidSelfDots, FlatSectionId::CentroidNorms,
+        FlatSectionId::PostingClusterBegin, FlatSectionId::PostingBegin})
     if (Status S = verify(Id); !S)
       return fail(S.message());
   if (Deep)
-    for (FlatSectionId Id : {FlatSectionId::Hashes, FlatSectionId::Values,
-                             FlatSectionId::QuantValues})
+    for (FlatSectionId Id :
+         {FlatSectionId::Hashes, FlatSectionId::Values,
+          FlatSectionId::QuantValues, FlatSectionId::CentroidHashes,
+          FlatSectionId::CentroidValues, FlatSectionId::PostingFeatures,
+          FlatSectionId::PostingIds, FlatSectionId::PostingValues})
       if (Status S = verify(Id); !S)
         return fail(S.message());
 
@@ -449,22 +614,32 @@ kast::readProfileStoreImageFile(const std::string &Path,
       !S)
     return fail(S.message());
 
-  Expected<std::vector<std::string>> Names =
-      parseStringTable(sectionData(FlatSectionId::Names),
-                       section(FlatSectionId::Names).Size, N, "names");
-  if (!Names)
-    return fail(Names.message());
-  Expected<std::vector<std::string>> Labels =
-      parseStringTable(sectionData(FlatSectionId::Labels),
-                       section(FlatSectionId::Labels).Size, N, "labels");
-  if (!Labels)
-    return fail(Labels.message());
+  // Names/labels stay in the image: validate the offset tables once,
+  // then view them lazily — no string materializes until someone reads
+  // one (core/StringColumn).
+  if (Status S = validateStringTable(sectionData(FlatSectionId::Names),
+                                     section(FlatSectionId::Names).Size, N,
+                                     "names");
+      !S)
+    return fail(S.message());
+  if (Status S = validateStringTable(sectionData(FlatSectionId::Labels),
+                                     section(FlatSectionId::Labels).Size, N,
+                                     "labels");
+      !S)
+    return fail(S.message());
 
   ProfileStoreCache Cache;
   Cache.KernelName = std::move(KernelName);
-  Cache.Names = Names.take();
-  Cache.Labels = Labels.take();
   std::shared_ptr<const void> Backing = Image;
+  auto stringColumn = [&](FlatSectionId Id) {
+    const unsigned char *D = sectionData(Id);
+    return StringColumn::fromMapped(
+        reinterpret_cast<const uint64_t *>(D),
+        reinterpret_cast<const char *>(D) + (N + 1) * 8,
+        static_cast<size_t>(N), Backing);
+  };
+  Cache.Names = stringColumn(FlatSectionId::Names);
+  Cache.Labels = stringColumn(FlatSectionId::Labels);
   Cache.Store = ProfileStore::fromMapped(
       Offsets,
       reinterpret_cast<const uint64_t *>(sectionData(FlatSectionId::Hashes)),
@@ -500,6 +675,136 @@ kast::readProfileStoreImageFile(const std::string &Path,
     Cache.RouteBlob.assign(
         reinterpret_cast<const char *>(sectionData(FlatSectionId::Route)),
         static_cast<size_t>(Route.Size));
+
+  // v4 routing arenas: all twelve sections or none. Structural checks
+  // here are the always-on tier — everything an in-bounds query walk
+  // depends on (CSR monotonicity, assignment range, exact sizes) —
+  // while the payload arrays' checksums ride the deep tier like the
+  // store's own entry arrays.
+  const FlatSectionId RoutingIds[] = {
+      FlatSectionId::RouteMeta,        FlatSectionId::RouteAssignments,
+      FlatSectionId::CentroidOffsets,  FlatSectionId::CentroidHashes,
+      FlatSectionId::CentroidValues,   FlatSectionId::CentroidSelfDots,
+      FlatSectionId::CentroidNorms,    FlatSectionId::PostingClusterBegin,
+      FlatSectionId::PostingFeatures,  FlatSectionId::PostingBegin,
+      FlatSectionId::PostingIds,       FlatSectionId::PostingValues};
+  size_t RoutingPresent = 0;
+  for (FlatSectionId Id : RoutingIds)
+    if (section(Id).Present)
+      ++RoutingPresent;
+  if (RoutingPresent != 0 && RoutingPresent != std::size(RoutingIds))
+    return fail("corrupt flat image: routing arenas need all of their "
+                "sections (" +
+                std::to_string(RoutingPresent) + " of " +
+                std::to_string(std::size(RoutingIds)) + " present)");
+  if (RoutingPresent != 0) {
+    const SectionIn &Meta = section(FlatSectionId::RouteMeta);
+    const unsigned char *MetaData = sectionData(FlatSectionId::RouteMeta);
+    if (Meta.Size != RouteMetaBytes ||
+        std::memcmp(MetaData, RouteMetaMagic, sizeof(RouteMetaMagic)) != 0)
+      return fail("corrupt flat image: malformed routing-meta section");
+    if (readU32At(MetaData, 8) != RouteMetaVersion)
+      return fail("unsupported flat image routing-meta version " +
+                  std::to_string(readU32At(MetaData, 8)));
+    const uint32_t Flags = readU32At(MetaData, 12);
+    auto R = std::make_shared<RoutingArenas>();
+    R->QuantizedShortlist = (Flags & RouteMetaFlagQuantizedShortlist) != 0;
+    R->MaxDocFrequency = std::bit_cast<double>(readU64At(MetaData, 16));
+    R->RerankBudget = readU64At(MetaData, 24);
+    R->DefaultNProbe = readU64At(MetaData, 32);
+    R->ClusterNumCentroids = readU64At(MetaData, 40);
+    R->ClusterMaxIterations = readU64At(MetaData, 48);
+    R->ClusterTrainingSample = readU64At(MetaData, 56);
+    R->ClusterSeed = readU64At(MetaData, 64);
+    R->Covered = readU64At(MetaData, 72);
+    const uint64_t C = readU64At(MetaData, 80);
+    const uint64_t CentroidEntries = readU64At(MetaData, 88);
+    const uint64_t F = readU64At(MetaData, 96);
+    const uint64_t P = readU64At(MetaData, 104);
+    R->PrunedFeatures = readU64At(MetaData, 112);
+    if (!(R->MaxDocFrequency >= 0.0) || R->MaxDocFrequency > 1.0)
+      return fail("corrupt flat image: routing df threshold out of range");
+    if (R->Covered > N || C == 0 || C >= MaxCount ||
+        CentroidEntries >= MaxCount || F >= MaxCount || P >= MaxCount)
+      return fail("corrupt flat image: routing-meta counts disagree with "
+                  "header counts");
+    const struct {
+      FlatSectionId Id;
+      uint64_t WantSize;
+    } RoutingShape[] = {
+        {FlatSectionId::RouteAssignments, R->Covered * 4},
+        {FlatSectionId::CentroidOffsets, (C + 1) * 8},
+        {FlatSectionId::CentroidHashes, CentroidEntries * 8},
+        {FlatSectionId::CentroidValues, CentroidEntries * 8},
+        {FlatSectionId::CentroidSelfDots, C * 8},
+        {FlatSectionId::CentroidNorms, C * 8},
+        {FlatSectionId::PostingClusterBegin, (C + 1) * 8},
+        {FlatSectionId::PostingFeatures, F * 8},
+        {FlatSectionId::PostingBegin, (F + 1) * 8},
+        {FlatSectionId::PostingIds, P * 4},
+        {FlatSectionId::PostingValues, P * 8},
+    };
+    for (const auto &Want : RoutingShape)
+      if (section(Want.Id).Size != Want.WantSize)
+        return fail(std::string("corrupt flat image: ") +
+                    sectionName(Want.Id) +
+                    " section size disagrees with routing-meta counts");
+
+    const uint64_t *CentroidOffsets = reinterpret_cast<const uint64_t *>(
+        sectionData(FlatSectionId::CentroidOffsets));
+    if (Status S = validateCsrOffsets(
+            CentroidOffsets, static_cast<size_t>(C + 1), CentroidEntries);
+        !S)
+      return fail("routing centroids: " + S.message());
+    const uint64_t *ClusterBegin = reinterpret_cast<const uint64_t *>(
+        sectionData(FlatSectionId::PostingClusterBegin));
+    if (Status S = validateCsrOffsets(ClusterBegin,
+                                      static_cast<size_t>(C + 1), F);
+        !S)
+      return fail("routing cluster index: " + S.message());
+    const uint64_t *PostingBegin = reinterpret_cast<const uint64_t *>(
+        sectionData(FlatSectionId::PostingBegin));
+    if (Status S = validateCsrOffsets(PostingBegin,
+                                      static_cast<size_t>(F + 1), P);
+        !S)
+      return fail("routing posting index: " + S.message());
+    const uint32_t *Assignments = reinterpret_cast<const uint32_t *>(
+        sectionData(FlatSectionId::RouteAssignments));
+    for (uint64_t I = 0; I < R->Covered; ++I)
+      if (Assignments[I] >= C)
+        return fail("corrupt flat image: routing assignment " +
+                    std::to_string(I) + " names centroid " +
+                    std::to_string(Assignments[I]) + " of " +
+                    std::to_string(C));
+
+    R->Assignments = {Assignments, static_cast<size_t>(R->Covered)};
+    R->Centroids = ProfileStore::fromMapped(
+        CentroidOffsets,
+        reinterpret_cast<const uint64_t *>(
+            sectionData(FlatSectionId::CentroidHashes)),
+        reinterpret_cast<const double *>(
+            sectionData(FlatSectionId::CentroidValues)),
+        reinterpret_cast<const double *>(
+            sectionData(FlatSectionId::CentroidSelfDots)),
+        reinterpret_cast<const double *>(
+            sectionData(FlatSectionId::CentroidNorms)),
+        static_cast<size_t>(C), static_cast<size_t>(CentroidEntries), Backing);
+    if (Deep && !R->Centroids.isFinalized())
+      return fail("corrupt flat image: centroid features not sorted by hash");
+    R->FeatureHashes = {reinterpret_cast<const uint64_t *>(
+                            sectionData(FlatSectionId::PostingFeatures)),
+                        static_cast<size_t>(F)};
+    R->ClusterBegin = {ClusterBegin, static_cast<size_t>(C + 1)};
+    R->PostingBegin = {PostingBegin, static_cast<size_t>(F + 1)};
+    R->PostingIds = {reinterpret_cast<const uint32_t *>(
+                         sectionData(FlatSectionId::PostingIds)),
+                     static_cast<size_t>(P)};
+    R->PostingValues = {reinterpret_cast<const double *>(
+                            sectionData(FlatSectionId::PostingValues)),
+                        static_cast<size_t>(P)};
+    R->Backing = Backing;
+    Cache.Routing = std::move(R);
+  }
 
   // Serving faults pages in query order, which is as random as the
   // query stream; tell the kernel not to read ahead aggressively.

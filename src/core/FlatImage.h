@@ -47,20 +47,46 @@
 ///   M LABELS      same shape as NAMES
 ///     QVALUES     total x i8    QuantizedStore codes (sidecar)
 ///     QSCALES     N x f64       QuantizedStore per-profile scales
-///     ROUTE       opaque "KASTRTNG" routing-sidecar bytes
+///     ROUTE       opaque "KASTRTNG" routing-sidecar bytes (v3 legacy:
+///                 restoring from it still rebuilds posting lists)
+///
+/// Version 4 adds the routing tier as first-class flat arenas — the
+/// canonical in-memory CSR layout of index/ClusterRouter and
+/// index/InvertedIndex serialized directly, so a routed restore is
+/// validate-and-view like the store itself (no k-means refit, no
+/// posting rebuild). All twelve sections appear together or not at
+/// all; a writer emits version 4 iff they are present, so unrouted
+/// images remain bit-identical to v3:
+///
+///     RMETA       128 bytes     "KASTIVIX": the routing options and
+///                               arena counts (layout in FlatImage.cpp)
+///     RASSIGN     covered x u32 per-profile centroid assignment
+///     COFFSETS    (C+1) x u64   centroid CSR offsets
+///     CHASHES     ce x u64      centroid feature hashes
+///     CVALUES     ce x f64      centroid feature values
+///     CSELFDOTS   C x f64       centroid self-dots
+///     CNORMS      C x f64       centroid norms
+///     PCLUSTERS   (C+1) x u64   posting CSR: cluster -> feature range
+///     PFEATURES   F x u64       surviving feature hashes
+///     PBEGIN      (F+1) x u64   posting CSR: feature -> posting range
+///     PIDS        P x u32       posting profile ids
+///     PVALUES     P x f64       posting values (impact-ordered)
 ///
 /// SELFDOTS and NORMS ride in the image because recomputing them is
 /// the O(entries) pass that makes the v2 load linear; QVALUES/QSCALES
-/// (present iff the store had a built sidecar at write time) and ROUTE
-/// let a routed, quantized index restore with no rebuild at all.
+/// (present iff the store had a built sidecar at write time) and the
+/// routing sections let a routed, quantized index restore with no
+/// rebuild at all.
 ///
 /// Validation. Opening always verifies the header checksum (which
 /// covers the section table), section bounds and alignment, the
 /// kernel-name hash, the CSR offset invariants (the shared
 /// validateCsrOffsets seam with the v2 reader), and the checksums of
 /// every metadata-sized section (everything O(N): offsets, self-dots,
-/// norms, names, labels, scales, route). The entry-sized sections
-/// (HASHES/VALUES/QVALUES) are checksummed only under
+/// norms, names, labels, scales, route, and the routing meta /
+/// assignment / CSR-offset sections). The entry-sized sections
+/// (HASHES/VALUES/QVALUES and the routing payload arrays
+/// CHASHES/CVALUES/PFEATURES/PIDS/PVALUES) are checksummed only under
 /// FlatImageReadOptions::DeepValidate — verifying them eagerly would
 /// fault every page and reintroduce the O(entries) open the format
 /// exists to avoid. The buffered fallback (no mmap, or
@@ -92,7 +118,10 @@ namespace kast {
 /// any 8-byte element view into it is well-aligned.
 inline constexpr uint64_t FlatImageAlignment = 4096;
 
-/// Section identifiers of the v3 format. Values are wire constants.
+/// Section identifiers. Values are wire constants; ids above Route are
+/// the version-4 routing arenas and are rejected in version-3 files
+/// (version skew), so a v3-era reader and a v4 file fail loudly in
+/// both directions.
 enum class FlatSectionId : uint32_t {
   KernelName = 1,
   Offsets = 2,
@@ -105,6 +134,19 @@ enum class FlatSectionId : uint32_t {
   QuantValues = 9,
   QuantScales = 10,
   Route = 11,
+  // v4 routing arenas (all-or-nothing):
+  RouteMeta = 12,
+  RouteAssignments = 13,
+  CentroidOffsets = 14,
+  CentroidHashes = 15,
+  CentroidValues = 16,
+  CentroidSelfDots = 17,
+  CentroidNorms = 18,
+  PostingClusterBegin = 19,
+  PostingFeatures = 20,
+  PostingBegin = 21,
+  PostingIds = 22,
+  PostingValues = 23,
 };
 
 struct FlatImageReadOptions {
@@ -129,16 +171,20 @@ Status writeProfileStoreImageFile(const std::string &KernelName,
                                   const std::string &Path,
                                   const std::string &RouteBlob = {});
 
-/// Struct form: uses Cache.RouteBlob and Cache.Store's sidecar.
+/// Struct form: uses Cache.Store's sidecar, and embeds the routing
+/// tier. Cache.Routing (arena sections, version 4) takes precedence;
+/// a legacy Cache.RouteBlob without arenas still writes a v3 ROUTE
+/// section.
 Status writeProfileStoreImageFile(const ProfileStoreCache &Cache,
                                   const std::string &Path);
 
-/// Opens, validates, and views a v3 flat image. On success the
+/// Opens, validates, and views a v3/v4 flat image. On success the
 /// returned cache's Store (and quantized sidecar, when the image
-/// carries one) alias the mapping; Names/Labels/RouteBlob are owned
-/// copies. Rejects v1/v2 caches with a pointer at the right reader,
-/// and any structural or checksum violation with a diagnostic naming
-/// the section.
+/// carries one) alias the mapping, Names/Labels are lazily decoded
+/// section-backed columns (core/StringColumn), and — for a v4 image —
+/// Cache.Routing views the routing arenas in place. Rejects v1/v2
+/// caches with a pointer at the right reader, and any structural or
+/// checksum violation with a diagnostic naming the section.
 Expected<ProfileStoreCache>
 readProfileStoreImageFile(const std::string &Path,
                           const FlatImageReadOptions &Options = {});

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <string_view>
 
 using namespace kast;
 
@@ -33,7 +34,7 @@ void writeU64(std::ostream &Out, uint64_t V) {
   Out.write(Bytes, sizeof(Bytes));
 }
 
-void writeStringField(std::ostream &Out, const std::string &S) {
+void writeStringField(std::ostream &Out, std::string_view S) {
   writeU32(Out, static_cast<uint32_t>(S.size()));
   Out.write(S.data(), static_cast<std::streamsize>(S.size()));
 }
@@ -285,8 +286,7 @@ ProfileCache storeToRecords(ProfileStoreCache Cache) {
   Records.KernelName = std::move(Cache.KernelName);
   Records.Records.reserve(Cache.Store.size());
   for (size_t I = 0; I < Cache.Store.size(); ++I)
-    Records.Records.push_back({std::move(Cache.Names[I]),
-                               std::move(Cache.Labels[I]),
+    Records.Records.push_back({Cache.Names.str(I), Cache.Labels.str(I),
                                Cache.Store.materialize(I)});
   return Records;
 }
@@ -318,6 +318,40 @@ Expected<T> readCacheFile(const std::string &Path, ReadFn Read) {
   if (!Cache)
     return Expected<T>::error("'" + Path + "': " + Cache.message());
   return Cache;
+}
+
+/// Shared v2 body writer over any string column shape —
+/// vector<std::string> (component overload) or StringColumn (struct
+/// overload, which may be lazily mapped); both expose size() and
+/// operator[] convertible to string_view.
+template <typename NamesT, typename LabelsT>
+Status writeStoreBodyV2(const std::string &KernelName, const NamesT &Names,
+                        const LabelsT &Labels, const ProfileStore &Store,
+                        std::ostream &Out) {
+  if (Names.size() != Store.size() || Labels.size() != Store.size())
+    return Status::error("profile store cache has " +
+                         std::to_string(Store.size()) + " profiles but " +
+                         std::to_string(Names.size()) + " names / " +
+                         std::to_string(Labels.size()) + " labels");
+  Out.write(ProfileCacheMagic, sizeof(ProfileCacheMagic));
+  writeU32(Out, ProfileCacheVersionV2);
+  writeStringField(Out, KernelName);
+  writeU64(Out, static_cast<uint64_t>(Store.size()));
+  writeU64(Out, static_cast<uint64_t>(Store.entryCount()));
+  for (size_t I = 0; I < Names.size(); ++I)
+    writeStringField(Out, Names[I]);
+  for (size_t I = 0; I < Labels.size(); ++I)
+    writeStringField(Out, Labels[I]);
+
+  // The three arena arrays as contiguous blobs, written wholesale —
+  // the store already keeps offsets at the u64 wire width.
+  writeU64Blob(Out, Store.offsets().data(), Store.offsets().size());
+  writeU64Blob(Out, Store.hashes().data(), Store.hashes().size());
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  writeU64Blob(Out, Store.values().data(), Store.values().size());
+  if (!Out)
+    return Status::error("profile cache write failed");
+  return Status();
 }
 
 } // namespace
@@ -397,8 +431,8 @@ Expected<ProfileCache> kast::readProfileCache(std::istream &In) {
 
 Status kast::writeProfileStoreCache(const ProfileStoreCache &Cache,
                                     std::ostream &Out) {
-  return writeProfileStoreCache(Cache.KernelName, Cache.Names, Cache.Labels,
-                                Cache.Store, Out);
+  return writeStoreBodyV2(Cache.KernelName, Cache.Names, Cache.Labels,
+                          Cache.Store, Out);
 }
 
 Status kast::writeProfileStoreCache(const std::string &KernelName,
@@ -406,30 +440,7 @@ Status kast::writeProfileStoreCache(const std::string &KernelName,
                                     const std::vector<std::string> &Labels,
                                     const ProfileStore &Store,
                                     std::ostream &Out) {
-  if (Names.size() != Store.size() || Labels.size() != Store.size())
-    return Status::error("profile store cache has " +
-                         std::to_string(Store.size()) + " profiles but " +
-                         std::to_string(Names.size()) + " names / " +
-                         std::to_string(Labels.size()) + " labels");
-  Out.write(ProfileCacheMagic, sizeof(ProfileCacheMagic));
-  writeU32(Out, ProfileCacheVersionV2);
-  writeStringField(Out, KernelName);
-  writeU64(Out, static_cast<uint64_t>(Store.size()));
-  writeU64(Out, static_cast<uint64_t>(Store.entryCount()));
-  for (const std::string &Name : Names)
-    writeStringField(Out, Name);
-  for (const std::string &Label : Labels)
-    writeStringField(Out, Label);
-
-  // The three arena arrays as contiguous blobs, written wholesale —
-  // the store already keeps offsets at the u64 wire width.
-  writeU64Blob(Out, Store.offsets().data(), Store.offsets().size());
-  writeU64Blob(Out, Store.hashes().data(), Store.hashes().size());
-  static_assert(sizeof(double) == sizeof(uint64_t));
-  writeU64Blob(Out, Store.values().data(), Store.values().size());
-  if (!Out)
-    return Status::error("profile cache write failed");
-  return Status();
+  return writeStoreBodyV2(KernelName, Names, Labels, Store, Out);
 }
 
 Expected<ProfileStoreCache> kast::readProfileStoreCache(std::istream &In) {
@@ -458,8 +469,9 @@ Expected<ProfileCache> kast::readProfileCacheFile(const std::string &Path) {
 
 Status kast::writeProfileStoreCacheFile(const ProfileStoreCache &Cache,
                                         const std::string &Path) {
-  return writeProfileStoreCacheFile(Cache.KernelName, Cache.Names,
-                                    Cache.Labels, Cache.Store, Path);
+  return writeCacheFile(Path, [&](std::ostream &Out) {
+    return writeProfileStoreCache(Cache, Out);
+  });
 }
 
 Status kast::writeProfileStoreCacheFile(const std::string &KernelName,

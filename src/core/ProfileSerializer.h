@@ -52,9 +52,11 @@
 
 #include "core/KernelProfile.h"
 #include "core/ProfileStore.h"
+#include "core/StringColumn.h"
 #include "util/Error.h"
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,9 +71,15 @@ inline constexpr uint32_t ProfileCacheVersionV2 = 2;
 /// The v3 flat-image format (core/FlatImage) has its own magic so the
 /// two readers can tell each other's files apart and point the caller
 /// at the right entry point instead of reporting generic corruption.
+/// Version 4 is version 3 plus the optional routing-arena sections
+/// (assignments, centroid arrays, posting CSR); a writer emits 4 only
+/// when those sections are present, so unrouted images stay
+/// bit-identical to v3 and v3-only readers never see sections they
+/// cannot name.
 inline constexpr char FlatImageMagic[8] = {'K', 'A', 'S', 'T',
                                            'F', 'L', 'A', 'T'};
 inline constexpr uint32_t FlatImageVersion = 3;
+inline constexpr uint32_t FlatImageVersionRouted = 4;
 
 /// Shared CSR validation seam for the v2 and v3 readers: \p Offsets
 /// must hold \p Count elements (profile count + 1) with a leading 0,
@@ -98,20 +106,75 @@ struct ProfileCache {
   std::vector<ProfileRecord> Records;
 };
 
+/// The routing tier flattened into serialization-neutral CSR arenas —
+/// the canonical interchange form between the index layer (which fits
+/// and queries routing) and the v4 flat image (which maps it). Every
+/// array is an ArrayView aiming either into index-layer owned vectors
+/// (export: kept alive by Backing aliasing the live routing object) or
+/// into a mapped image (restore: kept alive by Backing holding the
+/// MappedImage). core carries and serializes this struct; only
+/// index/IndexService interprets it.
+struct RoutingArenas {
+  // Routing options, flattened to scalars (the "KASTIVIX" meta).
+  double MaxDocFrequency = 1.0;
+  uint64_t RerankBudget = 0;
+  uint64_t DefaultNProbe = 0;
+  bool QuantizedShortlist = true;
+  uint64_t ClusterNumCentroids = 0;
+  uint64_t ClusterMaxIterations = 8;
+  uint64_t ClusterTrainingSample = 0;
+  uint64_t ClusterSeed = 0;
+
+  /// Profiles covered by the routing (== Assignments.size()); always
+  /// the full store for embedded exports.
+  uint64_t Covered = 0;
+  /// Distinct features dropped by the df threshold at build time
+  /// (diagnostic; rides along so a restored index reports it).
+  uint64_t PrunedFeatures = 0;
+
+  /// Cluster id per covered profile, values < Centroids.size().
+  ArrayView<uint32_t> Assignments;
+  /// Unit-norm sparse centroids (a small ProfileStore, owned or
+  /// mapped).
+  ProfileStore Centroids;
+
+  // The inverted-index posting CSR (see index/InvertedIndex):
+  /// Surviving feature hashes, cluster-major, sorted per cluster.
+  ArrayView<uint64_t> FeatureHashes;
+  /// Cluster C's features span FeatureHashes[ClusterBegin[C],
+  /// ClusterBegin[C+1]); size Centroids.size() + 1.
+  ArrayView<uint64_t> ClusterBegin;
+  /// Feature F's postings span [PostingBegin[F], PostingBegin[F+1]);
+  /// size FeatureHashes.size() + 1.
+  ArrayView<uint64_t> PostingBegin;
+  ArrayView<uint32_t> PostingIds;
+  ArrayView<double> PostingValues;
+
+  /// Keep-alive for whatever the views aim into.
+  std::shared_ptr<const void> Backing;
+};
+
 /// A profile collection in the arena (v2-shaped) in-memory form:
 /// per-profile names/labels alongside one ProfileStore.
 struct ProfileStoreCache {
   std::string KernelName;
-  std::vector<std::string> Names;  ///< size() == Store.size()
-  std::vector<std::string> Labels; ///< size() == Store.size()
+  StringColumn Names;  ///< size() == Store.size()
+  StringColumn Labels; ///< size() == Store.size()
   ProfileStore Store;
   /// Opaque routing-sidecar bytes (the "KASTRTNG" wire format of
   /// index/InvertedIndex) carried through the v3 flat image so a
-  /// routed shard restores without a rebuild. core treats this as
-  /// payload only — IndexService::fromShardCaches interprets it.
-  /// Empty when the shard has no routing (always empty from the v1/v2
-  /// readers, which predate the field).
+  /// routed shard restores by rebuilding posting lists from persisted
+  /// assignments. core treats this as payload only —
+  /// IndexService::fromShardCaches interprets it. Empty when the shard
+  /// has no routing (always empty from the v1/v2 readers, which
+  /// predate the field), and superseded by Routing when a v4 image
+  /// carries full arenas.
   std::string RouteBlob;
+  /// The routing tier as flat arenas — the v4 rebuild-free carrier.
+  /// Null when the shard has no routing or the image predates the
+  /// sections (the caller then falls back to RouteBlob, then to
+  /// unrouted).
+  std::shared_ptr<const RoutingArenas> Routing;
 };
 
 /// Writes one finalized profile (nnz + entries) to \p Out.

@@ -10,6 +10,7 @@
 #include "util/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -17,6 +18,16 @@
 #include <unordered_map>
 
 using namespace kast;
+
+namespace {
+/// Bumped once per build() — the "did a restore secretly refit
+/// k-means?" probe the restart canary and tests read.
+std::atomic<uint64_t> KmeansFits{0};
+} // namespace
+
+uint64_t kast::kmeansFitCount() {
+  return KmeansFits.load(std::memory_order_relaxed);
+}
 
 //===----------------------------------------------------------------------===//
 // Fitting
@@ -97,9 +108,21 @@ ProfileStore updateCentroids(const ProfileStore &Store,
 
 } // namespace
 
+ClusterRouter ClusterRouter::fromArenas(ProfileStore Centroids,
+                                        ArrayView<uint32_t> Assignments,
+                                        std::shared_ptr<const void> Backing) {
+  ClusterRouter Router;
+  Router.Centroids = std::move(Centroids);
+  Router.AssignmentsP = Assignments.data();
+  Router.NumAssigned = Assignments.size();
+  Router.Backing = std::move(Backing);
+  return Router;
+}
+
 ClusterRouter ClusterRouter::build(const ProfileStore &Store,
                                    ClusterRouterOptions Options,
                                    size_t Threads) {
+  KmeansFits.fetch_add(1, std::memory_order_relaxed);
   ClusterRouter Router;
   const size_t N = Store.size();
   if (N == 0)
@@ -169,13 +192,14 @@ ClusterRouter ClusterRouter::build(const ProfileStore &Store,
   }
 
   // Final assignment covers every profile, sampled or not.
-  Router.Assignments.assign(N, 0);
+  Router.AssignmentsOwned.assign(N, 0);
   parallelFor(
       N,
       [&](size_t I) {
-        Router.Assignments[I] = nearestCentroid(Centroids, Store.view(I));
+        Router.AssignmentsOwned[I] = nearestCentroid(Centroids, Store.view(I));
       },
       Threads);
+  Router.syncOwned();
   Router.Centroids = std::move(Centroids);
   return Router;
 }
@@ -267,8 +291,8 @@ Status ClusterRouter::write(std::ostream &Out) const {
   Out.write(RouterMagic, sizeof(RouterMagic));
   writeU32(Out, RouterVersion);
   writeU64(Out, Centroids.size());
-  writeU64(Out, Assignments.size());
-  for (uint32_t A : Assignments)
+  writeU64(Out, static_cast<uint64_t>(NumAssigned));
+  for (uint32_t A : assignments())
     writeU32(Out, A);
   for (uint64_t Offset : Centroids.offsets())
     writeU64(Out, Offset);
@@ -302,7 +326,7 @@ Expected<ClusterRouter> ClusterRouter::read(std::istream &In) {
     return Result::error("truncated routing header");
 
   ClusterRouter Router;
-  Router.Assignments.reserve(
+  Router.AssignmentsOwned.reserve(
       static_cast<size_t>(std::min(*NumProfiles, MaxReserve)));
   for (uint64_t I = 0; I < *NumProfiles; ++I) {
     std::optional<uint32_t> A = readU32(In);
@@ -313,8 +337,9 @@ Expected<ClusterRouter> ClusterRouter::read(std::istream &In) {
       return Result::error("routing assignment " + std::to_string(I) +
                            " names centroid " + std::to_string(*A) +
                            " of " + std::to_string(*NumCentroids));
-    Router.Assignments.push_back(*A);
+    Router.AssignmentsOwned.push_back(*A);
   }
+  Router.syncOwned();
 
   std::vector<uint64_t> Offsets;
   Offsets.reserve(

@@ -36,11 +36,17 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace kast {
+
+/// Process-wide count of k-means fits (ClusterRouter::build calls)
+/// since start. A rebuild-free restore must leave this untouched —
+/// the routed-restart canary asserts exactly that.
+uint64_t kmeansFitCount();
 
 /// Shape knobs for ClusterRouter::build.
 struct ClusterRouterOptions {
@@ -74,13 +80,30 @@ public:
                              ClusterRouterOptions Options = {},
                              size_t Threads = 0);
 
+  /// Non-owning construction over pre-validated flat arenas (a v4
+  /// image's centroid + assignment sections): no fit, no copy — the
+  /// router views \p Assignments and the mapped \p Centroids for as
+  /// long as \p Backing keeps them alive. The caller (the flat-image
+  /// reader) has already range-checked every assignment against the
+  /// centroid count. A router is immutable after construction, so
+  /// unlike ProfileStore there is no promotion path; replacing the
+  /// routing (rebuildRouting/compact) builds a fresh owned router.
+  static ClusterRouter fromArenas(ProfileStore Centroids,
+                                  ArrayView<uint32_t> Assignments,
+                                  std::shared_ptr<const void> Backing);
+
+  /// True while assignments() views externally owned memory.
+  bool isMapped() const { return Backing != nullptr; }
+
   size_t numCentroids() const { return Centroids.size(); }
-  size_t numProfiles() const { return Assignments.size(); }
-  bool empty() const { return Assignments.empty(); }
+  size_t numProfiles() const { return NumAssigned; }
+  bool empty() const { return NumAssigned == 0; }
 
   /// Assignments[I] is the centroid id of profile I, in [0,
   /// numCentroids()).
-  const std::vector<uint32_t> &assignments() const { return Assignments; }
+  ArrayView<uint32_t> assignments() const {
+    return {AssignmentsP, NumAssigned};
+  }
 
   /// The unit-normalized centroid vectors.
   const ProfileStore &centroids() const { return Centroids; }
@@ -110,9 +133,67 @@ public:
   Status saveFile(const std::string &Path) const;
   static Expected<ClusterRouter> loadFile(const std::string &Path);
 
+  // Assignments live in AssignmentsOwned (built/read routers) or in an
+  // external arena through Backing (mapped routers); either way the
+  // active storage is (AssignmentsP, NumAssigned), so copies and moves
+  // must re-aim the pointer — memberwise defaults would leave it at
+  // the source's vector.
+  ClusterRouter(const ClusterRouter &Other) { copyFrom(Other); }
+  ClusterRouter &operator=(const ClusterRouter &Other) {
+    if (this != &Other)
+      copyFrom(Other);
+    return *this;
+  }
+  ClusterRouter(ClusterRouter &&Other) noexcept { moveFrom(Other); }
+  ClusterRouter &operator=(ClusterRouter &&Other) noexcept {
+    if (this != &Other)
+      moveFrom(Other);
+    return *this;
+  }
+
 private:
+  /// Re-aims the active pointer at the owned vector.
+  void syncOwned() {
+    AssignmentsP = AssignmentsOwned.data();
+    NumAssigned = AssignmentsOwned.size();
+  }
+  void copyFrom(const ClusterRouter &Other) {
+    Centroids = Other.Centroids;
+    Backing = Other.Backing;
+    if (Other.Backing) {
+      // Mapped: share the views (O(1), like ProfileStore's mapped
+      // copies).
+      AssignmentsOwned.clear();
+      AssignmentsP = Other.AssignmentsP;
+      NumAssigned = Other.NumAssigned;
+    } else {
+      AssignmentsOwned = Other.AssignmentsOwned;
+      syncOwned();
+    }
+  }
+  void moveFrom(ClusterRouter &Other) {
+    Centroids = std::move(Other.Centroids);
+    Backing = std::move(Other.Backing);
+    if (Backing) {
+      AssignmentsOwned.clear();
+      AssignmentsP = Other.AssignmentsP;
+      NumAssigned = Other.NumAssigned;
+    } else {
+      AssignmentsOwned = std::move(Other.AssignmentsOwned);
+      syncOwned();
+    }
+    Other.AssignmentsOwned.clear();
+    Other.AssignmentsP = nullptr;
+    Other.NumAssigned = 0;
+    Other.Backing.reset();
+  }
+
   ProfileStore Centroids;
-  std::vector<uint32_t> Assignments;
+  std::vector<uint32_t> AssignmentsOwned;
+  const uint32_t *AssignmentsP = nullptr;
+  size_t NumAssigned = 0;
+  /// Non-null iff the assignment view aims at an external arena.
+  std::shared_ptr<const void> Backing;
 };
 
 } // namespace kast

@@ -252,7 +252,10 @@ mergeTopK(const std::vector<std::shared_ptr<const detail::IndexShard>> &Shards,
       break;
     const ShardHit &H = PerShard[Best][Heads[Best]++];
     const detail::IndexSegment &Seg = *Shards[Best]->Segments[H.Seg];
-    Out.push_back({Seg.Names[H.Off], Seg.Labels[H.Off], H.Sim});
+    // Hit materialization is where a mapped segment's lazy name/label
+    // columns are finally decoded — only the K winners pay it.
+    Out.push_back({std::string(Seg.Names[H.Off]),
+                   std::string(Seg.Labels[H.Off]), H.Sim});
   }
   return Out;
 }
@@ -436,6 +439,10 @@ IndexService::IndexService(std::string KernelName, IndexServiceOptions Opts)
 
 size_t IndexService::shardOf(const std::string &Name) const {
   return std::hash<std::string>{}(Name) % Shards.size();
+}
+
+size_t IndexService::shardOf(std::string_view Name) const {
+  return std::hash<std::string_view>{}(Name) % Shards.size();
 }
 
 void IndexService::publishLocked(ShardState &Shard, size_t SealThreshold) {
@@ -688,6 +695,21 @@ Status IndexService::loadShardRouting(const std::string &Dir) {
     ShardState &Shard = *Shards[S];
     std::lock_guard<std::mutex> Lock(Shard.WriterMutex);
     ShardWriter &W = Shard.Writer;
+    if (W.Routing) {
+      // The shard is already routed (typically embedded arenas from a
+      // v4 flat image). A sidecar carrying the same fit is a harmless
+      // leftover of the pre-image layout — keep the embedded tier and
+      // skip the posting rebuild. A *disagreeing* sidecar means two
+      // generations of routing point at the same shard; refuse rather
+      // than silently pick one.
+      if (Loaded.Router.numProfiles() == W.Routing->Router.numProfiles() &&
+          Loaded.Router.assignments() == W.Routing->Router.assignments())
+        continue;
+      return Status::error("shard " + std::to_string(S) +
+                           " carries embedded routing that disagrees with "
+                           "sidecar '" + Path +
+                           "'; remove the stale sidecar or re-save");
+    }
     if (W.Sealed.empty() || Loaded.Router.numProfiles() != W.Sealed[0]->size())
       return Status::error("routing sidecar '" + Path +
                            "' does not match shard " + std::to_string(S) +
@@ -763,20 +785,56 @@ IndexService::fromShardCaches(std::vector<ProfileStoreCache> Caches,
     // Verify the add() routing invariant entry by entry: caches from
     // toShardCaches always satisfy it, but a hand-assembled layout may
     // hold off-route names, and remove() must know to sweep for them.
-    for (const std::string &Name : Seg->Names)
-      if (Service.shardOf(Name) != S)
+    // The string_view hash agrees with the string hash, so a mapped
+    // name column is checked without materializing any string.
+    for (size_t I = 0; I < Seg->Names.size(); ++I)
+      if (Service.shardOf(Seg->Names[I]) != S)
         Service.StrictRouting = false;
     W.EntryCount = W.LiveCount = Seg->size();
     W.Sealed.push_back(Seg);
     W.SealedTombs.push_back(nullptr);
-    // A cache carrying an embedded routing sidecar (the ROUTE section
-    // of a v3 flat image) restores its routed tier here, exactly as
-    // loadShardRouting does from a "shard-NNN.route" file: the fitted
-    // router comes off the wire, the inverted index rebuilds
-    // deterministically, and the quantized shortlist store reuses the
-    // image's sidecar when the store carries one (zero-copy) instead
-    // of requantizing.
-    if (!Caches[S].RouteBlob.empty()) {
+    // A cache carrying flat routing arenas (the v4 flat image's CSR
+    // sections, or a live export from toShardCaches) restores its
+    // routed tier by *view*: the router and the posting lists alias
+    // the arenas directly — no k-means refit, no posting rebuild.
+    // Holding the RoutingArenas struct itself keeps both the views
+    // and their backing mapping alive.
+    if (std::shared_ptr<const RoutingArenas> A = Caches[S].Routing) {
+      if (A->Covered != Seg->size())
+        return Result::error("shard cache " + std::to_string(S) +
+                             "'s embedded routing does not match its "
+                             "profile count");
+      auto R = std::make_shared<detail::IndexRouting>();
+      R->Options.MaxDocFrequency = A->MaxDocFrequency;
+      R->Options.RerankBudget = A->RerankBudget;
+      R->Options.DefaultNProbe = A->DefaultNProbe;
+      R->Options.QuantizedShortlist = A->QuantizedShortlist;
+      R->Options.Cluster.NumCentroids = A->ClusterNumCentroids;
+      R->Options.Cluster.MaxIterations = A->ClusterMaxIterations;
+      R->Options.Cluster.TrainingSample = A->ClusterTrainingSample;
+      R->Options.Cluster.Seed = A->ClusterSeed;
+      std::shared_ptr<const void> Keep = A;
+      R->Router = ClusterRouter::fromArenas(A->Centroids, A->Assignments,
+                                            Keep);
+      R->Inverted = InvertedIndex::fromArenas(
+          A->Covered, A->PrunedFeatures, A->FeatureHashes, A->ClusterBegin,
+          A->PostingBegin, A->PostingIds, A->PostingValues, Keep);
+      if (R->Options.RerankBudget > 0 && R->Options.QuantizedShortlist) {
+        R->Quant = Seg->Store.quantizedShared();
+        if (!R->Quant)
+          R->Quant = std::make_shared<const QuantizedStore>(
+              QuantizedStore::build(Seg->Store));
+      }
+      W.Routing = std::move(R);
+      W.RoutedSegment = Seg;
+    } else if (!Caches[S].RouteBlob.empty()) {
+      // Legacy carrier: the opaque "KASTRTNG" sidecar bytes (the ROUTE
+      // section of a sectionless-v3 flat image) restore exactly as
+      // loadShardRouting does from a "shard-NNN.route" file — the
+      // fitted router comes off the wire, and the inverted index
+      // rebuilds deterministically. The quantized shortlist store
+      // reuses the image's sidecar when the store carries one
+      // (zero-copy) instead of requantizing.
       std::istringstream In(Caches[S].RouteBlob);
       Expected<RoutingCache> Route = readRouting(In);
       if (!Route)
@@ -834,20 +892,42 @@ std::vector<ProfileStoreCache> IndexService::toShardCaches() const {
     // A shard whose whole published state is its one routed segment
     // (no staging tail, no tombstones) exports bit-identically to that
     // segment, so the fitted router and the quantized shortlist store
-    // stay valid for the exported arena: embed the routing sidecar
-    // bytes (the v3 flat image's ROUTE section) and hang the sidecar
-    // on the exported store so fromShardCaches restores the routed,
-    // quantized tier with no refit and no requantize. Any other shape
-    // leaves RouteBlob empty — the router's assignments would not line
+    // stay valid for the exported arena: export the routing tier as
+    // flat arena views (what core/FlatImage serializes as the v4 CSR
+    // sections) and hang the quantized sidecar on the exported store,
+    // so fromShardCaches restores the routed, quantized tier with no
+    // refit, no posting rebuild, and no requantize. Any other shape
+    // leaves Routing null — the router's assignments would not line
     // up with the exported profile numbering.
     const bool ExactRoutedCopy =
         Shard.Routing && Shard.Segments.size() == 1 &&
         Shard.Segments[0] == Shard.RoutedSegment && !Shard.Tombstones[0];
     if (ExactRoutedCopy) {
-      std::ostringstream Out;
-      if (writeRouting(Shard.Routing->Router, Shard.Routing->Options, Out)
-              .ok())
-        Cache.RouteBlob = Out.str();
+      const detail::IndexRouting &R = *Shard.Routing;
+      auto Arenas = std::make_shared<RoutingArenas>();
+      Arenas->MaxDocFrequency = R.Options.MaxDocFrequency;
+      Arenas->RerankBudget = R.Options.RerankBudget;
+      Arenas->DefaultNProbe = R.Options.DefaultNProbe;
+      Arenas->QuantizedShortlist = R.Options.QuantizedShortlist;
+      Arenas->ClusterNumCentroids = R.Options.Cluster.NumCentroids;
+      Arenas->ClusterMaxIterations = R.Options.Cluster.MaxIterations;
+      Arenas->ClusterTrainingSample = R.Options.Cluster.TrainingSample;
+      Arenas->ClusterSeed = R.Options.Cluster.Seed;
+      Arenas->Covered = R.covered();
+      Arenas->PrunedFeatures = R.Inverted.prunedFeatureCount();
+      Arenas->Assignments = R.Router.assignments();
+      Arenas->Centroids = R.Router.centroids();
+      Arenas->FeatureHashes = R.Inverted.featureHashes();
+      Arenas->ClusterBegin = R.Inverted.clusterBegin();
+      Arenas->PostingBegin = R.Inverted.postingBegin();
+      Arenas->PostingIds = R.Inverted.postingIds();
+      Arenas->PostingValues = R.Inverted.postingValues();
+      // The views alias the live routing structures (the centroid
+      // store is a cheap copy — mapped centroids share, owned ones are
+      // small); pinning the IndexRouting keeps every view valid for
+      // the cache's lifetime, snapshots and compactions be damned.
+      Arenas->Backing = std::shared_ptr<const void>(Shard.Routing);
+      Cache.Routing = std::move(Arenas);
       if (Shard.Routing->Quant)
         Cache.Store.adoptQuantized(Shard.Routing->Quant);
     }

@@ -45,6 +45,7 @@
 
 #include "core/ProfileSerializer.h"
 #include "core/ProfileStore.h"
+#include "core/StringColumn.h"
 #include "index/ProfileIndex.h"
 #include "util/Error.h"
 
@@ -53,6 +54,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace kast {
@@ -61,10 +63,14 @@ namespace detail {
 
 /// One immutable run of entries published together: an arena plus the
 /// parallel name/label columns. Shared (never mutated) once sealed.
+/// The columns are core/StringColumn, so a segment restored from a
+/// mapped flat image keeps its names as lazy views into the mapping —
+/// no string is materialized until a query hit or a remove() actually
+/// reads one.
 struct IndexSegment {
   ProfileStore Store;
-  std::vector<std::string> Names;
-  std::vector<std::string> Labels;
+  StringColumn Names;
+  StringColumn Labels;
 
   size_t size() const { return Store.size(); }
 };
@@ -357,7 +363,13 @@ private:
     ShardWriter Writer;
   };
 
+  /// Name-hash shard routing. The string_view overload exists so
+  /// mapped (lazily decoded) name columns can be routed without
+  /// materializing strings; std::hash<std::string_view> is guaranteed
+  /// to agree with std::hash<std::string> on equal character
+  /// sequences, so both overloads route identically.
   size_t shardOf(const std::string &Name) const;
+  size_t shardOf(std::string_view Name) const;
   /// Seals staging if it reached the threshold, then builds and
   /// publishes a new IndexShard from the writer state. Caller holds
   /// the shard's WriterMutex.

@@ -7,6 +7,7 @@
 #include "index/InvertedIndex.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cmath>
@@ -24,18 +25,121 @@ struct Posting {
   uint32_t Id;
 };
 
+/// Bumped once per build() — the "did a restore secretly rebuild the
+/// posting lists?" probe the restart canary and tests read.
+std::atomic<uint64_t> PostingRebuilds{0};
+
 } // namespace
 
+uint64_t postingRebuildCount() {
+  return PostingRebuilds.load(std::memory_order_relaxed);
+}
+
+void InvertedIndex::syncOwned() {
+  FeatureHashes = FeatureHashesOwned;
+  ClusterBegin = ClusterBeginOwned;
+  PostingBegin = PostingBeginOwned;
+  PostingIds = PostingIdsOwned;
+  PostingValues = PostingValuesOwned;
+  Backing.reset();
+}
+
+void InvertedIndex::copyFrom(const InvertedIndex &Other) {
+  NumProfiles = Other.NumProfiles;
+  PrunedFeatures = Other.PrunedFeatures;
+  if (Other.Backing) {
+    // Mapped: share the views (O(1), like ProfileStore's mapped
+    // copies).
+    FeatureHashesOwned.clear();
+    ClusterBeginOwned.clear();
+    PostingBeginOwned.clear();
+    PostingIdsOwned.clear();
+    PostingValuesOwned.clear();
+    FeatureHashes = Other.FeatureHashes;
+    ClusterBegin = Other.ClusterBegin;
+    PostingBegin = Other.PostingBegin;
+    PostingIds = Other.PostingIds;
+    PostingValues = Other.PostingValues;
+    Backing = Other.Backing;
+  } else {
+    FeatureHashesOwned = Other.FeatureHashesOwned;
+    ClusterBeginOwned = Other.ClusterBeginOwned;
+    PostingBeginOwned = Other.PostingBeginOwned;
+    PostingIdsOwned = Other.PostingIdsOwned;
+    PostingValuesOwned = Other.PostingValuesOwned;
+    syncOwned();
+  }
+}
+
+void InvertedIndex::moveFrom(InvertedIndex &Other) {
+  NumProfiles = Other.NumProfiles;
+  PrunedFeatures = Other.PrunedFeatures;
+  Backing = std::move(Other.Backing);
+  if (Backing) {
+    FeatureHashesOwned.clear();
+    ClusterBeginOwned.clear();
+    PostingBeginOwned.clear();
+    PostingIdsOwned.clear();
+    PostingValuesOwned.clear();
+    FeatureHashes = Other.FeatureHashes;
+    ClusterBegin = Other.ClusterBegin;
+    PostingBegin = Other.PostingBegin;
+    PostingIds = Other.PostingIds;
+    PostingValues = Other.PostingValues;
+  } else {
+    FeatureHashesOwned = std::move(Other.FeatureHashesOwned);
+    ClusterBeginOwned = std::move(Other.ClusterBeginOwned);
+    PostingBeginOwned = std::move(Other.PostingBeginOwned);
+    PostingIdsOwned = std::move(Other.PostingIdsOwned);
+    PostingValuesOwned = std::move(Other.PostingValuesOwned);
+    syncOwned();
+  }
+  Other.NumProfiles = 0;
+  Other.PrunedFeatures = 0;
+  Other.FeatureHashesOwned.clear();
+  Other.ClusterBeginOwned.clear();
+  Other.PostingBeginOwned.clear();
+  Other.PostingIdsOwned.clear();
+  Other.PostingValuesOwned.clear();
+  Other.FeatureHashes = {};
+  Other.ClusterBegin = {};
+  Other.PostingBegin = {};
+  Other.PostingIds = {};
+  Other.PostingValues = {};
+  Other.Backing.reset();
+}
+
+InvertedIndex InvertedIndex::fromArenas(size_t Covered, size_t PrunedFeatures,
+                                        ArrayView<uint64_t> FeatureHashes,
+                                        ArrayView<uint64_t> ClusterBegin,
+                                        ArrayView<uint64_t> PostingBegin,
+                                        ArrayView<uint32_t> PostingIds,
+                                        ArrayView<double> PostingValues,
+                                        std::shared_ptr<const void> Backing) {
+  InvertedIndex Index;
+  Index.NumProfiles = Covered;
+  Index.PrunedFeatures = PrunedFeatures;
+  Index.FeatureHashes = FeatureHashes;
+  Index.ClusterBegin = ClusterBegin;
+  Index.PostingBegin = PostingBegin;
+  Index.PostingIds = PostingIds;
+  Index.PostingValues = PostingValues;
+  Index.Backing = std::move(Backing);
+  return Index;
+}
+
 InvertedIndex InvertedIndex::build(const ProfileStore &Store,
-                                   const std::vector<uint32_t> &Assignments,
+                                   ArrayView<uint32_t> Assignments,
                                    size_t NumClusters, double MaxDocFrequency) {
   assert(Assignments.size() <= Store.size() &&
          "assignments must cover a prefix of the store");
+  PostingRebuilds.fetch_add(1, std::memory_order_relaxed);
   InvertedIndex Index;
   const size_t N = Assignments.size();
   Index.NumProfiles = N;
-  Index.ClusterBegin.assign(NumClusters + 1, 0);
-  Index.PostingBegin.assign(1, 0);
+  Index.ClusterBeginOwned.assign(NumClusters + 1, 0);
+  Index.PostingBeginOwned.assign(1, 0);
+  Index.syncOwned();
   if (N == 0 || NumClusters == 0)
     return Index;
 
@@ -90,15 +194,16 @@ InvertedIndex InvertedIndex::build(const ProfileStore &Store,
               });
     for (size_t P = 0; P < Postings.size(); ++P) {
       if (P == 0 || Postings[P].Hash != Postings[P - 1].Hash) {
-        Index.FeatureHashes.push_back(Postings[P].Hash);
-        Index.PostingBegin.push_back(Index.PostingIds.size());
+        Index.FeatureHashesOwned.push_back(Postings[P].Hash);
+        Index.PostingBeginOwned.push_back(Index.PostingIdsOwned.size());
       }
-      Index.PostingIds.push_back(Postings[P].Id);
-      Index.PostingValues.push_back(Postings[P].Value);
-      Index.PostingBegin.back() = Index.PostingIds.size();
+      Index.PostingIdsOwned.push_back(Postings[P].Id);
+      Index.PostingValuesOwned.push_back(Postings[P].Value);
+      Index.PostingBeginOwned.back() = Index.PostingIdsOwned.size();
     }
-    Index.ClusterBegin[C + 1] = Index.FeatureHashes.size();
+    Index.ClusterBeginOwned[C + 1] = Index.FeatureHashesOwned.size();
   }
+  Index.syncOwned();
   return Index;
 }
 
@@ -146,6 +251,10 @@ void InvertedIndex::collectImpl(size_t QuerySize, HashAt QueryHash,
         const double QValue = QueryValue(Q);
         for (size_t P = PostingBegin[F]; P < PostingBegin[F + 1]; ++P) {
           const uint32_t Id = PostingIds[P];
+          // A mapped arena that skipped deep validation could carry a
+          // corrupt id; never let it index past the scratch arrays.
+          if (Id >= NumProfiles)
+            continue;
           if (!S.marked(Id)) {
             S.Epoch[Id] = S.Current;
             S.Acc[Id] = 0.0;

@@ -42,11 +42,17 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace kast {
+
+/// Process-wide count of posting-list builds (InvertedIndex::build
+/// calls) since start. A rebuild-free routed restore must leave this
+/// untouched — the restart canary and tests assert on deltas.
+uint64_t postingRebuildCount();
 
 /// Knobs of the approximate retrieval tier: how the router is fitted,
 /// how aggressively postings are pruned, and how queries probe.
@@ -141,9 +147,30 @@ public:
   /// build is a pure function of its arguments, so an index rebuilt
   /// from persisted assignments reproduces the original exactly.
   static InvertedIndex build(const ProfileStore &Store,
-                             const std::vector<uint32_t> &Assignments,
+                             ArrayView<uint32_t> Assignments,
                              size_t NumClusters,
                              double MaxDocFrequency = 1.0);
+
+  /// Non-owning construction over pre-validated flat arenas (a v4
+  /// image's posting CSR sections): no rebuild, no copy — the index
+  /// views the five arrays for as long as \p Backing keeps them alive.
+  /// The caller (the flat-image reader) has already validated the CSR
+  /// shape (ClusterBegin/PostingBegin monotonic, final elements equal
+  /// to the array totals); posting ids are additionally clamped at
+  /// query time, so even a deep-validation-skipping open cannot write
+  /// out of scratch bounds. Like ClusterRouter, an index is immutable
+  /// after construction — replacement, not promotion, is the mutation
+  /// path.
+  static InvertedIndex fromArenas(size_t Covered, size_t PrunedFeatures,
+                                  ArrayView<uint64_t> FeatureHashes,
+                                  ArrayView<uint64_t> ClusterBegin,
+                                  ArrayView<uint64_t> PostingBegin,
+                                  ArrayView<uint32_t> PostingIds,
+                                  ArrayView<double> PostingValues,
+                                  std::shared_ptr<const void> Backing);
+
+  /// True while the posting arrays view externally owned memory.
+  bool isMapped() const { return Backing != nullptr; }
 
   size_t numProfiles() const { return NumProfiles; }
   size_t numClusters() const {
@@ -153,6 +180,14 @@ public:
   size_t postingCount() const { return PostingIds.size(); }
   /// Distinct features dropped by the df threshold.
   size_t prunedFeatureCount() const { return PrunedFeatures; }
+
+  // The flat arenas, for serialization (core/FlatImage sections) —
+  // views into this index, valid while it lives.
+  ArrayView<uint64_t> featureHashes() const { return FeatureHashes; }
+  ArrayView<uint64_t> clusterBegin() const { return ClusterBegin; }
+  ArrayView<uint64_t> postingBegin() const { return PostingBegin; }
+  ArrayView<uint32_t> postingIds() const { return PostingIds; }
+  ArrayView<double> postingValues() const { return PostingValues; }
 
   /// Marks every profile of the probed clusters sharing a surviving
   /// feature with \p Query into \p S (first-touch order) and
@@ -180,19 +215,53 @@ private:
                    const std::vector<uint32_t> &Probes,
                    InvertedScratch &S) const;
 
+  /// Re-aims the active views at the owned vectors (after build or a
+  /// deep copy).
+  void syncOwned();
+  void copyFrom(const InvertedIndex &Other);
+  void moveFrom(InvertedIndex &Other);
+
   size_t NumProfiles = 0;
   size_t PrunedFeatures = 0;
+  // The canonical representation is one contiguous CSR arena per
+  // array, addressed through the non-owning views below — the same
+  // dual-mode layout ProfileStore uses. Built indices own their
+  // storage in the *Owned vectors; mapped indices (fromArenas) view an
+  // external image kept alive by Backing and leave the vectors empty.
+  std::vector<uint64_t> FeatureHashesOwned;
+  std::vector<uint64_t> ClusterBeginOwned;
+  std::vector<uint64_t> PostingBeginOwned;
+  std::vector<uint32_t> PostingIdsOwned;
+  std::vector<double> PostingValuesOwned;
   /// Distinct surviving feature hashes, cluster-major, sorted within
   /// each cluster (merge-joinable against a finalized query).
-  std::vector<uint64_t> FeatureHashes;
+  ArrayView<uint64_t> FeatureHashes;
   /// CSR: cluster C's features span FeatureHashes[ClusterBegin[C],
   /// ClusterBegin[C+1]).
-  std::vector<uint64_t> ClusterBegin;
+  ArrayView<uint64_t> ClusterBegin;
   /// CSR: feature F's postings span [PostingBegin[F],
   /// PostingBegin[F+1]) of PostingIds/PostingValues.
-  std::vector<uint64_t> PostingBegin;
-  std::vector<uint32_t> PostingIds;
-  std::vector<double> PostingValues;
+  ArrayView<uint64_t> PostingBegin;
+  ArrayView<uint32_t> PostingIds;
+  ArrayView<double> PostingValues;
+  /// Non-null iff the views aim at an external arena.
+  std::shared_ptr<const void> Backing;
+
+public:
+  // Views must follow the storage on copy/move (memberwise defaults
+  // would alias the source's vectors), mirroring QuantizedStore.
+  InvertedIndex(const InvertedIndex &Other) { copyFrom(Other); }
+  InvertedIndex &operator=(const InvertedIndex &Other) {
+    if (this != &Other)
+      copyFrom(Other);
+    return *this;
+  }
+  InvertedIndex(InvertedIndex &&Other) noexcept { moveFrom(Other); }
+  InvertedIndex &operator=(InvertedIndex &&Other) noexcept {
+    if (this != &Other)
+      moveFrom(Other);
+    return *this;
+  }
 };
 
 /// On-disk routing cache: the fitted router plus the options needed to

@@ -45,8 +45,11 @@ ProfileIndex ProfileIndex::fromCache(ProfileCache Cache) {
 
 ProfileIndex ProfileIndex::fromStoreCache(ProfileStoreCache Cache) {
   ProfileIndex Index(std::move(Cache.KernelName));
-  Index.Names = std::move(Cache.Names);
-  Index.Labels = std::move(Cache.Labels);
+  // The cache's columns may be lazy views over a mapped image;
+  // ProfileIndex mutates its name/label lists (add()), so it
+  // materializes them up front rather than holding views.
+  Index.Names = Cache.Names.takeVector();
+  Index.Labels = Cache.Labels.takeVector();
   Index.Store = std::move(Cache.Store);
   return Index;
 }

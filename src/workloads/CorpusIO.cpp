@@ -377,11 +377,26 @@ kast::loadShardedProfileCaches(const std::string &Dir,
 Status
 kast::writeShardedProfileImages(const std::vector<ProfileStoreCache> &Shards,
                                 const std::string &Dir) {
-  return writeShardedFiles(Shards.size(), Dir, ".kfi",
-                           [&](size_t S, const std::string &Path) {
-                             return writeProfileStoreImageFile(Shards[S],
-                                                               Path);
-                           });
+  Status W = writeShardedFiles(Shards.size(), Dir, ".kfi",
+                               [&](size_t S, const std::string &Path) {
+                                 return writeProfileStoreImageFile(Shards[S],
+                                                                   Path);
+                               });
+  if (!W.ok())
+    return W;
+  // An image that embeds its shard's routing (v4 arenas, or the legacy
+  // ROUTE blob) supersedes any "shard-NNN.route" sidecar left from a
+  // pre-image save of the same directory: sweep it, or a later
+  // loadShardRouting could pair the stale fit with contents it was not
+  // fitted on. Sidecars of shards whose image carries no routing are
+  // left alone — the .kpc + .route layout still owns them.
+  for (size_t S = 0; S < Shards.size(); ++S) {
+    if (!Shards[S].Routing && Shards[S].RouteBlob.empty())
+      continue;
+    std::error_code Ec;
+    std::filesystem::remove(shardFilePath(Dir, S, ".route"), Ec);
+  }
+  return Status();
 }
 
 Expected<std::vector<ProfileStoreCache>>

@@ -98,12 +98,16 @@ Expected<std::vector<ProfileStoreCache>>
 loadShardedProfileCaches(const std::string &Dir,
                          const ProfiledStringKernel &Kernel);
 
-/// Writes one v3 flat image per shard — "<Dir>/shard-NNN.kfi" — with
+/// Writes one flat image per shard — "<Dir>/shard-NNN.kfi" — with
 /// the same three-phase atomic save, staging-file and sweep rules as
 /// writeShardedProfileCaches. Each image carries the shard's
-/// quantized sidecar (when built) and routing sidecar (RouteBlob), so
-/// a routed service restores via loadShardedProfileImages +
-/// IndexService::fromShardCaches with zero-copy stores and no refit.
+/// quantized sidecar (when built) and its routing arenas as v4
+/// sections, so a routed service restores via
+/// loadShardedProfileImages + IndexService::fromShardCaches with
+/// zero-copy stores and no refit or posting rebuild. Leftover
+/// "shard-NNN.route" sidecars of routed shards are swept — the
+/// embedded arenas supersede them, and a stale sidecar beside a
+/// later image would trip loadShardRouting's mismatch diagnostic.
 Status writeShardedProfileImages(const std::vector<ProfileStoreCache> &Shards,
                                  const std::string &Dir);
 

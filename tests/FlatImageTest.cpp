@@ -18,6 +18,7 @@
 #include "core/FlatImage.h"
 #include "core/ProfileSerializer.h"
 #include "core/ProfileStore.h"
+#include "index/IndexService.h"
 #include "kernels/SpectrumKernels.h"
 #include "util/Hashing.h"
 #include "util/Rng.h"
@@ -458,6 +459,260 @@ TEST(FlatImageTest, RejectsMissingFile) {
   Expected<ProfileStoreCache> E =
       readProfileStoreImageFile(testing::TempDir() + "/kast_no_such.kfi");
   EXPECT_FALSE(E.hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// v4 routing arenas
+//===----------------------------------------------------------------------===//
+
+/// Bit-identical, not just ==: a restored routed shard must reproduce
+/// the fitted service's similarity bit patterns, so a double compare
+/// (which lets -0.0 pass for +0.0) is not enough.
+void expectHitsBitIdentical(const std::vector<ServiceHit> &Restored,
+                            const std::vector<ServiceHit> &Truth,
+                            const std::string &What) {
+  ASSERT_EQ(Restored.size(), Truth.size()) << What;
+  for (size_t I = 0; I < Truth.size(); ++I) {
+    EXPECT_EQ(Restored[I].Name, Truth[I].Name) << What << " rank " << I;
+    EXPECT_EQ(Restored[I].Label, Truth[I].Label) << What << " rank " << I;
+    EXPECT_EQ(std::bit_cast<uint64_t>(Restored[I].Similarity),
+              std::bit_cast<uint64_t>(Truth[I].Similarity))
+        << What << " rank " << I;
+  }
+}
+
+/// A single-shard routed service over \p Cache's entries; its
+/// toShardCaches export carries the flat routing arenas a v4 image
+/// serializes.
+IndexService makeRoutedService(const ProfileStoreCache &Cache) {
+  IndexService Service(Cache.KernelName, {.Shards = 1, .SealThreshold = 8});
+  for (size_t I = 0; I < Cache.Store.size(); ++I)
+    Service.add(Cache.Names.str(I), Cache.Labels.str(I),
+                Cache.Store.materialize(I));
+  RoutingOptions Route;
+  Route.Cluster.NumCentroids = 4;
+  Route.MaxDocFrequency = 0.9;
+  Route.DefaultNProbe = 2;
+  Route.RerankBudget = 8;
+  Service.rebuildRouting(Route, 1);
+  return Service;
+}
+
+/// Writes a routed single-shard image at \p Path and returns the
+/// fitted service (the differential truth for restored queries).
+IndexService writeRoutedImage(Rng &R, size_t N, const std::string &Path) {
+  ProfileStoreCache Corpus = makeStoreCache(R, N, "k");
+  IndexService Service = makeRoutedService(Corpus);
+  std::vector<ProfileStoreCache> Exported = Service.toShardCaches();
+  EXPECT_NE(Exported[0].Routing, nullptr);
+  EXPECT_TRUE(writeProfileStoreImageFile(Exported[0], Path).ok());
+  return Service;
+}
+
+TEST(FlatImageTest, RoutedImageRestoresWithoutRefitOrRebuild) {
+  Rng R(353637);
+  const std::string Path = tempImagePath("routed_rt");
+  IndexService Service = writeRoutedImage(R, 32, Path);
+
+  // Routing arenas bump the image to version 4.
+  EXPECT_EQ(readU32(readFileBytes(Path), 8), 4u);
+
+  const uint64_t Fits = kmeansFitCount();
+  const uint64_t Rebuilds = postingRebuildCount();
+  FlatImageReadOptions Deep;
+  Deep.DeepValidate = true;
+  Expected<ProfileStoreCache> Loaded = readProfileStoreImageFile(Path, Deep);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  ASSERT_NE(Loaded->Routing, nullptr);
+  EXPECT_EQ(Loaded->Routing->Covered, Loaded->Store.size());
+  // Strings decode lazily: the open materialized no name or label.
+  if (std::getenv("KAST_FORCE_BUFFERED") == nullptr) {
+    EXPECT_TRUE(Loaded->Names.isMapped());
+    EXPECT_TRUE(Loaded->Labels.isMapped());
+  }
+
+  std::vector<ProfileStoreCache> Caches;
+  Caches.push_back(Loaded.take());
+  Expected<IndexService> Restored = IndexService::fromShardCaches(
+      std::move(Caches), {.Shards = 1, .SealThreshold = 8});
+  ASSERT_TRUE(Restored.hasValue()) << Restored.message();
+  ASSERT_EQ(Restored->snapshot().routedShardCount(), 1u);
+  // The whole restore performed no k-means fit and no posting rebuild.
+  EXPECT_EQ(kmeansFitCount(), Fits);
+  EXPECT_EQ(postingRebuildCount(), Rebuilds);
+
+  // Mapped-arena answers are bit-identical to the fitted service's,
+  // routed (pruned, budgeted) and exact alike.
+  auto Table = TokenTable::create();
+  BlendedSpectrumKernel Kernel(3, 0.8, /*Weighted=*/true, /*CutWeight=*/2);
+  for (int I = 0; I < 6; ++I) {
+    KernelProfile Q = Kernel.profile(randomString(Table, R, 24, 6));
+    expectHitsBitIdentical(Restored->queryApprox(Q, 5, true, 0, 1),
+                           Service.queryApprox(Q, 5, true, 0, 1),
+                           "routed q" + std::to_string(I));
+    expectHitsBitIdentical(Restored->query(Q, 5, true, 1),
+                           Service.query(Q, 5, true, 1),
+                           "exact q" + std::to_string(I));
+  }
+}
+
+TEST(FlatImageTest, RoutedRestoreBufferedMatchesMapped) {
+  Rng R(383940);
+  const std::string Path = tempImagePath("routed_buffered");
+  IndexService Service = writeRoutedImage(R, 24, Path);
+
+  FlatImageReadOptions Buffered;
+  Buffered.ForceBuffered = true;
+  const uint64_t Fits = kmeansFitCount();
+  const uint64_t Rebuilds = postingRebuildCount();
+  Expected<ProfileStoreCache> Heap = readProfileStoreImageFile(Path, Buffered);
+  ASSERT_TRUE(Heap.hasValue()) << Heap.message();
+  ASSERT_NE(Heap->Routing, nullptr);
+
+  std::vector<ProfileStoreCache> Caches;
+  Caches.push_back(Heap.take());
+  Expected<IndexService> Restored = IndexService::fromShardCaches(
+      std::move(Caches), {.Shards = 1, .SealThreshold = 8});
+  ASSERT_TRUE(Restored.hasValue()) << Restored.message();
+  ASSERT_EQ(Restored->snapshot().routedShardCount(), 1u);
+  // The buffered fallback views its heap copy exactly like the mmap
+  // path views the mapping: still no refit, no rebuild.
+  EXPECT_EQ(kmeansFitCount(), Fits);
+  EXPECT_EQ(postingRebuildCount(), Rebuilds);
+
+  auto Table = TokenTable::create();
+  BlendedSpectrumKernel Kernel(3, 0.8, /*Weighted=*/true, /*CutWeight=*/2);
+  for (int I = 0; I < 5; ++I) {
+    KernelProfile Q = Kernel.profile(randomString(Table, R, 20, 6));
+    expectHitsBitIdentical(Restored->queryApprox(Q, 4, true, 0, 1),
+                           Service.queryApprox(Q, 4, true, 0, 1),
+                           "buffered q" + std::to_string(I));
+  }
+}
+
+TEST(FlatImageTest, RoutedSectionTruncationAndChecksums) {
+  Rng R(414243);
+  const std::string Path = tempImagePath("routed_corrupt");
+  writeRoutedImage(R, 16, Path);
+  const std::string Good = readFileBytes(Path);
+
+  // Truncation inside the routing tail of the image.
+  {
+    writeFileBytes(Path, Good.substr(0, Good.size() - 1));
+    Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("truncated"), std::string::npos)
+        << E.message();
+  }
+
+  // A flipped byte in an O(N) routing section (the assignments) fails
+  // every open, shallow or deep.
+  {
+    const size_t Entry = findTableEntry(Good, FlatSectionId::RouteAssignments);
+    ASSERT_NE(Entry, std::string::npos);
+    std::string Bad = Good;
+    Bad[static_cast<size_t>(readU64(Good, Entry + 8))] ^= 0x01;
+    writeFileBytes(Path, Bad);
+    Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("checksum"), std::string::npos) << E.message();
+  }
+
+  // A flipped byte in an entry-sized routing payload (posting values)
+  // is caught by deep validation only — the shallow mapped open skips
+  // the O(postings) sweep by design.
+  {
+    const size_t Entry = findTableEntry(Good, FlatSectionId::PostingValues);
+    ASSERT_NE(Entry, std::string::npos);
+    std::string Bad = Good;
+    Bad[static_cast<size_t>(readU64(Good, Entry + 8))] ^= 0x01;
+    writeFileBytes(Path, Bad);
+    FlatImageReadOptions Deep;
+    Deep.DeepValidate = true;
+    Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path, Deep);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("checksum"), std::string::npos) << E.message();
+    if (std::getenv("KAST_FORCE_BUFFERED") == nullptr) {
+      Expected<ProfileStoreCache> Shallow = readProfileStoreImageFile(Path);
+      EXPECT_TRUE(Shallow.hasValue()) << Shallow.message();
+    }
+  }
+
+  // A misaligned routing section is structural, caught before any
+  // checksum work.
+  {
+    const size_t Entry = findTableEntry(Good, FlatSectionId::RouteMeta);
+    ASSERT_NE(Entry, std::string::npos);
+    std::string Bad = Good;
+    writeU64(Bad, Entry + 8, readU64(Good, Entry + 8) + 4);
+    fixHeaderSum(Bad);
+    writeFileBytes(Path, Bad);
+    Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("aligned"), std::string::npos) << E.message();
+  }
+
+  // The twelve routing sections are all-or-nothing: dropping the last
+  // one from the table (and re-signing the header) is rejected, not
+  // silently downgraded to an unrouted image.
+  {
+    std::string Bad = Good;
+    const uint32_t SectionCount = readU32(Good, 12);
+    ASSERT_EQ(readU32(Bad, 64 + (SectionCount - 1) * 32),
+              static_cast<uint32_t>(FlatSectionId::PostingValues));
+    Bad[12] = static_cast<char>(SectionCount - 1);
+    fixHeaderSum(Bad);
+    writeFileBytes(Path, Bad);
+    Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("all of their sections"), std::string::npos)
+        << E.message();
+  }
+}
+
+TEST(FlatImageTest, RoutedSectionsRejectedUnderVersionSkew) {
+  Rng R(444546);
+  const std::string Path = tempImagePath("routed_skew");
+  writeRoutedImage(R, 12, Path);
+  const std::string Good = readFileBytes(Path);
+
+  // Routing sections under a version-3 header: a v3-era reader (or a
+  // rolled-back binary) must fail loudly on the unknown ids.
+  {
+    std::string Bad = Good;
+    Bad[8] = 3;
+    fixHeaderSum(Bad);
+    writeFileBytes(Path, Bad);
+    Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("unknown section id"), std::string::npos)
+        << E.message();
+  }
+  // A future version is rejected outright.
+  {
+    std::string Bad = Good;
+    Bad[8] = 5;
+    fixHeaderSum(Bad);
+    writeFileBytes(Path, Bad);
+    Expected<ProfileStoreCache> E = readProfileStoreImageFile(Path);
+    ASSERT_FALSE(E.hasValue());
+    EXPECT_NE(E.message().find("version"), std::string::npos) << E.message();
+  }
+}
+
+TEST(FlatImageTest, SectionlessV3ImagesStillLoadUnrouted) {
+  // An unrouted cache writes the bit-stable version-3 layout; opening
+  // it yields no routing arenas and the caller falls back to a
+  // rebuild (or stays unrouted) exactly as before v4 existed.
+  Rng R(474849);
+  ProfileStoreCache Cache = makeStoreCache(R, 10, "k");
+  const std::string Path = tempImagePath("v3_fallback");
+  ASSERT_TRUE(writeProfileStoreImageFile(Cache, Path).ok());
+  EXPECT_EQ(readU32(readFileBytes(Path), 8), 3u);
+  Expected<ProfileStoreCache> Loaded = readProfileStoreImageFile(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  EXPECT_EQ(Loaded->Routing, nullptr);
+  expectStoresBitExact(Loaded->Store, Cache.Store);
 }
 
 } // namespace

@@ -391,11 +391,12 @@ TEST(IndexServiceTest, V3ImagesCarryRoutingAndSurviveWriters) {
   Service.rebuildRouting(Route, 1);
   ASSERT_EQ(Service.snapshot().routedShardCount(), Options.Shards);
 
-  // The export embeds the routing sidecar and the quantized store —
-  // no separate "shard-NNN.route" files needed.
+  // The export carries the routing tier as flat arena views and the
+  // quantized store — no separate "shard-NNN.route" files needed.
   std::vector<ProfileStoreCache> Exported = Service.toShardCaches();
   for (const ProfileStoreCache &Cache : Exported) {
-    EXPECT_FALSE(Cache.RouteBlob.empty());
+    ASSERT_NE(Cache.Routing, nullptr);
+    EXPECT_EQ(Cache.Routing->Covered, Cache.Store.size());
     EXPECT_NE(Cache.Store.quantized(), nullptr);
   }
   std::string Dir = testing::TempDir() + "/kast_restart_routed_v3";
@@ -440,8 +441,8 @@ TEST(IndexServiceTest, V3ImagesCarryRoutingAndSurviveWriters) {
 }
 
 TEST(IndexServiceTest, EmbeddedRoutingMismatchFailsRestore) {
-  // A route blob paired with contents it was not fitted on (here: a
-  // truncated copy of the shard) must fail loudly at restore.
+  // Routing arenas paired with contents they were not fitted on
+  // (here: a truncated copy of the shard) must fail loudly at restore.
   IndexService Service("k", {.Shards = 1});
   KernelProfile P;
   P.add(3, 1.0);
@@ -453,12 +454,12 @@ TEST(IndexServiceTest, EmbeddedRoutingMismatchFailsRestore) {
   Service.rebuildRouting(Route, 1);
   std::vector<ProfileStoreCache> Exported = Service.toShardCaches();
   ASSERT_EQ(Exported.size(), 1u);
-  ASSERT_FALSE(Exported[0].RouteBlob.empty());
+  ASSERT_NE(Exported[0].Routing, nullptr);
 
-  // Drop one profile but keep the blob.
+  // Drop one profile but keep the arenas.
   ProfileStoreCache Stale;
   Stale.KernelName = Exported[0].KernelName;
-  Stale.RouteBlob = Exported[0].RouteBlob;
+  Stale.Routing = Exported[0].Routing;
   for (size_t I = 0; I + 1 < Exported[0].Store.size(); ++I) {
     Stale.Store.appendFrom(Exported[0].Store, I);
     Stale.Names.push_back(Exported[0].Names[I]);

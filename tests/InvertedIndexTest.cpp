@@ -508,6 +508,97 @@ TEST(InvertedIndexTest, ServiceRoutingPersistsAcrossRestart) {
       << Bad.message();
 }
 
+TEST(InvertedIndexTest, ImageSaveSweepsStaleRouteSidecars) {
+  Rng R(7272);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 40, "c");
+  BlendedSpectrumKernel Kernel = testKernel();
+  IndexServiceOptions SvcOpts;
+  SvcOpts.Shards = 2;
+  IndexService Service =
+      IndexService::fromIndex(ProfileIndex::build(Kernel, Corpus, {}, 1),
+                              SvcOpts);
+  RoutingOptions Opts;
+  Opts.Cluster.NumCentroids = 3;
+  Service.rebuildRouting(Opts, 1);
+
+  const std::string Dir = testing::TempDir() + "/kast_route_sweep";
+  std::filesystem::create_directories(Dir);
+  ASSERT_TRUE(Service.saveShardRouting(Dir).ok());
+  ASSERT_TRUE(std::filesystem::exists(Dir + "/shard-000.route"));
+  ASSERT_TRUE(std::filesystem::exists(Dir + "/shard-001.route"));
+
+  // A v3 image save embeds routing as sections; the now-redundant
+  // sidecars would otherwise linger and bite a later restore whose
+  // contents drifted. The save sweeps them.
+  ASSERT_TRUE(writeShardedProfileImages(Service.toShardCaches(), Dir).ok());
+  EXPECT_FALSE(std::filesystem::exists(Dir + "/shard-000.route"));
+  EXPECT_FALSE(std::filesystem::exists(Dir + "/shard-001.route"));
+
+  // The swept directory restores routed from the images alone.
+  Expected<std::vector<ProfileStoreCache>> Caches =
+      loadShardedProfileImages(Dir);
+  ASSERT_TRUE(Caches.hasValue()) << Caches.message();
+  Expected<IndexService> Restored =
+      IndexService::fromShardCaches(Caches.take(), SvcOpts);
+  ASSERT_TRUE(Restored.hasValue()) << Restored.message();
+  EXPECT_EQ(Restored->snapshot().routedShardCount(), SvcOpts.Shards);
+}
+
+TEST(InvertedIndexTest, EmbeddedRoutingToleratesAgreeingSidecarOnly) {
+  Rng R(7373);
+  auto Table = TokenTable::create();
+  std::vector<WeightedString> Corpus = randomCorpus(Table, R, 40, "c");
+  BlendedSpectrumKernel Kernel = testKernel();
+  IndexServiceOptions SvcOpts;
+  SvcOpts.Shards = 2;
+  IndexService Service =
+      IndexService::fromIndex(ProfileIndex::build(Kernel, Corpus, {}, 1),
+                              SvcOpts);
+  RoutingOptions Opts;
+  Opts.Cluster.NumCentroids = 3;
+  Service.rebuildRouting(Opts, 1);
+
+  const std::string Dir = testing::TempDir() + "/kast_route_agree";
+  std::filesystem::create_directories(Dir);
+  ASSERT_TRUE(writeShardedProfileImages(Service.toShardCaches(), Dir).ok());
+
+  auto restore = [&]() {
+    Expected<std::vector<ProfileStoreCache>> Caches =
+        loadShardedProfileImages(Dir);
+    EXPECT_TRUE(Caches.hasValue()) << Caches.message();
+    Expected<IndexService> Restored =
+        IndexService::fromShardCaches(Caches.take(), SvcOpts);
+    EXPECT_TRUE(Restored.hasValue()) << Restored.message();
+    return Restored.take();
+  };
+
+  // An agreeing sidecar beside an embedded-routing image is a no-op:
+  // loadShardRouting recognises the match and rebuilds nothing.
+  IndexService Restored = restore();
+  ASSERT_EQ(Restored.snapshot().routedShardCount(), SvcOpts.Shards);
+  ASSERT_TRUE(Service.saveShardRouting(Dir).ok());
+  const uint64_t Rebuilds = postingRebuildCount();
+  Status Agree = Restored.loadShardRouting(Dir);
+  EXPECT_TRUE(Agree.ok()) << Agree.message();
+  EXPECT_EQ(postingRebuildCount(), Rebuilds);
+  EXPECT_EQ(Restored.snapshot().routedShardCount(), SvcOpts.Shards);
+
+  // A *disagreeing* sidecar (a different fit left behind by another
+  // run) fails loudly instead of silently shadowing the embedded
+  // arenas.
+  IndexService Refit = restore();
+  RoutingOptions Other;
+  Other.Cluster.NumCentroids = 2;
+  Refit.rebuildRouting(Other, 1);
+  ASSERT_TRUE(Refit.saveShardRouting(Dir).ok());
+  IndexService Victim = restore();
+  Status Clash = Victim.loadShardRouting(Dir);
+  ASSERT_FALSE(Clash.ok());
+  EXPECT_NE(Clash.message().find("disagrees"), std::string::npos)
+      << Clash.message();
+}
+
 //===----------------------------------------------------------------------===//
 // Router unit behavior
 //===----------------------------------------------------------------------===//

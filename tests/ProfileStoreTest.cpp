@@ -298,7 +298,8 @@ TEST(ProfileStoreCacheTest, V1AndV2LoadInterchangeably) {
   ProfileCache Records;
   Records.KernelName = StoreCache.KernelName;
   for (size_t I = 0; I < StoreCache.Store.size(); ++I)
-    Records.Records.push_back({StoreCache.Names[I], StoreCache.Labels[I],
+    Records.Records.push_back({StoreCache.Names.str(I),
+                               StoreCache.Labels.str(I),
                                StoreCache.Store.materialize(I)});
   std::stringstream V1;
   ASSERT_TRUE(writeProfileCache(Records, V1).ok());
@@ -374,8 +375,8 @@ TEST(ProfileStoreCacheTest, CorruptOffsetsDiagnoseBeforeEntryAdoption) {
   // value bit patterns unrelated).
   ProfileStoreCache Cache;
   Cache.KernelName = "k";
-  Cache.Names = {"a", "b"};
-  Cache.Labels = {"", ""};
+  Cache.Names = std::vector<std::string>{"a", "b"};
+  Cache.Labels = std::vector<std::string>{"", ""};
   Cache.Store = ProfileStore::adopt({0x1111111111111111ULL,
                                      0x2222222222222222ULL,
                                      0x3333333333333333ULL},
